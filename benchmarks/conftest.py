@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures as text and
+*persists* it under ``benchmarks/results/`` (pytest captures stdout, so the
+files are the canonical record; ``EXPERIMENTS.md`` quotes them).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Write a named artifact to benchmarks/results/ and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> str:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n=== {name} ===\n{text}\n")
+        return text
+
+    return _emit

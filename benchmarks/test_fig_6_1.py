@@ -1,0 +1,76 @@
+"""Figure 6.1: HSS weak scaling on a Mira-like machine, phase breakdown.
+
+Paper setting: IBM BG/Q, node-level partitioning (16 cores/node), 1M 8-byte
+keys + 4-byte payload per core, ε = 0.02, p = 512 … 32K cores.  Paper
+observations we reproduce in *shape*:
+
+* local sort is flat under weak scaling;
+* the histogramming phase is a very small fraction of total time at every
+  scale ("even for large number of processors, the histogramming phase
+  takes very little fraction of the running time");
+* data exchange grows with p (5-D-torus all-to-all contention) and
+  dominates the growth of the total.
+
+Splitter-phase behaviour (rounds, samples) is *measured* per configuration
+with the rank-space engine at the true node counts; phase seconds come from
+the calibrated α–β/γ model (see DESIGN.md substitutions — absolute seconds
+land within ~2–4× of the paper's bars, shape matches).
+"""
+
+from repro.bsp.machine import MIRA_LIKE
+from repro.core.config import HSSConfig
+from repro.core.rankspace import RankSpaceSimulator
+from repro.perf.model import model_weak_scaling
+from repro.perf.report import format_stacked_table
+
+PS = [512, 2048, 8192, 32768]
+CORES_PER_NODE = MIRA_LIKE.cores_per_node
+KEYS_PER_CORE = 1_000_000
+EPS = 0.02
+
+
+def one_point(p: int):
+    nodes = max(2, p // CORES_PER_NODE)
+    cfg = HSSConfig.constant_oversampling(5.0, eps=EPS, seed=17)
+    stats = RankSpaceSimulator(p * KEYS_PER_CORE, nodes, cfg).run()
+    return model_weak_scaling(
+        MIRA_LIKE,
+        nprocs=p,
+        keys_per_core=KEYS_PER_CORE,
+        splitter_stats=stats,
+        key_bytes=8,
+        payload_bytes=4,
+        node_level=True,
+    )
+
+
+def test_fig_6_1(benchmark, emit):
+    points = {p: one_point(p) for p in PS}
+    benchmark(one_point, PS[0])
+
+    emit(
+        "fig_6_1",
+        format_stacked_table(
+            "p",
+            PS,
+            [points[p].as_dict() for p in PS],
+            title=(
+                "Fig 6.1 — weak scaling, Mira-like BG/Q, node-level "
+                f"partitioning, {KEYS_PER_CORE:,} keys/core (8B+4B), eps={EPS}"
+            ),
+        ),
+    )
+
+    first, last = points[PS[0]], points[PS[-1]]
+    # Local sort flat under weak scaling.
+    assert abs(first.local_sort - last.local_sort) < 1e-9
+    # Histogramming a small fraction everywhere.
+    for pt in points.values():
+        assert pt.histogramming < 0.15 * pt.total
+    # Data exchange grows with p and drives total growth.
+    exchanges = [points[p].data_exchange for p in PS]
+    assert exchanges == sorted(exchanges)
+    assert last.total > first.total
+    # Totals in the paper's single-digit-seconds band.
+    for pt in points.values():
+        assert 0.3 < pt.total < 12.0

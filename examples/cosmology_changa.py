@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""ChaNGa-style cosmology sort: clustered Morton keys, HSS vs histogram sort.
+
+The paper's motivating application (§6.3): an N-body code sorts particles
+by space-filling-curve key at every step, and clustered matter makes those
+keys brutally skewed.  This example
+
+1. builds a synthetic "dwarf galaxy" snapshot (one dominant Plummer halo)
+   and a "cosmological web" snapshot (many halos + filaments),
+2. shows how concentrated their Morton keys are,
+3. sorts both with HSS and with classic histogram sort ("Old" in Fig 6.2),
+   comparing histogramming rounds — the quantity that makes HSS win on
+   skewed data.
+
+Run:  python examples/cosmology_changa.py
+"""
+
+import numpy as np
+
+from repro.bsp import BSPEngine
+from repro.baselines.histogram_sort import histogram_sort_program
+from repro.core.api import hss_sort
+from repro.core.config import HSSConfig
+from repro.metrics import verify_sorted_output
+from repro.workloads.changa import dwarf_like_shards, lambb_like_shards
+
+P = 16
+PARTICLES_PER_PROC = 20_000
+EPS = 0.05
+
+
+def key_concentration(shards) -> float:
+    """Fraction of the key-space span holding the middle 90% of keys."""
+    keys = np.sort(np.concatenate(shards).astype(np.float64))
+    n = len(keys)
+    core = keys[int(0.95 * n)] - keys[int(0.05 * n)]
+    return core / max(1.0, keys[-1] - keys[0])
+
+
+def old_histogram_rounds(shards) -> int:
+    """Run classic histogram sort and report its probe-refinement rounds."""
+    engine = BSPEngine(P)
+    # Morton keys are uint64; bisection needs signed-safe arithmetic, so
+    # histogram sort runs on the float view of the keys (order-preserving
+    # for 63-bit Morton codes).
+    as_float = [s.astype(np.float64) for s in shards]
+    res = engine.run(
+        histogram_sort_program,
+        rank_args=[(x,) for x in as_float],
+        eps=EPS,
+        max_rounds=300,
+    )
+    return res.returns[0][1].rounds
+
+
+def main() -> None:
+    for name, maker in (
+        ("dwarf (single halo)", dwarf_like_shards),
+        ("lambb (cosmic web) ", lambb_like_shards),
+    ):
+        shards = maker(P, PARTICLES_PER_PROC, 7)
+        conc = key_concentration(shards)
+        print(f"== {name}: {P * PARTICLES_PER_PROC:,} particles ==")
+        print(f"   90% of keys occupy {conc:.2%} of the key-space span")
+
+        cfg = HSSConfig.constant_oversampling(
+            5.0, eps=EPS, seed=3, tag_duplicates=True
+        )
+        run = hss_sort(shards, config=cfg)
+        verify_sorted_output(shards, run.shards, EPS)
+        hss_rounds = run.splitter_stats.num_rounds
+
+        old_rounds = old_histogram_rounds(shards)
+        print(f"   HSS rounds          : {hss_rounds} "
+              f"(sample {run.splitter_stats.total_sample} keys)")
+        print(f"   Old histogram rounds: {old_rounds}")
+        print(f"   imbalance           : {run.imbalance:.4f}")
+        print()
+
+    print("HSS's sampled probes are distribution-free; key-space bisection")
+    print("pays for every decade of clustering — the Fig 6.2 story.")
+
+
+if __name__ == "__main__":
+    main()

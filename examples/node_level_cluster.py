@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Two-level node-partitioned sort on a simulated multicore cluster (§6.1).
+
+Builds a Mira-like machine (16 cores per node, 5-D torus), sorts with the
+shared-memory-optimized HSS — node-level splitters, per-node message
+combining, within-node regular-sampling sort — and contrasts it against
+flat core-level HSS on the same input: fewer splitters, a much smaller
+histogram, and ~cores²-fold fewer network messages.
+
+Run:  python examples/node_level_cluster.py
+"""
+
+import numpy as np
+
+from repro.bsp import BSPEngine
+from repro.bsp.machine import MIRA_LIKE
+from repro.core.config import HSSConfig
+from repro.core.hss import hss_sort_program
+from repro.core.node_sort import combined_eps, hss_node_sort_program
+from repro.metrics import load_imbalance, verify_sorted_output
+
+P = 64               # simulated cores
+CORES_PER_NODE = 16  # => 4 nodes
+KEYS_PER_CORE = 10_000
+EPS_NODE = 0.02      # across nodes (paper's setting)
+EPS_WITHIN = 0.05    # within a node
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    inputs = [rng.integers(0, 2**62, KEYS_PER_CORE) for _ in range(P)]
+    machine = MIRA_LIKE.with_(cores_per_node=CORES_PER_NODE)
+
+    # --- two-level: node splitters + shared-memory within-node sort ------
+    engine = BSPEngine(P, machine=machine)
+    cfg = HSSConfig(
+        eps=EPS_NODE, within_node_eps=EPS_WITHIN, node_level=True, seed=9
+    )
+    node_res = engine.run(
+        hss_node_sort_program, rank_args=[(x,) for x in inputs], cfg=cfg
+    )
+    node_out = [r[0].keys for r in node_res.returns]
+    verify_sorted_output(inputs, node_out, combined_eps(EPS_NODE, EPS_WITHIN))
+    node_stats = node_res.returns[0][1]
+
+    # --- flat core-level HSS for contrast --------------------------------
+    engine = BSPEngine(P, machine=machine)
+    flat_res = engine.run(
+        hss_sort_program,
+        rank_args=[(x, None) for x in inputs],
+        cfg=HSSConfig(eps=EPS_NODE, seed=9),
+    )
+    flat_out = [r[0].keys for r in flat_res.returns]
+    flat_stats = flat_res.returns[0][1]
+
+    nodes = P // CORES_PER_NODE
+    print(f"machine: {P} cores = {nodes} nodes x {CORES_PER_NODE} cores, "
+          f"{machine.topology.describe()}")
+    print(f"input  : {P * KEYS_PER_CORE:,} keys\n")
+    header = f"{'':28s} {'node-level':>12s} {'core-level':>12s}"
+    print(header)
+    print("-" * len(header))
+    print(f"{'splitters determined':28s} {node_stats.nparts - 1:>12} "
+          f"{flat_stats.nparts - 1:>12}")
+    print(f"{'histogramming rounds':28s} {node_stats.num_rounds:>12} "
+          f"{flat_stats.num_rounds:>12}")
+    print(f"{'total sample (keys)':28s} {node_stats.total_sample:>12} "
+          f"{flat_stats.total_sample:>12}")
+    print(f"{'network messages':28s} {node_res.stats.messages:>12,} "
+          f"{flat_res.stats.messages:>12,}")
+    print(f"{'modeled makespan (ms)':28s} "
+          f"{node_res.makespan * 1e3:>12.3f} {flat_res.makespan * 1e3:>12.3f}")
+    print(f"{'imbalance':28s} {load_imbalance(node_out):>12.4f} "
+          f"{load_imbalance(flat_out):>12.4f}")
+
+    print("\nnode-level phase breakdown:")
+    print(node_res.breakdown().table())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Shim for legacy editable installs on environments without the wheel package.
+
+``pip install -e . --no-build-isolation --no-use-pep517`` uses this; all real
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,45 @@
+"""Baseline parallel sorting algorithms the paper compares against or reviews.
+
+Every baseline is an SPMD program over the same BSP engine and the same
+data-movement phase as HSS, so measured differences isolate the *splitter
+determination* strategy — exactly the comparison the paper makes.
+
+=====================================  ===================================
+module                                 algorithm (paper section)
+=====================================  ===================================
+:mod:`repro.baselines.sample_sort`     sample sort with regular (§4.1.2)
+                                       and block-random (§4.1.1) sampling
+:mod:`repro.baselines.histogram_sort`  classic histogram sort (§2.3) —
+                                       key-space probe bisection, the
+                                       "Old" series of Fig 6.2
+:mod:`repro.baselines.scanning_sort`   one-round sample + scan (§3.2)
+:mod:`repro.baselines.over_partition`  over-partitioning (§4.2), with a
+                                       contiguous greedy bucket assignment
+                                       in place of the shared-memory task
+                                       queue (the paper itself notes the
+                                       task queue does not extend to
+                                       distributed memory)
+:mod:`repro.baselines.bitonic`         Batcher bitonic sort (§4.2)
+:mod:`repro.baselines.radix`           distributed LSD radix sort (§4.2)
+=====================================  ===================================
+"""
+
+from repro.baselines.sample_sort import (
+    sample_sort_regular_program,
+    sample_sort_random_program,
+)
+from repro.baselines.histogram_sort import histogram_sort_program
+from repro.baselines.scanning_sort import scanning_sort_program
+from repro.baselines.over_partition import over_partition_program
+from repro.baselines.bitonic import bitonic_sort_program
+from repro.baselines.radix import radix_sort_program
+
+__all__ = [
+    "sample_sort_regular_program",
+    "sample_sort_random_program",
+    "histogram_sort_program",
+    "scanning_sort_program",
+    "over_partition_program",
+    "bitonic_sort_program",
+    "radix_sort_program",
+]

@@ -1,0 +1,200 @@
+"""Classic histogram sort (Kale & Krishnan; §2.3) — the "Old" of Fig 6.2.
+
+No sampling: the central processor maintains candidate probe keys and
+refines them by *bisecting key space*.  Each round it broadcasts probes,
+collects the reduced global histogram (exact probe ranks), tightens every
+splitter's ``[L, U]`` interval, and emits new probes spread evenly across
+each still-open interval's key range.
+
+The round count is bounded by ``log(key range)`` and — unlike HSS — depends
+on the *key distribution*: a skewed input packs most ranks into a narrow key
+span, so equally spaced key-space probes learn little per round.  The
+ChaNGa benchmark (Fig 6.2) exercises exactly this weakness.
+
+Shares :class:`~repro.core.splitters.SplitterState` with HSS, so the two
+algorithms differ *only* in probe generation — the cleanest possible
+ablation of "sampling vs bisection".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator
+
+import numpy as np
+
+from repro.bsp.engine import Context
+from repro.core.data_movement import Shard, exchange_and_merge
+from repro.core.splitters import SplitterState
+from repro.errors import ConfigError, VerificationError
+
+__all__ = ["HistogramSortStats", "histogram_sort_program", "keyspace_probes"]
+
+
+@dataclass
+class HistogramSortStats:
+    """Per-round accounting for classic histogram sort."""
+
+    rounds: int = 0
+    probes_per_round: list[int] = field(default_factory=list)
+    all_finalized: bool = False
+    max_rank_error: int = 0
+
+    @property
+    def total_probes(self) -> int:
+        return sum(self.probes_per_round)
+
+
+def keyspace_probes(
+    state: SplitterState,
+    probes_per_splitter: int,
+    key_min,
+    key_max,
+    *,
+    adaptive: bool = False,
+) -> np.ndarray:
+    """Generate the next round's probes by key-space subdivision.
+
+    The classic algorithm (Kale & Krishnan 1993, §2.3): the *first* probe
+    set is spread evenly across the whole key range (one probe group per
+    splitter); afterwards every unfinalized splitter refines its own
+    interval with ``probes_per_splitter`` evenly spaced interior points.
+    Splitters sharing an interval generate *identical* probe positions, so
+    the broadcast histogram stays ``O(p)`` but a dense key region shared by
+    many splitters is refined no faster than one held by a single splitter
+    — the distribution sensitivity HSS removes.
+
+    ``adaptive=True`` enables a strictly stronger variant (not in the
+    paper): each distinct open interval receives probes proportional to the
+    number of splitters inside it, pooling refinement effort into dense
+    regions.  Exposed for the refinement-policy ablation.
+
+    Intervals are clipped to the observed key range, since the initial
+    sentinels span the whole dtype.
+    """
+    open_mask = ~state.finalized_mask()
+    if not np.any(open_mask):
+        return np.empty(0, dtype=state.key_dtype)
+    integer_keys = not np.issubdtype(state.key_dtype, np.floating)
+    first_round = state.rounds_completed == 0
+
+    lo = state.lo_key[open_mask]
+    hi = state.hi_key[open_mask]
+    lo = np.maximum(lo, np.asarray(key_min, dtype=state.key_dtype))
+    hi = np.minimum(hi, np.asarray(key_max, dtype=state.key_dtype))
+    pairs, counts = np.unique(
+        np.column_stack((lo, hi)), axis=0, return_counts=True
+    )
+    pieces: list[np.ndarray] = []
+    for (l, h), c in zip(pairs, counts):
+        if h <= l:
+            continue
+        if adaptive or first_round:
+            m = int(c) * probes_per_splitter
+        else:
+            m = probes_per_splitter
+        fracs = np.arange(1, m + 1, dtype=np.float64) / (m + 1)
+        if integer_keys:
+            # Integer-exact interior probes: float spacing would quantize
+            # (float64 resolves 63-bit keys only to ~2^11) and stall the
+            # bisection once intervals shrink below that granularity.
+            width = int(h) - int(l)
+            offsets = np.floor(float(width) * fracs).astype(np.int64)
+            offsets = np.clip(offsets, 1, max(1, width - 1))
+            # Stay in the key dtype end-to-end (an int64/float64 mix would
+            # upcast to float64 and reintroduce the quantization).
+            pieces.append(
+                np.unique(offsets).astype(state.key_dtype)
+                + np.asarray(l, dtype=state.key_dtype)
+            )
+        else:
+            pieces.append(l + (h - l) * fracs)
+    if not pieces:
+        return np.empty(0, dtype=state.key_dtype)
+    pts = np.concatenate(pieces).astype(state.key_dtype)
+    return np.unique(pts)
+
+
+def histogram_sort_program(
+    ctx: Context,
+    keys: np.ndarray,
+    *,
+    eps: float = 0.05,
+    seed: int = 0,
+    probes_per_splitter: int = 3,
+    max_rounds: int = 128,
+) -> Generator:
+    """SPMD classic histogram sort; returns ``(Shard, HistogramSortStats)``.
+
+    Only numeric key dtypes are supported (probe generation needs key
+    arithmetic — an inherent limitation of key-space bisection that the
+    sampling-based methods do not share).
+    """
+    del seed  # deterministic
+    if probes_per_splitter < 1:
+        raise ConfigError(
+            f"probes_per_splitter must be >= 1, got {probes_per_splitter}"
+        )
+    p = ctx.nprocs
+    root = 0
+
+    with ctx.phase("local sort"):
+        keys = np.sort(keys, kind="stable")
+        ctx.charge_sort(len(keys), key_bytes=keys.dtype.itemsize)
+
+    with ctx.phase("histogramming"):
+        total_keys = int((yield from ctx.allreduce(np.int64(len(keys)))))
+        local_min = keys[0] if len(keys) else np.inf
+        local_max = keys[-1] if len(keys) else -np.inf
+        key_min = yield from ctx.allreduce(local_min, op="min")
+        key_max = yield from ctx.allreduce(local_max, op="max")
+
+        state = (
+            SplitterState(total_keys, p, eps, key_dtype=keys.dtype)
+            if ctx.rank == root
+            else None
+        )
+        stats = HistogramSortStats() if ctx.rank == root else None
+
+        rounds = 0
+        while True:
+            if ctx.rank == root:
+                if state.all_finalized() or rounds >= max_rounds:
+                    command = {"done": True, "splitters": state.final_splitters()}
+                else:
+                    probes = keyspace_probes(
+                        state, probes_per_splitter, key_min, key_max
+                    )
+                    command = {"done": False, "probes": probes}
+            else:
+                command = None
+            command = yield from ctx.bcast(command, root=root)
+            if command["done"]:
+                splitters = command["splitters"]
+                break
+            probes = command["probes"]
+            counts = np.searchsorted(keys, probes, side="left").astype(np.int64)
+            ctx.charge_binary_searches(len(probes), max(1, len(keys)))
+            ranks = yield from ctx.reduce(counts, op="sum", root=root)
+            rounds += 1
+            if ctx.rank == root:
+                state.update(probes, ranks)
+                stats.rounds = rounds
+                stats.probes_per_round.append(len(probes))
+
+        if ctx.rank == root:
+            stats.all_finalized = state.all_finalized()
+            stats.max_rank_error = state.max_rank_error()
+            if not stats.all_finalized:
+                raise VerificationError(
+                    f"histogram sort did not finalize all splitters within "
+                    f"{max_rounds} rounds (max rank error "
+                    f"{stats.max_rank_error})"
+                )
+        stats = yield from ctx.bcast(stats, root=root)
+        positions = np.searchsorted(keys, splitters, side="left").astype(np.int64)
+        ctx.charge_binary_searches(p - 1, max(1, len(keys)))
+
+    with ctx.phase("data exchange"):
+        merged = yield from exchange_and_merge(ctx, Shard(keys), positions)
+    return merged, stats

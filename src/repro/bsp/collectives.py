@@ -1,0 +1,210 @@
+"""Data semantics of BSP collectives.
+
+The engine (:mod:`repro.bsp.engine`) rendezvouses all ranks at a collective
+and hands their payloads to :func:`resolve`, which computes what every rank
+receives, plus the byte counts the cost model needs.  Semantics mirror MPI:
+
+=============  ======================================================
+op             result at rank ``i``
+=============  ======================================================
+barrier        ``None``
+bcast          root's payload
+gather         list of all payloads at root, ``None`` elsewhere
+allgather      list of all payloads everywhere
+scatter        ``payloads[root][i]``
+reduce         combined value at root, ``None`` elsewhere
+allreduce      combined value everywhere
+scan           inclusive prefix combination of payloads ``0..i``
+alltoall       ``[payloads[j][i] for j in range(p)]``
+exchange       partner's payload (pairwise, partners must be symmetric)
+=============  ======================================================
+
+Reductions support ``'sum'``, ``'min'``, ``'max'`` and operate elementwise on
+NumPy arrays or directly on scalars.  Payload sizes are measured with
+:func:`sizeof`, which understands NumPy arrays, scalars, strings, bytes and
+(recursively) containers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.errors import BSPError, CollectiveMismatchError
+
+__all__ = ["sizeof", "resolve", "ResolvedCollective", "REDUCERS"]
+
+
+def sizeof(obj: Any) -> int:
+    """Approximate wire size of a payload in bytes.
+
+    NumPy arrays report their exact buffer size; Python scalars count as 8
+    bytes (their natural wire encoding); containers sum their elements.  The
+    goal is faithful *relative* accounting for the cost model, not Python
+    object-graph memory measurement.
+    """
+    if obj is None:
+        return 0
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bool, int, float, complex, np.generic)):
+        return 8
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, str):
+        return len(obj.encode())
+    if isinstance(obj, dict):
+        return sum(sizeof(k) + sizeof(v) for k, v in obj.items())
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return sum(sizeof(x) for x in obj)
+    # Dataclass-ish objects: count their public attributes.
+    if hasattr(obj, "__dict__"):
+        return sum(sizeof(v) for v in vars(obj).values())
+    return 8
+
+
+def _reduce_pair(a: Any, b: Any, op: str) -> Any:
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        if op == "sum":
+            return np.add(a, b)
+        if op == "min":
+            return np.minimum(a, b)
+        if op == "max":
+            return np.maximum(a, b)
+    else:
+        if op == "sum":
+            return a + b
+        if op == "min":
+            return min(a, b)
+        if op == "max":
+            return max(a, b)
+    raise BSPError(f"unsupported reduction op: {op!r}")
+
+
+REDUCERS: dict[str, Callable[[Any, Any], Any]] = {
+    "sum": lambda a, b: _reduce_pair(a, b, "sum"),
+    "min": lambda a, b: _reduce_pair(a, b, "min"),
+    "max": lambda a, b: _reduce_pair(a, b, "max"),
+}
+
+
+def _combine(payloads: Sequence[Any], op: str) -> Any:
+    if op not in REDUCERS:
+        raise BSPError(f"unsupported reduction op: {op!r}")
+    reducer = REDUCERS[op]
+    acc = payloads[0]
+    if isinstance(acc, np.ndarray):
+        acc = acc.copy()
+    for value in payloads[1:]:
+        acc = reducer(acc, value)
+    return acc
+
+
+class ResolvedCollective:
+    """Per-rank results plus byte accounting for one collective."""
+
+    __slots__ = ("results", "max_bytes", "total_bytes")
+
+    def __init__(self, results: list[Any], max_bytes: int, total_bytes: int):
+        self.results = results
+        self.max_bytes = max_bytes
+        self.total_bytes = total_bytes
+
+
+def resolve(
+    op: str,
+    payloads: list[Any],
+    root: int,
+    reduce_op: str = "sum",
+    partners: list[int] | None = None,
+) -> ResolvedCollective:
+    """Compute every rank's result for one collective rendezvous."""
+    p = len(payloads)
+    sizes = [sizeof(x) for x in payloads]
+    total = sum(sizes)
+    largest = max(sizes) if sizes else 0
+
+    if op == "barrier":
+        return ResolvedCollective([None] * p, 0, 0)
+
+    if op == "bcast":
+        value = payloads[root]
+        size = sizes[root]
+        return ResolvedCollective([value] * p, size, size * max(0, p - 1))
+
+    if op == "gather":
+        results: list[Any] = [None] * p
+        results[root] = list(payloads)
+        return ResolvedCollective(results, total, total)
+
+    if op == "allgather":
+        everywhere = list(payloads)
+        return ResolvedCollective([everywhere] * p, total, total)
+
+    if op == "scatter":
+        chunks = payloads[root]
+        if chunks is None or len(chunks) != p:
+            raise BSPError(
+                f"scatter root payload must be a length-{p} sequence, "
+                f"got {type(chunks).__name__}"
+                + (f" of length {len(chunks)}" if hasattr(chunks, "__len__") else "")
+            )
+        chunk_sizes = [sizeof(c) for c in chunks]
+        return ResolvedCollective(
+            list(chunks), sum(chunk_sizes), sum(chunk_sizes)
+        )
+
+    if op == "reduce":
+        combined = _combine(payloads, reduce_op)
+        results = [None] * p
+        results[root] = combined
+        return ResolvedCollective(results, largest, total)
+
+    if op == "allreduce":
+        combined = _combine(payloads, reduce_op)
+        return ResolvedCollective([combined] * p, largest, total)
+
+    if op == "scan":
+        results = []
+        acc: Any = None
+        for i, value in enumerate(payloads):
+            if i == 0:
+                acc = value.copy() if isinstance(value, np.ndarray) else value
+            else:
+                acc = REDUCERS[reduce_op](acc, value)
+            results.append(acc.copy() if isinstance(acc, np.ndarray) else acc)
+        return ResolvedCollective(results, largest, total)
+
+    if op in ("alltoall", "alltoallv"):
+        for r, row in enumerate(payloads):
+            if row is None or len(row) != p:
+                raise BSPError(
+                    f"alltoall payload at rank {r} must be a length-{p} "
+                    f"sequence of per-destination items"
+                )
+        results = [[payloads[src][dst] for src in range(p)] for dst in range(p)]
+        send_bytes = [sum(sizeof(x) for x in row) for row in payloads]
+        recv_bytes = [sum(sizeof(x) for x in col) for col in results]
+        vmax = max(
+            (s + r for s, r in zip(send_bytes, recv_bytes)), default=0
+        )
+        return ResolvedCollective(results, vmax, sum(send_bytes))
+
+    if op == "exchange":
+        if partners is None:
+            raise BSPError("exchange requires a partners list")
+        for rank, partner in enumerate(partners):
+            if not 0 <= partner < p:
+                raise CollectiveMismatchError(
+                    f"rank {rank} named invalid exchange partner {partner}"
+                )
+            if partners[partner] != rank:
+                raise CollectiveMismatchError(
+                    f"asymmetric exchange: rank {rank} -> {partner} but "
+                    f"rank {partner} -> {partners[partner]}"
+                )
+        results = [payloads[partners[rank]] for rank in range(p)]
+        return ResolvedCollective(results, largest, total)
+
+    raise BSPError(f"unknown collective op: {op!r}")

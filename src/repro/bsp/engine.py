@@ -1,0 +1,550 @@
+"""The BSP SPMD engine.
+
+An algorithm is expressed as a *program*: a generator function whose first
+argument is a :class:`Context` and which uses ``yield from`` at every
+communication point::
+
+    def program(ctx, local_keys):
+        with ctx.phase("local sort"):
+            local_keys = np.sort(local_keys)
+            ctx.charge_sort(len(local_keys))
+        sample = local_keys[:: max(1, len(local_keys) // 4)]
+        with ctx.phase("splitting"):
+            gathered = yield from ctx.gather(sample, root=0)
+        ...
+        return my_final_bucket
+
+:class:`BSPEngine` instantiates one generator per simulated rank and advances
+them in lockstep.  When every live rank has yielded its next collective
+request, the engine checks SPMD consistency (same op, same root — the
+simulated analogue of MPI's matching rules), resolves the data movement with
+:mod:`repro.bsp.collectives`, prices the superstep with
+:mod:`repro.bsp.cost_model`, and resumes each rank with its result.
+
+Computation between collectives is *charged* explicitly (``ctx.charge_sort``,
+``ctx.charge_compare`` ...) against the machine model, following the paper's
+convention of counting key comparisons (``T_I``) and bytes moved.  Charged
+time accumulates per rank; at each rendezvous the superstep's compute cost is
+the *maximum* over ranks, exactly as in Valiant's BSP accounting.
+
+Determinism: rank programs run in rank order within each scheduling sweep and
+all randomness comes from caller-provided seeded generators, so a run is a
+pure function of its inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterator, Sequence
+
+from repro.bsp import collectives as coll
+from repro.bsp.cost_model import CollectiveCost, CommStats, CostModel
+from repro.bsp.machine import LAPTOP, MachineModel
+from repro.bsp.node import NodeLayout
+from repro.bsp.trace import SuperstepRecord, Trace
+from repro.errors import BSPError, CollectiveMismatchError, DeadlockError
+
+__all__ = ["Context", "NodeContext", "BSPEngine", "RunResult", "Program"]
+
+#: Type of an SPMD program: a generator function taking (ctx, *args).
+Program = Callable[..., Generator[Any, Any, Any]]
+
+_DEFAULT_PHASE = "unlabeled"
+
+
+@dataclass
+class _Call:
+    """A collective request yielded by a rank program."""
+
+    op: str
+    payload: Any = None
+    root: int = 0
+    reduce_op: str = "sum"
+    partner: int = -1
+    node_combining: bool = False
+    #: Rendezvous group: ``("global",)`` or ``("node", node_id)``.
+    group: tuple = ("global",)
+
+
+class _PhaseScope:
+    """Context manager produced by :meth:`Context.phase`."""
+
+    __slots__ = ("_ctx", "_name", "_prev")
+
+    def __init__(self, ctx: "Context", name: str) -> None:
+        self._ctx = ctx
+        self._name = name
+        self._prev = ""
+
+    def __enter__(self) -> "_PhaseScope":
+        self._prev = self._ctx._phase
+        self._ctx._phase = self._name
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._ctx._phase = self._prev
+
+
+class Context:
+    """Per-rank handle a program uses for communication and cost charging."""
+
+    _group: tuple = ("global",)
+
+    def __init__(self, engine: "BSPEngine", rank: int) -> None:
+        self._engine = engine
+        self.rank = rank
+        self.nprocs = engine.nprocs
+        self._phase = _DEFAULT_PHASE
+        self._pending_compute = 0.0  # seconds since last rendezvous
+        self._pending_by_phase: dict[str, float] = {}
+
+    def node_comm(self) -> "NodeContext":
+        """A sub-communicator over this rank's *node* (§6.1 nodegroups).
+
+        Collectives on the returned context rendezvous only with the other
+        ranks of the same physical node and are priced as shared-memory
+        operations (no network messages).  Requires the engine to have a
+        :class:`~repro.bsp.node.NodeLayout`.
+        """
+        return NodeContext(self)
+
+    # ------------------------------------------------------------- misc
+    @property
+    def machine(self) -> MachineModel:
+        """The simulated machine description."""
+        return self._engine.machine
+
+    @property
+    def node_layout(self) -> NodeLayout | None:
+        """Node layout, if the engine was configured with one."""
+        return self._engine.node_layout
+
+    @property
+    def current_phase(self) -> str:
+        return self._phase
+
+    def phase(self, name: str) -> _PhaseScope:
+        """Label subsequent charges/collectives with ``name`` (for Fig 6.1
+        style breakdowns)."""
+        return _PhaseScope(self, name)
+
+    # -------------------------------------------------------- cost charging
+    def charge_seconds(self, seconds: float) -> None:
+        """Charge raw computation seconds to this rank's clock."""
+        if seconds < 0:
+            raise BSPError("cannot charge negative time")
+        self._pending_compute += seconds
+        self._pending_by_phase[self._phase] = (
+            self._pending_by_phase.get(self._phase, 0.0) + seconds
+        )
+
+    def charge_compare(self, comparisons: float) -> None:
+        """Charge ``comparisons`` key comparisons."""
+        self.charge_seconds(self.machine.compare_seconds(comparisons))
+
+    def charge_bytes(self, nbytes: float) -> None:
+        """Charge local memory traffic of ``nbytes`` bytes."""
+        self.charge_seconds(self.machine.copy_seconds(nbytes))
+
+    def charge_sort(self, n: int, *, key_bytes: int = 8) -> None:
+        """Charge an ``n log n`` comparison sort plus its memory traffic."""
+        import math
+
+        if n > 1:
+            self.charge_compare(n * math.log2(n))
+            self.charge_bytes(2.0 * n * key_bytes)
+
+    def charge_merge(self, total: int, ways: int, *, key_bytes: int = 8) -> None:
+        """Charge a ``ways``-way merge of ``total`` total elements."""
+        import math
+
+        if total > 0 and ways > 1:
+            self.charge_compare(total * math.log2(ways))
+            self.charge_bytes(2.0 * total * key_bytes)
+
+    def charge_binary_searches(self, queries: int, haystack: int) -> None:
+        """Charge ``queries`` binary searches over ``haystack`` sorted keys."""
+        import math
+
+        if queries > 0:
+            self.charge_compare(queries * math.log2(max(2, haystack)))
+
+    # --------------------------------------------------------- collectives
+    # Each returns a generator; invoke with ``yield from``.
+    def barrier(self) -> Generator[Any, Any, None]:
+        yield _Call("barrier", group=self._group)
+
+    def bcast(self, value: Any = None, root: int = 0) -> Generator[Any, Any, Any]:
+        result = yield _Call("bcast", value, root, group=self._group)
+        return result
+
+    def gather(self, value: Any, root: int = 0) -> Generator[Any, Any, Any]:
+        result = yield _Call("gather", value, root, group=self._group)
+        return result
+
+    def allgather(self, value: Any) -> Generator[Any, Any, list[Any]]:
+        result = yield _Call("allgather", value, group=self._group)
+        return result
+
+    def scatter(self, values: Sequence[Any] | None, root: int = 0) -> Generator[Any, Any, Any]:
+        result = yield _Call("scatter", values, root, group=self._group)
+        return result
+
+    def reduce(self, value: Any, op: str = "sum", root: int = 0) -> Generator[Any, Any, Any]:
+        result = yield _Call("reduce", value, root, reduce_op=op, group=self._group)
+        return result
+
+    def allreduce(self, value: Any, op: str = "sum") -> Generator[Any, Any, Any]:
+        result = yield _Call("allreduce", value, reduce_op=op, group=self._group)
+        return result
+
+    def scan(self, value: Any, op: str = "sum") -> Generator[Any, Any, Any]:
+        result = yield _Call("scan", value, reduce_op=op, group=self._group)
+        return result
+
+    def alltoall(
+        self, values: Sequence[Any], node_combining: bool = False
+    ) -> Generator[Any, Any, list[Any]]:
+        """Personalized all-to-all: ``values[j]`` goes to rank ``j``.
+
+        With ``node_combining=True`` the superstep is *priced* as if per-node
+        message combining (§6.1.1) were applied; data semantics are identical.
+        """
+        result = yield _Call(
+            "alltoallv", values, node_combining=node_combining, group=self._group
+        )
+        return result
+
+    def exchange(self, partner: int, value: Any) -> Generator[Any, Any, Any]:
+        """Symmetric pairwise exchange with ``partner`` (for bitonic sort)."""
+        result = yield _Call("exchange", value, partner=partner, group=self._group)
+        return result
+
+    # ------------------------------------------------------------ internal
+    def _drain_compute(self) -> tuple[float, dict[str, float]]:
+        pending = self._pending_compute
+        by_phase = self._pending_by_phase
+        self._pending_compute = 0.0
+        self._pending_by_phase = {}
+        return pending, by_phase
+
+
+class NodeContext(Context):
+    """Sub-communicator over one node's ranks (shared-memory collectives).
+
+    Exposes the same collective API as :class:`Context` but with
+    ``self.rank`` / ``self.nprocs`` relative to the node, rendezvousing only
+    with the node's other ranks.  Computation charges and phase labels are
+    forwarded to the parent (global) context, so cost accounting stays
+    unified.
+    """
+
+    def __init__(self, parent: Context) -> None:
+        layout = parent._engine.node_layout
+        if layout is None:
+            raise BSPError(
+                "node_comm() requires the engine to be configured with a "
+                "NodeLayout (machine.cores_per_node > 1 or explicit layout)"
+            )
+        self._engine = parent._engine
+        self._parent = parent
+        self.node = layout.node_of(parent.rank)
+        ranks = layout.ranks_on_node(self.node)
+        self.rank = parent.rank - ranks.start
+        self.nprocs = len(ranks)
+        self.global_rank = parent.rank
+        self._group = ("node", self.node)
+
+    # Charges and phases belong to the (single, global) per-rank context.
+    def charge_seconds(self, seconds: float) -> None:
+        self._parent.charge_seconds(seconds)
+
+    def phase(self, name: str) -> _PhaseScope:
+        return self._parent.phase(name)
+
+    @property
+    def current_phase(self) -> str:
+        return self._parent._phase
+
+    def node_comm(self) -> "NodeContext":
+        return self
+
+
+@dataclass
+class RunResult:
+    """Outcome of one :meth:`BSPEngine.run`."""
+
+    returns: list[Any]
+    trace: Trace
+    stats: CommStats
+    makespan: float
+
+    def breakdown(self):
+        """Phase breakdown of the modeled execution time."""
+        return self.trace.breakdown()
+
+
+class BSPEngine:
+    """Runs SPMD programs over ``nprocs`` simulated ranks."""
+
+    def __init__(
+        self,
+        nprocs: int,
+        machine: MachineModel | None = None,
+        node_layout: NodeLayout | None = None,
+    ) -> None:
+        if nprocs < 1:
+            raise BSPError(f"need at least one rank, got {nprocs}")
+        self.nprocs = nprocs
+        self.machine = machine if machine is not None else LAPTOP
+        if node_layout is None and self.machine.cores_per_node > 1:
+            node_layout = NodeLayout(nprocs, self.machine.cores_per_node)
+        self.node_layout = node_layout
+        self.cost_model = CostModel(self.machine, nprocs, node_layout)
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        program: Program,
+        rank_args: Sequence[tuple] | None = None,
+        **shared_kwargs: Any,
+    ) -> RunResult:
+        """Execute ``program`` on every rank and return the joint result.
+
+        Parameters
+        ----------
+        program:
+            Generator function ``program(ctx, *args, **shared_kwargs)``.
+        rank_args:
+            Optional per-rank positional arguments (length ``nprocs``).
+        shared_kwargs:
+            Keyword arguments passed identically to every rank.
+        """
+        p = self.nprocs
+        if rank_args is None:
+            rank_args = [()] * p
+        if len(rank_args) != p:
+            raise BSPError(
+                f"rank_args has length {len(rank_args)}, expected {p}"
+            )
+
+        contexts = [Context(self, r) for r in range(p)]
+        gens: list[Iterator[Any] | None] = []
+        for r in range(p):
+            gen = program(contexts[r], *rank_args[r], **shared_kwargs)
+            if not hasattr(gen, "send"):
+                raise BSPError(
+                    "program must be a generator function (use 'yield from' "
+                    "for collectives); got a plain function"
+                )
+            gens.append(gen)
+
+        returns: list[Any] = [None] * p
+        resume: list[Any] = [None] * p
+        trace = Trace()
+        stats = CommStats()
+        step = 0
+
+        while True:
+            calls: list[_Call | None] = [None] * p
+            live = 0
+            for r in range(p):
+                gen = gens[r]
+                if gen is None:
+                    continue
+                try:
+                    request = gen.send(resume[r])
+                except StopIteration as stop:
+                    returns[r] = stop.value
+                    gens[r] = None
+                    continue
+                if not isinstance(request, _Call):
+                    raise BSPError(
+                        f"rank {r} yielded {type(request).__name__}; programs "
+                        "must only 'yield from' Context collectives"
+                    )
+                calls[r] = request
+                live += 1
+                resume[r] = None
+
+            if live == 0:
+                break
+
+            # --- group the rendezvous ----------------------------------
+            groups: dict[tuple, list[int]] = {}
+            for r in range(p):
+                if calls[r] is not None:
+                    groups.setdefault(calls[r].group, []).append(r)
+
+            finished = [r for r in range(p) if gens[r] is None]
+            if ("global",) in groups:
+                if len(groups) > 1:
+                    other = next(g for g in groups if g != ("global",))
+                    raise CollectiveMismatchError(
+                        f"superstep {step}: ranks {groups[('global',)][:4]} "
+                        f"issued a global collective while ranks "
+                        f"{groups[other][:4]} issued a {other} collective"
+                    )
+                if finished:
+                    waiting = groups[("global",)]
+                    raise DeadlockError(
+                        f"ranks {finished[:8]} finished while ranks "
+                        f"{waiting[:8]} wait on "
+                        f"'{calls[waiting[0]].op}' — program is not SPMD"
+                    )
+            else:
+                # All node-scoped: every node group must be complete.
+                layout = self.node_layout
+                for gkey, members in groups.items():
+                    expected = list(layout.ranks_on_node(gkey[1]))
+                    if members != expected:
+                        raise DeadlockError(
+                            f"superstep {step}: node {gkey[1]} collective has "
+                            f"participants {members} but the node hosts ranks "
+                            f"{expected}"
+                        )
+
+            # --- per-rank compute drained once per sweep ----------------
+            drained = {
+                r: contexts[r]._drain_compute()
+                for r in range(p)
+                if calls[r] is not None
+            }
+
+            # --- resolve each group independently -----------------------
+            # Node groups on different nodes run concurrently: a sweep of
+            # node collectives contributes the MAX group cost to the
+            # makespan (one aggregated record), while the (single) global
+            # group is recorded as-is.
+            sweep_comm = 0.0
+            sweep_compute = 0.0
+            sweep_phases: dict[str, float] = {}
+            sweep_op = ""
+            sweep_phase = _DEFAULT_PHASE
+            sweep_endpoints = 0
+            for gkey in sorted(groups):
+                members = groups[gkey]
+                first = calls[members[0]]
+                for r in members:
+                    call = calls[r]
+                    if call.op != first.op or call.root != first.root or (
+                        call.reduce_op != first.reduce_op
+                    ):
+                        raise CollectiveMismatchError(
+                            f"superstep {step} {gkey}: rank {members[0]} "
+                            f"called '{first.op}' (root={first.root}) but "
+                            f"rank {r} called '{call.op}' (root={call.root})"
+                        )
+                if first.op == "exchange" and gkey != ("global",):
+                    raise CollectiveMismatchError(
+                        "pairwise exchange is only supported on the global "
+                        "communicator"
+                    )
+                partners = (
+                    [calls[r].partner for r in members]
+                    if first.op == "exchange"
+                    else None
+                )
+                resolved = coll.resolve(
+                    first.op,
+                    [calls[r].payload for r in members],
+                    first.root,
+                    reduce_op=first.reduce_op,
+                    partners=partners,
+                )
+                scope = "global" if gkey == ("global",) else "node"
+                cost = self.cost_model.price(
+                    first.op,
+                    max_bytes=resolved.max_bytes,
+                    total_bytes=resolved.total_bytes,
+                    node_combining=first.node_combining,
+                    scope=scope,
+                    group_size=len(members),
+                )
+                stats.record(first.op, cost)
+
+                # Critical-path compute over this group's members.
+                max_compute = 0.0
+                max_phases: dict[str, float] = {}
+                for r in members:
+                    pending, by_phase = drained[r]
+                    if pending > max_compute:
+                        max_compute, max_phases = pending, by_phase
+
+                group_comm = cost.comm_seconds + cost.compute_seconds
+                if scope == "global":
+                    trace.append(
+                        SuperstepRecord(
+                            index=step,
+                            op=first.op,
+                            phase=contexts[members[0]]._phase,
+                            compute_by_phase=max_phases,
+                            comm_seconds=group_comm,
+                            nbytes=cost.nbytes,
+                            messages=cost.messages,
+                            endpoints=cost.endpoints,
+                        )
+                    )
+                elif group_comm + max_compute > sweep_comm + sweep_compute:
+                    sweep_comm = group_comm
+                    sweep_compute = max_compute
+                    sweep_phases = max_phases
+                    sweep_op = f"node:{first.op}"
+                    sweep_phase = contexts[members[0]]._phase
+                    sweep_endpoints = cost.endpoints
+
+                for i, r in enumerate(members):
+                    resume[r] = resolved.results[i]
+
+            if sweep_op:
+                trace.append(
+                    SuperstepRecord(
+                        index=step,
+                        op=sweep_op,
+                        phase=sweep_phase,
+                        compute_by_phase=sweep_phases,
+                        comm_seconds=sweep_comm,
+                        nbytes=0,
+                        messages=0,
+                        endpoints=sweep_endpoints,
+                    )
+                )
+            step += 1
+
+        # Trailing computation after the last collective.
+        max_compute = 0.0
+        max_phases = {}
+        for ctx in contexts:
+            pending, by_phase = ctx._drain_compute()
+            if pending > max_compute:
+                max_compute, max_phases = pending, by_phase
+        if max_compute > 0.0:
+            trace.append(
+                SuperstepRecord(
+                    index=step,
+                    op="__final__",
+                    phase=self._dominant_phase(max_phases, contexts),
+                    compute_by_phase=max_phases,
+                    comm_seconds=0.0,
+                    nbytes=0,
+                    messages=0,
+                    endpoints=p,
+                )
+            )
+
+        return RunResult(
+            returns=returns,
+            trace=trace,
+            stats=stats,
+            makespan=trace.makespan,
+        )
+
+    @staticmethod
+    def _dominant_phase(
+        phase_seconds: dict[str, float], contexts: list[Context]
+    ) -> str:
+        """Label a superstep by where its critical-path time was spent."""
+        if phase_seconds:
+            return max(phase_seconds.items(), key=lambda kv: kv[1])[0]
+        # No compute charged: use rank 0's current phase label.
+        return contexts[0]._phase if contexts else _DEFAULT_PHASE

@@ -1,0 +1,150 @@
+"""Machine descriptions for the BSP cost model.
+
+A :class:`MachineModel` bundles the handful of scalars that the paper's
+Chapter 5 analysis needs:
+
+* ``alpha`` — per-message latency (the BSP ``L`` / LogP ``o+L`` lump),
+* ``beta``  — per-byte transfer time on one link (inverse bandwidth),
+* ``gamma_compare`` — time per key comparison (the ``T_I`` computation unit),
+* ``gamma_byte`` — time per byte of local memory movement (copy/partition),
+* ``topology`` — interconnect model supplying contention factors,
+* ``cores_per_node`` — for the §6.1.1 shared-memory node-combining layout.
+
+Three presets are provided.  ``MIRA_LIKE`` is calibrated to the IBM Blue
+Gene/Q system of the paper's Figure 6.1 experiments (1.6 GHz A2 cores, 5-D
+torus, 16 cores/node, ~1.8 GB/s per link); the absolute constants matter less
+than their *ratios*, which set where the phase crossovers fall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.bsp.network import FatTree, FullyConnected, Topology, Torus
+
+__all__ = ["MachineModel", "MIRA_LIKE", "GENERIC_CLUSTER", "LAPTOP"]
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Scalar performance parameters of a simulated machine.
+
+    All times are in seconds; rates in bytes or operations per second are
+    expressed as their reciprocal per-unit times.
+    """
+
+    name: str = "generic"
+    #: Per-message latency in seconds (software + network injection).
+    alpha: float = 2.0e-6
+    #: Per-byte transfer time in seconds (inverse of link bandwidth).
+    beta: float = 1.0 / 2.0e9
+    #: Per-message latency for *intra-node* (shared-memory) collectives —
+    #: essentially a synchronization + cache-line handoff.
+    node_alpha: float = 2.0e-7
+    #: Runtime synchronization overhead per histogramming *round*, per tree
+    #: level (seconds).  Iterative splitter refinement needs a full
+    #: quiesce-broadcast-reduce-quiesce cycle per round; on Charm++ systems
+    #: quiescence detection alone costs milliseconds at scale — far above
+    #: the α·log p of the raw collectives.  This term charges
+    #: ``round_sync_per_level · log₂(endpoints)`` per round to *every*
+    #: round-based splitter algorithm (HSS and classic histogram sort
+    #: alike), so it rewards algorithms that need fewer rounds — the
+    #: mechanism behind Fig 6.2.
+    round_sync_per_level: float = 0.0
+    #: Seconds per *record* comparison for local sorting/merging — includes
+    #: the cache-miss cost of moving key+payload records, so it is the right
+    #: constant for the local-sort and merge phases.
+    gamma_compare: float = 1.5e-9
+    #: Seconds per *bare-key* comparison (contiguous key arrays: sample
+    #: sorting, histogram binary searches, probe generation).  0 means
+    #: "same as gamma_compare".
+    gamma_key_compare: float = 0.0
+    #: Seconds per byte of local memory traffic (bucketizing, copying).
+    gamma_byte: float = 1.0 / 6.0e9
+    #: Interconnect model.
+    topology: Topology = field(default_factory=FullyConnected)
+    #: Physical cores per node (1 = no shared-memory structure).
+    cores_per_node: int = 1
+
+    def __post_init__(self) -> None:
+        for attr in (
+            "alpha",
+            "beta",
+            "gamma_compare",
+            "gamma_key_compare",
+            "gamma_byte",
+            "node_alpha",
+            "round_sync_per_level",
+        ):
+            if getattr(self, attr) < 0:
+                raise ValueError(f"{attr} must be non-negative")
+        if self.cores_per_node < 1:
+            raise ValueError("cores_per_node must be >= 1")
+
+    def with_(self, **changes: object) -> "MachineModel":
+        """Return a copy with some fields replaced (dataclass ``replace``)."""
+        return replace(self, **changes)
+
+    def nodes_for(self, nprocs: int) -> int:
+        """Number of physical nodes hosting ``nprocs`` simulated cores."""
+        return -(-nprocs // self.cores_per_node)
+
+    # -- convenience conversions ------------------------------------------
+    def compare_seconds(self, comparisons: float) -> float:
+        """Time to execute ``comparisons`` record comparisons."""
+        return comparisons * self.gamma_compare
+
+    def key_compare_seconds(self, comparisons: float) -> float:
+        """Time for ``comparisons`` bare-key comparisons (no payload)."""
+        gamma = self.gamma_key_compare or self.gamma_compare
+        return comparisons * gamma
+
+    def copy_seconds(self, nbytes: float) -> float:
+        """Time to move ``nbytes`` through local memory."""
+        return nbytes * self.gamma_byte
+
+    def transfer_seconds(self, nbytes: float, contention: float = 1.0) -> float:
+        """Time to push ``nbytes`` through one link at the given contention."""
+        return nbytes * self.beta * contention
+
+
+#: IBM Blue Gene/Q "Mira"-like machine of the paper's Figure 6.1 experiments.
+#: 16 cores/node, 5-D torus, slow in-order A2 cores.  ``gamma_compare`` is
+#: calibrated so sorting 10⁶ 12-byte records takes ~1 s/core (the paper's
+#: local-sort bar) and ``beta`` is the *effective* per-core injection
+#: bandwidth including runtime software overheads, not the raw link rate —
+#: raw α–β with 1.8 GB/s links underestimates BG/Q all-to-all by ~10×.
+MIRA_LIKE = MachineModel(
+    name="mira-like-bgq",
+    alpha=2.5e-6,
+    beta=1.0 / 2.0e8,
+    gamma_compare=4.0e-8,
+    gamma_key_compare=8.0e-9,
+    gamma_byte=1.0 / 2.0e9,
+    topology=Torus(dims=5, base_endpoints=32),
+    cores_per_node=16,
+    round_sync_per_level=1.0e-3,
+)
+
+#: A contemporary commodity cluster: fat tree with 2:1 taper, fast cores.
+GENERIC_CLUSTER = MachineModel(
+    name="generic-cluster",
+    alpha=1.5e-6,
+    beta=1.0 / 1.0e10,
+    gamma_compare=1.0e-9,
+    gamma_byte=1.0 / 1.0e10,
+    topology=FatTree(bisection=0.5),
+    cores_per_node=64,
+)
+
+#: Single multicore machine (everything in shared memory) — used by tests so
+#: cost accounting stays meaningful even for tiny runs.
+LAPTOP = MachineModel(
+    name="laptop",
+    alpha=2.0e-7,
+    beta=1.0 / 2.0e10,
+    gamma_compare=1.0e-9,
+    gamma_byte=1.0 / 2.0e10,
+    topology=FullyConnected(),
+    cores_per_node=8,
+)

@@ -1,0 +1,134 @@
+"""Interconnect topology models.
+
+The only place topology enters the BSP cost analysis is through *contention*:
+a personalized all-to-all moves ``N`` bytes total and roughly half of it must
+cross the network bisection, so the achievable per-endpoint bandwidth degrades
+on networks whose bisection grows slower than the endpoint count.
+
+The paper observes exactly this on Mira (§6.3): *"All-to-all communication
+does not scale very well on torus networks, because communication load per
+link increases with number of processors"*.  A ``d``-dimensional torus with
+``n`` endpoints has bisection width :math:`\\Theta(n^{(d-1)/d})`, so the
+per-endpoint all-to-all slowdown is :math:`\\Theta(n^{1/d})`.  Fat trees with
+full bisection have constant factor 1.
+
+These classes give a *relative contention factor* ``alltoall_contention(n)``
+(≥ 1, equal to 1 for small n) that multiplies the per-byte cost of all-to-all
+traffic, plus ``diameter(n)`` for latency scaling of unstructured traffic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["Topology", "FullyConnected", "Torus", "FatTree"]
+
+
+class Topology:
+    """Interface for interconnect models used by :class:`CostModel`."""
+
+    #: Human-readable name used in reports.
+    name: str = "abstract"
+
+    def alltoall_contention(self, n: int) -> float:
+        """Bandwidth-degradation factor for an ``n``-endpoint all-to-all.
+
+        1.0 means full-bisection behaviour; larger values linearly inflate
+        per-byte all-to-all cost.
+        """
+        raise NotImplementedError
+
+    def diameter(self, n: int) -> int:
+        """Hop-count diameter for ``n`` endpoints (latency multiplier)."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class FullyConnected(Topology):
+    """Idealized crossbar: no contention, single hop.
+
+    Useful as a control in ablations — differences between this and
+    :class:`Torus` isolate the network-contention component of the data
+    exchange phase.
+    """
+
+    name: str = "fully-connected"
+
+    def alltoall_contention(self, n: int) -> float:
+        return 1.0
+
+    def diameter(self, n: int) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class Torus(Topology):
+    """``dims``-dimensional torus (Mira's interconnect is a 5-D torus).
+
+    For ``n`` endpoints arranged in a balanced ``dims``-dimensional torus the
+    bisection width is ``2 * n / side`` links where ``side = n**(1/dims)``,
+    so all-to-all effective bandwidth per endpoint shrinks like
+    ``side / (4 * links_per_node)``; we normalize so that contention is 1.0
+    at ``n <= base_endpoints`` and grows as ``(n / base)**(1/dims)`` beyond.
+
+    Parameters
+    ----------
+    dims:
+        Torus dimensionality (5 for BG/Q, 3 for BG/L or Cray Gemini).
+    base_endpoints:
+        Endpoint count below which the network is effectively
+        contention-free for the message sizes of interest.
+    """
+
+    dims: int = 5
+    base_endpoints: int = 64
+    name: str = "torus"
+
+    def __post_init__(self) -> None:
+        if self.dims < 1:
+            raise ValueError(f"torus dims must be >= 1, got {self.dims}")
+        if self.base_endpoints < 1:
+            raise ValueError(
+                f"base_endpoints must be >= 1, got {self.base_endpoints}"
+            )
+
+    def alltoall_contention(self, n: int) -> float:
+        if n <= self.base_endpoints:
+            return 1.0
+        return float((n / self.base_endpoints) ** (1.0 / self.dims))
+
+    def diameter(self, n: int) -> int:
+        side = max(1, round(n ** (1.0 / self.dims)))
+        return max(1, self.dims * (side // 2))
+
+    def describe(self) -> str:
+        return f"{self.dims}-D torus"
+
+
+@dataclass(frozen=True)
+class FatTree(Topology):
+    """Folded-Clos / fat-tree with a configurable bisection ratio.
+
+    ``bisection`` = 1.0 models a non-blocking fabric; 0.5 a typical 2:1
+    tapered tree.  Contention is the inverse of the bisection ratio,
+    independent of n (the defining property of fat trees).
+    """
+
+    bisection: float = 1.0
+    name: str = "fat-tree"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.bisection <= 1.0:
+            raise ValueError(
+                f"bisection ratio must be in (0, 1], got {self.bisection}"
+            )
+
+    def alltoall_contention(self, n: int) -> float:
+        return 1.0 / self.bisection
+
+    def diameter(self, n: int) -> int:
+        return max(1, 2 * math.ceil(math.log2(max(2, n))) // 2)

@@ -1,0 +1,235 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three subcommands:
+
+``sort``
+    Generate a workload, sort it with any algorithm from the paper on a
+    simulated machine, and report rounds/samples/imbalance/phase breakdown.
+
+``table``
+    Print an analytic table (``5.1`` or the intro sample-size example).
+
+``simulate``
+    Run the rank-space splitter-phase simulator at large ``p`` and report
+    per-round statistics (the Table 6.1 / Fig 3.1 views).
+
+Examples
+--------
+::
+
+    python -m repro sort --algorithm hss --procs 16 --keys 50000 \
+        --distribution lognormal --eps 0.05
+    python -m repro sort --algorithm histogram --distribution staircase
+    python -m repro table 5.1
+    python -m repro simulate --procs 32768 --keys-per-proc 100000 --eps 0.02
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Histogram Sort with Sampling (SPAA 2019) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sort = sub.add_parser("sort", help="sort a generated workload")
+    sort.add_argument(
+        "--algorithm",
+        default="hss",
+        help="algorithm name (see repro.ALGORITHMS)",
+    )
+    sort.add_argument("--procs", type=int, default=16, help="simulated ranks")
+    sort.add_argument(
+        "--keys", type=int, default=20_000, help="keys per rank"
+    )
+    sort.add_argument(
+        "--distribution",
+        default="uniform",
+        help="workload name (see repro.workloads.DISTRIBUTIONS)",
+    )
+    sort.add_argument("--eps", type=float, default=0.05)
+    sort.add_argument("--seed", type=int, default=0)
+    sort.add_argument(
+        "--machine",
+        choices=["laptop", "mira", "cluster"],
+        default="laptop",
+    )
+    sort.add_argument(
+        "--tag-duplicates",
+        action="store_true",
+        help="apply §4.3 implicit tagging (HSS variants only)",
+    )
+
+    table = sub.add_parser("table", help="print an analytic table")
+    table.add_argument("which", choices=["5.1", "intro"])
+    table.add_argument("--procs", type=int, default=100_000)
+    table.add_argument("--eps", type=float, default=0.05)
+
+    sim = sub.add_parser("simulate", help="rank-space splitter simulation")
+    sim.add_argument("--procs", type=int, default=32_768)
+    sim.add_argument("--keys-per-proc", type=int, default=100_000)
+    sim.add_argument("--eps", type=float, default=0.02)
+    sim.add_argument("--oversample", type=float, default=5.0)
+    sim.add_argument("--rounds", type=int, default=0,
+                     help="fixed geometric rounds (0 = constant oversampling)")
+    sim.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _machine(name: str):
+    from repro.bsp.machine import GENERIC_CLUSTER, LAPTOP, MIRA_LIKE
+
+    return {"laptop": LAPTOP, "mira": MIRA_LIKE, "cluster": GENERIC_CLUSTER}[name]
+
+
+def _cmd_sort(args: argparse.Namespace) -> int:
+    from repro.core.api import ALGORITHMS, parallel_sort
+    from repro.workloads.distributions import DISTRIBUTIONS, make_distributed
+
+    if args.algorithm not in ALGORITHMS:
+        print(
+            f"unknown algorithm {args.algorithm!r}; "
+            f"choose from {', '.join(sorted(ALGORITHMS))}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.distribution not in DISTRIBUTIONS:
+        print(
+            f"unknown distribution {args.distribution!r}; "
+            f"choose from {', '.join(sorted(DISTRIBUTIONS))}",
+            file=sys.stderr,
+        )
+        return 2
+
+    shards = make_distributed(args.distribution, args.procs, args.keys, args.seed)
+    kwargs = {}
+    if args.tag_duplicates:
+        kwargs["tag_duplicates"] = True
+    run = parallel_sort(
+        shards,
+        args.algorithm,
+        eps=args.eps,
+        seed=args.seed,
+        machine=_machine(args.machine),
+        verify=False,
+        **kwargs,
+    )
+    from repro.metrics import verify_sorted_output
+
+    verify_sorted_output(shards, run.shards)
+    total = args.procs * args.keys
+    print(
+        f"{args.algorithm}: sorted {total:,} {args.distribution} keys on "
+        f"{args.procs} ranks ({args.machine} machine)"
+    )
+    print(f"imbalance         : {run.imbalance:.4f} (budget {1 + args.eps:g})")
+    if run.splitter_stats is not None:
+        stats = run.splitter_stats
+        print(f"rounds            : {stats.num_rounds}")
+        print(
+            f"total sample      : {stats.total_sample} keys "
+            f"({stats.total_sample / total:.2e} of input)"
+        )
+    print(f"modeled makespan  : {run.makespan:.3e} s")
+    print(
+        f"network           : {run.engine_result.stats.messages:,} messages, "
+        f"{run.engine_result.stats.bytes:,} bytes"
+    )
+    print()
+    print(run.breakdown().table())
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    if args.which == "5.1":
+        from repro.theory.complexity import render_table_5_1
+
+        print(render_table_5_1(p=args.procs, eps=args.eps))
+    else:
+        from repro.theory.sample_sizes import (
+            format_bytes,
+            sample_bytes,
+            sample_size_hss,
+            sample_size_random,
+            sample_size_regular,
+        )
+
+        p, eps = args.procs, args.eps
+        n = p * 1e6
+        print(f"Sample sizes at p={p:,}, eps={eps:g}, N/p=1e6, 8-byte keys:")
+        for name, keys in (
+            ("sample sort (regular)", sample_size_regular(p, eps)),
+            ("sample sort (random) ", sample_size_random(p, n, eps)),
+            ("HSS one round        ", sample_size_hss(p, eps, 1, constant=2.0)),
+            ("HSS two rounds       ", sample_size_hss(p, eps, 2, constant=2.0)),
+        ):
+            print(f"  {name}: {format_bytes(sample_bytes(keys))}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.core.config import HSSConfig
+    from repro.core.rankspace import RankSpaceSimulator
+    from repro.theory.rounds import round_bound_constant_oversampling
+
+    if args.rounds > 0:
+        cfg = HSSConfig.k_rounds(args.rounds, eps=args.eps, seed=args.seed)
+        schedule_desc = f"geometric, k={args.rounds}"
+    else:
+        cfg = HSSConfig.constant_oversampling(
+            args.oversample, eps=args.eps, seed=args.seed
+        )
+        schedule_desc = f"constant oversampling {args.oversample:g}p/round"
+
+    n = args.procs * args.keys_per_proc
+    stats = RankSpaceSimulator(n, args.procs, cfg).run()
+    print(
+        f"splitter determination: p={args.procs:,}, N={n:.3e}, "
+        f"eps={args.eps:g} ({schedule_desc})"
+    )
+    print(
+        f"rounds: {stats.num_rounds}  finalized: {stats.all_finalized}  "
+        f"total sample: {stats.total_sample:,} keys "
+        f"({stats.total_sample / args.procs:.1f} per part)"
+    )
+    if args.rounds == 0:
+        bound = round_bound_constant_oversampling(
+            args.procs, args.eps, args.oversample
+        )
+        print(f"paper round bound (§6.2): {bound}")
+    print()
+    print(f"{'round':>5} {'prob':>10} {'sample':>9} {'G_j before':>14} "
+          f"{'open':>7} {'max width':>11}")
+    for r in stats.rounds:
+        print(
+            f"{r.round_index:>5} {r.probability:>10.2e} {r.sample_size:>9,} "
+            f"{r.candidate_mass_before:>14,} {r.open_intervals_after:>7} "
+            f"{r.max_interval_width_after:>11.0f}"
+        )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "sort":
+        return _cmd_sort(args)
+    if args.command == "table":
+        return _cmd_table(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,381 @@
+"""User-facing entry points.
+
+:func:`hss_sort` sorts a distributed input (list of per-rank key arrays)
+with Histogram Sort with Sampling on a simulated BSP machine and returns the
+sorted shards plus full run diagnostics.
+
+:func:`parallel_sort` is the uniform entry point over *every* algorithm in
+the paper — HSS variants and all baselines — keyed by name, which is what
+the benchmark shootouts use:
+
+======================  ====================================================
+name                    algorithm
+======================  ====================================================
+``hss``                 HSS, constant oversampling (§6.1.2 implementation)
+``hss-1round``          HSS, one geometric round (Lemma 3.2.1)
+``hss-2round``          HSS, two geometric rounds
+``hss-node``            two-level node-partitioned HSS (§6.1; needs a
+                        multicore ``machine``)
+``scanning``            one-round sample + Axtmann scan (§3.2)
+``sample-regular``      sample sort, regular sampling (§4.1.2)
+``sample-regular-parallel``  PSRS with the sample sorted *in parallel*
+                        (Goodrich-style, §4.1.2's scalability remedy)
+``sample-random``       sample sort, block random sampling (§4.1.1)
+``histogram``           classic histogram sort, no sampling (§2.3)
+``over-partition``      parallel sorting by over-partitioning (§4.2)
+``exact-split``         exact splitters / perfect balance (Cheng et al.,
+                        §2.1) — ``O(log N)`` histogram rounds, ε = 0
+``bitonic``             Batcher bitonic sort (§4.2)
+``radix``               parallel MSB radix sort (§4.2)
+======================  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.bsp.engine import BSPEngine, RunResult
+from repro.bsp.machine import MachineModel
+from repro.core.config import HSSConfig
+from repro.core.data_movement import Shard
+from repro.core.hss import SplitterStats, hss_sort_program
+from repro.errors import ConfigError
+from repro.metrics.verify import verify_sorted_output
+
+__all__ = ["SortRun", "hss_sort", "parallel_sort", "ALGORITHMS"]
+
+
+@dataclass
+class SortRun:
+    """Sorted output plus everything observable about the simulated run."""
+
+    #: Per-rank sorted output key arrays (globally ascending across ranks).
+    shards: list[np.ndarray]
+    #: Per-rank payload arrays when the input carried payloads, else None.
+    payloads: list[np.ndarray] | None
+    #: Splitter-phase statistics (HSS/scanning runs; None for baselines that
+    #: do not histogram).
+    splitter_stats: SplitterStats | None
+    #: Raw BSP engine result (trace, comm stats, modeled makespan).
+    engine_result: RunResult
+    #: Algorithm name.
+    algorithm: str
+
+    @property
+    def makespan(self) -> float:
+        """Modeled execution time on the simulated machine (seconds)."""
+        return self.engine_result.makespan
+
+    @property
+    def imbalance(self) -> float:
+        loads = np.array([len(s) for s in self.shards], dtype=np.float64)
+        return float(loads.max() / loads.mean()) if loads.sum() else 1.0
+
+    def breakdown(self):
+        return self.engine_result.breakdown()
+
+
+def _as_shards(keys: Sequence[np.ndarray]) -> list[np.ndarray]:
+    shards = [np.asarray(k) for k in keys]
+    if not shards:
+        raise ConfigError("need at least one rank's keys")
+    dtypes = {s.dtype for s in shards}
+    if len(dtypes) != 1:
+        raise ConfigError(f"all shards must share a dtype, got {dtypes}")
+    return shards
+
+
+def hss_sort(
+    keys: Sequence[np.ndarray],
+    *,
+    eps: float = 0.05,
+    config: HSSConfig | None = None,
+    machine: MachineModel | None = None,
+    payloads: Sequence[np.ndarray] | None = None,
+    verify: bool = True,
+) -> SortRun:
+    """Sort a distributed input with Histogram Sort with Sampling.
+
+    Parameters
+    ----------
+    keys:
+        One key array per simulated rank (``p = len(keys)``).
+    eps:
+        Load-imbalance threshold (ignored when ``config`` is given).
+    config:
+        Full :class:`HSSConfig`; defaults to the §6.1.2 constant-oversampling
+        schedule with ``eps``.
+    machine:
+        Simulated machine (defaults to :data:`repro.bsp.machine.LAPTOP`).
+    payloads:
+        Optional per-rank payload arrays aligned with ``keys``.
+    verify:
+        Check sortedness, permutation and the ``(1+ε)`` load bound on the
+        output (raises :class:`repro.errors.VerificationError` on failure).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> rng = np.random.default_rng(0)
+    >>> inputs = [rng.integers(0, 10**9, 5000) for _ in range(8)]
+    >>> run = hss_sort(inputs, eps=0.05)
+    >>> run.imbalance <= 1.05
+    True
+    """
+    cfg = config if config is not None else HSSConfig(eps=eps)
+    shards = _as_shards(keys)
+    p = len(shards)
+    engine = BSPEngine(p, machine=machine)
+    if payloads is not None:
+        if len(payloads) != p:
+            raise ConfigError("payloads must match keys rank-for-rank")
+        rank_args = [(shards[r], np.asarray(payloads[r])) for r in range(p)]
+    else:
+        rank_args = [(shards[r], None) for r in range(p)]
+
+    result = engine.run(hss_sort_program, rank_args=rank_args, cfg=cfg)
+    out_shards = [ret[0].keys for ret in result.returns]
+    out_payloads = (
+        [ret[0].payload for ret in result.returns] if payloads is not None else None
+    )
+    stats = result.returns[0][1]
+    if verify:
+        verify_sorted_output(shards, out_shards, cfg.eps)
+    return SortRun(
+        shards=out_shards,
+        payloads=out_payloads,
+        splitter_stats=stats,
+        engine_result=result,
+        algorithm="hss",
+    )
+
+
+def _run_named(
+    name: str,
+    program: Callable,
+    keys: Sequence[np.ndarray],
+    *,
+    machine: MachineModel | None,
+    verify: bool,
+    verify_eps: float | None,
+    program_kwargs: dict[str, Any],
+) -> SortRun:
+    shards = _as_shards(keys)
+    p = len(shards)
+    engine = BSPEngine(p, machine=machine)
+    rank_args = [(shards[r],) for r in range(p)]
+    result = engine.run(program, rank_args=rank_args, **program_kwargs)
+    returns = result.returns
+    # Programs return either Shard / ndarray, or (Shard/ndarray, stats).
+    stats = None
+    outs = []
+    for ret in returns:
+        if isinstance(ret, tuple):
+            payload, rank_stats = ret
+            if stats is None:
+                stats = rank_stats
+        else:
+            payload = ret
+        outs.append(payload.keys if isinstance(payload, Shard) else payload)
+    if verify:
+        verify_sorted_output(shards, outs, verify_eps)
+    return SortRun(
+        shards=outs,
+        payloads=None,
+        splitter_stats=stats if isinstance(stats, SplitterStats) else None,
+        engine_result=result,
+        algorithm=name,
+    )
+
+
+def parallel_sort(
+    keys: Sequence[np.ndarray],
+    algorithm: str = "hss",
+    *,
+    eps: float = 0.05,
+    machine: MachineModel | None = None,
+    seed: int = 0,
+    verify: bool = True,
+    **kwargs: Any,
+) -> SortRun:
+    """Sort with any algorithm from the paper, selected by name.
+
+    ``kwargs`` are forwarded to the algorithm's program (e.g. ``radix_bits``
+    for radix sort, ``over_partition_ratio`` for over-partitioning).
+    """
+    if algorithm not in ALGORITHMS:
+        raise ConfigError(
+            f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
+        )
+    return ALGORITHMS[algorithm](
+        keys, eps=eps, machine=machine, seed=seed, verify=verify, **kwargs
+    )
+
+
+# --------------------------------------------------------------------- #
+# Registry construction.  Baseline entries are bound lazily to avoid import
+# cycles (baselines import the data-movement phase from core).
+# --------------------------------------------------------------------- #
+def _hss_entry(name: str, config_factory: Callable[..., HSSConfig]) -> Callable:
+    def run(
+        keys: Sequence[np.ndarray],
+        *,
+        eps: float,
+        machine: MachineModel | None,
+        seed: int,
+        verify: bool,
+        **kwargs: Any,
+    ) -> SortRun:
+        cfg = config_factory(eps=eps, seed=seed, **kwargs)
+        result = hss_sort(keys, config=cfg, machine=machine, verify=verify)
+        result.algorithm = name
+        return result
+
+    return run
+
+
+def _node_level_entry(
+    keys: Sequence[np.ndarray],
+    *,
+    eps: float,
+    machine: MachineModel | None,
+    seed: int,
+    verify: bool,
+    within_node_eps: float = 0.05,
+    **kwargs: Any,
+) -> SortRun:
+    from repro.bsp.machine import LAPTOP
+    from repro.core.node_sort import combined_eps, hss_node_sort_program
+
+    effective_machine = machine if machine is not None else LAPTOP
+    if effective_machine.cores_per_node < 2:
+        raise ConfigError(
+            "hss-node needs a multicore machine (machine.cores_per_node > 1)"
+        )
+    cfg = HSSConfig(
+        eps=eps,
+        within_node_eps=within_node_eps,
+        node_level=True,
+        seed=seed,
+        **kwargs,
+    )
+    return _run_named(
+        "hss-node",
+        hss_node_sort_program,
+        keys,
+        machine=effective_machine,
+        verify=verify,
+        verify_eps=combined_eps(eps, within_node_eps),
+        program_kwargs={"cfg": cfg},
+    )
+
+
+def _scanning_entry(
+    keys: Sequence[np.ndarray],
+    *,
+    eps: float,
+    machine: MachineModel | None,
+    seed: int,
+    verify: bool,
+    **kwargs: Any,
+) -> SortRun:
+    from repro.baselines.scanning_sort import scanning_sort_program
+
+    cfg = HSSConfig(eps=eps, seed=seed, **kwargs)
+    return _run_named(
+        "scanning",
+        scanning_sort_program,
+        keys,
+        machine=machine,
+        verify=verify,
+        verify_eps=eps,
+        program_kwargs={"cfg": cfg},
+    )
+
+
+def _baseline_entry(name: str, module: str, program_name: str, *, balanced: bool):
+    def run(
+        keys: Sequence[np.ndarray],
+        *,
+        eps: float,
+        machine: MachineModel | None,
+        seed: int,
+        verify: bool,
+        **kwargs: Any,
+    ) -> SortRun:
+        import importlib
+
+        mod = importlib.import_module(module)
+        program = getattr(mod, program_name)
+        program_kwargs: dict[str, Any] = {"eps": eps, "seed": seed, **kwargs}
+        return _run_named(
+            name,
+            program,
+            keys,
+            machine=machine,
+            verify=verify,
+            verify_eps=eps if balanced else None,
+            program_kwargs=program_kwargs,
+        )
+
+    return run
+
+
+ALGORITHMS: dict[str, Callable[..., SortRun]] = {
+    "hss": _hss_entry("hss", HSSConfig.constant_oversampling),
+    "hss-1round": _hss_entry("hss-1round", HSSConfig.one_round),
+    "hss-2round": _hss_entry("hss-2round", lambda **kw: HSSConfig.k_rounds(2, **kw)),
+    "hss-node": _node_level_entry,
+    "scanning": _scanning_entry,
+    "sample-regular": _baseline_entry(
+        "sample-regular",
+        "repro.baselines.sample_sort",
+        "sample_sort_regular_program",
+        balanced=True,
+    ),
+    "sample-random": _baseline_entry(
+        "sample-random",
+        "repro.baselines.sample_sort",
+        "sample_sort_random_program",
+        balanced=False,
+    ),
+    "sample-regular-parallel": _baseline_entry(
+        "sample-regular-parallel",
+        "repro.baselines.sample_sort_parallel",
+        "sample_sort_regular_parallel_program",
+        balanced=True,
+    ),
+    "histogram": _baseline_entry(
+        "histogram",
+        "repro.baselines.histogram_sort",
+        "histogram_sort_program",
+        balanced=True,
+    ),
+    "over-partition": _baseline_entry(
+        "over-partition",
+        "repro.baselines.over_partition",
+        "over_partition_program",
+        balanced=False,
+    ),
+    "exact-split": _baseline_entry(
+        "exact-split",
+        "repro.baselines.exact_split",
+        "exact_split_sort_program",
+        balanced=True,
+    ),
+    "bitonic": _baseline_entry(
+        "bitonic",
+        "repro.baselines.bitonic",
+        "bitonic_sort_program",
+        balanced=False,
+    ),
+    "radix": _baseline_entry(
+        "radix",
+        "repro.baselines.radix",
+        "radix_sort_program",
+        balanced=False,
+    ),
+}

@@ -1,0 +1,99 @@
+"""Approximate histogramming via representative samples (§3.4).
+
+Instead of answering each histogram probe with a binary search over the
+*full* sorted local input (``O(log(N/p))`` per probe), every processor keeps
+a resident block-random :class:`~repro.sampling.representative.
+RepresentativeSample` of ``s = √(2p·ln p)/ε_oracle`` keys and answers probes
+against it (``O(log s)`` per probe, and the sample can live in cache).
+
+Theorem 3.4.1: the reduced estimate is within ``ε_oracle·N/p`` of the true
+global rank w.h.p., valid for up to ``p⁴`` queries.  Error budgeting: HSS
+finalizes a splitter when its *reported* rank is within
+``ε_state·N/(2p)`` of target, so the *true* rank error is at most
+``ε_state·N/(2p) + ε_oracle·N/p``.  Choosing ``ε_state = ε/2`` and
+``ε_oracle = ε/4`` keeps the end-to-end bound at the configured
+``ε·N/(2p)`` — :class:`ApproxHistogramKeySpace` applies exactly that split.
+
+Usage: wrap the plain key space; the HSS program calls
+:meth:`ApproxHistogramKeySpace.prepare` once per rank before the first
+round.  (Tagged key spaces are not supported — the §3.4 estimator is
+defined over plain keys, and the paper treats the two extensions as
+independent.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.keyspace import PlainKeySpace
+from repro.core.splitters import SplitterState
+from repro.errors import ConfigError
+from repro.sampling.representative import (
+    RepresentativeSample,
+    representative_sample_size,
+)
+
+__all__ = ["ApproxHistogramKeySpace"]
+
+
+class ApproxHistogramKeySpace(PlainKeySpace):
+    """Plain key space whose local histograms come from the §3.4 oracle."""
+
+    def __init__(self, key_dtype: np.dtype | type, eps: float) -> None:
+        super().__init__(key_dtype)
+        if not 0.0 < eps <= 1.0:
+            raise ConfigError(f"eps must be in (0, 1], got {eps}")
+        self.eps = float(eps)
+        #: Tolerance split (see module docstring).
+        self.state_eps = self.eps / 2.0
+        self.oracle_eps = self.eps / 4.0
+        self._oracle: RepresentativeSample | None = None
+
+    # -- per-rank preparation --------------------------------------------
+    def prepare(
+        self,
+        local_sorted: np.ndarray,
+        nparts: int,
+        rng: np.random.Generator,
+    ) -> None:
+        """Build this rank's resident representative sample (once)."""
+        if self._oracle is None:
+            s = representative_sample_size(nparts, self.oracle_eps)
+            self._oracle = RepresentativeSample(local_sorted, s, rng)
+
+    @property
+    def oracle(self) -> RepresentativeSample:
+        if self._oracle is None:
+            raise ConfigError(
+                "ApproxHistogramKeySpace.prepare() must run before histograms"
+            )
+        return self._oracle
+
+    @property
+    def resident_sample_size(self) -> int:
+        """Per-processor representative sample size actually kept."""
+        return self.oracle.s
+
+    # -- overridden primitives --------------------------------------------
+    def make_state(
+        self, total_keys: int, nparts: int, eps: float, **state_kwargs
+    ) -> SplitterState:
+        # Tighten the splitter acceptance window to eps/2 so the oracle's
+        # eps/4 estimation error still lands inside the configured eps.
+        return SplitterState(
+            total_keys,
+            nparts,
+            self.state_eps,
+            key_dtype=self.key_dtype,
+            **state_kwargs,
+        )
+
+    def local_counts(
+        self, local_sorted: np.ndarray, rank: int, probes: np.ndarray
+    ) -> np.ndarray:
+        """Estimated local ranks from the resident sample.
+
+        Returned as float64 — the cross-processor reduction sums estimates
+        and the central processor rounds once, avoiding p rounding biases.
+        """
+        return self.oracle.local_rank_estimate(probes)

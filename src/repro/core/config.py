@@ -1,0 +1,177 @@
+"""Configuration of an HSS run: load-balance target and sampling schedule.
+
+The paper exposes two knobs:
+
+* ``eps`` — the application's load-imbalance tolerance; every processor must
+  end with at most ``N(1+eps)/p`` keys.
+* the **sampling schedule** — how aggressively each histogramming round
+  samples.  Section 3.3 analyzes the geometric schedule
+  ``s_j = (2·ln p / eps)^{j/k}`` for a fixed round count ``k``; §6.1.2's
+  implementation instead uses *constant oversampling* (expected ``f·p``
+  sample keys per round, ``f = 5``) and runs until all splitters finalize.
+
+Both schedules are provided.  :class:`SamplingSchedule` converts a round
+index plus the current candidate-set mass ``G_j`` into the Bernoulli
+inclusion probability for that round.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.utils.validation import check_epsilon, check_positive_int
+
+__all__ = ["SamplingSchedule", "HSSConfig"]
+
+
+@dataclass(frozen=True)
+class SamplingSchedule:
+    """Maps a histogramming round to its Bernoulli inclusion probability.
+
+    Parameters
+    ----------
+    kind:
+        ``"geometric"`` — the §3.3 theory schedule: round ``j`` (1-based)
+        uses ratio ``s_j = (2 ln p / eps)^{j/k}``, i.e. inclusion
+        probability ``p·s_j/N`` applied to keys inside splitter intervals.
+        Guarantees finalization after exactly ``k`` rounds w.h.p.
+        (Lemma 3.3.1).
+
+        ``"constant"`` — the §6.1.2 practical schedule: every round aims at
+        an expected ``oversample·p`` total sample drawn from the candidate
+        set, i.e. probability ``oversample·p / G_j``.  Runs until all
+        splitters finalize; Lemma 3.3.2 bounds the rounds by
+        ``O(log(log p / eps))``.
+    rounds:
+        ``k`` for the geometric schedule (ignored for constant).
+    oversample:
+        ``f`` for the constant schedule (ignored for geometric).
+    """
+
+    kind: str = "constant"
+    rounds: int = 2
+    oversample: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("geometric", "constant"):
+            raise ConfigError(
+                f"schedule kind must be 'geometric' or 'constant', got {self.kind!r}"
+            )
+        check_positive_int(self.rounds, "rounds")
+        if self.oversample <= 0:
+            raise ConfigError(f"oversample must be > 0, got {self.oversample}")
+
+    # ------------------------------------------------------------------ #
+    def final_ratio(self, p: int, eps: float) -> float:
+        """The terminal sampling ratio ``s_k = 2·ln p / eps`` (Thm 3.3.4)."""
+        return 2.0 * math.log(max(2, p)) / eps
+
+    def ratio(self, round_index: int, p: int, eps: float) -> float:
+        """Geometric-schedule ratio ``s_j`` for 1-based ``round_index``."""
+        s_k = self.final_ratio(p, eps)
+        j = min(round_index, self.rounds)
+        return s_k ** (j / self.rounds)
+
+    def probability(
+        self,
+        round_index: int,
+        *,
+        p: int,
+        eps: float,
+        total_keys: int,
+        candidate_mass: int,
+    ) -> float:
+        """Inclusion probability for ``round_index`` (1-based).
+
+        ``candidate_mass`` is ``G_{j-1}`` — how many input keys currently lie
+        in splitter intervals (``N`` before the first round).
+        """
+        if total_keys <= 0:
+            return 0.0
+        if self.kind == "geometric":
+            return min(1.0, p * self.ratio(round_index, p, eps) / total_keys)
+        # Constant oversampling: expected f·p keys out of the candidate set.
+        if candidate_mass <= 0:
+            return 0.0
+        return min(1.0, self.oversample * p / candidate_mass)
+
+    def max_rounds(self, p: int, eps: float) -> int:
+        """Stopping bound on rounds.
+
+        Geometric: exactly ``rounds``.  Constant: the §6.2 bound
+        ``⌈ln(2 ln p / eps) / ln(f/2)⌉`` (plus slack; the driver stops as
+        soon as all splitters finalize, which in practice is earlier).
+        """
+        if self.kind == "geometric":
+            return self.rounds
+        from repro.theory.rounds import round_bound_constant_oversampling
+
+        return 2 * round_bound_constant_oversampling(p, eps, self.oversample) + 4
+
+
+@dataclass(frozen=True)
+class HSSConfig:
+    """Full configuration of a Histogram-Sort-with-Sampling run."""
+
+    #: Load-imbalance threshold: final per-processor load ≤ ``N(1+eps)/p``.
+    eps: float = 0.05
+    #: Sampling schedule (see :class:`SamplingSchedule`).
+    schedule: SamplingSchedule = field(default_factory=SamplingSchedule)
+    #: Use the §3.4 approximate-histogramming oracle instead of exact
+    #: histograms over the local input.
+    approximate_histograms: bool = False
+    #: Tag keys with ``(PE, index)`` to tolerate heavy duplicates (§4.3).
+    tag_duplicates: bool = False
+    #: Two-level node partitioning (§6.1): determine splitters across nodes,
+    #: combine messages per node, sort within nodes by regular sampling.
+    node_level: bool = False
+    #: Load-balance threshold used for the within-node regular-sampling step
+    #: when ``node_level`` is on (the paper uses 5% within vs 2% across).
+    within_node_eps: float = 0.05
+    #: Random seed for all sampling.
+    seed: int = 0
+    #: Hard cap on histogramming rounds (safety net; the schedule's own
+    #: bound is used when smaller).
+    max_rounds_cap: int = 64
+    #: If True (default), raise when splitter determination cannot finalize
+    #: within its round budget (e.g. untagged heavy duplicates).  If False,
+    #: proceed with the best splitters found — the output is still globally
+    #: sorted, only the load-balance contract may be missed (useful for
+    #: measuring *how badly* a configuration degrades).
+    strict: bool = True
+
+    def __post_init__(self) -> None:
+        check_epsilon(self.eps, "eps")
+        check_epsilon(self.within_node_eps, "within_node_eps")
+        check_positive_int(self.max_rounds_cap, "max_rounds_cap")
+
+    def max_rounds(self, p: int) -> int:
+        """Effective round cap for ``p`` processors."""
+        return min(self.max_rounds_cap, self.schedule.max_rounds(p, self.eps))
+
+    @staticmethod
+    def one_round(eps: float = 0.05, **kwargs: object) -> "HSSConfig":
+        """HSS with a single histogramming round (Lemma 3.2.1 setting)."""
+        return HSSConfig(
+            eps=eps, schedule=SamplingSchedule("geometric", rounds=1), **kwargs
+        )
+
+    @staticmethod
+    def k_rounds(k: int, eps: float = 0.05, **kwargs: object) -> "HSSConfig":
+        """HSS with the §3.3 geometric schedule and ``k`` rounds."""
+        return HSSConfig(
+            eps=eps, schedule=SamplingSchedule("geometric", rounds=k), **kwargs
+        )
+
+    @staticmethod
+    def constant_oversampling(
+        oversample: float = 5.0, eps: float = 0.05, **kwargs: object
+    ) -> "HSSConfig":
+        """HSS with the §6.1.2 constant-oversampling schedule."""
+        return HSSConfig(
+            eps=eps,
+            schedule=SamplingSchedule("constant", oversample=oversample),
+            **kwargs,
+        )

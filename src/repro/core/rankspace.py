@@ -1,0 +1,223 @@
+"""Rank-space simulation of HSS splitter determination at massive ``p``.
+
+A key observation (implicit in the paper's analysis, §3.3): HSS's splitter
+phase is **distribution-free**.  Bernoulli sampling picks each *key* with
+equal probability regardless of its value, and histogramming returns exact
+global *ranks* — so the entire phase depends only on which ranks get
+sampled, never on key values.  Replacing keys by their ranks (a monotone
+bijection for duplicate-free inputs) therefore yields a *statistically
+identical* process that needs no key arrays at all.
+
+This module exploits that to simulate splitter determination for the
+paper's large configurations (``p`` up to 256K, ``N = p·10⁶``, i.e. tens of
+terabytes of notional keys) in milliseconds:
+
+* per round, the number of samples inside each open merged interval of rank
+  mass ``m`` is drawn as ``Binomial(m, q)``; the sampled ranks are uniform
+  without replacement inside the interval;
+* the histogram step is the identity (a rank's rank is itself);
+* the same :class:`~repro.core.splitters.SplitterState` as the real SPMD
+  program tracks the ``[L_j, U_j]`` bounds.
+
+Contrast: classic histogram sort's probe refinement bisects *key space*, so
+it is **not** distribution-free — which is precisely why HSS beats it on
+skewed inputs (Fig 6.2).  :class:`RankSpaceSimulator` therefore also
+supports an analytic CDF so the classic algorithm can be simulated at scale
+for that comparison.
+
+Used by: Table 6.1 (round counts), Fig 4.1 (measured sample sizes),
+Fig 3.1 (interval shrinkage), and the Fig 6.1/6.2 cost models (round/sample
+event counts fed to :mod:`repro.perf`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.config import HSSConfig
+from repro.core.hss import RoundStats, SplitterStats
+from repro.core.splitters import SplitterState
+from repro.errors import ConfigError
+
+__all__ = ["RankSpaceSimulator", "simulate_histogram_sort_rounds", "HistogramSortSim"]
+
+
+def _sample_ranks_in_interval(
+    lo: int, hi: int, prob: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Bernoulli(prob) over ranks ``[lo, hi)``, exact count, unique ranks.
+
+    Drawing ``Binomial(m, prob)`` positions uniformly *with* replacement and
+    deduplicating under-counts slightly when collisions occur; we compensate
+    by re-drawing until the exact binomial count is reached (collision rates
+    are ~count²/m, negligible at the paper's scales, so the loop almost
+    always runs once).
+    """
+    m = hi - lo
+    if m <= 0 or prob <= 0.0:
+        return np.empty(0, dtype=np.int64)
+    if prob >= 1.0:
+        return np.arange(lo, hi, dtype=np.int64)
+    count = int(rng.binomial(m, prob))
+    if count == 0:
+        return np.empty(0, dtype=np.int64)
+    if count > m // 2:
+        # Dense regime: flip per-rank coins directly.
+        picks = lo + np.where(rng.random(m) < prob)[0]
+        return picks.astype(np.int64)
+    picks = np.unique(rng.integers(lo, hi, size=count, dtype=np.int64))
+    attempts = 0
+    while len(picks) < count and attempts < 64:
+        extra = rng.integers(lo, hi, size=count - len(picks), dtype=np.int64)
+        picks = np.unique(np.concatenate((picks, extra)))
+        attempts += 1
+    return picks
+
+
+class RankSpaceSimulator:
+    """Exact statistical simulation of the HSS splitter phase in rank space."""
+
+    def __init__(
+        self,
+        total_keys: int,
+        nparts: int,
+        cfg: HSSConfig,
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if total_keys < nparts:
+            raise ConfigError(
+                f"need at least one key per part: N={total_keys}, p={nparts}"
+            )
+        self.total_keys = int(total_keys)
+        self.nparts = int(nparts)
+        self.cfg = cfg
+        self.rng = rng if rng is not None else np.random.default_rng(cfg.seed)
+
+    def run(self) -> SplitterStats:
+        """Simulate until all splitters finalize (or the schedule's bound).
+
+        Returns the same :class:`SplitterStats` the SPMD program produces,
+        so benchmark code is agnostic to which engine generated it.
+        """
+        n, p, cfg = self.total_keys, self.nparts, self.cfg
+        state = SplitterState(n, p, cfg.eps, key_dtype=np.int64)
+        stats = SplitterStats(
+            nparts=p, total_keys=n, eps=cfg.eps, method="hss-rankspace"
+        )
+        schedule = cfg.schedule
+        max_rounds = cfg.max_rounds(p)
+
+        round_index = 0
+        while not state.all_finalized() and round_index < max_rounds:
+            round_index += 1
+            if round_index == 1:
+                intervals = [(0, n)]
+                mass = n
+            else:
+                merged = state.merged_intervals()
+                # In rank space key == rank, so the rank bounds are usable
+                # directly as sampling intervals.
+                intervals = list(
+                    zip(merged.lo_ranks.tolist(), merged.hi_ranks.tolist())
+                )
+                mass = merged.mass
+            prob = schedule.probability(
+                round_index,
+                p=p,
+                eps=cfg.eps,
+                total_keys=n,
+                candidate_mass=mass,
+            )
+            pieces = [
+                _sample_ranks_in_interval(lo, hi, prob, self.rng)
+                for lo, hi in intervals
+            ]
+            sampled = (
+                np.unique(np.concatenate(pieces))
+                if any(len(x) for x in pieces)
+                else np.empty(0, dtype=np.int64)
+            )
+            state.update(sampled, sampled)  # a rank's rank is itself
+            width = state.interval_width_stats()
+            stats.rounds.append(
+                RoundStats(
+                    round_index=round_index,
+                    probability=prob,
+                    sample_size=len(sampled),
+                    candidate_mass_before=mass,
+                    finalized_after=state.num_finalized(),
+                    open_intervals_after=int(width["open_splitters"]),
+                    max_interval_width_after=width["max_width"],
+                    mean_interval_width_after=width["mean_width"],
+                )
+            )
+
+        stats.all_finalized = state.all_finalized()
+        stats.max_rank_error = state.max_rank_error()
+        return stats
+
+
+# --------------------------------------------------------------------- #
+# Classic histogram sort at scale (needs a key distribution -> CDF).
+# --------------------------------------------------------------------- #
+@dataclass
+class HistogramSortSim:
+    """Per-round record of the simulated classic histogram sort."""
+
+    rounds: int
+    probes_per_round: list[int] = field(default_factory=list)
+    all_finalized: bool = False
+
+    @property
+    def total_probes(self) -> int:
+        return sum(self.probes_per_round)
+
+
+def simulate_histogram_sort_rounds(
+    total_keys: int,
+    nparts: int,
+    eps: float,
+    rank_of_key: Callable[[np.ndarray], np.ndarray],
+    key_min: float,
+    key_max: float,
+    *,
+    probes_per_splitter: int = 3,
+    max_rounds: int = 256,
+    key_dtype: np.dtype | type = np.float64,
+    adaptive: bool = False,
+) -> HistogramSortSim:
+    """Simulate classic histogram sort's probe refinement against a CDF.
+
+    ``rank_of_key(keys)`` must return the exact global rank (``N·F(key)``)
+    for an array of probe positions in ``key_dtype`` — an analytic CDF for
+    synthetic distributions, or binary search into the actual sorted keys
+    for empirical ones.  Use an integer ``key_dtype`` for wide integer keys
+    (float64 cannot resolve adjacent 63-bit keys, which would stall the
+    bisection artificially).  The round count is what we measure (Fig 6.2's
+    "Old" series).
+    """
+    from repro.baselines.histogram_sort import keyspace_probes
+
+    state = SplitterState(total_keys, nparts, eps, key_dtype=key_dtype)
+    sim = HistogramSortSim(rounds=0)
+
+    for _ in range(max_rounds):
+        if state.all_finalized():
+            break
+        probes = keyspace_probes(
+            state, probes_per_splitter, key_min, key_max, adaptive=adaptive
+        )
+        if len(probes) == 0:
+            break
+        ranks = np.asarray(rank_of_key(probes), dtype=np.int64)
+        order = np.argsort(probes, kind="stable")
+        state.update(probes[order], ranks[order])
+        sim.rounds += 1
+        sim.probes_per_round.append(len(probes))
+
+    sim.all_finalized = state.all_finalized()
+    return sim

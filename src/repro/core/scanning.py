@@ -1,0 +1,126 @@
+"""The scanning algorithm of Axtmann et al. (§3.2, Theorem 3.2.1).
+
+Given a Bernoulli sample whose *exact global ranks* are known (from one
+histogramming round), the scanning algorithm walks the sorted sample and
+greedily closes a processor's bucket just before its load would exceed the
+cap ``N(1+ε)/p``.  Every processor except possibly the last is then within
+the cap *by construction*; Theorem 3.2.1 shows that with sampling ratio
+``s = 2/ε`` the leftover for the last processor is also within the cap
+w.h.p. — using an ``O(p/ε)`` sample instead of sample sort's
+``O(p·log N/ε²)``.
+
+The paper presents scanning as the best one-round method (better constants
+than one-round HSS) but notes it does not extend to multiple rounds; we
+implement it both as a standalone splitter chooser and as a baseline in the
+benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["ScanResult", "scanning_splitters", "scanning_sample_probability"]
+
+
+def scanning_sample_probability(total_keys: int, p: int, eps: float) -> float:
+    """Theorem 3.2.1's inclusion probability ``p·s/N`` with ``s = 2/ε``."""
+    if total_keys <= 0:
+        raise ConfigError(f"total_keys must be positive, got {total_keys}")
+    return min(1.0, 2.0 * p / (eps * total_keys))
+
+
+@dataclass(frozen=True)
+class ScanResult:
+    """Splitters chosen by the scan plus per-bucket rank accounting."""
+
+    #: ``p−1`` splitter keys (ascending).
+    splitters: np.ndarray
+    #: Rank of each splitter (bucket ``i`` holds ranks
+    #: ``[splitter_ranks[i-1], splitter_ranks[i])``).
+    splitter_ranks: np.ndarray
+    #: Number of keys each of the ``p`` buckets receives.
+    loads: np.ndarray
+
+    @property
+    def max_load(self) -> int:
+        return int(self.loads.max())
+
+    def imbalance(self, total_keys: int, p: int) -> float:
+        """Load imbalance ``max load / (N/p)``."""
+        return float(self.max_load) / (total_keys / p)
+
+
+def scanning_splitters(
+    sample_keys: np.ndarray,
+    sample_ranks: np.ndarray,
+    total_keys: int,
+    p: int,
+    eps: float,
+) -> ScanResult:
+    """Greedily choose ``p−1`` splitters from a ranked sample.
+
+    Parameters
+    ----------
+    sample_keys, sample_ranks:
+        The histogrammed sample, sorted by key; ``sample_ranks[t]`` is the
+        exact number of input keys strictly below ``sample_keys[t]``.
+    total_keys:
+        ``N``.
+    p:
+        Number of buckets/processors.
+    eps:
+        Load-imbalance threshold; per-bucket cap is ``⌊N(1+ε)/p⌋``.
+
+    Notes
+    -----
+    Bucket ``i`` is closed at the largest sampled key whose rank keeps the
+    bucket's load ≤ cap ("skips to the next processor when the total load
+    would exceed ``N(1+ε)/p``"); the last bucket absorbs the remainder,
+    which Theorem 3.2.1 bounds w.h.p. when the sample used probability
+    ``2p/(εN)``.
+    """
+    sample_keys = np.asarray(sample_keys)
+    sample_ranks = np.asarray(sample_ranks, dtype=np.int64)
+    if len(sample_keys) != len(sample_ranks):
+        raise ConfigError("sample_keys and sample_ranks length mismatch")
+    if p < 1:
+        raise ConfigError(f"p must be >= 1, got {p}")
+    if np.any(sample_ranks[1:] < sample_ranks[:-1]):
+        raise ConfigError("sample_ranks must be non-decreasing")
+
+    cap = int((1.0 + eps) * total_keys / p)
+    if cap < 1:
+        raise ConfigError(
+            f"bucket cap is zero: N={total_keys}, p={p}, eps={eps}"
+        )
+
+    splitters = np.empty(max(0, p - 1), dtype=sample_keys.dtype)
+    splitter_ranks = np.empty(max(0, p - 1), dtype=np.int64)
+    start = 0  # rank where the current bucket begins
+    for i in range(p - 1):
+        # Largest sample rank ≤ start + cap closes bucket i.
+        idx = int(np.searchsorted(sample_ranks, start + cap, side="right")) - 1
+        if idx < 0 or sample_ranks[idx] <= start:
+            # No sample advances the scan: close an empty/duplicate bucket at
+            # the current position (possible only for under-sized samples —
+            # the theorem's sampling rate makes this vanishingly rare).
+            if len(sample_keys) == 0:
+                raise ConfigError("cannot scan an empty sample")
+            rank = start
+            key = sample_keys[min(idx + 1, len(sample_keys) - 1)]
+        else:
+            rank = int(sample_ranks[idx])
+            key = sample_keys[idx]
+        splitters[i] = key
+        splitter_ranks[i] = rank
+        start = rank
+
+    bounds = np.concatenate(
+        (np.zeros(1, dtype=np.int64), splitter_ranks, [np.int64(total_keys)])
+    )
+    loads = np.diff(bounds)
+    return ScanResult(splitters, splitter_ranks, loads)

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the HSS reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while still
+being able to discriminate the failure domain (BSP runtime vs. algorithm
+configuration vs. verification).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "BSPError",
+    "CollectiveMismatchError",
+    "DeadlockError",
+    "ConfigError",
+    "VerificationError",
+    "LoadBalanceError",
+    "WorkloadError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class BSPError(ReproError):
+    """Generic failure inside the BSP simulation engine."""
+
+
+class CollectiveMismatchError(BSPError):
+    """Raised when ranks of an SPMD program disagree on the next collective.
+
+    The BSP engine requires every live rank to issue the *same* collective
+    (same operation name, same root) at each rendezvous.  A mismatch means
+    the user program is not SPMD-consistent — the simulated analogue of an
+    MPI program deadlocking because ranks called different collectives.
+    """
+
+
+class DeadlockError(BSPError):
+    """Raised when some ranks finished while others still wait on a collective."""
+
+
+class ConfigError(ReproError):
+    """Invalid algorithm configuration (bad epsilon, rounds, layout, ...)."""
+
+
+class VerificationError(ReproError):
+    """An output verification failed (not globally sorted, lost keys, ...)."""
+
+
+class LoadBalanceError(VerificationError):
+    """Sorted output violated the requested ``(1 + eps)`` load-balance bound."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator was asked for something it cannot produce."""

@@ -1,0 +1,27 @@
+"""Output verification and quality metrics.
+
+Every sorter in this library is checked with the same three predicates the
+problem statement (§2.1) imposes:
+
+* **globally sorted** — keys on rank ``k`` ≥ keys on rank ``k−1``, sorted
+  within each rank;
+* **permutation** — exactly the input multiset of keys, nothing lost or
+  duplicated;
+* **load balanced** — no rank holds more than ``N(1+ε)/p`` keys.
+"""
+
+from repro.metrics.verify import (
+    check_globally_sorted,
+    check_permutation,
+    check_load_balance,
+    verify_sorted_output,
+    load_imbalance,
+)
+
+__all__ = [
+    "check_globally_sorted",
+    "check_permutation",
+    "check_load_balance",
+    "verify_sorted_output",
+    "load_imbalance",
+]

@@ -1,0 +1,28 @@
+"""Performance modeling for the paper's time-based figures (6.1, 6.2).
+
+The splitter phase's *event counts* (rounds, per-round sample sizes) come
+from real algorithm executions — the rank-space simulator at scale — and
+are exact.  The *seconds* for each phase come from the same α–β/γ cost
+model (:mod:`repro.bsp.cost_model`) the BSP engine charges, evaluated at the
+paper's machine scale (32K cores of a 5-D-torus BG/Q with 10⁶ keys/core,
+which cannot be materialized directly).  Shapes — which phase dominates,
+how each grows with ``p`` — are therefore driven by measured algorithm
+behaviour plus the analysis the paper itself uses.
+"""
+
+from repro.perf.model import (
+    PhaseTimes,
+    model_weak_scaling,
+    model_splitting_time,
+    histogram_round_cost,
+)
+from repro.perf.report import format_series_table, format_stacked_table
+
+__all__ = [
+    "PhaseTimes",
+    "model_weak_scaling",
+    "model_splitting_time",
+    "histogram_round_cost",
+    "format_series_table",
+    "format_stacked_table",
+]

@@ -1,0 +1,70 @@
+"""Text renderers for figure/table data produced by the benchmark harness.
+
+The paper's figures are plots; our harness prints the same series as
+aligned text tables so ``pytest benchmarks/`` output is directly comparable
+against the paper (EXPERIMENTS.md records the comparison).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_series_table", "format_stacked_table"]
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_series_table(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render one-line-per-x table with one column per series (Fig 4.1 style)."""
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(values)} values, expected {len(x_values)}"
+            )
+    headers = [x_label] + list(series)
+    rows = [headers]
+    for i, x in enumerate(x_values):
+        rows.append([_fmt(x)] + [_fmt(series[name][i]) for name in series])
+    widths = [max(len(r[c]) for r in rows) for c in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(rows):
+        lines.append("  ".join(cell.rjust(widths[c]) for c, cell in enumerate(row)))
+        if i == 0:
+            lines.append("  ".join("-" * widths[c] for c in range(len(headers))))
+    return "\n".join(lines)
+
+
+def format_stacked_table(
+    x_label: str,
+    x_values: Sequence[object],
+    stacks: Sequence[Mapping[str, float]],
+    title: str = "",
+) -> str:
+    """Render stacked-bar data (Fig 6.1 style): one row per x, one column per
+    stack component, totals last."""
+    if len(stacks) != len(x_values):
+        raise ValueError("stacks must align with x_values")
+    components: list[str] = []
+    for stack in stacks:
+        for key in stack:
+            if key not in components:
+                components.append(key)
+    series = {
+        comp: [stack.get(comp, 0.0) for stack in stacks] for comp in components
+    }
+    return format_series_table(x_label, x_values, series, title=title)

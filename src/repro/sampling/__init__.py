@@ -1,0 +1,33 @@
+"""Sampling methods used by HSS and the sample-sort baselines.
+
+Four methods appear in the paper:
+
+* **Bernoulli sampling** (Sampling Method 1, §3): every key is independently
+  included with probability ``p·s/N`` — the method HSS histogramming rounds
+  use, optionally restricted to the current splitter intervals.
+* **Regular sampling** (§4.1.2, Shi & Schaeffer): ``s`` evenly spaced keys
+  from each processor's sorted input; deterministic.
+* **Block random sampling** (§4.1.1, Blelloch et al.): the sorted input is cut
+  into ``s`` blocks and one uniform key is drawn per block.
+* **Representative sampling** (§3.4): block random sampling with
+  ``s = √(2p·ln p)/ε``, kept resident to answer repeated rank queries
+  approximately.
+"""
+
+from repro.sampling.bernoulli import (
+    bernoulli_sample,
+    bernoulli_sample_in_intervals,
+    expected_total_sample,
+)
+from repro.sampling.regular import regular_sample
+from repro.sampling.random_blocks import block_random_sample
+from repro.sampling.representative import RepresentativeSample
+
+__all__ = [
+    "bernoulli_sample",
+    "bernoulli_sample_in_intervals",
+    "expected_total_sample",
+    "regular_sample",
+    "block_random_sample",
+    "RepresentativeSample",
+]

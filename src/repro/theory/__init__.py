@@ -1,0 +1,45 @@
+"""Closed-form theory from the paper: sample sizes, round bounds, Table 5.1.
+
+Everything here is *analytic* — no simulation.  Benchmarks combine these
+formulas with measured runs to reproduce Figure 4.1, Table 5.1, the intro's
+sample-size example, and the round-count bound column of Table 6.1.
+"""
+
+from repro.theory.sample_sizes import (
+    sample_size_regular,
+    sample_size_random,
+    sample_size_hss,
+    sample_size_hss_constant,
+    sample_size_scanning,
+    sample_bytes,
+    format_bytes,
+)
+from repro.theory.rounds import (
+    round_bound_constant_oversampling,
+    optimal_rounds,
+)
+from repro.theory.bounds import (
+    hoeffding_tail,
+    chernoff_multiplicative_tail,
+    prob_some_interval_unsampled,
+    whp_failure_bound,
+)
+from repro.theory.complexity import complexity_table, ComplexityRow
+
+__all__ = [
+    "sample_size_regular",
+    "sample_size_random",
+    "sample_size_hss",
+    "sample_size_hss_constant",
+    "sample_size_scanning",
+    "sample_bytes",
+    "format_bytes",
+    "round_bound_constant_oversampling",
+    "optimal_rounds",
+    "hoeffding_tail",
+    "chernoff_multiplicative_tail",
+    "prob_some_interval_unsampled",
+    "whp_failure_bound",
+    "complexity_table",
+    "ComplexityRow",
+]

@@ -1,0 +1,98 @@
+"""Probability bounds used in the paper's proofs (and by our property tests).
+
+Tests of randomized guarantees must not flake: each statistical assertion in
+the test suite derives its threshold from these bounds so the failure
+probability under a *correct* implementation is astronomically small, while
+real regressions (e.g. sampling from the wrong interval) still trip it.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "hoeffding_tail",
+    "chernoff_multiplicative_tail",
+    "prob_some_interval_unsampled",
+    "whp_failure_bound",
+    "binomial_upper_quantile",
+]
+
+
+def hoeffding_tail(n: int, t: float, range_per_var: float = 1.0) -> float:
+    """Hoeffding bound ``P[|Σ(Xᵢ−E Xᵢ)| ≥ t] ≤ 2·exp(−2t²/(n·R²))``.
+
+    Used in Theorems 3.2.1 and 3.4.1 (independent bounded variables).
+    """
+    if n < 1:
+        raise ConfigError(f"n must be >= 1, got {n}")
+    if t < 0 or range_per_var <= 0:
+        raise ConfigError("t must be >= 0 and range_per_var > 0")
+    return min(1.0, 2.0 * math.exp(-2.0 * t * t / (n * range_per_var**2)))
+
+
+def chernoff_multiplicative_tail(mean: float, delta: float) -> float:
+    """Chernoff bound ``P[X ≥ (1+δ)·μ] ≤ exp(−δ²μ/(2+δ))`` for binomials.
+
+    Used in Theorem 3.3.3's sample-size concentration.
+    """
+    if mean < 0 or delta < 0:
+        raise ConfigError("mean and delta must be >= 0")
+    if mean == 0:
+        return 1.0 if delta == 0 else 0.0
+    return min(1.0, math.exp(-(delta * delta) * mean / (2.0 + delta)))
+
+
+def prob_some_interval_unsampled(p: int, eps: float, prob: float, total_keys: int) -> float:
+    """Union-bound failure probability of Theorem 3.2.2 / 3.3.4.
+
+    Each window ``T_i`` holds ``εN/p`` keys; the chance a Bernoulli(``prob``)
+    sample misses one window is ``(1−prob)^{εN/p}``; union over ``p−1``
+    splitters.
+    """
+    if p < 2:
+        return 0.0
+    window = eps * total_keys / p
+    if window < 1:
+        return 1.0
+    single = (1.0 - min(1.0, prob)) ** window
+    return min(1.0, (p - 1) * single)
+
+
+def whp_failure_bound(p: int, c: float = 1.0) -> float:
+    """The paper's "with high probability" budget: ``O(p^{−c})``."""
+    if p < 1:
+        raise ConfigError(f"p must be >= 1, got {p}")
+    return float(p) ** (-c)
+
+
+def binomial_upper_quantile(n: int, prob: float, fail_prob: float) -> int:
+    """Smallest ``m`` with ``P[Binomial(n, prob) > m] ≤ fail_prob``.
+
+    Via the Chernoff bound (no scipy dependency in hot paths); used by tests
+    to assert measured sample sizes stay below a sound threshold.
+    """
+    if n < 0 or not 0 <= prob <= 1:
+        raise ConfigError("need n >= 0 and prob in [0, 1]")
+    if not 0 < fail_prob < 1:
+        raise ConfigError("fail_prob must be in (0, 1)")
+    mean = n * prob
+    if mean == 0:
+        return 0
+    # Solve exp(-d^2 mu / (2+d)) = fail_prob for d (monotone; bisection).
+    target = -math.log(fail_prob)
+    lo, hi = 0.0, 2.0
+    while chernoff_multiplicative_tail(mean, hi) > fail_prob:
+        hi *= 2.0
+        if hi > 1e9:
+            break
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if chernoff_multiplicative_tail(mean, mid) > fail_prob:
+            lo = mid
+        else:
+            hi = mid
+    del target
+    return int(math.ceil((1.0 + hi) * mean))

@@ -1,0 +1,142 @@
+"""Table 5.1: running-time complexity of HSS vs sample sort.
+
+Each :class:`ComplexityRow` carries the symbolic formulas exactly as printed
+in the paper's Table 5.1 plus numeric evaluators, so the benchmark harness
+can regenerate both the formula column and the worked sample-size column
+(``p = 10⁵``, ``ε = 5%``, ``N/p = 10⁶``, 8-byte keys).
+
+Cost conventions (paper §5.1, pipelined reductions/broadcasts for large
+messages): all algorithms share local sorting ``(N/p)·log(N/p)``, final merge
+``(N/p)·log p``, splitter broadcast ``p`` and data movement ``N/p``; they
+differ in the splitter-determination term, which is proportional to the
+overall sample size ``S`` — ``S·log N`` computation (local histogramming via
+binary search + reduction) and ``S`` communication.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.theory.rounds import optimal_rounds
+from repro.theory.sample_sizes import (
+    format_bytes,
+    sample_bytes,
+    sample_size_hss,
+    sample_size_hss_constant,
+    sample_size_random,
+    sample_size_regular,
+)
+
+__all__ = ["ComplexityRow", "complexity_table", "render_table_5_1"]
+
+
+@dataclass(frozen=True)
+class ComplexityRow:
+    """One algorithm's row of Table 5.1."""
+
+    name: str
+    sample_formula: str
+    computation_formula: str
+    communication_formula: str
+    sample_keys: Callable[[int, float, float], float]
+
+    def computation_ops(self, p: int, eps: float, total_keys: float) -> float:
+        """Evaluate the computation column in key-comparison units."""
+        n_over_p = total_keys / p
+        shared = n_over_p * math.log2(max(2, n_over_p)) + n_over_p * math.log2(
+            max(2, p)
+        )
+        sample = self.sample_keys(p, eps, total_keys)
+        return shared + sample * math.log2(max(2, total_keys))
+
+    def communication_words(self, p: int, eps: float, total_keys: float) -> float:
+        """Evaluate the communication column in key units."""
+        return self.sample_keys(p, eps, total_keys) + p + total_keys / p
+
+
+def complexity_table(hss_constant: float = 1.0) -> list[ComplexityRow]:
+    """The six rows of Table 5.1, in the paper's order.
+
+    ``hss_constant`` selects the HSS sample-size constant convention
+    (Table 5.1's worked numbers correspond to 1.0; the theorems use 2.0).
+    """
+    return [
+        ComplexityRow(
+            name="Sample sort (regular sampling)",
+            sample_formula="O(p^2/eps)",
+            computation_formula="O(N/p log(N/p) + p^2/eps log p + N/p log p)",
+            communication_formula="O(p^2/eps + p + N/p)",
+            sample_keys=lambda p, eps, N: sample_size_regular(p, eps),
+        ),
+        ComplexityRow(
+            name="Sample sort (random sampling)",
+            sample_formula="O(p log N / eps^2)",
+            computation_formula="O(N/p log(N/p) + p log N log p/eps^2 + N/p log p)",
+            communication_formula="O(p log N/eps^2 + p + N/p)",
+            sample_keys=lambda p, eps, N: sample_size_random(p, N, eps),
+        ),
+        ComplexityRow(
+            name="HSS (one round)",
+            sample_formula="O(p log p / eps)",
+            computation_formula="O(N/p log(N/p) + p log p/eps log N + N/p log p)",
+            communication_formula="O(p log p/eps + p + N/p)",
+            sample_keys=lambda p, eps, N: sample_size_hss(
+                p, eps, k=1, constant=hss_constant
+            ),
+        ),
+        ComplexityRow(
+            name="HSS (two rounds)",
+            sample_formula="O(p sqrt(log p / eps))",
+            computation_formula="O(N/p log(N/p) + p sqrt(log p/eps) log N + N/p log p)",
+            communication_formula="O(p sqrt(log p/eps) + p + N/p)",
+            sample_keys=lambda p, eps, N: sample_size_hss(
+                p, eps, k=2, constant=hss_constant
+            ),
+        ),
+        ComplexityRow(
+            name="HSS (k rounds)",
+            sample_formula="O(k p (log p / eps)^(1/k))",
+            computation_formula="O(N/p log(N/p) + k p (log p/eps)^(1/k) log N + N/p log p)",
+            communication_formula="O(k p (log p/eps)^(1/k) + p + N/p)",
+            sample_keys=lambda p, eps, N: sample_size_hss(
+                p, eps, k=optimal_rounds(p, eps)[1], constant=hss_constant
+            ),
+        ),
+        ComplexityRow(
+            name="HSS (log(log p/eps) rounds)",
+            sample_formula="O(p log(log p / eps))",
+            computation_formula="O(N/p log(N/p) + p log(log p/eps) log N + N/p log p)",
+            communication_formula="O(p log(log p/eps) + p + N/p)",
+            sample_keys=lambda p, eps, N: sample_size_hss_constant(
+                p, eps, oversample=2.0
+            ),
+        ),
+    ]
+
+
+def render_table_5_1(
+    p: int = 100_000,
+    eps: float = 0.05,
+    keys_per_proc: float = 1_000_000,
+    key_bytes: int = 8,
+    hss_constant: float = 1.0,
+) -> str:
+    """Regenerate Table 5.1 as text for the given machine point."""
+    total_keys = p * keys_per_proc
+    lines = [
+        f"Table 5.1 — p={p:,}, eps={eps:g}, N/p={keys_per_proc:,.0f}, "
+        f"{key_bytes}-byte keys",
+        f"{'algorithm':38s} {'sample (keys)':>14s} {'sample (bytes)':>14s} "
+        f"{'comp (ops)':>12s} {'comm (words)':>12s}",
+    ]
+    for row in complexity_table(hss_constant=hss_constant):
+        keys = row.sample_keys(p, eps, total_keys)
+        lines.append(
+            f"{row.name:38s} {keys:14.3e} "
+            f"{format_bytes(sample_bytes(keys, key_bytes)):>14s} "
+            f"{row.computation_ops(p, eps, total_keys):12.3e} "
+            f"{row.communication_words(p, eps, total_keys):12.3e}"
+        )
+    return "\n".join(lines)

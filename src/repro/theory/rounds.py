@@ -1,0 +1,58 @@
+"""Round-count formulas (§3.3 and §6.2).
+
+Two quantities:
+
+* the paper's §6.2 bound on rounds for constant per-round oversampling
+  ``f·p``: ``⌈ln(2·ln p / ε) / ln(f/2)⌉`` — Table 6.1's last column;
+* the §3.3 optimum ``k* = log(log p / ε)`` minimizing the total sample
+  ``k·p·(log p/ε)^{1/k}`` over the number of rounds.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigError
+
+__all__ = ["round_bound_constant_oversampling", "optimal_rounds"]
+
+
+def round_bound_constant_oversampling(p: int, eps: float, oversample: float) -> int:
+    """Upper bound on histogramming rounds with an ``f·p`` sample per round.
+
+    Derivation (§6.2): each round shrinks the expected candidate mass by a
+    factor ``f/2`` (Theorem 3.3.1 with per-round ratio ``f·p/G``), and the
+    process must cover the terminal ratio ``2·ln p / ε`` (Theorem 3.3.4),
+    giving ``⌈ln(2·ln p/ε) / ln(f/2)⌉`` rounds.
+
+    For the paper's Table 6.1 setting (``f = 5``, ``ε = 0.02``,
+    ``p = 4K…32K``) this evaluates to 8, versus 4 rounds observed.
+    """
+    if p < 2:
+        return 1
+    if oversample <= 2.0:
+        raise ConfigError(
+            f"constant oversampling needs f > 2 to shrink intervals, got {oversample}"
+        )
+    if not 0.0 < eps <= 1.0:
+        raise ConfigError(f"eps must be in (0, 1], got {eps}")
+    target = 2.0 * math.log(p) / eps
+    return max(1, math.ceil(math.log(target) / math.log(oversample / 2.0)))
+
+
+def optimal_rounds(p: int, eps: float) -> tuple[float, int]:
+    """The sample-minimizing round count ``k* = ln(ln p / ε)`` (§3.3).
+
+    Returns ``(exact, rounded)`` where ``rounded`` is the integer round
+    count an implementation would use (at least 1).
+
+    Setting ``d(k·p·(ln p/ε)^{1/k})/dk = 0`` gives ``k = ln(ln p / ε)``;
+    at that ``k`` the per-round sample is ``O(p)`` and the total is
+    ``O(p·ln(ln p / ε))`` (Lemma 3.3.2).
+    """
+    if p < 2:
+        return 1.0, 1
+    if not 0.0 < eps <= 1.0:
+        raise ConfigError(f"eps must be in (0, 1], got {eps}")
+    exact = math.log(max(math.e, math.log(p) / eps))
+    return exact, max(1, round(exact))

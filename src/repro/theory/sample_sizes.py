@@ -1,0 +1,132 @@
+"""Overall-sample-size formulas for every algorithm (Fig 4.1, Table 5.1, §1).
+
+All functions return the *total sample collected across all processors*, in
+keys.  The paper uses two slightly different constant conventions for HSS —
+``2·ln p/ε`` per §1/§3 (Theorem 3.2.2) versus ``ln p/ε`` in Table 5.1's
+worked numbers — so the HSS formulas take an explicit ``constant`` argument
+(default 2.0, the theorem's value).  ``EXPERIMENTS.md`` records which
+convention each reproduced number uses.
+
+Reference points (8-byte keys):
+
+* §1 example, ``p = 64·10³``, ``ε = 0.05``, ``N/p = 10⁶``:
+  regular ≈ 655 GB, random ≈ 5 GB, HSS-1 ≈ 250 MB, HSS-2 ≈ 22 MB.
+* Table 5.1, ``p = 10⁵``, ``ε = 0.05``, ``N/p = 10⁶``:
+  regular 1600 GB, random 8.1 GB, HSS-1 184 MB (constant=1),
+  HSS-2 24 MB (constant=1), HSS-loglog ≈ 10 MB.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigError
+from repro.theory.rounds import optimal_rounds, round_bound_constant_oversampling
+
+__all__ = [
+    "sample_size_regular",
+    "sample_size_random",
+    "sample_size_hss",
+    "sample_size_hss_constant",
+    "sample_size_scanning",
+    "sample_bytes",
+    "format_bytes",
+]
+
+
+def _check(p: int, eps: float) -> None:
+    if p < 1:
+        raise ConfigError(f"p must be >= 1, got {p}")
+    if not 0.0 < eps <= 1.0:
+        raise ConfigError(f"eps must be in (0, 1], got {eps}")
+
+
+def sample_size_regular(p: int, eps: float) -> float:
+    """Sample sort with regular sampling: ``p²/ε`` keys (Lemma 4.1.1).
+
+    Each of ``p`` processors contributes ``s = p/ε`` evenly spaced keys.
+    """
+    _check(p, eps)
+    return p * p / eps
+
+
+def sample_size_random(p: int, total_keys: float, eps: float, c: float = 1.0) -> float:
+    """Sample sort with random sampling: ``c·p·ln N/ε²`` keys (Thm 4.1.1).
+
+    Blelloch et al.'s bound needs oversampling ratio ``s = Θ(ln N/ε²)`` per
+    processor for ``(1+ε)`` balance w.h.p.; ``c`` absorbs the constant
+    (``c = 1`` matches Table 5.1's 8.1 GB at ``p = 10⁵``, ``N = 10¹¹``).
+    """
+    _check(p, eps)
+    if total_keys < 2:
+        raise ConfigError(f"total_keys must be >= 2, got {total_keys}")
+    return c * p * math.log(total_keys) / (eps * eps)
+
+
+def sample_size_hss(p: int, eps: float, k: int = 1, constant: float = 2.0) -> float:
+    """HSS with ``k`` geometric rounds: ``k·p·(constant·ln p/ε)^{1/k}`` keys.
+
+    ``k = 1`` gives Lemma 3.2.1's ``O(p·log p/ε)``; larger ``k`` takes the
+    ``k``-th root of the log factor at the price of ``k`` rounds
+    (Lemma 3.3.1).
+    """
+    _check(p, eps)
+    if k < 1:
+        raise ConfigError(f"k must be >= 1, got {k}")
+    if p == 1:
+        return 0.0
+    base = constant * math.log(p) / eps
+    return k * p * base ** (1.0 / k)
+
+
+def sample_size_hss_constant(
+    p: int, eps: float, oversample: float = 5.0, use_bound: bool = False
+) -> float:
+    """HSS with constant oversampling: ``rounds · f · p`` keys.
+
+    ``use_bound=False`` (default) uses the optimum round count
+    ``ln(ln p/ε)`` of Lemma 3.3.2 — the asymptotic the paper plots;
+    ``use_bound=True`` uses the conservative §6.2 stopping bound instead.
+    """
+    _check(p, eps)
+    if p == 1:
+        return 0.0
+    if use_bound:
+        rounds = round_bound_constant_oversampling(p, eps, oversample)
+    else:
+        rounds = optimal_rounds(p, eps)[0]
+    return rounds * oversample * p
+
+
+def sample_size_scanning(p: int, eps: float) -> float:
+    """One-shot scanning algorithm: ``2p/ε`` keys (Theorem 3.2.1)."""
+    _check(p, eps)
+    return 2.0 * p / eps
+
+
+def sample_bytes(sample_keys: float, key_bytes: int = 8) -> float:
+    """Convert a key-count sample size to bytes."""
+    if key_bytes < 1:
+        raise ConfigError(f"key_bytes must be >= 1, got {key_bytes}")
+    return sample_keys * key_bytes
+
+
+_UNITS = ["B", "KB", "MB", "GB", "TB", "PB"]
+
+
+def format_bytes(nbytes: float) -> str:
+    """Human-readable base-1000 byte string, e.g. ``'655 GB'``.
+
+    The paper's headline numbers (655 GB, 5 GB, 250 MB, 22 MB) are base-1000;
+    we match that convention for comparability.
+    """
+    value = float(nbytes)
+    for unit in _UNITS:
+        if value < 1000.0 or unit == _UNITS[-1]:
+            if value >= 100:
+                return f"{value:.0f} {unit}"
+            if value >= 10:
+                return f"{value:.1f} {unit}"
+            return f"{value:.2f} {unit}"
+        value /= 1000.0
+    raise AssertionError("unreachable")

@@ -1,0 +1,137 @@
+"""Bit-interleaving utilities (Morton / Z-order space-filling curve keys).
+
+ChaNGa (§6.3 of the paper) sorts particles by space-filling-curve keys derived
+from 3-D positions.  We reproduce that key structure with 63-bit Morton codes:
+21 bits per coordinate interleaved as ``z20 y20 x20 ... z0 y0 x0``.  All
+routines are fully vectorized over NumPy uint64 arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "part1by2",
+    "compact1by2",
+    "interleave_bits_3d",
+    "deinterleave_bits_3d",
+    "morton_encode_3d",
+    "morton_decode_3d",
+    "MORTON_BITS_PER_DIM",
+    "MORTON_COORD_MAX",
+]
+
+#: Bits of resolution per spatial dimension (3 * 21 = 63 bits total).
+MORTON_BITS_PER_DIM = 21
+
+#: Largest representable integer coordinate.
+MORTON_COORD_MAX = (1 << MORTON_BITS_PER_DIM) - 1
+
+# Magic-number spreading constants for 21-bit -> 63-bit dilation, the standard
+# "part-1-by-2" sequence extended to 64-bit lanes.
+_SPREAD_MASKS = (
+    (np.uint64(0x1F00000000FFFF), np.uint64(32)),
+    (np.uint64(0x1F0000FF0000FF), np.uint64(16)),
+    (np.uint64(0x100F00F00F00F00F), np.uint64(8)),
+    (np.uint64(0x10C30C30C30C30C3), np.uint64(4)),
+    (np.uint64(0x1249249249249249), np.uint64(2)),
+)
+
+
+def part1by2(x: np.ndarray) -> np.ndarray:
+    """Spread the low 21 bits of each element, inserting two zeros between bits.
+
+    ``b20 b19 ... b0`` becomes ``b20 0 0 b19 0 0 ... b0``.
+
+    Parameters
+    ----------
+    x : array of uint64 (or castable), values must fit in 21 bits.
+
+    Returns
+    -------
+    uint64 array of the same shape.
+    """
+    x = np.asarray(x, dtype=np.uint64) & np.uint64(MORTON_COORD_MAX)
+    for mask, shift in _SPREAD_MASKS:
+        x = (x | (x << shift)) & mask
+    return x
+
+
+def compact1by2(x: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`part1by2`: gather every third bit back together."""
+    x = np.asarray(x, dtype=np.uint64) & np.uint64(0x1249249249249249)
+    x = (x ^ (x >> np.uint64(2))) & np.uint64(0x10C30C30C30C30C3)
+    x = (x ^ (x >> np.uint64(4))) & np.uint64(0x100F00F00F00F00F)
+    x = (x ^ (x >> np.uint64(8))) & np.uint64(0x1F0000FF0000FF)
+    x = (x ^ (x >> np.uint64(16))) & np.uint64(0x1F00000000FFFF)
+    x = (x ^ (x >> np.uint64(32))) & np.uint64(MORTON_COORD_MAX)
+    return x
+
+
+def interleave_bits_3d(
+    ix: np.ndarray, iy: np.ndarray, iz: np.ndarray
+) -> np.ndarray:
+    """Interleave three 21-bit integer coordinate arrays into Morton codes."""
+    return (
+        part1by2(ix)
+        | (part1by2(iy) << np.uint64(1))
+        | (part1by2(iz) << np.uint64(2))
+    )
+
+
+def deinterleave_bits_3d(
+    code: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Split Morton codes back into their three coordinate arrays."""
+    code = np.asarray(code, dtype=np.uint64)
+    return (
+        compact1by2(code),
+        compact1by2(code >> np.uint64(1)),
+        compact1by2(code >> np.uint64(2)),
+    )
+
+
+def morton_encode_3d(
+    x: np.ndarray,
+    y: np.ndarray,
+    z: np.ndarray,
+    *,
+    lo: float = 0.0,
+    hi: float = 1.0,
+) -> np.ndarray:
+    """Encode floating-point 3-D positions into 63-bit Morton keys.
+
+    Positions are clipped to ``[lo, hi]``, quantized to 21 bits per dimension
+    and bit-interleaved.  This mirrors how tree-based N-body codes (ChaNGa,
+    PKDGRAV) derive sort keys from particle coordinates: nearby particles get
+    nearby keys, so clustered matter produces *heavily skewed* key
+    distributions — the stress case that motivates histogramming over plain
+    sample sort.
+
+    Returns
+    -------
+    uint64 array of Morton keys in ``[0, 2**63)``.
+    """
+    span = hi - lo
+    if span <= 0:
+        raise ValueError(f"empty coordinate range: lo={lo} hi={hi}")
+    scale = MORTON_COORD_MAX / span
+
+    def quantize(v: np.ndarray) -> np.ndarray:
+        q = np.clip((np.asarray(v, dtype=np.float64) - lo) * scale, 0, MORTON_COORD_MAX)
+        return q.astype(np.uint64)
+
+    return interleave_bits_3d(quantize(x), quantize(y), quantize(z))
+
+
+def morton_decode_3d(
+    code: np.ndarray, *, lo: float = 0.0, hi: float = 1.0
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Decode Morton keys back to (approximate) cell-corner positions."""
+    ix, iy, iz = deinterleave_bits_3d(code)
+    scale = (hi - lo) / MORTON_COORD_MAX
+    return (
+        ix.astype(np.float64) * scale + lo,
+        iy.astype(np.float64) * scale + lo,
+        iz.astype(np.float64) * scale + lo,
+    )

@@ -1,0 +1,52 @@
+"""Argument-validation helpers used across the library.
+
+These exist so configuration mistakes fail loudly at construction time with a
+:class:`repro.errors.ConfigError`, rather than surfacing as confusing numeric
+errors deep inside a simulated superstep.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ConfigError
+
+__all__ = ["require", "check_positive_int", "check_probability", "check_epsilon"]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ConfigError` with ``message`` unless ``condition`` holds."""
+    if not condition:
+        raise ConfigError(message)
+
+
+def check_positive_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is an integer >= 1 and return it as ``int``."""
+    try:
+        ivalue = int(value)
+    except (TypeError, ValueError) as exc:
+        raise ConfigError(f"{name} must be an integer, got {value!r}") from exc
+    if ivalue != value or ivalue < 1:
+        raise ConfigError(f"{name} must be a positive integer, got {value!r}")
+    return ivalue
+
+
+def check_probability(value: Any, name: str) -> float:
+    """Validate ``0 <= value <= 1`` and return it as ``float``."""
+    fvalue = float(value)
+    if not 0.0 <= fvalue <= 1.0:
+        raise ConfigError(f"{name} must lie in [0, 1], got {value!r}")
+    return fvalue
+
+
+def check_epsilon(value: Any, name: str = "eps") -> float:
+    """Validate a load-imbalance threshold ``0 < eps <= 1``.
+
+    The paper treats eps as a small constant (2%–5% in the experiments).
+    Values above 1 would make several sampling-ratio formulas degenerate
+    (ratios below one key per processor), so we reject them.
+    """
+    fvalue = float(value)
+    if not 0.0 < fvalue <= 1.0:
+        raise ConfigError(f"{name} must lie in (0, 1], got {value!r}")
+    return fvalue

@@ -1,0 +1,55 @@
+"""Input generators for experiments and tests.
+
+* :mod:`repro.workloads.distributions` — parametric key distributions from
+  benign (uniform) to adversarial (staircase skew, nearly-sorted), each
+  returning per-rank shards.
+* :mod:`repro.workloads.changa` — synthetic cosmological particle sets
+  standing in for ChaNGa's Dwarf and Lambb datasets (§6.3): clustered 3-D
+  matter mapped to Morton space-filling-curve keys.
+* :mod:`repro.workloads.duplicates` — heavy-duplicate inputs for the §4.3
+  tagging machinery.
+"""
+
+from repro.workloads.distributions import (
+    DISTRIBUTIONS,
+    make_distributed,
+    uniform_shards,
+    normal_shards,
+    exponential_shards,
+    lognormal_shards,
+    staircase_shards,
+    nearly_sorted_shards,
+    reversed_shards,
+)
+from repro.workloads.changa import (
+    dwarf_like_shards,
+    lambb_like_shards,
+    plummer_positions,
+    morton_keys_from_positions,
+)
+from repro.workloads.duplicates import (
+    constant_shards,
+    few_distinct_shards,
+    hotspot_shards,
+    zipf_duplicate_shards,
+)
+
+__all__ = [
+    "DISTRIBUTIONS",
+    "make_distributed",
+    "uniform_shards",
+    "normal_shards",
+    "exponential_shards",
+    "lognormal_shards",
+    "staircase_shards",
+    "nearly_sorted_shards",
+    "reversed_shards",
+    "dwarf_like_shards",
+    "lambb_like_shards",
+    "plummer_positions",
+    "morton_keys_from_positions",
+    "constant_shards",
+    "few_distinct_shards",
+    "hotspot_shards",
+    "zipf_duplicate_shards",
+]

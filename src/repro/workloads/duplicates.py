@@ -1,0 +1,82 @@
+"""Heavy-duplicate workloads for the §4.3 implicit-tagging machinery.
+
+Prior work (Shi & Schaeffer, cited in §4.3) shows sample sort's load balance
+degrades *linearly* with duplicate multiplicity no matter how samples are
+chosen — a splitter equal to a hot key cannot split the hot key's copies.
+Implicit ``(key, PE, index)`` tagging restores a strict total order; these
+generators produce the inputs that make the difference observable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.utils.rng import rng_or_default
+
+__all__ = [
+    "constant_shards",
+    "few_distinct_shards",
+    "hotspot_shards",
+    "zipf_duplicate_shards",
+]
+
+
+def constant_shards(
+    p: int, n_per: int, rng: np.random.Generator | int | None = 0, value: int = 42
+) -> list[np.ndarray]:
+    """Every key identical — the degenerate worst case for untagged sorters."""
+    del rng
+    return [np.full(n_per, value, dtype=np.int64) for _ in range(p)]
+
+
+def few_distinct_shards(
+    p: int,
+    n_per: int,
+    rng: np.random.Generator | int | None = 0,
+    distinct: int = 4,
+) -> list[np.ndarray]:
+    """Uniform draws from a tiny alphabet (fewer values than processors)."""
+    if distinct < 1:
+        raise WorkloadError(f"distinct must be >= 1, got {distinct}")
+    rng = rng_or_default(rng)
+    values = np.sort(rng.choice(2**40, size=distinct, replace=False)).astype(np.int64)
+    return [values[rng.integers(0, distinct, size=n_per)] for _ in range(p)]
+
+
+def hotspot_shards(
+    p: int,
+    n_per: int,
+    rng: np.random.Generator | int | None = 0,
+    hot_fraction: float = 0.7,
+) -> list[np.ndarray]:
+    """One hot key holding ``hot_fraction`` of the mass, unique keys elsewhere."""
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise WorkloadError(f"hot_fraction must be in [0, 1], got {hot_fraction}")
+    rng = rng_or_default(rng)
+    n = p * n_per
+    hot_key = np.int64(2**41)
+    n_hot = int(hot_fraction * n)
+    cold = rng.integers(0, 2**40, size=n - n_hot, dtype=np.int64)
+    keys = np.concatenate((np.full(n_hot, hot_key), cold + 2**42))
+    rng.shuffle(keys)
+    return [chunk.copy() for chunk in np.array_split(keys, p)]
+
+
+def zipf_duplicate_shards(
+    p: int,
+    n_per: int,
+    rng: np.random.Generator | int | None = 0,
+    alphabet: int = 1000,
+    exponent: float = 1.5,
+) -> list[np.ndarray]:
+    """Zipf-distributed draws from a small alphabet (realistic duplicates)."""
+    if alphabet < 1:
+        raise WorkloadError(f"alphabet must be >= 1, got {alphabet}")
+    rng = rng_or_default(rng)
+    weights = np.arange(1, alphabet + 1, dtype=np.float64) ** (-exponent)
+    weights /= weights.sum()
+    values = np.sort(rng.choice(2**50, size=alphabet, replace=False)).astype(np.int64)
+    n = p * n_per
+    keys = values[rng.choice(alphabet, size=n, p=weights)]
+    return [chunk.copy() for chunk in np.array_split(keys, p)]

@@ -1,0 +1,68 @@
+"""Tests for Batcher bitonic sort over the BSP engine."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bitonic import bitonic_sort_program
+from repro.bsp import BSPEngine
+from repro.errors import ConfigError
+from repro.metrics import verify_sorted_output
+
+
+def run_bitonic(inputs):
+    engine = BSPEngine(len(inputs))
+    res = engine.run(bitonic_sort_program, rank_args=[(x,) for x in inputs])
+    return res, list(res.returns)
+
+
+class TestBitonic:
+    @pytest.mark.parametrize("p", [1, 2, 4, 8, 16])
+    def test_sorts_power_of_two(self, p, rng):
+        inputs = [rng.integers(0, 10**9, 256) for _ in range(p)]
+        _, outs = run_bitonic(inputs)
+        verify_sorted_output(inputs, outs)
+
+    def test_exact_block_balance(self, rng):
+        inputs = [rng.integers(0, 10**9, 128) for _ in range(8)]
+        _, outs = run_bitonic(inputs)
+        assert all(len(o) == 128 for o in outs)
+
+    def test_non_power_of_two_rejected(self, rng):
+        inputs = [rng.integers(0, 100, 16) for _ in range(3)]
+        with pytest.raises(ConfigError, match="power-of-two"):
+            run_bitonic(inputs)
+
+    def test_unequal_sizes_rejected(self, rng):
+        inputs = [rng.integers(0, 100, 16), rng.integers(0, 100, 17)]
+        with pytest.raises(ConfigError, match="equal local sizes"):
+            run_bitonic(inputs)
+
+    def test_exchange_count_is_theta_log_squared(self, rng):
+        """log2(p)(log2(p)+1)/2 compare-exchange stages, each one exchange."""
+        p = 8
+        inputs = [rng.integers(0, 10**9, 64) for _ in range(p)]
+        res, _ = run_bitonic(inputs)
+        lg = 3
+        assert res.trace.count_collectives("exchange") == lg * (lg + 1) // 2
+
+    def test_moves_all_data_every_stage(self, rng):
+        """The paper's criticism: Θ(log p) full-data movements."""
+        p, n = 8, 256
+        inputs = [rng.integers(0, 10**9, n) for _ in range(p)]
+        res, _ = run_bitonic(inputs)
+        exchanged = sum(
+            r.nbytes for r in res.trace.records if r.op == "exchange"
+        )
+        stages = 6  # log2(8) * (log2(8)+1) / 2
+        assert exchanged == stages * p * n * 8
+
+    def test_duplicates_fine(self):
+        inputs = [np.full(64, 7, dtype=np.int64) for _ in range(4)]
+        _, outs = run_bitonic(inputs)
+        verify_sorted_output(inputs, outs)
+
+    def test_presorted_descending(self):
+        keys = np.arange(1024)[::-1]
+        inputs = [keys[i * 256:(i + 1) * 256].copy() for i in range(4)]
+        _, outs = run_bitonic(inputs)
+        verify_sorted_output(inputs, outs)

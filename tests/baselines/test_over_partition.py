@@ -1,0 +1,82 @@
+"""Tests for over-partitioning (Li & Sevcik, distributed adaptation)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.over_partition import (
+    assign_buckets_greedy,
+    over_partition_program,
+)
+from repro.bsp import BSPEngine
+from repro.errors import ConfigError
+from repro.metrics import load_imbalance, verify_sorted_output
+
+
+def run_op(inputs, **kwargs):
+    engine = BSPEngine(len(inputs))
+    res = engine.run(over_partition_program, rank_args=[(x,) for x in inputs], **kwargs)
+    return res, [r[0].keys for r in res.returns], res.returns[0][1]
+
+
+class TestGreedyAssignment:
+    def test_uniform_buckets_even_split(self):
+        sizes = np.full(16, 100, dtype=np.int64)
+        owner = assign_buckets_greedy(sizes, 4)
+        assert np.array_equal(np.bincount(owner), [4, 4, 4, 4])
+
+    def test_owner_non_decreasing(self, rng):
+        sizes = rng.integers(1, 1000, 64).astype(np.int64)
+        owner = assign_buckets_greedy(sizes, 8)
+        assert np.all(np.diff(owner) >= 0)
+        assert owner[0] == 0 and owner[-1] == 7
+
+    def test_every_proc_gets_a_bucket(self, rng):
+        sizes = rng.integers(1, 100, 20).astype(np.int64)
+        owner = assign_buckets_greedy(sizes, 10)
+        assert len(np.unique(owner)) == 10
+
+    def test_balances_variable_buckets(self, rng):
+        sizes = rng.integers(1, 1000, 256).astype(np.int64)
+        owner = assign_buckets_greedy(sizes, 8)
+        loads = np.bincount(owner, weights=sizes, minlength=8)
+        assert loads.max() / loads.mean() < 1.3
+
+    def test_too_few_buckets(self):
+        with pytest.raises(ConfigError):
+            assign_buckets_greedy(np.array([5, 5]), 3)
+
+
+class TestOverPartitionSort:
+    def test_sorts(self, small_shards):
+        _, outs, _ = run_op(small_shards, eps=0.1, seed=2)
+        verify_sorted_output(small_shards, outs)
+
+    def test_default_ratio_log_p(self, small_shards):
+        _, _, stats = run_op(small_shards, eps=0.1)
+        assert stats.ratio == int(np.ceil(np.log2(8))) + 1
+        assert stats.bucket_count == stats.ratio * 8
+
+    def test_load_balance_beats_plain_splitters(self, rng):
+        """Over-partitioning's pitch: good balance from a modest sample."""
+        inputs = [rng.integers(0, 10**9, 2000) for _ in range(8)]
+        _, outs, _ = run_op(inputs, eps=0.1, seed=1, ratio=8, oversample=16)
+        assert load_imbalance(outs) < 1.15
+
+    def test_stats_accounting(self, small_shards):
+        _, _, stats = run_op(small_shards, eps=0.1, ratio=4, oversample=8)
+        assert stats.bucket_count == 32
+        assert stats.buckets_per_proc.sum() == 32
+        assert stats.total_sample > 0
+
+    def test_invalid_params(self, small_shards):
+        with pytest.raises(ConfigError):
+            run_op(small_shards, ratio=0)
+        with pytest.raises(ConfigError):
+            run_op(small_shards, oversample=0)
+
+    def test_skewed_input(self, rng):
+        inputs = [
+            (rng.lognormal(0, 4, 1500) * 1e5).astype(np.int64) for _ in range(8)
+        ]
+        _, outs, _ = run_op(inputs, eps=0.1, seed=3)
+        verify_sorted_output(inputs, outs)

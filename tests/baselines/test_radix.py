@@ -1,0 +1,85 @@
+"""Tests for the distributed LSD radix sort."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.radix import radix_sort_program
+from repro.bsp import BSPEngine
+from repro.errors import ConfigError
+from repro.metrics import verify_sorted_output
+
+
+def run_radix(inputs, **kwargs):
+    engine = BSPEngine(len(inputs))
+    res = engine.run(radix_sort_program, rank_args=[(x,) for x in inputs], **kwargs)
+    outs = [r[0] for r in res.returns]
+    stats = res.returns[0][1]
+    return res, outs, stats
+
+
+class TestRadix:
+    def test_sorts_unsigned(self, rng):
+        inputs = [rng.integers(0, 2**40, 500, dtype=np.uint64) for _ in range(8)]
+        _, outs, _ = run_radix(inputs)
+        verify_sorted_output(inputs, outs)
+
+    def test_sorts_signed_with_negatives(self, rng):
+        inputs = [
+            rng.integers(-(2**30), 2**30, 500, dtype=np.int64) for _ in range(8)
+        ]
+        _, outs, _ = run_radix(inputs)
+        verify_sorted_output(inputs, outs)
+
+    def test_float_rejected(self, rng):
+        inputs = [rng.normal(size=100) for _ in range(4)]
+        with pytest.raises(ConfigError, match="integer"):
+            run_radix(inputs)
+
+    def test_single_rank(self, rng):
+        inputs = [rng.integers(0, 1000, 500, dtype=np.int64)]
+        _, outs, stats = run_radix(inputs)
+        assert np.array_equal(outs[0], np.sort(inputs[0]))
+        assert stats.passes == 0
+
+    def test_pass_count_tracks_key_bits(self, rng):
+        p = 8  # 3 bits/pass
+        narrow = [rng.integers(0, 2**9, 300, dtype=np.uint64) for _ in range(p)]
+        wide = [rng.integers(0, 2**45, 300, dtype=np.uint64) for _ in range(p)]
+        _, _, s_narrow = run_radix(narrow)
+        _, _, s_wide = run_radix(wide)
+        assert s_wide.passes > s_narrow.passes
+        assert s_narrow.bits_per_pass == 3
+
+    def test_one_alltoall_per_pass(self, rng):
+        """The paper's criticism: full data exchange every pass."""
+        inputs = [rng.integers(0, 2**12, 300, dtype=np.uint64) for _ in range(8)]
+        res, _, stats = run_radix(inputs)
+        assert res.trace.count_collectives("alltoallv") == stats.passes
+
+    def test_forced_key_bits(self, rng):
+        inputs = [rng.integers(0, 2**10, 200, dtype=np.uint64) for _ in range(4)]
+        _, outs, stats = run_radix(inputs, key_bits=40)
+        assert stats.passes == -(-40 // stats.bits_per_pass)
+        verify_sorted_output(inputs, outs)
+
+    def test_constant_top_bits_skipped(self, rng):
+        """Signed non-negative keys must not all land on one rank."""
+        inputs = [rng.integers(0, 2**20, 500, dtype=np.int64) for _ in range(8)]
+        _, outs, _ = run_radix(inputs)
+        nonempty = sum(1 for o in outs if len(o))
+        assert nonempty >= 2
+
+    def test_duplicates(self):
+        inputs = [np.full(100, 3, dtype=np.uint64) for _ in range(4)]
+        _, outs, _ = run_radix(inputs)
+        verify_sorted_output(inputs, outs)
+
+    def test_empty_rank(self, rng):
+        inputs = [
+            rng.integers(0, 2**16, 300, dtype=np.uint64),
+            np.empty(0, dtype=np.uint64),
+            rng.integers(0, 2**16, 300, dtype=np.uint64),
+            np.empty(0, dtype=np.uint64),
+        ]
+        _, outs, _ = run_radix(inputs)
+        verify_sorted_output(inputs, outs)

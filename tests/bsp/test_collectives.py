@@ -1,0 +1,169 @@
+"""Tests for collective data semantics (resolve) and payload sizing."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bsp.collectives import resolve, sizeof
+from repro.errors import BSPError, CollectiveMismatchError
+
+
+class TestSizeof:
+    def test_none(self):
+        assert sizeof(None) == 0
+
+    def test_numpy_exact(self):
+        assert sizeof(np.zeros(10, dtype=np.int64)) == 80
+        assert sizeof(np.zeros((3, 4), dtype=np.float32)) == 48
+
+    def test_scalars(self):
+        assert sizeof(3) == 8
+        assert sizeof(3.5) == 8
+        assert sizeof(np.int64(1)) == 8
+
+    def test_containers(self):
+        assert sizeof([np.zeros(2, np.int64), 1]) == 24
+        assert sizeof({"a": 1}) == 9
+        assert sizeof((None, None)) == 0
+
+    def test_strings_bytes(self):
+        assert sizeof("abc") == 3
+        assert sizeof(b"abcd") == 4
+
+
+class TestBarrierBcast:
+    def test_barrier(self):
+        r = resolve("barrier", [None] * 4, 0)
+        assert r.results == [None] * 4
+
+    def test_bcast_from_root(self):
+        r = resolve("bcast", [42, None, None], 0)
+        assert r.results == [42, 42, 42]
+
+    def test_bcast_nonzero_root(self):
+        r = resolve("bcast", [None, None, "hi"], 2)
+        assert r.results == ["hi", "hi", "hi"]
+        assert r.max_bytes == 2
+
+
+class TestGatherScatter:
+    def test_gather(self):
+        r = resolve("gather", [10, 11, 12], 1)
+        assert r.results[1] == [10, 11, 12]
+        assert r.results[0] is None and r.results[2] is None
+
+    def test_allgather(self):
+        r = resolve("allgather", ["a", "b"], 0)
+        assert r.results[0] == ["a", "b"] and r.results[1] == ["a", "b"]
+
+    def test_scatter(self):
+        r = resolve("scatter", [[5, 6, 7], None, None], 0)
+        assert r.results == [5, 6, 7]
+
+    def test_scatter_wrong_length(self):
+        with pytest.raises(BSPError, match="length-3"):
+            resolve("scatter", [[5, 6], None, None], 0)
+
+
+class TestReductions:
+    def test_reduce_sum_scalars(self):
+        r = resolve("reduce", [1, 2, 3], 0)
+        assert r.results[0] == 6 and r.results[1] is None
+
+    def test_reduce_arrays(self):
+        arrays = [np.arange(4), np.arange(4), np.arange(4)]
+        r = resolve("reduce", arrays, 0)
+        assert np.array_equal(r.results[0], 3 * np.arange(4))
+
+    def test_reduce_does_not_mutate_inputs(self):
+        a = np.ones(3)
+        resolve("reduce", [a, np.ones(3)], 0)
+        assert np.array_equal(a, np.ones(3))
+
+    def test_reduce_min_max(self):
+        assert resolve("reduce", [5, 1, 3], 0, reduce_op="min").results[0] == 1
+        assert resolve("reduce", [5, 1, 3], 0, reduce_op="max").results[0] == 5
+
+    def test_allreduce(self):
+        r = resolve("allreduce", [1, 2], 0)
+        assert r.results == [3, 3]
+
+    def test_unknown_op(self):
+        with pytest.raises(BSPError, match="reduction"):
+            resolve("reduce", [1, 2], 0, reduce_op="prod")
+
+    def test_scan_inclusive(self):
+        r = resolve("scan", [1, 2, 3, 4], 0)
+        assert r.results == [1, 3, 6, 10]
+
+    def test_scan_arrays_independent(self):
+        arrays = [np.ones(2) for _ in range(3)]
+        r = resolve("scan", arrays, 0)
+        r.results[2][0] = 99  # mutating one result must not alias others
+        assert r.results[1][0] == 2
+
+
+class TestAllToAll:
+    def test_transpose_semantics(self):
+        payloads = [[f"{src}->{dst}" for dst in range(3)] for src in range(3)]
+        r = resolve("alltoall", payloads, 0)
+        for dst in range(3):
+            assert r.results[dst] == [f"{src}->{dst}" for src in range(3)]
+
+    def test_bad_row_length(self):
+        with pytest.raises(BSPError, match="length-2"):
+            resolve("alltoall", [[1], [1, 2]], 0)
+
+    def test_byte_accounting(self):
+        payloads = [
+            [np.zeros(1, np.int64), np.zeros(2, np.int64)],
+            [np.zeros(3, np.int64), np.zeros(4, np.int64)],
+        ]
+        r = resolve("alltoallv", payloads, 0)
+        assert r.total_bytes == 8 * 10
+        # rank 1 sends 7*8 and receives 6*8 -> max is rank1's 13*8 = 104.
+        assert r.max_bytes == 104
+
+    @given(st.integers(2, 6))
+    def test_conservation(self, p):
+        rng = np.random.default_rng(p)
+        payloads = [
+            [rng.integers(0, 100, rng.integers(0, 5)) for _ in range(p)]
+            for _ in range(p)
+        ]
+        r = resolve("alltoallv", payloads, 0)
+        sent = sorted(
+            x for row in payloads for arr in row for x in arr.tolist()
+        )
+        got = sorted(
+            x for row in r.results for arr in row for x in arr.tolist()
+        )
+        assert sent == got
+
+
+class TestExchange:
+    def test_symmetric_swap(self):
+        r = resolve("exchange", ["a", "b", "c", "d"], 0, partners=[1, 0, 3, 2])
+        assert r.results == ["b", "a", "d", "c"]
+
+    def test_self_partner(self):
+        r = resolve("exchange", ["x", "y"], 0, partners=[0, 1])
+        assert r.results == ["x", "y"]
+
+    def test_asymmetric_raises(self):
+        with pytest.raises(CollectiveMismatchError, match="asymmetric"):
+            resolve("exchange", ["a", "b", "c"], 0, partners=[1, 2, 0])
+
+    def test_out_of_range_partner(self):
+        with pytest.raises(CollectiveMismatchError, match="invalid"):
+            resolve("exchange", ["a", "b"], 0, partners=[5, 0])
+
+    def test_missing_partners(self):
+        with pytest.raises(BSPError, match="partners"):
+            resolve("exchange", ["a", "b"], 0)
+
+
+def test_unknown_collective():
+    with pytest.raises(BSPError, match="unknown collective"):
+        resolve("gossip", [1, 2], 0)

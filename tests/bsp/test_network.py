@@ -1,0 +1,65 @@
+"""Tests for interconnect topology models."""
+
+import pytest
+
+from repro.bsp.network import FatTree, FullyConnected, Torus
+
+
+class TestFullyConnected:
+    def test_no_contention(self):
+        net = FullyConnected()
+        assert net.alltoall_contention(2) == 1.0
+        assert net.alltoall_contention(10**6) == 1.0
+        assert net.diameter(1000) == 1
+
+
+class TestTorus:
+    def test_contention_free_below_base(self):
+        net = Torus(dims=5, base_endpoints=64)
+        assert net.alltoall_contention(64) == 1.0
+        assert net.alltoall_contention(10) == 1.0
+
+    def test_contention_grows_as_root(self):
+        net = Torus(dims=5, base_endpoints=1)
+        assert net.alltoall_contention(32) == pytest.approx(2.0)
+        assert net.alltoall_contention(1024) == pytest.approx(4.0)
+
+    def test_lower_dims_contend_more(self):
+        t3 = Torus(dims=3, base_endpoints=1)
+        t5 = Torus(dims=5, base_endpoints=1)
+        assert t3.alltoall_contention(4096) > t5.alltoall_contention(4096)
+
+    def test_diameter_positive_and_growing(self):
+        net = Torus(dims=3)
+        assert net.diameter(8) >= 1
+        assert net.diameter(4096) > net.diameter(8)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            Torus(dims=0)
+        with pytest.raises(ValueError):
+            Torus(base_endpoints=0)
+
+    def test_describe(self):
+        assert "5-D" in Torus(dims=5).describe()
+
+
+class TestFatTree:
+    def test_full_bisection(self):
+        assert FatTree(bisection=1.0).alltoall_contention(10**5) == 1.0
+
+    def test_tapered(self):
+        assert FatTree(bisection=0.5).alltoall_contention(64) == 2.0
+
+    def test_contention_independent_of_n(self):
+        net = FatTree(bisection=0.25)
+        assert net.alltoall_contention(16) == net.alltoall_contention(16384)
+
+    def test_invalid_bisection(self):
+        with pytest.raises(ValueError):
+            FatTree(bisection=0.0)
+        with pytest.raises(ValueError):
+            FatTree(bisection=1.5)
+
+    def test_diameter(self):
+        assert FatTree().diameter(1024) >= 1

@@ -1,0 +1,59 @@
+"""Tests for the node layout (rank-to-node mapping)."""
+
+import numpy as np
+import pytest
+
+from repro.bsp.node import NodeLayout
+from repro.errors import ConfigError
+
+
+class TestNodeLayout:
+    def test_even_split(self):
+        layout = NodeLayout(16, 4)
+        assert layout.nnodes == 4
+        assert layout.node_of(0) == 0
+        assert layout.node_of(15) == 3
+        assert list(layout.ranks_on_node(1)) == [4, 5, 6, 7]
+
+    def test_ragged_last_node(self):
+        layout = NodeLayout(10, 4)
+        assert layout.nnodes == 3
+        assert list(layout.ranks_on_node(2)) == [8, 9]
+        assert np.array_equal(layout.node_sizes(), [4, 4, 2])
+
+    def test_single_core_nodes(self):
+        layout = NodeLayout(5, 1)
+        assert layout.nnodes == 5
+        assert layout.node_of(3) == 3
+
+    def test_leaders(self):
+        layout = NodeLayout(12, 4)
+        assert layout.node_leader(2) == 8
+        assert layout.is_leader(8)
+        assert not layout.is_leader(9)
+
+    def test_out_of_range(self):
+        layout = NodeLayout(8, 4)
+        with pytest.raises(IndexError):
+            layout.node_of(8)
+        with pytest.raises(IndexError):
+            layout.ranks_on_node(2)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigError):
+            NodeLayout(0, 4)
+        with pytest.raises(ConfigError):
+            NodeLayout(4, 0)
+
+    def test_message_reduction_factor(self):
+        # 64 cores in 4 nodes: p(p-1)=4032 vs n(n-1)=12 -> 336x fewer.
+        layout = NodeLayout(64, 16)
+        assert layout.message_reduction_factor() == pytest.approx(4032 / 12)
+
+    def test_message_reduction_single_node(self):
+        layout = NodeLayout(16, 16)
+        assert layout.message_reduction_factor() >= 1.0
+
+    def test_sizes_sum_to_nprocs(self):
+        for p, c in [(7, 3), (16, 16), (100, 7)]:
+            assert NodeLayout(p, c).node_sizes().sum() == p

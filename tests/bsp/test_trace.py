@@ -1,0 +1,90 @@
+"""Tests for superstep traces and phase breakdowns."""
+
+import pytest
+
+from repro.bsp.trace import PhaseBreakdown, SuperstepRecord, Trace
+
+
+def record(op="bcast", phase="work", compute=None, comm=2.0, nbytes=10, messages=3):
+    return SuperstepRecord(
+        index=0,
+        op=op,
+        phase=phase,
+        compute_by_phase=compute if compute is not None else {"work": 1.0},
+        comm_seconds=comm,
+        nbytes=nbytes,
+        messages=messages,
+        endpoints=4,
+    )
+
+
+class TestSuperstepRecord:
+    def test_totals(self):
+        r = record(compute={"a": 1.0, "b": 0.5}, comm=2.0)
+        assert r.compute_seconds == pytest.approx(1.5)
+        assert r.total_seconds == pytest.approx(3.5)
+
+
+class TestTrace:
+    def test_makespan_sums(self):
+        t = Trace()
+        t.append(record())
+        t.append(record(comm=5.0))
+        assert t.makespan == pytest.approx(1.0 + 2.0 + 1.0 + 5.0)
+
+    def test_breakdown_splits_compute_and_comm(self):
+        t = Trace()
+        t.append(record(phase="comm-phase", compute={"cpu-phase": 1.0}, comm=2.0))
+        b = t.breakdown()
+        assert b.compute["cpu-phase"] == pytest.approx(1.0)
+        assert b.comm["comm-phase"] == pytest.approx(2.0)
+        assert b.total() == pytest.approx(3.0)
+
+    def test_counting(self):
+        t = Trace()
+        t.append(record(op="bcast"))
+        t.append(record(op="reduce"))
+        t.append(record(op="bcast"))
+        assert t.count_collectives() == 3
+        assert t.count_collectives("bcast") == 2
+        assert t.total_bytes() == 30
+        assert t.total_messages() == 9
+
+    def test_final_marker_not_counted(self):
+        t = Trace()
+        t.append(record(op="__final__"))
+        assert t.count_collectives() == 0
+
+    def test_iteration_and_len(self):
+        t = Trace()
+        t.append(record())
+        assert len(t) == 1
+        assert [r.op for r in t] == ["bcast"]
+
+
+class TestPhaseBreakdown:
+    def test_add_and_total(self):
+        b = PhaseBreakdown()
+        b.add("x", 1.0, 2.0)
+        b.add("x", 0.5, 0.0)
+        assert b.total("x") == pytest.approx(3.5)
+
+    def test_phase_order_preserved(self):
+        b = PhaseBreakdown()
+        b.add("later", 0, 1)
+        b.add("earlier", 1, 0)
+        assert b.phases() == ["later", "earlier"]
+
+    def test_merged(self):
+        a = PhaseBreakdown({"x": 1.0}, {"x": 2.0})
+        c = a.merged(PhaseBreakdown({"x": 1.0, "y": 3.0}, {}))
+        assert c.total("x") == pytest.approx(4.0)
+        assert c.total("y") == pytest.approx(3.0)
+        assert a.total("x") == pytest.approx(3.0)  # original untouched
+
+    def test_table_renders(self):
+        b = PhaseBreakdown()
+        b.add("phase-one", 1.0, 2.0)
+        text = b.table()
+        assert "phase-one" in text
+        assert "TOTAL" in text

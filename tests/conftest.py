@@ -1,0 +1,24 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator; tests needing other seeds spawn their own."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_shards(rng) -> list[np.ndarray]:
+    """8 ranks x 500 uniform int64 keys — the workhorse correctness input."""
+    return [rng.integers(0, 10**9, 500) for _ in range(8)]
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running statistical or scale tests"
+    )

@@ -1,0 +1,61 @@
+"""Tests for the §3.4 approximate-histogram key space."""
+
+import numpy as np
+import pytest
+
+from repro.core.approx_histogram import ApproxHistogramKeySpace
+from repro.errors import ConfigError
+
+
+class TestConstruction:
+    def test_error_budget_split(self):
+        ks = ApproxHistogramKeySpace(np.int64, eps=0.08)
+        assert ks.state_eps == pytest.approx(0.04)
+        assert ks.oracle_eps == pytest.approx(0.02)
+
+    def test_invalid_eps(self):
+        with pytest.raises(ConfigError):
+            ApproxHistogramKeySpace(np.int64, eps=0.0)
+
+    def test_state_uses_tightened_window(self):
+        ks = ApproxHistogramKeySpace(np.int64, eps=0.1)
+        state = ks.make_state(10_000, 8, 0.1)
+        assert state.tolerance == pytest.approx(0.05 * 10_000 / 16)
+
+    def test_counts_require_prepare(self):
+        ks = ApproxHistogramKeySpace(np.int64, eps=0.1)
+        with pytest.raises(ConfigError, match="prepare"):
+            ks.local_counts(np.arange(10), 0, np.array([5]))
+
+
+class TestOracleCounts:
+    def make(self, n=20_000, p=16, eps=0.1, seed=0):
+        keys = np.sort(np.random.default_rng(seed).integers(0, 10**9, n))
+        ks = ApproxHistogramKeySpace(np.int64, eps=eps)
+        ks.prepare(keys, p, np.random.default_rng(seed + 1))
+        return keys, ks
+
+    def test_prepare_idempotent(self):
+        keys, ks = self.make()
+        sample = ks.oracle.sample
+        ks.prepare(keys, 16, np.random.default_rng(99))
+        assert ks.oracle.sample is sample
+
+    def test_counts_are_floats_near_truth(self):
+        keys, ks = self.make()
+        probes = np.sort(np.random.default_rng(2).integers(0, 10**9, 100))
+        est = ks.local_counts(keys, 0, probes)
+        truth = np.searchsorted(keys, probes, side="left")
+        assert est.dtype.kind == "f"
+        # One-block error bound from the representative sample.
+        assert np.max(np.abs(est - truth)) <= ks.oracle.keys_per_sample + 1
+
+    def test_resident_sample_much_smaller_than_input(self):
+        keys, ks = self.make(n=50_000, p=64)
+        assert ks.resident_sample_size < len(keys) / 5
+
+    def test_sampling_and_buckets_stay_exact(self):
+        """Only histograms are approximated; bucketing uses the real data."""
+        keys, ks = self.make()
+        pos = ks.bucket_positions(keys, 0, keys[[1000, 5000]])
+        assert pos.tolist() == [1000, 5000]

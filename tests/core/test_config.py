@@ -1,0 +1,96 @@
+"""Tests for HSSConfig and sampling schedules."""
+
+import math
+
+import pytest
+
+from repro.core.config import HSSConfig, SamplingSchedule
+from repro.errors import ConfigError
+
+
+class TestSamplingSchedule:
+    def test_geometric_ratios_interpolate(self):
+        sched = SamplingSchedule("geometric", rounds=2)
+        p, eps = 1024, 0.05
+        s_k = 2 * math.log(p) / eps
+        assert sched.ratio(1, p, eps) == pytest.approx(s_k**0.5)
+        assert sched.ratio(2, p, eps) == pytest.approx(s_k)
+
+    def test_geometric_probability_first_round(self):
+        sched = SamplingSchedule("geometric", rounds=1)
+        p, eps, n = 64, 0.1, 10**6
+        expected = p * (2 * math.log(p) / eps) / n
+        assert sched.probability(
+            1, p=p, eps=eps, total_keys=n, candidate_mass=n
+        ) == pytest.approx(expected)
+
+    def test_constant_probability_tracks_mass(self):
+        sched = SamplingSchedule("constant", oversample=5.0)
+        prob_full = sched.probability(
+            1, p=64, eps=0.05, total_keys=10**6, candidate_mass=10**6
+        )
+        prob_small = sched.probability(
+            2, p=64, eps=0.05, total_keys=10**6, candidate_mass=10**4
+        )
+        assert prob_small == pytest.approx(prob_full * 100)
+
+    def test_probability_clipped(self):
+        sched = SamplingSchedule("constant", oversample=5.0)
+        assert (
+            sched.probability(1, p=64, eps=0.05, total_keys=100, candidate_mass=100)
+            == 1.0
+        )
+
+    def test_zero_mass_zero_probability(self):
+        sched = SamplingSchedule("constant")
+        assert (
+            sched.probability(3, p=8, eps=0.1, total_keys=1000, candidate_mass=0)
+            == 0.0
+        )
+
+    def test_max_rounds_geometric(self):
+        assert SamplingSchedule("geometric", rounds=3).max_rounds(1024, 0.05) == 3
+
+    def test_max_rounds_constant_exceeds_bound(self):
+        from repro.theory.rounds import round_bound_constant_oversampling
+
+        sched = SamplingSchedule("constant", oversample=5.0)
+        bound = round_bound_constant_oversampling(1024, 0.05, 5.0)
+        assert sched.max_rounds(1024, 0.05) >= bound
+
+    def test_invalid_kind(self):
+        with pytest.raises(ConfigError):
+            SamplingSchedule("exotic")
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            SamplingSchedule("geometric", rounds=0)
+        with pytest.raises(ConfigError):
+            SamplingSchedule("constant", oversample=0)
+
+
+class TestHSSConfig:
+    def test_defaults(self):
+        cfg = HSSConfig()
+        assert cfg.eps == 0.05
+        assert cfg.schedule.kind == "constant"
+
+    def test_factories(self):
+        assert HSSConfig.one_round(0.1).schedule.rounds == 1
+        assert HSSConfig.k_rounds(3).schedule.rounds == 3
+        assert HSSConfig.constant_oversampling(7.0).schedule.oversample == 7.0
+
+    def test_invalid_eps(self):
+        with pytest.raises(ConfigError):
+            HSSConfig(eps=0.0)
+        with pytest.raises(ConfigError):
+            HSSConfig(eps=2.0)
+
+    def test_max_rounds_cap_applies(self):
+        cfg = HSSConfig(max_rounds_cap=2)
+        assert cfg.max_rounds(1 << 20) == 2
+
+    def test_frozen(self):
+        cfg = HSSConfig()
+        with pytest.raises(Exception):
+            cfg.eps = 0.5

@@ -1,0 +1,116 @@
+"""Tests for key-space adapters (plain and duplicate-tagged)."""
+
+import numpy as np
+import pytest
+
+from repro.core.keyspace import PlainKeySpace, TaggedKeySpace, make_keyspace
+
+
+class TestFactory:
+    def test_plain(self):
+        ks = make_keyspace(np.int64, False)
+        assert isinstance(ks, PlainKeySpace) and not ks.tagged
+
+    def test_tagged(self):
+        ks = make_keyspace(np.int64, True)
+        assert isinstance(ks, TaggedKeySpace) and ks.tagged
+
+
+class TestPlainKeySpace:
+    def setup_method(self):
+        self.ks = PlainKeySpace(np.int64)
+        self.keys = np.arange(0, 200, 2, dtype=np.int64)  # evens 0..398
+
+    def test_local_counts(self):
+        counts = self.ks.local_counts(self.keys, 0, np.array([0, 5, 100, 1000]))
+        assert counts.tolist() == [0, 3, 50, 100]
+
+    def test_bucket_positions_left_semantics(self):
+        # Key equal to a splitter belongs to the splitter's own bucket.
+        pos = self.ks.bucket_positions(self.keys, 0, np.array([100]))
+        assert pos[0] == 50  # keys[50] == 100 goes right of the boundary
+
+    def test_sample_whole_input(self, rng):
+        out = self.ks.sample(self.keys, 0, None, 1.0, rng)
+        assert np.array_equal(out, self.keys)
+
+    def test_sort_unique(self):
+        probes = self.ks.sort_unique_probes(
+            [np.array([5, 1]), np.array([3, 1]), np.array([], dtype=np.int64)]
+        )
+        assert probes.tolist() == [1, 3, 5]
+
+    def test_sort_unique_all_empty(self):
+        probes = self.ks.sort_unique_probes([np.array([], dtype=np.int64)])
+        assert len(probes) == 0 and probes.dtype == np.int64
+
+    def test_make_state_dtype(self):
+        state = self.ks.make_state(1000, 4, 0.05)
+        assert state.key_dtype == np.int64
+
+
+class TestTaggedKeySpace:
+    def setup_method(self):
+        self.ks = TaggedKeySpace(np.int64)
+        # Local data with heavy duplicates, sorted.
+        self.keys = np.array([5, 5, 5, 7, 7, 9], dtype=np.int64)
+
+    def tag(self, key, pe, idx):
+        return np.array([(key, pe, idx)], dtype=self.ks.key_dtype)
+
+    def test_position_rule_lower_pe(self):
+        # Probe from a lower PE: local copies of the key come AFTER it.
+        probe = self.tag(5, 0, 1)
+        pos = self.ks.local_counts(self.keys, 2, probe)
+        assert pos[0] == 0
+
+    def test_position_rule_higher_pe(self):
+        probe = self.tag(5, 9, 0)
+        pos = self.ks.local_counts(self.keys, 2, probe)
+        assert pos[0] == 3  # all local 5s precede the probe
+
+    def test_position_rule_same_pe(self):
+        probe = self.tag(5, 2, 1)
+        pos = self.ks.local_counts(self.keys, 2, probe)
+        assert pos[0] == 1  # the probe's own sorted index
+
+    def test_sentinels_cover_space(self):
+        state = self.ks.make_state(100, 4, 0.05)
+        lo, hi = state.lo_key[0], state.hi_key[0]
+        pos_lo = self.ks.local_counts(self.keys, 2, np.array([lo], dtype=self.ks.key_dtype))
+        pos_hi = self.ks.local_counts(self.keys, 2, np.array([hi], dtype=self.ks.key_dtype))
+        assert pos_lo[0] == 0 and pos_hi[0] == len(self.keys)
+
+    def test_sample_tags_carry_rank_and_position(self, rng):
+        out = self.ks.sample(self.keys, 3, None, 1.0, rng)
+        assert len(out) == len(self.keys)
+        assert np.all(out["pe"] == 3)
+        assert np.array_equal(np.sort(out["idx"]), np.arange(len(self.keys)))
+        assert np.array_equal(out["key"][np.argsort(out["idx"])], self.keys)
+
+    def test_probe_total_order_breaks_ties(self):
+        a = self.tag(5, 0, 0)
+        b = self.tag(5, 1, 0)
+        c = self.tag(5, 1, 3)
+        merged = self.ks.sort_unique_probes([c, a, b])
+        assert np.array_equal(merged["pe"], [0, 1, 1])
+        assert np.array_equal(merged["idx"], [0, 0, 3])
+
+    def test_global_rank_consistency(self, rng):
+        """Summed tagged positions give each probe a unique global rank."""
+        p = 4
+        locals_ = [np.sort(rng.integers(0, 5, 50).astype(np.int64)) for _ in range(p)]
+        # Sample everything from rank 1.
+        probes = self.ks.sample(locals_[1], 1, None, 1.0, rng)
+        probes = self.ks.sort_unique_probes([probes])
+        ranks = sum(
+            self.ks.local_counts(locals_[r], r, probes) for r in range(p)
+        )
+        # Tag order is strict: all ranks distinct and increasing.
+        assert np.all(np.diff(ranks) >= 1)
+
+    def test_empty_local(self, rng):
+        empty = np.empty(0, dtype=np.int64)
+        assert len(self.ks.sample(empty, 0, None, 1.0, rng)) == 0
+        probe = self.tag(5, 1, 0)
+        assert self.ks.local_counts(empty, 0, probe)[0] == 0

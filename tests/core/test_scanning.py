@@ -1,0 +1,99 @@
+"""Tests for the Axtmann scanning algorithm (§3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.scanning import (
+    scanning_sample_probability,
+    scanning_splitters,
+)
+from repro.errors import ConfigError
+
+
+def ranked_sample(n, count, seed=0):
+    """A sample of `count` distinct ranks from [0, n) as (keys, ranks)."""
+    rng = np.random.default_rng(seed)
+    ranks = np.sort(rng.choice(n, size=count, replace=False))
+    return ranks.astype(np.int64), ranks.astype(np.int64)
+
+
+class TestProbability:
+    def test_formula(self):
+        assert scanning_sample_probability(1000, 10, 0.1) == pytest.approx(
+            2 * 10 / (0.1 * 1000)
+        )
+
+    def test_clipped_at_one(self):
+        assert scanning_sample_probability(10, 100, 0.5) == 1.0
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            scanning_sample_probability(0, 4, 0.1)
+
+
+class TestScan:
+    def test_all_buckets_capped_except_last(self):
+        n, p, eps = 100_000, 16, 0.1
+        keys, ranks = ranked_sample(n, 4000)
+        res = scanning_splitters(keys, ranks, n, p, eps)
+        cap = int((1 + eps) * n / p)
+        assert np.all(res.loads[:-1] <= cap)
+        assert res.loads.sum() == n
+
+    def test_theorem_3_2_1_load_balance(self):
+        """With the theorem's sampling rate the LAST bucket obeys the cap too."""
+        rng = np.random.default_rng(42)
+        n, p, eps = 200_000, 16, 0.1
+        prob = scanning_sample_probability(n, p, eps)
+        picks = np.where(rng.random(n) < prob)[0].astype(np.int64)
+        res = scanning_splitters(picks, picks, n, p, eps)
+        assert res.imbalance(n, p) <= 1 + eps
+
+    def test_splitters_non_decreasing(self):
+        n, p = 50_000, 32
+        keys, ranks = ranked_sample(n, 5000, seed=3)
+        res = scanning_splitters(keys, ranks, n, p, 0.05)
+        assert np.all(np.diff(res.splitters) >= 0)
+        assert len(res.splitters) == p - 1
+
+    def test_single_processor(self):
+        keys, ranks = ranked_sample(1000, 50)
+        res = scanning_splitters(keys, ranks, 1000, 1, 0.1)
+        assert len(res.splitters) == 0
+        assert res.loads[0] == 1000
+
+    def test_loads_match_splitter_ranks(self):
+        n, p = 10_000, 8
+        keys, ranks = ranked_sample(n, 800, seed=9)
+        res = scanning_splitters(keys, ranks, n, p, 0.1)
+        bounds = np.concatenate(([0], res.splitter_ranks, [n]))
+        assert np.array_equal(res.loads, np.diff(bounds))
+
+    def test_sparse_sample_degrades_gracefully(self):
+        # Far too few samples: scan still returns p-1 monotone splitters.
+        keys, ranks = ranked_sample(10_000, 3)
+        res = scanning_splitters(keys, ranks, 10_000, 8, 0.05)
+        assert len(res.splitters) == 7
+        assert np.all(np.diff(res.splitter_ranks) >= 0)
+
+    def test_empty_sample_raises(self):
+        empty = np.empty(0, dtype=np.int64)
+        with pytest.raises(ConfigError):
+            scanning_splitters(empty, empty, 1000, 4, 0.1)
+
+    def test_mismatched_inputs(self):
+        with pytest.raises(ConfigError):
+            scanning_splitters(
+                np.array([1, 2]), np.array([1]), 100, 2, 0.1
+            )
+
+    def test_decreasing_ranks_rejected(self):
+        with pytest.raises(ConfigError):
+            scanning_splitters(
+                np.array([1, 2]), np.array([5, 2]), 100, 2, 0.1
+            )
+
+    def test_zero_cap_rejected(self):
+        keys, ranks = ranked_sample(10, 5)
+        with pytest.raises(ConfigError):
+            scanning_splitters(keys, ranks, 10, 100, 0.01)

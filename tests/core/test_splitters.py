@@ -1,0 +1,169 @@
+"""Tests for SplitterState (the [L_j, U_j] interval bookkeeping)."""
+
+import numpy as np
+import pytest
+
+from repro.core.splitters import SplitterState
+from repro.errors import ConfigError
+
+
+def exact_update(state, probes):
+    """Feed probes whose rank equals their value (rank-space convention)."""
+    probes = np.sort(np.asarray(probes, dtype=np.int64))
+    state.update(probes, probes)
+
+
+class TestConstruction:
+    def test_targets(self):
+        s = SplitterState(100, 4, 0.1)
+        assert np.array_equal(s.targets, [25, 50, 75])
+        assert s.tolerance == pytest.approx(0.1 * 100 / 8)
+
+    def test_initial_bounds(self):
+        s = SplitterState(100, 4, 0.1)
+        assert np.all(s.lo_rank == 0)
+        assert np.all(s.hi_rank == 100)
+        assert not s.all_finalized()
+
+    def test_single_part_trivially_finalized(self):
+        s = SplitterState(10, 1, 0.1)
+        assert s.all_finalized()
+        assert len(s.final_splitters()) == 0
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            SplitterState(3, 4, 0.1)
+        with pytest.raises(ConfigError):
+            SplitterState(100, 0, 0.1)
+
+    def test_custom_sentinels(self):
+        s = SplitterState(100, 2, 0.1, key_dtype=np.int64, lo_sentinel=-7, hi_sentinel=7)
+        assert s.lo_key[0] == -7 and s.hi_key[0] == 7
+
+
+class TestUpdate:
+    def test_bounds_tighten(self):
+        s = SplitterState(100, 2, 0.02)  # target 50, tol 1
+        exact_update(s, [40, 60])
+        assert s.lo_rank[0] == 40 and s.hi_rank[0] == 60
+        exact_update(s, [45, 55])
+        assert s.lo_rank[0] == 45 and s.hi_rank[0] == 55
+
+    def test_bounds_never_regress(self):
+        s = SplitterState(100, 2, 0.02)
+        exact_update(s, [49, 51])
+        exact_update(s, [10, 90])  # worse probes must be ignored
+        assert s.lo_rank[0] == 49 and s.hi_rank[0] == 51
+
+    def test_exact_hit_finalizes(self):
+        s = SplitterState(100, 2, 0.02)
+        exact_update(s, [50])
+        assert s.all_finalized()
+        assert s.final_splitters()[0] == 50
+        assert s.max_rank_error() == 0
+
+    def test_tolerance_window(self):
+        s = SplitterState(1000, 2, 0.1)  # target 500, tol 25
+        exact_update(s, [480])
+        assert s.all_finalized()  # 500-480=20 <= 25
+
+    def test_outside_window_not_finalized(self):
+        s = SplitterState(1000, 2, 0.01)  # tol 2.5
+        exact_update(s, [480, 520])
+        assert not s.all_finalized()
+
+    def test_probe_rank_used_as_lo_and_hi_for_neighbors(self):
+        s = SplitterState(100, 4, 0.02)  # targets 25, 50, 75
+        exact_update(s, [40])
+        assert s.lo_rank[1] == 40  # below target 50
+        assert s.hi_rank[0] == 40  # above target 25
+
+    def test_empty_update_counts_round(self):
+        s = SplitterState(100, 2, 0.02)
+        s.update(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        assert s.rounds_completed == 1
+
+    def test_mismatched_lengths(self):
+        s = SplitterState(100, 2, 0.02)
+        with pytest.raises(ConfigError):
+            s.update(np.array([1, 2]), np.array([1]))
+
+    def test_unsorted_probes_rejected(self):
+        s = SplitterState(100, 2, 0.02)
+        with pytest.raises(ConfigError):
+            s.update(np.array([5, 1]), np.array([5, 1]))
+
+    def test_nonmonotone_ranks_rejected(self):
+        s = SplitterState(100, 2, 0.02)
+        with pytest.raises(ConfigError):
+            s.update(np.array([1, 5]), np.array([10, 2]))
+
+
+class TestIntervals:
+    def test_initial_mass_is_total(self):
+        s = SplitterState(1000, 8, 0.01)
+        assert s.candidate_mass() == 1000
+
+    def test_mass_shrinks_with_probes(self):
+        s = SplitterState(1000, 4, 0.001)
+        before = s.candidate_mass()
+        exact_update(s, np.arange(0, 1000, 37))
+        assert s.candidate_mass() < before
+
+    def test_finalized_splitters_drop_out(self):
+        s = SplitterState(100, 4, 0.02)  # targets 25,50,75
+        # 50 finalizes the middle splitter; 20/30 and 70/80 bracket the
+        # outer ones without touching their windows.
+        exact_update(s, [20, 30, 50, 70, 80])
+        merged = s.merged_intervals()
+        assert merged.count == 2
+        assert merged.mass == (30 - 20) + (80 - 70)
+
+    def test_identical_intervals_merge(self):
+        s = SplitterState(100, 4, 0.001)
+        # No probes near targets: single full-range interval for all three.
+        merged = s.merged_intervals()
+        assert merged.count == 1
+        assert merged.mass == 100
+
+    def test_all_finalized_empty_intervals(self):
+        s = SplitterState(100, 4, 0.02)
+        exact_update(s, [25, 50, 75])
+        assert s.merged_intervals().count == 0
+        assert s.candidate_mass() == 0
+
+    def test_overlapping_intervals_mass_counted_once(self):
+        s = SplitterState(1000, 4, 0.001)  # targets 250,500,750
+        exact_update(s, [400])  # lo for 500/750? no: lo for 500, hi for 250
+        merged = s.merged_intervals()
+        # Intervals [0,400] and [400,1000] merge into [0,1000].
+        assert merged.mass == 1000
+
+    def test_width_stats(self):
+        s = SplitterState(1000, 4, 0.02)
+        stats = s.interval_width_stats()
+        assert stats["max_width"] == 1000.0
+        exact_update(s, np.arange(0, 1001, 100))
+        stats = s.interval_width_stats()
+        assert stats["max_width"] <= 200.0
+
+
+class TestFinalSplitters:
+    def test_closest_side_chosen(self):
+        s = SplitterState(1000, 2, 0.05)  # target 500
+        exact_update(s, [490, 530])
+        assert s.final_splitters()[0] == 490
+        assert s.final_splitter_ranks()[0] == 490
+
+    def test_sorted_output(self):
+        s = SplitterState(1000, 8, 0.05)
+        exact_update(s, np.arange(0, 1000, 13))
+        out = s.final_splitters()
+        assert np.all(np.diff(out) >= 0)
+
+    def test_float_keys(self):
+        s = SplitterState(100, 2, 0.05, key_dtype=np.float64)
+        probes = np.array([0.5])
+        s.update(probes, np.array([50]))
+        assert s.all_finalized()
+        assert s.final_splitters()[0] == pytest.approx(0.5)

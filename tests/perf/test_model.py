@@ -1,0 +1,107 @@
+"""Tests for the Fig 6.1 / 6.2 phase-time models."""
+
+import pytest
+
+from repro.bsp.machine import MIRA_LIKE
+from repro.core.config import HSSConfig
+from repro.core.rankspace import RankSpaceSimulator
+from repro.perf.model import (
+    PhaseTimes,
+    model_splitting_time,
+    model_weak_scaling,
+)
+
+
+def measured_stats(p, nodes, eps=0.02, seed=3):
+    cfg = HSSConfig.constant_oversampling(5.0, eps=eps, seed=seed)
+    return RankSpaceSimulator(p * 100_000, max(2, nodes), cfg).run()
+
+
+class TestPhaseTimes:
+    def test_total(self):
+        pt = PhaseTimes(1.0, 0.1, 2.0, 0.5)
+        assert pt.total == pytest.approx(3.6)
+        assert pt.as_dict()["total"] == pytest.approx(3.6)
+
+
+class TestWeakScalingShape:
+    """The Fig 6.1 qualitative claims, asserted as invariants."""
+
+    def points(self):
+        out = []
+        for p in (512, 2048, 8192, 32768):
+            stats = measured_stats(p, p // 16)
+            out.append(
+                model_weak_scaling(
+                    MIRA_LIKE, nprocs=p, keys_per_core=1e6, splitter_stats=stats
+                )
+            )
+        return out
+
+    def test_local_sort_constant_under_weak_scaling(self):
+        pts = self.points()
+        assert pts[0].local_sort == pytest.approx(pts[-1].local_sort)
+
+    def test_histogramming_is_small_fraction(self):
+        """Paper: 'the histogramming phase takes very little fraction of the
+        running time' even at 32K cores."""
+        pts = self.points()
+        for pt in pts:
+            assert pt.histogramming < 0.15 * pt.total
+
+    def test_data_exchange_grows_with_p(self):
+        pts = self.points()
+        exchange = [pt.data_exchange for pt in pts]
+        assert exchange == sorted(exchange)
+        assert exchange[-1] > 1.2 * exchange[0]
+
+    def test_total_in_paper_band(self):
+        """Fig 6.1 totals are single-digit seconds."""
+        for pt in self.points():
+            assert 0.5 <= pt.total <= 10.0
+
+    def test_node_level_beats_core_level_histogramming(self):
+        p = 8192
+        node_stats = measured_stats(p, p // 16)
+        core_stats = measured_stats(p, p)
+        node = model_weak_scaling(
+            MIRA_LIKE, nprocs=p, keys_per_core=1e6, splitter_stats=node_stats
+        )
+        core = model_weak_scaling(
+            MIRA_LIKE,
+            nprocs=p,
+            keys_per_core=1e6,
+            splitter_stats=core_stats,
+            node_level=False,
+        )
+        assert node.histogramming < core.histogramming
+
+
+class TestSplittingTime:
+    def test_monotone_in_rounds(self):
+        one = model_splitting_time(
+            MIRA_LIKE,
+            nprocs=1024,
+            nbuckets=1024,
+            rounds=[(5 * 1024, 1024)],
+            local_keys=1e6,
+        )
+        four = model_splitting_time(
+            MIRA_LIKE,
+            nprocs=1024,
+            nbuckets=1024,
+            rounds=[(5 * 1024, 1024)] * 4,
+            local_keys=1e6,
+        )
+        assert four > 3 * one
+
+    def test_monotone_in_sample(self):
+        small = model_splitting_time(
+            MIRA_LIKE, nprocs=1024, nbuckets=1024,
+            rounds=[(1024, 1024)], local_keys=1e6,
+        )
+        large = model_splitting_time(
+            MIRA_LIKE, nprocs=1024, nbuckets=1024,
+            rounds=[(100 * 1024, 1024)], local_keys=1e6,
+        )
+        assert large > small

@@ -1,0 +1,49 @@
+"""Tests for the text table renderers."""
+
+import pytest
+
+from repro.perf.report import format_series_table, format_stacked_table
+
+
+class TestSeriesTable:
+    def test_basic_layout(self):
+        text = format_series_table(
+            "p", [2, 4], {"a": [1.0, 2.0], "b": [3, 4]}, title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "p" in lines[1] and "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5  # title + header + rule + 2 rows
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            format_series_table("x", [1, 2], {"s": [1]})
+
+    def test_scientific_formatting(self):
+        text = format_series_table("x", [1], {"v": [1.23e-9]})
+        assert "1.230e-09" in text
+
+    def test_no_title(self):
+        text = format_series_table("x", [1], {"v": [2]})
+        assert not text.startswith("\n")
+
+
+class TestStackedTable:
+    def test_components_union(self):
+        text = format_stacked_table(
+            "p",
+            [1, 2],
+            [{"sort": 1.0, "comm": 2.0}, {"sort": 1.5, "merge": 0.5}],
+        )
+        assert "sort" in text and "comm" in text and "merge" in text
+
+    def test_missing_component_zero(self):
+        text = format_stacked_table(
+            "p", [1, 2], [{"a": 1.0}, {"a": 2.0, "b": 4.0}]
+        )
+        rows = text.splitlines()
+        assert rows[-2].split()[-1] == "0"
+
+    def test_mismatch(self):
+        with pytest.raises(ValueError):
+            format_stacked_table("p", [1], [{"a": 1}, {"a": 2}])

@@ -1,0 +1,77 @@
+"""Property-based tests for the tagged key space (§4.3).
+
+The central claim: tagged positions define a *strict total order* on all
+(key, PE, index) triples that is consistent with key order, and summed
+local positions give each probe a globally consistent rank.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.keyspace import TaggedKeySpace
+
+
+@st.composite
+def duplicate_worlds(draw):
+    """p sorted local arrays drawn from a tiny alphabet (heavy duplicates)."""
+    p = draw(st.integers(2, 6))
+    alphabet = draw(st.integers(1, 5))
+    seed = draw(st.integers(0, 2**31))
+    rng = np.random.default_rng(seed)
+    locals_ = [
+        np.sort(rng.integers(0, alphabet, int(rng.integers(1, 60))).astype(np.int64))
+        for _ in range(p)
+    ]
+    return p, locals_
+
+
+class TestTaggedOrder:
+    @given(duplicate_worlds())
+    @settings(max_examples=40, deadline=None)
+    def test_global_ranks_strictly_increasing(self, world):
+        p, locals_ = world
+        ks = TaggedKeySpace(np.int64)
+        rng = np.random.default_rng(0)
+        pieces = [ks.sample(locals_[r], r, None, 1.0, rng) for r in range(p)]
+        probes = ks.sort_unique_probes(pieces)
+        ranks = sum(ks.local_counts(locals_[r], r, probes) for r in range(p))
+        # Every input element is a probe; tag order is strict.
+        assert len(probes) == sum(len(x) for x in locals_)
+        assert np.array_equal(ranks, np.arange(len(probes)))
+
+    @given(duplicate_worlds())
+    @settings(max_examples=40, deadline=None)
+    def test_rank_consistent_with_key_order(self, world):
+        p, locals_ = world
+        ks = TaggedKeySpace(np.int64)
+        rng = np.random.default_rng(1)
+        pieces = [ks.sample(locals_[r], r, None, 1.0, rng) for r in range(p)]
+        probes = ks.sort_unique_probes(pieces)
+        ranks = sum(ks.local_counts(locals_[r], r, probes) for r in range(p))
+        # Rank order must refine key order: if key_a < key_b then rank_a < rank_b.
+        order = np.argsort(ranks)
+        keys_by_rank = probes["key"][order]
+        assert np.all(np.diff(keys_by_rank) >= 0)
+
+    @given(duplicate_worlds())
+    @settings(max_examples=40, deadline=None)
+    def test_bucket_positions_partition_everything(self, world):
+        p, locals_ = world
+        ks = TaggedKeySpace(np.int64)
+        rng = np.random.default_rng(2)
+        pieces = [ks.sample(locals_[r], r, None, 1.0, rng) for r in range(p)]
+        probes = ks.sort_unique_probes(pieces)
+        total = sum(len(x) for x in locals_)
+        if len(probes) < p:
+            return
+        # Choose p-1 arbitrary splitters from probes.
+        idx = np.linspace(1, len(probes) - 1, p - 1).astype(int)
+        splitters = probes[idx]
+        loads = np.zeros(p, dtype=np.int64)
+        for r in range(p):
+            pos = ks.bucket_positions(locals_[r], r, splitters)
+            bounds = np.concatenate(([0], pos, [len(locals_[r])]))
+            assert np.all(np.diff(bounds) >= 0)
+            loads += np.diff(bounds)
+        assert loads.sum() == total

@@ -1,0 +1,105 @@
+"""Property-based tests for splitter-interval invariants (§3.3).
+
+The proofs of Theorems 3.3.1/3.3.2 rest on structural invariants of the
+``[L_j, U_j]`` bookkeeping; we check them under arbitrary probe sequences.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.splitters import SplitterState
+
+
+@st.composite
+def probe_sequences(draw):
+    """(N, p, eps, rounds of distinct sorted probe-rank arrays)."""
+    n = draw(st.integers(10, 5000))
+    p = draw(st.integers(2, min(32, n)))
+    eps = draw(st.sampled_from([0.01, 0.05, 0.2, 0.5]))
+    rounds = []
+    seed = draw(st.integers(0, 2**31))
+    rng = np.random.default_rng(seed)
+    for _ in range(draw(st.integers(1, 5))):
+        count = int(rng.integers(0, min(n, 64)))
+        ranks = np.unique(rng.integers(0, n, count)).astype(np.int64)
+        rounds.append(ranks)
+    return n, p, eps, rounds
+
+
+class TestIntervalInvariants:
+    @given(probe_sequences())
+    @settings(max_examples=60, deadline=None)
+    def test_bounds_monotone_and_bracketing(self, data):
+        n, p, eps, rounds = data
+        state = SplitterState(n, p, eps)
+        for ranks in rounds:
+            prev_lo = state.lo_rank.copy()
+            prev_hi = state.hi_rank.copy()
+            state.update(ranks, ranks)
+            # Monotone tightening (Theorem 3.3.1's precondition).
+            assert np.all(state.lo_rank >= prev_lo)
+            assert np.all(state.hi_rank <= prev_hi)
+            # Bracketing: L <= target <= U always.
+            assert np.all(state.lo_rank <= state.targets)
+            assert np.all(state.hi_rank >= state.targets)
+
+    @given(probe_sequences())
+    @settings(max_examples=60, deadline=None)
+    def test_mass_never_grows(self, data):
+        n, p, eps, rounds = data
+        state = SplitterState(n, p, eps)
+        prev_mass = state.candidate_mass()
+        for ranks in rounds:
+            state.update(ranks, ranks)
+            mass = state.candidate_mass()
+            assert mass <= prev_mass
+            prev_mass = mass
+
+    @given(probe_sequences())
+    @settings(max_examples=60, deadline=None)
+    def test_merged_intervals_disjoint_and_sorted(self, data):
+        n, p, eps, rounds = data
+        state = SplitterState(n, p, eps)
+        for ranks in rounds:
+            state.update(ranks, ranks)
+        merged = state.merged_intervals()
+        if merged.count > 1:
+            assert np.all(merged.lo_ranks[1:] > merged.hi_ranks[:-1])
+        assert np.all(merged.hi_ranks >= merged.lo_ranks)
+
+    @given(probe_sequences())
+    @settings(max_examples=60, deadline=None)
+    def test_final_splitters_sorted_and_error_bounded_by_interval(self, data):
+        n, p, eps, rounds = data
+        state = SplitterState(n, p, eps)
+        for ranks in rounds:
+            state.update(ranks, ranks)
+        chosen = state.final_splitter_ranks()
+        if state.all_finalized():
+            # Monotonicity is guaranteed once every splitter is inside its
+            # window (adjacent windows cannot overlap for eps <= 1); before
+            # that, diagnostic output may momentarily invert.  Compare
+            # elementwise — np.diff overflows int64 across sentinels.
+            keys = state.final_splitters()
+            assert np.all(keys[:-1] <= keys[1:])
+            assert np.all(chosen[:-1] <= chosen[1:])
+        # The chosen rank is always the closer interval endpoint.
+        err = np.abs(chosen - state.targets)
+        other = np.where(
+            chosen == state.lo_rank, state.hi_rank, state.lo_rank
+        )
+        assert np.all(err <= np.abs(other - state.targets))
+
+    @given(probe_sequences())
+    @settings(max_examples=40, deadline=None)
+    def test_finalized_iff_within_tolerance(self, data):
+        n, p, eps, rounds = data
+        state = SplitterState(n, p, eps)
+        for ranks in rounds:
+            state.update(ranks, ranks)
+        mask = state.finalized_mask()
+        err_lo = state.targets - state.lo_rank
+        err_hi = state.hi_rank - state.targets
+        best = np.minimum(err_lo, err_hi)
+        assert np.array_equal(mask, best <= state.tolerance)

@@ -1,0 +1,56 @@
+"""Tests for Blelloch block random sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.sampling.random_blocks import block_random_sample
+
+
+class TestBlockRandomSample:
+    def test_one_per_block(self, rng):
+        keys = np.arange(100)
+        out = block_random_sample(keys, 10, rng)
+        assert len(out) == 10
+        # Sample t must come from block t: [10t, 10(t+1)).
+        blocks = out // 10
+        assert np.array_equal(blocks, np.arange(10))
+
+    def test_sorted_output(self, rng):
+        keys = np.arange(1000)
+        out = block_random_sample(keys, 37, rng)
+        assert np.all(np.diff(out) > 0)
+
+    def test_s_exceeds_n(self, rng):
+        keys = np.arange(5)
+        out = block_random_sample(keys, 50, rng)
+        assert np.array_equal(out, keys)
+
+    def test_empty(self, rng):
+        assert len(block_random_sample(np.empty(0, np.int64), 4, rng)) == 0
+
+    def test_invalid_s(self, rng):
+        with pytest.raises(ConfigError):
+            block_random_sample(np.arange(10), 0, rng)
+
+    def test_randomness_varies(self):
+        keys = np.arange(10_000)
+        a = block_random_sample(keys, 100, np.random.default_rng(1))
+        b = block_random_sample(keys, 100, np.random.default_rng(2))
+        assert not np.array_equal(a, b)
+
+    def test_stratification_covers_range(self, rng):
+        """The defining property vs plain sampling: every n/s block is hit."""
+        keys = np.arange(10_000)
+        out = block_random_sample(keys, 100, rng)
+        blocks_hit = np.unique(out // 100)
+        assert len(blocks_hit) == 100
+
+    @given(st.integers(1, 300), st.integers(1, 40))
+    @settings(max_examples=50)
+    def test_size_invariant(self, n, s):
+        rng = np.random.default_rng(n * 41 + s)
+        out = block_random_sample(np.arange(n), s, rng)
+        assert len(out) == min(s, n)

@@ -1,0 +1,60 @@
+"""Tests for regular sampling (evenly spaced block maxima)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.sampling.regular import regular_sample
+
+
+class TestRegularSample:
+    def test_exact_division(self):
+        keys = np.arange(100)
+        out = regular_sample(keys, 4)
+        assert np.array_equal(out, [24, 49, 74, 99])
+
+    def test_last_element_always_included(self):
+        for n, s in [(100, 7), (13, 3), (50, 49)]:
+            keys = np.arange(n)
+            assert regular_sample(keys, s)[-1] == n - 1
+
+    def test_s_one(self):
+        out = regular_sample(np.arange(10), 1)
+        assert np.array_equal(out, [9])
+
+    def test_s_exceeds_n(self):
+        keys = np.arange(5)
+        out = regular_sample(keys, 100)
+        assert np.array_equal(out, keys)
+
+    def test_empty(self):
+        assert len(regular_sample(np.empty(0, np.int64), 3)) == 0
+
+    def test_invalid_s(self):
+        with pytest.raises(ConfigError):
+            regular_sample(np.arange(10), 0)
+
+    def test_deterministic(self):
+        keys = np.arange(1000)
+        assert np.array_equal(regular_sample(keys, 17), regular_sample(keys, 17))
+
+    @given(st.integers(1, 200), st.integers(1, 50))
+    @settings(max_examples=60)
+    def test_sample_size_and_sortedness(self, n, s):
+        keys = np.arange(n)
+        out = regular_sample(keys, s)
+        assert len(out) == min(s, n)
+        assert np.all(np.diff(out) > 0)
+
+    @given(st.integers(10, 500), st.integers(1, 20))
+    @settings(max_examples=60)
+    def test_block_rank_bound(self, n, s):
+        """Theorem 4.1.2's ingredient: consecutive samples are ≤ ⌈n/s⌉ apart."""
+        if s >= n:
+            return
+        keys = np.arange(n)
+        out = regular_sample(keys, s)
+        gaps = np.diff(np.concatenate(([-1], out)))
+        assert gaps.max() <= int(np.ceil(n / s))

@@ -1,0 +1,94 @@
+"""Tests for representative samples and the §3.4 rank oracle."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.sampling.representative import (
+    RepresentativeSample,
+    representative_sample_size,
+)
+
+
+class TestSampleSize:
+    def test_formula(self):
+        import math
+
+        p, eps = 1024, 0.05
+        expected = math.ceil(math.sqrt(2 * p * math.log(p)) / eps)
+        assert representative_sample_size(p, eps) == expected
+
+    def test_grows_with_p_and_shrinks_with_eps(self):
+        assert representative_sample_size(4096, 0.05) > representative_sample_size(
+            256, 0.05
+        )
+        assert representative_sample_size(256, 0.01) > representative_sample_size(
+            256, 0.1
+        )
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            representative_sample_size(0, 0.05)
+        with pytest.raises(ConfigError):
+            representative_sample_size(16, 0.0)
+
+
+class TestRepresentativeSample:
+    def make(self, n=10_000, s=100, seed=0):
+        keys = np.sort(np.random.default_rng(seed).integers(0, 10**9, n))
+        return keys, RepresentativeSample(keys, s, np.random.default_rng(seed + 1))
+
+    def test_resident_size(self):
+        keys, rep = self.make()
+        assert rep.s == 100
+        assert rep.keys_per_sample == pytest.approx(100.0)
+        assert rep.nbytes == rep.sample.nbytes
+
+    def test_estimate_bounds_by_one_block(self):
+        """The Theorem 3.4.1 ingredient: per-processor error ≤ one block."""
+        keys, rep = self.make()
+        queries = np.sort(np.random.default_rng(5).integers(0, 10**9, 200))
+        estimates = rep.local_rank_estimate(queries)
+        truth = np.searchsorted(keys, queries, side="right")
+        assert np.max(np.abs(estimates - truth)) <= rep.keys_per_sample
+
+    def test_estimate_monotone(self):
+        keys, rep = self.make()
+        queries = np.sort(np.random.default_rng(6).integers(0, 10**9, 500))
+        estimates = rep.local_rank_estimate(queries)
+        assert np.all(np.diff(estimates) >= 0)
+
+    def test_extreme_queries(self):
+        keys, rep = self.make()
+        assert rep.local_rank_estimate(np.array([-1]))[0] == 0.0
+        assert rep.local_rank_estimate(np.array([2**62]))[0] == pytest.approx(
+            len(keys)
+        )
+
+    def test_exact_bounds_contain_truth(self):
+        keys, rep = self.make(n=5000, s=50)
+        queries = np.sort(np.random.default_rng(7).integers(0, 10**9, 100))
+        lo, hi = rep.local_rank_exact_bounds(queries)
+        truth = np.searchsorted(keys, queries, side="right")
+        assert np.all(lo <= truth + 1e-9)
+        assert np.all(truth <= hi + 1e-9)
+
+    def test_empty_input(self):
+        rep = RepresentativeSample(
+            np.empty(0, dtype=np.int64), 10, np.random.default_rng(0)
+        )
+        assert rep.s == 0
+        assert np.array_equal(rep.local_rank_estimate(np.array([5])), [0.0])
+
+    def test_unbiasedness_statistical(self):
+        """Mean estimate over many resamples approaches the true rank."""
+        keys = np.sort(np.random.default_rng(1).integers(0, 10**6, 2000))
+        q = np.array([500_000])
+        truth = float(np.searchsorted(keys, q, side="right")[0])
+        estimates = [
+            RepresentativeSample(keys, 40, np.random.default_rng(t))
+            .local_rank_estimate(q)[0]
+            for t in range(300)
+        ]
+        # Std of the mean ~ block/sqrt(300) = 50/17 ≈ 3; allow 6 sigma.
+        assert abs(np.mean(estimates) - truth) < 20.0

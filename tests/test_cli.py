@@ -1,0 +1,121 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_sort_defaults(self):
+        args = build_parser().parse_args(["sort"])
+        assert args.algorithm == "hss"
+        assert args.procs == 16
+
+    def test_simulate_args(self):
+        args = build_parser().parse_args(
+            ["simulate", "--procs", "1024", "--eps", "0.1"]
+        )
+        assert args.procs == 1024 and args.eps == 0.1
+
+
+class TestSortCommand:
+    def test_hss_uniform(self, capsys):
+        code = main(
+            ["sort", "--procs", "4", "--keys", "500", "--seed", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "imbalance" in out
+        assert "rounds" in out
+        assert "TOTAL" in out  # phase table
+
+    def test_baseline_algorithm(self, capsys):
+        code = main(
+            [
+                "sort",
+                "--algorithm",
+                "sample-regular",
+                "--procs",
+                "4",
+                "--keys",
+                "400",
+                "--eps",
+                "0.2",
+            ]
+        )
+        assert code == 0
+        assert "sample-regular" in capsys.readouterr().out
+
+    def test_duplicates_with_tagging(self, capsys):
+        code = main(
+            [
+                "sort",
+                "--procs",
+                "4",
+                "--keys",
+                "400",
+                "--distribution",
+                "staircase",
+                "--tag-duplicates",
+            ]
+        )
+        assert code == 0
+
+    def test_unknown_algorithm_exits_2(self, capsys):
+        assert main(["sort", "--algorithm", "quicksort"]) == 2
+        assert "unknown algorithm" in capsys.readouterr().err
+
+    def test_unknown_distribution_exits_2(self, capsys):
+        assert main(["sort", "--distribution", "cauchy"]) == 2
+        assert "unknown distribution" in capsys.readouterr().err
+
+
+class TestTableCommand:
+    def test_table_5_1(self, capsys):
+        assert main(["table", "5.1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 5.1" in out and "HSS" in out
+
+    def test_intro(self, capsys):
+        assert main(["table", "intro", "--procs", "64000"]) == 0
+        out = capsys.readouterr().out
+        assert "655 GB" in out
+
+
+class TestSimulateCommand:
+    def test_constant_schedule(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--procs",
+                "512",
+                "--keys-per-proc",
+                "1000",
+                "--eps",
+                "0.05",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "finalized: True" in out
+        assert "paper round bound" in out
+
+    def test_geometric_schedule(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--procs",
+                "256",
+                "--keys-per-proc",
+                "1000",
+                "--rounds",
+                "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "geometric, k=2" in out

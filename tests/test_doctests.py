@@ -1,0 +1,26 @@
+"""Execute doctest examples embedded in public-API docstrings."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.bsp.node
+import repro.core.api
+import repro.utils.rng
+
+MODULES = [
+    repro,
+    repro.bsp.node,
+    repro.core.api,
+    repro.utils.rng,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    failures, tested = doctest.testmod(
+        module, optionflags=doctest.ELLIPSIS, verbose=False
+    ).failed, doctest.testmod(module, optionflags=doctest.ELLIPSIS).attempted
+    assert failures == 0
+    assert tested >= 0

@@ -1,0 +1,54 @@
+"""Package-level sanity: imports, exports, version, registry coherence."""
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.bsp",
+    "repro.core",
+    "repro.baselines",
+    "repro.sampling",
+    "repro.theory",
+    "repro.workloads",
+    "repro.metrics",
+    "repro.perf",
+    "repro.utils",
+    "repro.cli",
+]
+
+
+class TestImports:
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_subpackage_imports(self, name):
+        module = importlib.import_module(name)
+        assert module is not None
+
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_all_exports_resolve(self, name):
+        module = importlib.import_module(name)
+        for symbol in getattr(module, "__all__", []):
+            assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_top_level_api(self):
+        assert callable(repro.hss_sort)
+        assert callable(repro.parallel_sort)
+        assert "hss" in repro.ALGORITHMS
+
+
+class TestRegistryCoherence:
+    def test_registry_matches_docstring_table(self):
+        """Every algorithm listed in the parallel_sort docstring exists."""
+        import repro.core.api as api
+
+        doc = api.__doc__
+        for name in api.ALGORITHMS:
+            assert f"``{name}``" in doc, f"{name} undocumented in repro.core.api"
+
+    def test_thirteen_algorithms(self):
+        assert len(repro.ALGORITHMS) == 13

@@ -1,0 +1,105 @@
+"""Tests for the probability-bound helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.theory.bounds import (
+    binomial_upper_quantile,
+    chernoff_multiplicative_tail,
+    hoeffding_tail,
+    prob_some_interval_unsampled,
+    whp_failure_bound,
+)
+
+
+class TestHoeffding:
+    def test_formula(self):
+        assert hoeffding_tail(100, 10.0) == pytest.approx(
+            2 * math.exp(-2 * 100 / 100)
+        )
+
+    def test_capped_at_one(self):
+        assert hoeffding_tail(10, 0.0) == 1.0
+
+    def test_tighter_with_larger_deviation(self):
+        assert hoeffding_tail(100, 50.0) < hoeffding_tail(100, 10.0)
+
+    def test_fixed_relative_deviation_tightens_with_n(self):
+        # t scaling like n keeps the exponent growing: the regime the
+        # theorems use (deviation proportional to the sum's magnitude).
+        assert hoeffding_tail(1000, 100.0) < hoeffding_tail(100, 10.0)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            hoeffding_tail(0, 1.0)
+        with pytest.raises(ConfigError):
+            hoeffding_tail(10, -1.0)
+
+
+class TestChernoff:
+    def test_formula(self):
+        assert chernoff_multiplicative_tail(100, 0.5) == pytest.approx(
+            math.exp(-0.25 * 100 / 2.5)
+        )
+
+    def test_zero_mean(self):
+        assert chernoff_multiplicative_tail(0, 0.5) == 0.0
+        assert chernoff_multiplicative_tail(0, 0.0) == 1.0
+
+    def test_monotone_in_delta(self):
+        assert chernoff_multiplicative_tail(50, 1.0) < chernoff_multiplicative_tail(
+            50, 0.1
+        )
+
+
+class TestIntervalCoverage:
+    def test_theorem_3_2_2_budget(self):
+        """Sampling at 2p·ln p/(εN) leaves failure probability ≤ (p−1)/p²."""
+        p, eps, n = 1024, 0.05, 10**9
+        prob = 2 * p * math.log(p) / (eps * n)
+        fail = prob_some_interval_unsampled(p, eps, prob, n)
+        assert fail <= (p - 1) / p**2 * 1.01
+
+    def test_tiny_sampling_fails(self):
+        assert prob_some_interval_unsampled(64, 0.05, 1e-12, 10**6) > 0.9
+
+    def test_single_processor(self):
+        assert prob_some_interval_unsampled(1, 0.05, 0.0, 100) == 0.0
+
+    def test_subunit_window(self):
+        assert prob_some_interval_unsampled(100, 0.001, 0.5, 1000) == 1.0
+
+
+class TestWhp:
+    def test_formula(self):
+        assert whp_failure_bound(100, 2.0) == pytest.approx(1e-4)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            whp_failure_bound(0)
+
+
+class TestBinomialQuantile:
+    def test_contains_true_quantile(self):
+        n, prob = 10_000, 0.01
+        m = binomial_upper_quantile(n, prob, 1e-6)
+        rng = np.random.default_rng(0)
+        draws = rng.binomial(n, prob, size=20_000)
+        assert np.all(draws <= m)  # 20k draws at 1e-6 budget: safe
+
+    def test_not_absurdly_loose(self):
+        n, prob = 10_000, 0.01
+        m = binomial_upper_quantile(n, prob, 1e-6)
+        assert m < 3 * n * prob
+
+    def test_zero_mean(self):
+        assert binomial_upper_quantile(100, 0.0, 0.01) == 0
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            binomial_upper_quantile(-1, 0.5, 0.01)
+        with pytest.raises(ConfigError):
+            binomial_upper_quantile(10, 0.5, 0.0)

@@ -1,0 +1,61 @@
+"""Tests for the Table 5.1 complexity rows."""
+
+import pytest
+
+from repro.theory.complexity import ComplexityRow, complexity_table, render_table_5_1
+
+
+class TestTableStructure:
+    def test_six_rows_in_paper_order(self):
+        rows = complexity_table()
+        names = [r.name for r in rows]
+        assert len(rows) == 6
+        assert "regular" in names[0]
+        assert "random" in names[1]
+        assert "one round" in names[2]
+        assert "log(log" in names[5]
+
+    def test_every_row_has_formulas(self):
+        for row in complexity_table():
+            assert row.sample_formula.startswith("O(")
+            assert "N/p" in row.computation_formula
+            assert row.communication_formula.startswith("O(")
+
+
+class TestNumericEvaluation:
+    P, EPS, N = 100_000, 0.05, 100_000 * 10**6
+
+    def test_sample_sizes_strictly_decreasing(self):
+        sizes = [r.sample_keys(self.P, self.EPS, self.N) for r in complexity_table()]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_hss_splitter_work_comparable_to_shared_terms(self):
+        """For HSS the splitter term is the same order as local sort+merge;
+        for regular-sampling sample sort it dominates by orders of magnitude
+        (the Table 5.1 story)."""
+        import math
+
+        rows = complexity_table()
+        n_over_p = self.N / self.P
+        shared = n_over_p * math.log2(n_over_p) + n_over_p * math.log2(self.P)
+        hss = rows[5].computation_ops(self.P, self.EPS, self.N)
+        regular = rows[0].computation_ops(self.P, self.EPS, self.N)
+        assert hss < 3 * shared
+        assert regular > 30 * shared
+
+    def test_communication_includes_data_movement(self):
+        for row in complexity_table():
+            comm = row.communication_words(self.P, self.EPS, self.N)
+            assert comm >= self.N / self.P
+
+
+class TestRendering:
+    def test_render_contains_all_rows(self):
+        text = render_table_5_1()
+        for row in complexity_table():
+            assert row.name in text
+
+    def test_render_contains_paper_bytes(self):
+        text = render_table_5_1()
+        assert "1.60 TB" in text
+        assert "184 MB" in text

@@ -1,0 +1,65 @@
+"""Tests for round-count formulas (§3.3 optimum, §6.2 bound)."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.theory.rounds import (
+    optimal_rounds,
+    round_bound_constant_oversampling,
+)
+
+
+class TestConstantOversamplingBound:
+    @pytest.mark.parametrize("p", [4000, 8000, 16000, 32000])
+    def test_table_6_1_bound_is_8(self, p):
+        """Table 6.1's last column: f = 5, eps = 0.02 ⇒ bound 8."""
+        assert round_bound_constant_oversampling(p, 0.02, 5.0) == 8
+
+    def test_larger_oversampling_fewer_rounds(self):
+        assert round_bound_constant_oversampling(
+            10**5, 0.05, 16.0
+        ) < round_bound_constant_oversampling(10**5, 0.05, 5.0)
+
+    def test_tighter_eps_more_rounds(self):
+        assert round_bound_constant_oversampling(
+            10**5, 0.001, 5.0
+        ) >= round_bound_constant_oversampling(10**5, 0.1, 5.0)
+
+    def test_small_p(self):
+        assert round_bound_constant_oversampling(1, 0.05, 5.0) == 1
+
+    def test_f_must_exceed_two(self):
+        with pytest.raises(ConfigError):
+            round_bound_constant_oversampling(1024, 0.05, 2.0)
+
+    def test_invalid_eps(self):
+        with pytest.raises(ConfigError):
+            round_bound_constant_oversampling(1024, 0.0, 5.0)
+
+
+class TestOptimalRounds:
+    def test_formula(self):
+        p, eps = 4096, 0.05
+        exact, rounded = optimal_rounds(p, eps)
+        assert exact == pytest.approx(math.log(math.log(p) / eps))
+        assert rounded == round(exact)
+
+    def test_grows_slowly(self):
+        small = optimal_rounds(256, 0.05)[0]
+        huge = optimal_rounds(2**20, 0.05)[0]
+        assert huge > small
+        assert huge < small + 2  # log log growth
+
+    def test_minimizes_total_sample(self):
+        """k* really is the argmin of k·p·(2 ln p/eps)^{1/k} over integer k."""
+        from repro.theory.sample_sizes import sample_size_hss
+
+        p, eps = 10**5, 0.05
+        _, k_star = optimal_rounds(p, eps)
+        best = min(range(1, 12), key=lambda k: sample_size_hss(p, eps, k))
+        assert abs(best - k_star) <= 1
+
+    def test_small_p(self):
+        assert optimal_rounds(1, 0.05) == (1.0, 1)

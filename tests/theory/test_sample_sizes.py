@@ -1,0 +1,123 @@
+"""Tests pinning the closed-form sample sizes to the paper's numbers."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.theory.sample_sizes import (
+    format_bytes,
+    sample_bytes,
+    sample_size_hss,
+    sample_size_hss_constant,
+    sample_size_random,
+    sample_size_regular,
+    sample_size_scanning,
+)
+
+
+class TestPaperNumbers:
+    """The §1 example: p = 64·10³, ε = 0.05, N/p = 10⁶, 8-byte keys."""
+
+    P, EPS, N = 64_000, 0.05, 64_000 * 10**6
+
+    def test_regular_655_gb(self):
+        gb = sample_bytes(sample_size_regular(self.P, self.EPS)) / 1e9
+        assert gb == pytest.approx(655, rel=0.01)
+
+    def test_random_5_gb(self):
+        gb = sample_bytes(sample_size_random(self.P, self.N, self.EPS)) / 1e9
+        assert 4.5 <= gb <= 5.5
+
+    def test_hss_one_round_250_mb(self):
+        mb = sample_bytes(sample_size_hss(self.P, self.EPS, 1, constant=2.0)) / 1e6
+        assert 200 <= mb <= 260  # paper: "250 MB"
+
+    def test_hss_two_rounds_22_mb(self):
+        mb = sample_bytes(sample_size_hss(self.P, self.EPS, 2, constant=2.0)) / 1e6
+        assert 19 <= mb <= 24  # paper: "22 MB"
+
+
+class TestTable51Numbers:
+    """Table 5.1's worked column: p = 10⁵, ε = 5% (constant=1 convention)."""
+
+    P, EPS = 100_000, 0.05
+    N = 100_000 * 10**6
+
+    def test_regular_1600_gb(self):
+        gb = sample_bytes(sample_size_regular(self.P, self.EPS)) / 1e9
+        assert gb == pytest.approx(1600, rel=0.01)
+
+    def test_random_8_1_gb(self):
+        gb = sample_bytes(sample_size_random(self.P, self.N, self.EPS)) / 1e9
+        assert gb == pytest.approx(8.1, rel=0.05)
+
+    def test_hss_one_round_184_mb(self):
+        mb = sample_bytes(sample_size_hss(self.P, self.EPS, 1, constant=1.0)) / 1e6
+        assert mb == pytest.approx(184, rel=0.02)
+
+    def test_hss_two_rounds_24_mb(self):
+        mb = sample_bytes(sample_size_hss(self.P, self.EPS, 2, constant=1.0)) / 1e6
+        assert mb == pytest.approx(24, rel=0.05)
+
+    def test_hss_loglog_about_10_mb(self):
+        mb = sample_bytes(sample_size_hss_constant(self.P, self.EPS, 2.0)) / 1e6
+        assert 4 <= mb <= 12  # paper: "10 MB"
+
+
+class TestScalingShapes:
+    def test_ordering_at_scale(self):
+        """Fig 4.1's vertical ordering at large p."""
+        p, eps, n = 2**18, 0.05, 2**18 * 10**6
+        sizes = [
+            sample_size_regular(p, eps),
+            sample_size_random(p, n, eps),
+            sample_size_hss(p, eps, 1),
+            sample_size_hss(p, eps, 2),
+            sample_size_hss_constant(p, eps),
+        ]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_scanning_below_one_round_hss(self):
+        assert sample_size_scanning(1024, 0.05) < sample_size_hss(1024, 0.05, 1)
+
+    def test_k_root_behaviour(self):
+        p, eps = 4096, 0.05
+        base = 2 * math.log(p) / eps
+        for k in (1, 2, 3, 4):
+            assert sample_size_hss(p, eps, k) == pytest.approx(
+                k * p * base ** (1 / k)
+            )
+
+    def test_single_processor_degenerates(self):
+        assert sample_size_hss(1, 0.05) == 0.0
+        assert sample_size_hss_constant(1, 0.05) == 0.0
+
+
+class TestValidation:
+    def test_invalid_args(self):
+        with pytest.raises(ConfigError):
+            sample_size_regular(0, 0.05)
+        with pytest.raises(ConfigError):
+            sample_size_regular(4, 0.0)
+        with pytest.raises(ConfigError):
+            sample_size_hss(4, 0.05, 0)
+        with pytest.raises(ConfigError):
+            sample_size_random(4, 1, 0.05)
+        with pytest.raises(ConfigError):
+            sample_bytes(100, 0)
+
+
+class TestFormatBytes:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (0.0, "0.00 B"),
+            (512, "512 B"),
+            (2.5e3, "2.50 KB"),
+            (655e9, "655 GB"),
+            (1.6e12, "1.60 TB"),
+        ],
+    )
+    def test_rendering(self, value, expected):
+        assert format_bytes(value) == expected

@@ -1,0 +1,121 @@
+"""Tests for Morton encoding (bit interleaving)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.bits import (
+    MORTON_BITS_PER_DIM,
+    MORTON_COORD_MAX,
+    compact1by2,
+    deinterleave_bits_3d,
+    interleave_bits_3d,
+    morton_decode_3d,
+    morton_encode_3d,
+    part1by2,
+)
+
+
+class TestPartCompact:
+    def test_zero(self):
+        assert part1by2(np.array([0], dtype=np.uint64))[0] == 0
+
+    def test_one(self):
+        assert part1by2(np.array([1], dtype=np.uint64))[0] == 1
+
+    def test_two(self):
+        # bit 1 moves to bit 3.
+        assert part1by2(np.array([2], dtype=np.uint64))[0] == 8
+
+    def test_max_coordinate(self):
+        spread = part1by2(np.array([MORTON_COORD_MAX], dtype=np.uint64))
+        # Every third bit set, 21 of them.
+        assert bin(int(spread[0])).count("1") == MORTON_BITS_PER_DIM
+        assert compact1by2(spread)[0] == MORTON_COORD_MAX
+
+    @given(st.integers(min_value=0, max_value=MORTON_COORD_MAX))
+    def test_roundtrip(self, value):
+        x = np.array([value], dtype=np.uint64)
+        assert compact1by2(part1by2(x))[0] == value
+
+    @given(st.integers(min_value=0, max_value=MORTON_COORD_MAX))
+    def test_spread_bits_are_every_third(self, value):
+        spread = int(part1by2(np.array([value], dtype=np.uint64))[0])
+        # No bits outside positions 0, 3, 6, ...
+        mask = 0x1249249249249249
+        assert spread & ~mask == 0
+
+
+class TestInterleave3D:
+    def test_distinct_axes(self):
+        x = np.array([1], dtype=np.uint64)
+        zero = np.array([0], dtype=np.uint64)
+        assert interleave_bits_3d(x, zero, zero)[0] == 1
+        assert interleave_bits_3d(zero, x, zero)[0] == 2
+        assert interleave_bits_3d(zero, zero, x)[0] == 4
+
+    @given(
+        st.integers(0, MORTON_COORD_MAX),
+        st.integers(0, MORTON_COORD_MAX),
+        st.integers(0, MORTON_COORD_MAX),
+    )
+    @settings(max_examples=50)
+    def test_roundtrip(self, ix, iy, iz):
+        code = interleave_bits_3d(
+            np.array([ix], dtype=np.uint64),
+            np.array([iy], dtype=np.uint64),
+            np.array([iz], dtype=np.uint64),
+        )
+        rx, ry, rz = deinterleave_bits_3d(code)
+        assert (rx[0], ry[0], rz[0]) == (ix, iy, iz)
+
+    def test_codes_fit_63_bits(self):
+        m = np.array([MORTON_COORD_MAX], dtype=np.uint64)
+        code = interleave_bits_3d(m, m, m)
+        assert int(code[0]) < (1 << 63)
+
+
+class TestMortonFloat:
+    def test_origin_and_corner(self):
+        code = morton_encode_3d(
+            np.array([0.0]), np.array([0.0]), np.array([0.0])
+        )
+        assert code[0] == 0
+        code = morton_encode_3d(
+            np.array([1.0]), np.array([1.0]), np.array([1.0])
+        )
+        assert int(code[0]) == (1 << 63) - 1
+
+    def test_clipping(self):
+        code = morton_encode_3d(
+            np.array([-5.0]), np.array([2.0]), np.array([0.5])
+        )
+        # Out-of-box coordinates clip rather than wrap.
+        x, y, z = morton_decode_3d(code)
+        assert x[0] == 0.0 and abs(y[0] - 1.0) < 1e-9
+
+    def test_monotone_along_axis(self):
+        xs = np.linspace(0, 1, 100)
+        fixed = np.zeros(100)
+        codes = morton_encode_3d(xs, fixed, fixed)
+        assert np.all(np.diff(codes.astype(np.int64)) >= 0)
+
+    def test_decode_approximates_encode(self, rng):
+        pts = rng.random((200, 3))
+        codes = morton_encode_3d(pts[:, 0], pts[:, 1], pts[:, 2])
+        x, y, z = morton_decode_3d(codes)
+        resolution = 1.0 / MORTON_COORD_MAX
+        assert np.max(np.abs(x - pts[:, 0])) <= resolution * 2
+        assert np.max(np.abs(z - pts[:, 2])) <= resolution * 2
+
+    def test_locality(self):
+        # Nearby points share high Morton bits more often than far ones.
+        a = morton_encode_3d(np.array([0.5]), np.array([0.5]), np.array([0.5]))
+        b = morton_encode_3d(np.array([0.5 + 1e-7]), np.array([0.5]), np.array([0.5]))
+        c = morton_encode_3d(np.array([0.9]), np.array([0.1]), np.array([0.2]))
+        assert abs(int(a[0]) - int(b[0])) < abs(int(a[0]) - int(c[0]))
+
+    def test_empty_range_raises(self):
+        with pytest.raises(ValueError):
+            morton_encode_3d(np.array([0.5]), np.array([0.5]), np.array([0.5]), lo=1.0, hi=1.0)

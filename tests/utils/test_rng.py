@@ -1,0 +1,71 @@
+"""Tests for the deterministic RNG tree."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RngTree, rng_or_default, spawn_rngs
+
+
+class TestRngTree:
+    def test_same_name_same_stream(self):
+        a = RngTree(7).generator("x", 3).integers(0, 1 << 30, 10)
+        b = RngTree(7).generator("x", 3).integers(0, 1 << 30, 10)
+        assert np.array_equal(a, b)
+
+    def test_different_indices_differ(self):
+        a = RngTree(7).generator("x", 0).integers(0, 1 << 30, 10)
+        b = RngTree(7).generator("x", 1).integers(0, 1 << 30, 10)
+        assert not np.array_equal(a, b)
+
+    def test_different_names_differ(self):
+        a = RngTree(7).generator("x", 0).integers(0, 1 << 30, 10)
+        b = RngTree(7).generator("y", 0).integers(0, 1 << 30, 10)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RngTree(1).generator("x", 0).integers(0, 1 << 30, 10)
+        b = RngTree(2).generator("x", 0).integers(0, 1 << 30, 10)
+        assert not np.array_equal(a, b)
+
+    def test_generators_list(self):
+        gens = RngTree(0).generators("ranks", 5)
+        assert len(gens) == 5
+        draws = [g.integers(0, 1 << 30) for g in gens]
+        assert len(set(draws)) > 1
+
+    def test_subtree_independent_and_deterministic(self):
+        s1 = RngTree(5).subtree("child").generator("x").integers(0, 1 << 30, 5)
+        s2 = RngTree(5).subtree("child").generator("x").integers(0, 1 << 30, 5)
+        parent = RngTree(5).generator("x").integers(0, 1 << 30, 5)
+        assert np.array_equal(s1, s2)
+        assert not np.array_equal(s1, parent)
+
+    def test_seed_property(self):
+        assert RngTree(42).seed == 42
+
+
+class TestSpawnRngs:
+    def test_count_and_independence(self):
+        gens = spawn_rngs(0, 4)
+        assert len(gens) == 4
+        a, b = gens[0].integers(0, 1 << 30, 8), gens[1].integers(0, 1 << 30, 8)
+        assert not np.array_equal(a, b)
+
+    def test_deterministic(self):
+        a = spawn_rngs(9, 2)[1].integers(0, 1 << 30, 8)
+        b = spawn_rngs(9, 2)[1].integers(0, 1 << 30, 8)
+        assert np.array_equal(a, b)
+
+
+class TestRngOrDefault:
+    def test_passthrough(self):
+        g = np.random.default_rng(0)
+        assert rng_or_default(g) is g
+
+    def test_from_int(self):
+        a = rng_or_default(3).integers(0, 100, 5)
+        b = rng_or_default(3).integers(0, 100, 5)
+        assert np.array_equal(a, b)
+
+    def test_none_gives_generator(self):
+        assert isinstance(rng_or_default(None), np.random.Generator)

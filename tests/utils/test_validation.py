@@ -1,0 +1,56 @@
+"""Tests for argument validation helpers."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.utils.validation import (
+    check_epsilon,
+    check_positive_int,
+    check_probability,
+    require,
+)
+
+
+class TestRequire:
+    def test_passes(self):
+        require(True, "never")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ConfigError, match="boom"):
+            require(False, "boom")
+
+
+class TestCheckPositiveInt:
+    @pytest.mark.parametrize("value", [1, 5, 10**9])
+    def test_valid(self, value):
+        assert check_positive_int(value, "x") == value
+
+    @pytest.mark.parametrize("value", [0, -1, 1.5, "three", None])
+    def test_invalid(self, value):
+        with pytest.raises(ConfigError):
+            check_positive_int(value, "x")
+
+    def test_float_integral_accepted(self):
+        assert check_positive_int(4.0, "x") == 4
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_valid(self, value):
+        assert check_probability(value, "p") == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, 5])
+    def test_invalid(self, value):
+        with pytest.raises(ConfigError):
+            check_probability(value, "p")
+
+
+class TestCheckEpsilon:
+    @pytest.mark.parametrize("value", [0.001, 0.05, 1.0])
+    def test_valid(self, value):
+        assert check_epsilon(value) == value
+
+    @pytest.mark.parametrize("value", [0.0, -0.1, 1.5])
+    def test_invalid(self, value):
+        with pytest.raises(ConfigError):
+            check_epsilon(value)

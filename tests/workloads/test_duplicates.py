@@ -1,0 +1,71 @@
+"""Tests for heavy-duplicate workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.duplicates import (
+    constant_shards,
+    few_distinct_shards,
+    hotspot_shards,
+    zipf_duplicate_shards,
+)
+
+
+class TestConstant:
+    def test_all_equal(self):
+        shards = constant_shards(4, 100, value=9)
+        for s in shards:
+            assert np.all(s == 9)
+
+    def test_shapes(self):
+        shards = constant_shards(3, 50)
+        assert len(shards) == 3 and all(len(s) == 50 for s in shards)
+
+
+class TestFewDistinct:
+    def test_alphabet_size(self):
+        shards = few_distinct_shards(4, 500, 3, distinct=5)
+        values = np.unique(np.concatenate(shards))
+        assert len(values) <= 5
+
+    def test_invalid(self):
+        with pytest.raises(WorkloadError):
+            few_distinct_shards(2, 10, distinct=0)
+
+
+class TestHotspot:
+    def test_hot_fraction(self):
+        shards = hotspot_shards(4, 1000, 3, hot_fraction=0.6)
+        keys = np.concatenate(shards)
+        values, counts = np.unique(keys, return_counts=True)
+        assert counts.max() / len(keys) == pytest.approx(0.6, abs=0.01)
+
+    def test_cold_keys_mostly_unique(self):
+        shards = hotspot_shards(4, 1000, 3, hot_fraction=0.5)
+        keys = np.concatenate(shards)
+        _, counts = np.unique(keys, return_counts=True)
+        assert np.sum(counts == 1) > 0.4 * len(keys)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(WorkloadError):
+            hotspot_shards(2, 10, hot_fraction=1.5)
+
+
+class TestZipf:
+    def test_head_dominates(self):
+        shards = zipf_duplicate_shards(4, 2000, 3, alphabet=100, exponent=2.0)
+        keys = np.concatenate(shards)
+        _, counts = np.unique(keys, return_counts=True)
+        counts = np.sort(counts)[::-1]
+        assert counts[0] > 10 * counts[-1]
+
+    def test_invalid_alphabet(self):
+        with pytest.raises(WorkloadError):
+            zipf_duplicate_shards(2, 10, alphabet=0)
+
+    def test_determinism(self):
+        a = zipf_duplicate_shards(2, 300, 7)
+        b = zipf_duplicate_shards(2, 300, 7)
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
