@@ -1,8 +1,12 @@
 """Shared helpers for the benchmark harness.
 
-Every benchmark regenerates one of the paper's tables/figures as text and
-*persists* it under ``benchmarks/results/`` (pytest captures stdout, so the
-files are the canonical record; ``EXPERIMENTS.md`` quotes them).
+Every benchmark regenerates one of the paper's tables/figures by running
+its registered suite (:mod:`repro.bench.registry`) at the paper-faithful
+``full`` tier, then *persists* the text rendering under
+``benchmarks/results/`` (pytest captures stdout, so the files are the
+canonical record; ``EXPERIMENTS.md`` quotes them).  The same suites run at
+the ``quick`` tier under ``python -m repro bench``, which emits the
+machine-readable ``bench.json`` CI gates on.
 """
 
 from __future__ import annotations
@@ -26,3 +30,19 @@ def emit():
         return text
 
     return _emit
+
+
+@pytest.fixture(scope="session")
+def bench_run():
+    """Run a registered suite once per session and cache the result."""
+    from repro.bench.runner import run_suite
+
+    cache = {}
+
+    def _run(name: str, tier: str = "full"):
+        key = (name, tier)
+        if key not in cache:
+            cache[key] = run_suite(name, tier)
+        return cache[key]
+
+    return _run

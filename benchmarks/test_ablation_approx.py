@@ -4,67 +4,24 @@ What the oracle buys: local histogram work per probe drops from
 ``log₂(N/p)`` over the full input to ``log₂ s`` over the resident sample
 (which also fits in cache).  What it costs: rank estimates are off by up to
 ``ε_oracle·N/p``, so the splitter window must tighten and rounds can grow.
-We run both modes end-to-end on the BSP engine and compare achieved
-imbalance, rounds, modeled makespan and the resident footprint.
+The ``ablation_approx`` suite runs both modes end-to-end on the BSP engine;
+we compare achieved imbalance, rounds, modeled makespan and the resident
+footprint.
 """
 
-import numpy as np
-
-from repro.core.api import hss_sort
-from repro.core.config import HSSConfig
-from repro.perf.report import format_series_table
-from repro.sampling.representative import representative_sample_size
-
-P = 16
-N_PER = 20_000
-EPS = 0.05
+from repro.bench.report import render_suite
 
 
-def run_mode(approx: bool, seed: int = 7):
-    rng = np.random.default_rng(1234)
-    inputs = [rng.integers(0, 2**60, N_PER) for _ in range(P)]
-    cfg = HSSConfig(eps=EPS, approximate_histograms=approx, seed=seed)
-    return hss_sort(inputs, config=cfg)
+def test_ablation_approx(bench_run, emit):
+    run = bench_run("ablation_approx")
+    emit("ablation_approx", render_suite(run))
 
-
-def test_ablation_approx(benchmark, emit):
-    exact = run_mode(False)
-    approx = run_mode(True)
-    benchmark(run_mode, False)
-
-    oracle_s = representative_sample_size(P, EPS / 4)
-    modes = ["exact", "approx"]
-    rows = {
-        "imbalance": [round(exact.imbalance, 4), round(approx.imbalance, 4)],
-        "rounds": [
-            exact.splitter_stats.num_rounds,
-            approx.splitter_stats.num_rounds,
-        ],
-        "total sample": [
-            exact.splitter_stats.total_sample,
-            approx.splitter_stats.total_sample,
-        ],
-        "resident keys/proc": [N_PER, oracle_s],
-        "histogram haystack": [N_PER, oracle_s],
-        "makespan (model s)": [
-            f"{exact.makespan:.2e}",
-            f"{approx.makespan:.2e}",
-        ],
-    }
-    emit(
-        "ablation_approx",
-        format_series_table(
-            "mode",
-            modes,
-            rows,
-            title=f"Ablation — §3.4 approximate histogramming, p={P}, "
-            f"N/p={N_PER}, eps={EPS}",
-        ),
-    )
-
+    eps = run.params["eps"]
+    n_per = run.params["keys_per_rank"]
     # Both meet the load-balance contract.
-    assert exact.imbalance <= 1 + EPS + 1e-9
-    assert approx.imbalance <= 1 + EPS + 1e-9
+    assert run.metric("exact", "imbalance") <= 1 + eps + 1e-9
+    assert run.metric("approx", "imbalance") <= 1 + eps + 1e-9
     # The oracle's resident sample is much smaller than the local input
     # (the whole point: histogramming over s = sqrt(2p ln p)/eps keys).
-    assert oracle_s < N_PER / 4
+    assert run.metric("approx", "resident_keys") < n_per / 4
+    assert run.metric("exact", "resident_keys") == n_per

@@ -2,70 +2,31 @@
 
 Prior work (§4.3) shows splitter quality degrades linearly with duplicate
 multiplicity for *any* untagged sampling scheme; implicit ``(key, PE,
-index)`` tagging restores a strict total order.  We sweep duplicate
-intensity and record achieved imbalance with tagging on/off (off may fail
-the contract outright — recorded as ``inf``).
+index)`` tagging restores a strict total order.  The ``ablation_duplicates``
+suite sweeps duplicate intensity and records achieved imbalance with
+tagging on/off (off may fail the contract outright — measured best-effort).
 """
 
-import numpy as np
-
-from repro.core.api import hss_sort
-from repro.core.config import HSSConfig
-from repro.errors import VerificationError
-from repro.metrics import load_imbalance
-from repro.perf.report import format_series_table
-from repro.workloads.duplicates import hotspot_shards
-
-P = 16
-N_PER = 2_000
-EPS = 0.05
-HOT_FRACTIONS = [0.0, 0.2, 0.5, 0.8, 1.0]
+from repro.bench.report import render_suite
 
 
-def imbalance_for(hot: float, tagged: bool) -> float:
-    shards = hotspot_shards(P, N_PER, 7, hot_fraction=hot)
-    cfg = HSSConfig(eps=EPS, tag_duplicates=tagged, seed=5)
-    try:
-        run = hss_sort(shards, config=cfg)
-        return round(run.imbalance, 4)
-    except VerificationError:
-        # Without tagging the hot key cannot be split across processors;
-        # measure the degradation in best-effort mode.
-        relaxed = HSSConfig(
-            eps=EPS, tag_duplicates=tagged, seed=5, strict=False
-        )
-        raw = hss_sort(shards, config=relaxed, verify=False)
-        return round(load_imbalance(raw.shards), 2)
+def test_ablation_duplicates(bench_run, emit):
+    run = bench_run("ablation_duplicates")
+    emit("ablation_duplicates", render_suite(run))
 
-
-def test_ablation_duplicates(benchmark, emit):
-    tagged = [imbalance_for(h, True) for h in HOT_FRACTIONS]
-    untagged = [imbalance_for(h, False) for h in HOT_FRACTIONS]
-    benchmark(imbalance_for, 0.5, True)
-
-    emit(
-        "ablation_duplicates",
-        format_series_table(
-            "hot fraction",
-            HOT_FRACTIONS,
-            {
-                "imbalance tagged": tagged,
-                "imbalance untagged": untagged,
-                "untagged cap breach": [
-                    u > 1 + EPS + 1e-9 for u in untagged
-                ],
-            },
-            title=f"Ablation — §4.3 duplicate tagging, p={P}, eps={EPS}, "
-            "hotspot workload",
-        ),
-    )
+    eps = run.params["eps"]
+    fractions = run.params["hot_fractions"]
+    tagged = [run.metric(f"hot={h:g}/tagged", "imbalance") for h in fractions]
+    untagged = [
+        run.metric(f"hot={h:g}/untagged", "imbalance") for h in fractions
+    ]
 
     # Tagged: contract holds at every duplicate intensity.
-    assert all(t <= 1 + EPS + 1e-9 for t in tagged)
+    assert all(t <= 1 + eps + 1e-9 for t in tagged)
     # Untagged: imbalance grows with duplicate mass; at >= 50% hot the
     # hot-key owner exceeds the cap by construction (it holds >= hot*N keys
     # vs a cap of (1+eps)N/p).
-    for h, u in zip(HOT_FRACTIONS, untagged):
+    for h, u in zip(fractions, untagged):
         if h >= 0.5:
-            assert u > 1 + EPS
+            assert u > 1 + eps
     assert untagged[-1] > untagged[0]

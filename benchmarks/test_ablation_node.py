@@ -3,91 +3,31 @@
 Claims quantified: node combining cuts network messages by ~cores²
 (p(p−1) → n(n−1)), shrinks splitter count from p−1 to n−1 (smaller
 histograms/samples), and moves the final within-node redistribution off the
-network entirely.  Both variants run end-to-end on the BSP engine over the
-same input; we compare message counts, histogram traffic and modeled time.
+network entirely.  The ``ablation_node`` suite runs both variants
+end-to-end on the BSP engine over the same input; we compare message
+counts, histogram traffic and modeled time.
 """
 
-import numpy as np
-
-from repro.bsp import BSPEngine
-from repro.bsp.machine import MIRA_LIKE
-from repro.core.config import HSSConfig
-from repro.core.hss import hss_sort_program
-from repro.core.node_sort import combined_eps, hss_node_sort_program
-from repro.metrics import verify_sorted_output
-from repro.perf.report import format_series_table
-
-P = 64
-CORES = 16  # 4 nodes
-N_PER = 4_000
-EPS = 0.02
-WITHIN = 0.05
+from repro.bench.report import render_suite
 
 
-def run_variant(node_level: bool):
-    rng = np.random.default_rng(99)
-    inputs = [rng.integers(0, 2**60, N_PER) for _ in range(P)]
-    machine = MIRA_LIKE.with_(cores_per_node=CORES)
-    engine = BSPEngine(P, machine=machine)
-    if node_level:
-        cfg = HSSConfig(
-            eps=EPS, within_node_eps=WITHIN, node_level=True, seed=3
-        )
-        res = engine.run(
-            hss_node_sort_program, rank_args=[(x,) for x in inputs], cfg=cfg
-        )
-        outs = [r[0].keys for r in res.returns]
-        verify_sorted_output(inputs, outs, combined_eps(EPS, WITHIN))
-    else:
-        cfg = HSSConfig(eps=EPS, seed=3)
-        res = engine.run(
-            hss_sort_program,
-            rank_args=[(x, None) for x in inputs],
-            cfg=cfg,
-        )
-        outs = [r[0].keys for r in res.returns]
-        verify_sorted_output(inputs, outs, EPS)
-    stats = res.returns[0][1]
-    return res, stats
+def test_ablation_node(bench_run, emit):
+    run = bench_run("ablation_node")
+    emit("ablation_node", render_suite(run))
 
-
-def test_ablation_node(benchmark, emit):
-    flat_res, flat_stats = run_variant(False)
-    node_res, node_stats = run_variant(True)
-    benchmark(run_variant, True)
-
-    modes = ["core-level", "node-level"]
-    rows = {
-        "splitters": [flat_stats.nparts - 1, node_stats.nparts - 1],
-        "total sample": [flat_stats.total_sample, node_stats.total_sample],
-        "network msgs": [flat_res.stats.messages, node_res.stats.messages],
-        "network bytes": [flat_res.stats.bytes, node_res.stats.bytes],
-        "makespan (s)": [
-            f"{flat_res.makespan:.3e}",
-            f"{node_res.makespan:.3e}",
-        ],
-    }
-    emit(
-        "ablation_node",
-        format_series_table(
-            "variant",
-            modes,
-            rows,
-            title=f"Ablation — §6.1 node-level partitioning, p={P}, "
-            f"{CORES} cores/node ({P // CORES} nodes)",
-        ),
-    )
+    p = run.params["procs"]
+    cores = run.params["cores_per_node"]
+    flat = run.case("core-level").metrics
+    node = run.case("node-level").metrics
 
     # n−1 splitters instead of p−1.
-    assert node_stats.nparts == P // CORES
-    assert flat_stats.nparts == P
+    assert node["nparts"] == p // cores
+    assert flat["nparts"] == p
     # Smaller histogram sample and far fewer network messages.
-    assert node_stats.total_sample < flat_stats.total_sample
-    assert node_res.stats.messages < 0.5 * flat_res.stats.messages
+    assert node["total_sample"] < flat["total_sample"]
+    assert node["net_messages"] < 0.5 * flat["net_messages"]
     # Less histogramming time on the modeled machine (the end-to-end win
-    # depends on scale: at 64 simulated ranks the extra within-node pass can
-    # outweigh the savings; the message/sample reductions are the per-§6.1
-    # claims and they scale as cores² and cores respectively).
-    node_hist = node_res.breakdown().total("histogramming")
-    flat_hist = flat_res.breakdown().total("histogramming")
-    assert node_hist < flat_hist
+    # depends on scale: at this simulated rank count the extra within-node
+    # pass can outweigh the savings; the message/sample reductions are the
+    # per-§6.1 claims and they scale as cores² and cores respectively).
+    assert node["histogramming_s"] < flat["histogramming_s"]

@@ -7,86 +7,24 @@ ones.  A strictly stronger variant (not in the paper; our extension)
 allocates probes to each distinct interval *proportionally* to the
 splitters inside it, pooling effort into dense regions.
 
-This ablation quantifies how much of HSS's Fig 6.2 advantage survives
-against the improved baseline: adaptive refinement cuts the classic
-algorithm's rounds substantially on clustered data, but HSS still needs
-fewer rounds (and no key-space assumptions at all).
+The ``ablation_refinement`` suite quantifies how much of HSS's Fig 6.2
+advantage survives against the improved baseline: adaptive refinement cuts
+the classic algorithm's rounds substantially on clustered data, but HSS
+still needs fewer rounds (and no key-space assumptions at all).
 """
 
-import numpy as np
-
-from repro.core.config import HSSConfig
-from repro.core.rankspace import (
-    RankSpaceSimulator,
-    simulate_histogram_sort_rounds,
-)
-from repro.perf.report import format_series_table
-from repro.workloads.changa import fractal_dwarf_shards
-
-N_TOTAL = 2_000_000
-PS = [1024, 4096, 16384]
-EPS = 0.02
+from repro.bench.report import render_suite
 
 
-def make_oracle():
-    keys = np.sort(np.concatenate(fractal_dwarf_shards(8, N_TOTAL // 8, 33)))
-    keys = (
-        (keys >> np.uint64(1)) + np.arange(len(keys), dtype=np.uint64)
-    ).astype(np.int64)
+def test_ablation_refinement(bench_run, emit):
+    run = bench_run("ablation_refinement")
+    emit("ablation_refinement", render_suite(run))
 
-    def rank_of(q: np.ndarray) -> np.ndarray:
-        return np.searchsorted(keys, np.asarray(q, dtype=np.int64)).astype(
-            np.int64
-        )
-
-    return len(keys), rank_of, int(keys[0]), int(keys[-1])
-
-
-def measure(p: int, adaptive: bool, n, rank_of, kmin, kmax):
-    sim = simulate_histogram_sort_rounds(
-        n, p, EPS, rank_of, kmin, kmax,
-        probes_per_splitter=5, max_rounds=600, key_dtype=np.int64,
-        adaptive=adaptive,
-    )
-    return sim
-
-
-def test_ablation_refinement(benchmark, emit):
-    n, rank_of, kmin, kmax = make_oracle()
-    classic = {p: measure(p, False, n, rank_of, kmin, kmax) for p in PS}
-    adaptive = {p: measure(p, True, n, rank_of, kmin, kmax) for p in PS}
-    hss = {
-        p: RankSpaceSimulator(
-            n, p, HSSConfig.constant_oversampling(5.0, eps=EPS, seed=3)
-        ).run()
-        for p in PS
-    }
-    benchmark(measure, PS[0], True, n, rank_of, kmin, kmax)
-
-    emit(
-        "ablation_refinement",
-        format_series_table(
-            "p",
-            PS,
-            {
-                "classic rounds": [classic[p].rounds for p in PS],
-                "adaptive rounds": [adaptive[p].rounds for p in PS],
-                "HSS rounds": [hss[p].num_rounds for p in PS],
-                "classic probes": [classic[p].total_probes for p in PS],
-                "adaptive probes": [adaptive[p].total_probes for p in PS],
-                "HSS sample": [hss[p].total_sample for p in PS],
-            },
-            title=(
-                "Ablation — probe refinement policy, fractal-dwarf keys, "
-                f"N={N_TOTAL:.0e}, eps={EPS}"
-            ),
-        ),
-    )
-
-    for p in PS:
+    for p in run.params["ps"]:
+        m = run.case(f"p={p}").metrics
         # Adaptive allocation strictly reduces rounds on clustered data.
-        assert adaptive[p].rounds <= classic[p].rounds
+        assert m["adaptive_rounds"] <= m["classic_rounds"]
         # HSS still needs the fewest rounds, even against the stronger
         # baseline.
-        assert hss[p].num_rounds <= adaptive[p].rounds
-        assert classic[p].all_finalized and adaptive[p].all_finalized
+        assert m["hss_rounds"] <= m["adaptive_rounds"]
+        assert m["classic_finalized"] and m["adaptive_finalized"]

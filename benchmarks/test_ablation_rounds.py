@@ -2,62 +2,31 @@
 
 The §3.3 trade-off: per-round sample ``p·(2 ln p/ε)^{1/k}`` falls with k
 while total rounds rise; the optimum sits at ``k* = ln(ln p/ε)``
-(Lemma 3.3.2).  We measure the real total sample at each k and check the
-measured optimum's neighbourhood matches the formula.
+(Lemma 3.3.2).  The ``ablation_rounds`` suite measures the real total
+sample at each k; we check the measured optimum's neighbourhood matches
+the formula.
 """
 
-from repro.core.config import HSSConfig
-from repro.core.rankspace import RankSpaceSimulator
-from repro.perf.report import format_series_table
-from repro.theory.rounds import optimal_rounds
-from repro.theory.sample_sizes import sample_size_hss
-
-P = 8_192
-N = P * 10_000
-EPS = 0.05
-KS = [1, 2, 3, 4, 5, 6]
+from repro.bench.report import render_suite
 
 
-def measure(k: int, seed: int = 31):
-    cfg = HSSConfig.k_rounds(k, eps=EPS, seed=seed)
-    stats = RankSpaceSimulator(N, P, cfg).run()
-    return stats
+def test_ablation_rounds(bench_run, emit):
+    run = bench_run("ablation_rounds")
+    emit("ablation_rounds", render_suite(run))
 
+    p = run.params["procs"]
+    n = p * run.params["keys_per_proc"]
+    eps = run.params["eps"]
+    ks = run.params["ks"]
+    measured = [run.metric(f"k={k}", "total_sample") for k in ks]
 
-def test_ablation_rounds(benchmark, emit):
-    stats_by_k = {k: measure(k) for k in KS}
-    benchmark(measure, 2)
-
-    rows = {
-        "total sample (meas)": [stats_by_k[k].total_sample for k in KS],
-        "total sample (theory)": [
-            round(sample_size_hss(P, EPS, k)) for k in KS
-        ],
-        "rounds used": [stats_by_k[k].num_rounds for k in KS],
-        "finalized": [stats_by_k[k].all_finalized for k in KS],
-        "max rank err": [stats_by_k[k].max_rank_error for k in KS],
-    }
-    exact, k_star = optimal_rounds(P, EPS)
-    emit(
-        "ablation_rounds",
-        format_series_table(
-            "k",
-            KS,
-            rows,
-            title=(
-                f"Ablation — rounds vs sample, p={P}, eps={EPS}; "
-                f"optimal k* = {exact:.2f} (Lemma 3.3.2)"
-            ),
-        ),
-    )
-
-    measured = [stats_by_k[k].total_sample for k in KS]
     # k=2 must be a big win over k=1 (the headline multi-round saving).
     assert measured[1] < 0.35 * measured[0]
     # The measured argmin sits within 2 of the analytic optimum.
-    argmin = KS[measured.index(min(measured))]
-    assert abs(argmin - k_star) <= 2
+    argmin = ks[measured.index(min(measured))]
+    assert abs(argmin - run.metric("optimum", "k_star")) <= 2
     # Every k still delivers the load-balance tolerance.
-    for k in KS:
-        assert stats_by_k[k].all_finalized
-        assert stats_by_k[k].max_rank_error <= EPS * N / (2 * P)
+    for k in ks:
+        m = run.case(f"k={k}").metrics
+        assert m["finalized"]
+        assert m["max_rank_error"] <= eps * n / (2 * p)

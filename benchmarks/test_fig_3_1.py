@@ -3,58 +3,29 @@
 The paper's figure is an illustration; the quantitative content is that the
 candidate mass ``G_j`` and the splitter-interval widths collapse
 geometrically round over round (Theorems 3.3.1/3.3.2: ``G_j ≤ 6N/s_j``
-w.h.p.).  We measure both from a rank-space execution and check the
-``6N/s_j`` envelope.
+w.h.p.).  The ``fig_3_1`` suite measures both from a rank-space execution;
+here we check the ``6N/s_j`` envelope.
 """
 
-import math
-
-from repro.core.config import HSSConfig
-from repro.core.rankspace import RankSpaceSimulator
-from repro.perf.report import format_series_table
-
-P = 4_096
-N = P * 10_000
-EPS = 0.05
-K = 4  # geometric schedule rounds
+from repro.bench.report import render_suite
 
 
-def run_sim():
-    cfg = HSSConfig.k_rounds(K, eps=EPS, seed=5)
-    return RankSpaceSimulator(N, P, cfg).run(), cfg
+def test_fig_3_1(bench_run, emit):
+    run = bench_run("fig_3_1")
+    emit("fig_3_1", render_suite(run))
 
-
-def test_fig_3_1(benchmark, emit):
-    stats, cfg = benchmark(run_sim)
-
-    s_ratios = [cfg.schedule.ratio(j, P, EPS) for j in range(1, K + 1)]
-    rounds = [r.round_index for r in stats.rounds]
-    rows = {
-        "sample": [r.sample_size for r in stats.rounds],
-        "G_j before": [r.candidate_mass_before for r in stats.rounds],
-        "G_j/N": [
-            round(r.candidate_mass_before / N, 6) for r in stats.rounds
-        ],
-        "max width": [r.max_interval_width_after for r in stats.rounds],
-        "mean width": [r.mean_interval_width_after for r in stats.rounds],
-        "open splitters": [r.open_intervals_after for r in stats.rounds],
-        "6N/s_j": [round(6 * N / s, 1) for s in s_ratios[: len(stats.rounds)]],
-    }
-    emit(
-        "fig_3_1",
-        format_series_table(
-            "round",
-            rounds,
-            rows,
-            title=f"Fig 3.1 — interval shrinkage, p={P}, N={N:.0e}, "
-            f"eps={EPS}, geometric k={K}",
-        ),
+    rounds = sorted(
+        (c for c in run.cases if c.name.startswith("round-")),
+        key=lambda c: c.params["round"],
     )
-
-    masses = [r.candidate_mass_before for r in stats.rounds]
+    masses = [c.metrics["candidate_mass_before"] for c in rounds]
     # Monotone collapse.
     assert all(b < a for a, b in zip(masses, masses[1:]))
-    # Theorem 3.3.2 envelope: G_j <= 6N/s_j (masses[j] is G_{j-1}).
-    for j in range(1, len(stats.rounds)):
-        assert masses[j] <= 6 * N / s_ratios[j - 1]
-    assert stats.all_finalized
+    # Theorem 3.3.2 envelope: round j+1's candidate mass is bounded by
+    # round j's ``6N/s_j``.
+    for prev, cur in zip(rounds, rounds[1:]):
+        assert (
+            cur.metrics["candidate_mass_before"]
+            <= prev.metrics["envelope_6n_over_s"]
+        )
+    assert run.metric("summary", "all_finalized")

@@ -3,83 +3,38 @@
 Five series on p = 4 … 256K, exactly as plotted in the paper:
 regular sampling, random sampling, HSS 1 round, HSS 2 rounds, HSS constant
 oversampling.  Analytic curves use :mod:`repro.theory.sample_sizes`; for the
-HSS series we additionally *measure* total samples with the rank-space
-simulator up to p = 64K and assert the analytic curve tracks the
-measurement.
+HSS series the ``fig_4_1`` suite additionally *measures* total samples with
+the rank-space simulator up to p = 64K and we assert the analytic curve
+tracks the measurement.
 """
 
-import numpy as np
-
-from repro.core.config import HSSConfig
-from repro.core.rankspace import RankSpaceSimulator
-from repro.perf.report import format_series_table
-from repro.theory.sample_sizes import (
-    sample_size_hss,
-    sample_size_hss_constant,
-    sample_size_random,
-    sample_size_regular,
-)
-
-EPS = 0.05
-PS = [4 ** k for k in range(1, 10)]  # 4 … 262144
-MEASURED_PS = [64, 1024, 8192, 65536]
-KEYS_PER_PROC = 2_000
+from repro.bench.report import render_suite
+from repro.theory.sample_sizes import sample_size_hss
 
 
-def measure_hss(p: int, cfg: HSSConfig) -> int:
-    return RankSpaceSimulator(p * KEYS_PER_PROC, p, cfg).run().total_sample
+def test_fig_4_1(bench_run, emit):
+    run = bench_run("fig_4_1")
+    emit("fig_4_1", render_suite(run))
 
-
-def analytic_series():
-    n_of = lambda p: p * 1e6
-    return {
-        "regular": [sample_size_regular(p, EPS) for p in PS],
-        "random": [sample_size_random(p, n_of(p), EPS) for p in PS],
-        "HSS-1round": [sample_size_hss(p, EPS, 1) for p in PS],
-        "HSS-2rounds": [sample_size_hss(p, EPS, 2) for p in PS],
-        "HSS-const": [sample_size_hss_constant(p, EPS) for p in PS],
-    }
-
-
-def test_fig_4_1(benchmark, emit):
-    series = benchmark(analytic_series)
-
-    measured = {
-        "HSS-1 meas": [
-            measure_hss(p, HSSConfig.one_round(EPS, seed=3)) for p in MEASURED_PS
-        ],
-        "HSS-2 meas": [
-            measure_hss(p, HSSConfig.k_rounds(2, eps=EPS, seed=3))
-            for p in MEASURED_PS
-        ],
-        "HSS-const meas": [
-            measure_hss(p, HSSConfig.constant_oversampling(5.0, eps=EPS, seed=3))
-            for p in MEASURED_PS
-        ],
-    }
-
-    text = format_series_table(
-        "p", PS, series, title=f"Fig 4.1 — overall sample size (keys), eps={EPS}"
-    )
-    text += "\n\n" + format_series_table(
-        "p", MEASURED_PS, measured, title="measured (rank-space execution)"
-    )
-    emit("fig_4_1", text)
+    eps = run.params["eps"]
 
     # --- shape assertions (who is above whom, at scale) -------------------
-    for i, p in enumerate(PS):
+    for p in run.params["analytic_ps"]:
         if p >= 1024:
-            assert series["regular"][i] > series["random"][i]
-            assert series["random"][i] > series["HSS-1round"][i]
-            assert series["HSS-1round"][i] > series["HSS-2rounds"][i]
-            assert series["HSS-2rounds"][i] > series["HSS-const"][i]
+            order = ["regular", "random", "HSS-1round", "HSS-2rounds", "HSS-const"]
+            values = [
+                run.metric(f"analytic/{s}/p={p}", "sample_keys") for s in order
+            ]
+            assert all(a > b for a, b in zip(values, values[1:]))
 
     # --- analytic tracks measured for the HSS series ----------------------
-    for i, p in enumerate(MEASURED_PS):
-        ana = sample_size_hss(p, EPS, 1)
-        assert 0.5 * ana <= measured["HSS-1 meas"][i] <= 1.5 * ana
-        ana2 = sample_size_hss(p, EPS, 2)
+    for p in run.params["measured_ps"]:
+        ana = sample_size_hss(p, eps, 1)
+        meas1 = run.metric(f"measured/HSS-1 meas/p={p}", "sample_keys")
+        assert 0.5 * ana <= meas1 <= 1.5 * ana
+        ana2 = sample_size_hss(p, eps, 2)
         # Theorem 3.3.3's concentration constant (7p s_j/s_{j-1}) is loose;
         # the measurement must sit below the analytic curve and above the
         # no-slack lower bound.
-        assert 0.2 * ana2 <= measured["HSS-2 meas"][i] <= 2.0 * ana2
+        meas2 = run.metric(f"measured/HSS-2 meas/p={p}", "sample_keys")
+        assert 0.2 * ana2 <= meas2 <= 2.0 * ana2

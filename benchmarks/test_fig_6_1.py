@@ -17,60 +17,26 @@ the calibrated α–β/γ model (see DESIGN.md substitutions — absolute second
 land within ~2–4× of the paper's bars, shape matches).
 """
 
-from repro.bsp.machine import MIRA_LIKE
-from repro.core.config import HSSConfig
-from repro.core.rankspace import RankSpaceSimulator
-from repro.perf.model import model_weak_scaling
-from repro.perf.report import format_stacked_table
-
-PS = [512, 2048, 8192, 32768]
-CORES_PER_NODE = MIRA_LIKE.cores_per_node
-KEYS_PER_CORE = 1_000_000
-EPS = 0.02
+from repro.bench.report import render_suite
 
 
-def one_point(p: int):
-    nodes = max(2, p // CORES_PER_NODE)
-    cfg = HSSConfig.constant_oversampling(5.0, eps=EPS, seed=17)
-    stats = RankSpaceSimulator(p * KEYS_PER_CORE, nodes, cfg).run()
-    return model_weak_scaling(
-        MIRA_LIKE,
-        nprocs=p,
-        keys_per_core=KEYS_PER_CORE,
-        splitter_stats=stats,
-        key_bytes=8,
-        payload_bytes=4,
-        node_level=True,
-    )
+def test_fig_6_1(bench_run, emit):
+    run = bench_run("fig_6_1")
+    emit("fig_6_1", render_suite(run))
 
-
-def test_fig_6_1(benchmark, emit):
-    points = {p: one_point(p) for p in PS}
-    benchmark(one_point, PS[0])
-
-    emit(
-        "fig_6_1",
-        format_stacked_table(
-            "p",
-            PS,
-            [points[p].as_dict() for p in PS],
-            title=(
-                "Fig 6.1 — weak scaling, Mira-like BG/Q, node-level "
-                f"partitioning, {KEYS_PER_CORE:,} keys/core (8B+4B), eps={EPS}"
-            ),
-        ),
-    )
-
-    first, last = points[PS[0]], points[PS[-1]]
+    ps = run.params["ps"]
+    first = run.case(f"p={ps[0]}").metrics
+    last = run.case(f"p={ps[-1]}").metrics
     # Local sort flat under weak scaling.
-    assert abs(first.local_sort - last.local_sort) < 1e-9
+    assert abs(first["local_sort_s"] - last["local_sort_s"]) < 1e-9
     # Histogramming a small fraction everywhere.
-    for pt in points.values():
-        assert pt.histogramming < 0.15 * pt.total
+    for p in ps:
+        m = run.case(f"p={p}").metrics
+        assert m["histogramming_s"] < 0.15 * m["total_s"]
     # Data exchange grows with p and drives total growth.
-    exchanges = [points[p].data_exchange for p in PS]
+    exchanges = [run.metric(f"p={p}", "data_exchange_s") for p in ps]
     assert exchanges == sorted(exchanges)
-    assert last.total > first.total
+    assert last["total_s"] > first["total_s"]
     # Totals in the paper's single-digit-seconds band.
-    for pt in points.values():
-        assert 0.3 < pt.total < 12.0
+    for p in ps:
+        assert 0.3 < run.metric(f"p={p}", "total_s") < 12.0

@@ -14,141 +14,30 @@ shape:
   multiplicatively with the number of processors").
 
 Substitution: synthetic Plummer-halo ("dwarf") and multi-halo-web ("lambb")
-Morton keys stand in for the proprietary snapshots.  Both algorithms'
-splitter phases execute for real against the full synthetic dataset (exact
-ranks via binary search on the global sorted key array — no CDF smoothing);
-only *seconds* come from the Mira-like cost model, with the correct
-per-round collective structure for each algorithm (4 collectives/round for
-HSS, 2 for bisection).
+Morton keys stand in for the proprietary snapshots (see the ``fig_6_2``
+suite in :mod:`repro.bench.suites`).  Both algorithms' splitter phases
+execute for real against the full synthetic dataset (exact ranks via binary
+search on the global sorted key array — no CDF smoothing); only *seconds*
+come from the Mira-like cost model, with the correct per-round collective
+structure for each algorithm (4 collectives/round for HSS, 2 for
+bisection).
 """
 
-import numpy as np
-
-from repro.bsp.machine import MIRA_LIKE
-from repro.core.config import HSSConfig
-from repro.core.rankspace import (
-    RankSpaceSimulator,
-    simulate_histogram_sort_rounds,
-)
-from repro.perf.model import model_splitting_time
-from repro.perf.report import format_series_table
-from repro.workloads.changa import fractal_dwarf_shards, fractal_lambb_shards
-
-PS = [256, 1024, 4096, 16384, 65536]
-N_TOTAL = 4_000_000  # fixed dataset (strong scaling, like the paper)
-EPS = 0.02  # the paper's ChaNGa load-balance threshold (§6.1.2)
-MAX_OLD_ROUNDS = 600
+from repro.bench.report import render_suite
 
 
-def dataset_keys(name: str) -> np.ndarray:
-    """Sorted Morton keys of the synthetic snapshot, duplicate-free.
+def test_fig_6_2(bench_run, emit):
+    run = bench_run("fig_6_2")
+    emit("fig_6_2", render_suite(run))
 
-    Dense halo cores collide in 21-bit-per-dimension Morton cells; ChaNGa
-    handles this with §4.3 implicit tagging.  We apply the equivalent
-    uniquification to the *dataset* (an order-preserving per-rank offset)
-    so both algorithms face the same strict total order — otherwise the
-    bisection baseline stalls forever on duplicate runs, which is the §4.3
-    story, not the Fig 6.2 story.
-    """
-    if name == "dwarf":
-        shards = fractal_dwarf_shards(8, N_TOTAL // 8, 21)
-    else:
-        shards = fractal_lambb_shards(8, N_TOTAL // 8, 21)
-    keys = np.sort(np.concatenate(shards))
-    # Order-preserving uniquification that cannot overflow: halve the key
-    # (keys are < 2^63, so the result is < 2^62) and break ties by sorted
-    # position.  Monotone: keys ascending ⇒ (k >> 1) non-decreasing ⇒
-    # adding the strictly increasing index keeps ascending order.
-    return ((keys >> np.uint64(1)) + np.arange(len(keys), dtype=np.uint64)).astype(
-        np.int64
-    )
-
-
-def exact_rank_fn(sorted_keys: np.ndarray):
-    """Exact global ranks by binary search on the full sorted dataset."""
-
-    def rank_of(q: np.ndarray) -> np.ndarray:
-        return np.searchsorted(
-            sorted_keys, np.asarray(q, dtype=sorted_keys.dtype), side="left"
-        ).astype(np.int64)
-
-    return rank_of, int(sorted_keys[0]), int(sorted_keys[-1])
-
-
-def splitting_times(name: str):
-    keys = dataset_keys(name)
-    n = len(keys)
-    rank_of, kmin, kmax = exact_rank_fn(keys)
-    hss_times, old_times, hss_rounds_list, old_rounds_list = [], [], [], []
-    for p in PS:
-        cfg = HSSConfig.constant_oversampling(5.0, eps=EPS, seed=29)
-        hss_stats = RankSpaceSimulator(n, p, cfg).run()
-        hss_times.append(
-            model_splitting_time(
-                MIRA_LIKE,
-                nprocs=p,
-                nbuckets=p,
-                rounds=[
-                    (r.sample_size, max(1, r.open_intervals_after))
-                    for r in hss_stats.rounds
-                ],
-                local_keys=n / p,
-                style="hss",
-            )
-        )
-        hss_rounds_list.append(hss_stats.num_rounds)
-
-        # Volume-matched comparison: both algorithms histogram Θ(p) probes
-        # per round with the same constant (5, HSS's oversampling factor).
-        old = simulate_histogram_sort_rounds(
-            n, p, EPS, rank_of, kmin, kmax,
-            probes_per_splitter=5, max_rounds=MAX_OLD_ROUNDS,
-            key_dtype=np.int64,
-        )
-        old_times.append(
-            model_splitting_time(
-                MIRA_LIKE,
-                nprocs=p,
-                nbuckets=p,
-                rounds=[(m, m) for m in old.probes_per_round],
-                local_keys=n / p,
-                style="bisect",
-            )
-        )
-        old_rounds_list.append(old.rounds)
-    return hss_times, old_times, hss_rounds_list, old_rounds_list
-
-
-def test_fig_6_2(benchmark, emit):
-    results = {name: splitting_times(name) for name in ("dwarf", "lambb")}
-    benchmark(
-        lambda: RankSpaceSimulator(
-            N_TOTAL, 1024, HSSConfig.constant_oversampling(5.0, eps=EPS, seed=29)
-        ).run()
-    )
-
-    series = {}
+    ps = run.params["ps"]
+    rounds_total = {}
     for name in ("dwarf", "lambb"):
-        hss_t, old_t, hss_r, old_r = results[name]
-        series[f"HSS {name} (s)"] = [round(t, 4) for t in hss_t]
-        series[f"Old {name} (s)"] = [round(t, 4) for t in old_t]
-        series[f"HSS {name} rounds"] = hss_r
-        series[f"Old {name} rounds"] = old_r
-    emit(
-        "fig_6_2",
-        format_series_table(
-            "p",
-            PS,
-            series,
-            title=(
-                f"Fig 6.2 — ChaNGa-like splitting time, N={N_TOTAL:.0e}, "
-                f"eps={EPS}, buckets=p, no node combining"
-            ),
-        ),
-    )
-
-    for name in ("dwarf", "lambb"):
-        hss_t, old_t, hss_r, old_r = results[name]
+        hss_t = [run.metric(f"{name}/p={p}", "hss_seconds") for p in ps]
+        old_t = [run.metric(f"{name}/p={p}", "old_seconds") for p in ps]
+        hss_r = [run.metric(f"{name}/p={p}", "hss_rounds") for p in ps]
+        old_r = [run.metric(f"{name}/p={p}", "old_rounds") for p in ps]
+        rounds_total[name] = sum(old_r)
         # HSS wins at every p on both datasets.
         assert all(h < o for h, o in zip(hss_t, old_t)), name
         # Old needs (far) more rounds than HSS.
@@ -157,6 +46,4 @@ def test_fig_6_2(benchmark, emit):
         assert hss_t[-1] > hss_t[0]
         assert old_t[-1] > old_t[0]
     # Clustering hurts the bisection algorithm more on the denser dataset.
-    dwarf_old_rounds = results["dwarf"][3]
-    lambb_old_rounds = results["lambb"][3]
-    assert sum(dwarf_old_rounds) >= sum(lambb_old_rounds)
+    assert rounds_total["dwarf"] >= rounds_total["lambb"]

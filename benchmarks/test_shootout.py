@@ -3,8 +3,9 @@
 Not a figure in the paper, but the comparison its Related Work chapter
 makes in prose: splitter-based methods (HSS, scanning, sample sort,
 histogram sort, over-partitioning) versus movement-heavy methods (bitonic,
-radix).  All run on the same BSP-simulated cluster over the same inputs;
-we record modeled makespan, network bytes moved and achieved imbalance.
+radix).  All run on the same BSP-simulated cluster over the same inputs via
+the registered ``shootout`` suite; we record modeled makespan, network
+bytes moved and achieved imbalance.
 
 Shape assertions: merge/radix-style algorithms move (multiples of) the
 whole dataset repeatedly while splitter-based ones move it once; HSS's
@@ -12,87 +13,25 @@ splitter phase samples orders of magnitude less than regular-sampling
 sample sort.
 """
 
-import numpy as np
-
-from repro.bsp.machine import MIRA_LIKE
-from repro.core.api import ALGORITHMS, parallel_sort
-from repro.perf.report import format_series_table
-from repro.workloads.distributions import make_distributed
-
-P = 16
-N_PER = 2_000
-EPS = 0.1
-NAMES = [
-    "hss",
-    "hss-1round",
-    "hss-2round",
-    "scanning",
-    "sample-regular",
-    "sample-regular-parallel",
-    "sample-random",
-    "histogram",
-    "over-partition",
-    "exact-split",
-    "bitonic",
-    "radix",
-]
-WORKLOADS = ["uniform", "staircase", "nearly-sorted"]
+from repro.bench.report import render_suite
 
 
-def run_one(name: str, workload: str):
-    shards = make_distributed(workload, P, N_PER, 42)
-    # Fixed-round HSS variants give their balance guarantee only w.h.p.;
-    # at p=16 the Theorem 3.2.2 failure budget is (p−1)/p² ≈ 6%, so run
-    # them best-effort and *report* achieved imbalance instead of aborting.
-    kwargs = {"strict": False} if name.startswith("hss-") else {}
-    return parallel_sort(
-        shards,
-        name,
-        eps=EPS,
-        seed=13,
-        machine=MIRA_LIKE.with_(cores_per_node=1),
-        verify=False,
-        **kwargs,
-    )
+def test_shootout(bench_run, emit):
+    run = bench_run("shootout")
+    emit("shootout", render_suite(run))
 
+    p = run.params["procs"]
+    n_per = run.params["keys_per_rank"]
+    eps = run.params["eps"]
+    total_bytes = p * n_per * 8
 
-def test_shootout(benchmark, emit):
-    results = {
-        w: {name: run_one(name, w) for name in NAMES} for w in WORKLOADS
-    }
-    benchmark(run_one, "hss", "uniform")
-
-    blocks = []
-    for w in WORKLOADS:
-        rows = {
-            "makespan (ms)": [
-                round(results[w][n].makespan * 1e3, 3) for n in NAMES
-            ],
-            "net bytes (MB)": [
-                round(results[w][n].engine_result.stats.bytes / 1e6, 2)
-                for n in NAMES
-            ],
-            "imbalance": [round(results[w][n].imbalance, 3) for n in NAMES],
-        }
-        blocks.append(
-            format_series_table("algorithm", NAMES, rows, title=f"workload: {w}")
-        )
-    emit(
-        "shootout",
-        f"Shootout — p={P}, N/p={N_PER}, eps={EPS}, Mira-like (flat)\n\n"
-        + "\n\n".join(blocks),
-    )
-
-    uni = results["uniform"]
-    total_bytes = P * N_PER * 8
     # Splitter-based algorithms move the data ~once; bitonic moves it
     # Θ(log p) times and radix once per digit pass.
-    assert uni["bitonic"].engine_result.stats.bytes > 3 * total_bytes
-    assert uni["radix"].engine_result.stats.bytes > 3 * total_bytes
-    assert uni["hss"].engine_result.stats.bytes < 3 * total_bytes
+    assert run.metric("uniform/bitonic", "net_bytes") > 3 * total_bytes
+    assert run.metric("uniform/radix", "net_bytes") > 3 * total_bytes
+    assert run.metric("uniform/hss", "net_bytes") < 3 * total_bytes
     # HSS's splitter sample is far below regular sampling's p^2/eps.
-    hss_sample = uni["hss"].splitter_stats.total_sample
-    assert hss_sample < (P * P / EPS) / 5
+    assert run.metric("uniform/hss", "total_sample") < (p * p / eps) / 5
     # Histogramming algorithms respect the balance contract on all loads.
-    for w in WORKLOADS:
-        assert results[w]["hss"].imbalance <= 1 + EPS + 1e-9
+    for w in run.params["workloads"]:
+        assert run.metric(f"{w}/hss", "imbalance") <= 1 + eps + 1e-9

@@ -5,39 +5,16 @@ point (p = 10⁵, ε = 5%, N/p = 10⁶, 8-byte keys) and the introduction's
 headline numbers (p = 64K: 655 GB / 5 GB / 250 MB / 22 MB).
 """
 
-from repro.perf.report import format_series_table
-from repro.theory.complexity import render_table_5_1
-from repro.theory.sample_sizes import (
-    format_bytes,
-    sample_bytes,
-    sample_size_hss,
-    sample_size_random,
-    sample_size_regular,
-)
+from repro.bench.report import render_suite
 
 
-def intro_example_table() -> str:
-    p, eps, n = 64_000, 0.05, 64_000 * 10**6
-    rows = {
-        "sample sort (regular)": sample_size_regular(p, eps),
-        "sample sort (random)": sample_size_random(p, n, eps),
-        "HSS 1 round": sample_size_hss(p, eps, 1, constant=2.0),
-        "HSS 2 rounds": sample_size_hss(p, eps, 2, constant=2.0),
-    }
-    lines = [
-        "Intro example: p=64,000, eps=0.05, N/p=1e6, 8-byte keys",
-        f"{'algorithm':26s} {'sample bytes':>14s}   paper says",
-    ]
-    paper = ["655 GB", "5 GB", "250 MB", "22 MB"]
-    for (name, keys), expect in zip(rows.items(), paper):
-        lines.append(
-            f"{name:26s} {format_bytes(sample_bytes(keys)):>14s}   {expect}"
-        )
-    return "\n".join(lines)
-
-
-def test_table_5_1(benchmark, emit):
-    text = benchmark(render_table_5_1)
-    emit("table_5_1", text + "\n\n" + intro_example_table())
+def test_table_5_1(bench_run, emit):
+    run = bench_run("table_5_1")
+    text = emit("table_5_1", render_suite(run))
     # Sanity pins (details asserted in tests/theory).
     assert "1.60 TB" in text and "184 MB" in text
+    # The intro example's headline sizes, from the same cases as the JSON.
+    gb = run.metric("sample sort (regular)", "sample_bytes") / 1e9
+    assert 600 < gb < 700  # "655 GB"
+    mb = run.metric("HSS 2 rounds", "sample_bytes") / 1e6
+    assert 15 < mb < 30  # "22 MB"

@@ -5,59 +5,22 @@ p ∈ {4, 8, 16, 32}·10³, run without the shared-memory optimization.
 Paper observes **4 rounds** at every p against a bound of **8**.
 
 The splitter phase is simulated exactly in rank space (distribution-free —
-see ``repro/core/rankspace.py``); we use N/p = 10⁵ rather than the paper's
-10⁶ to keep the harness fast — the round count depends on N only through
-``ln N`` inside the w.h.p. machinery, and measurements at both grains agree.
+see ``repro/core/rankspace.py``); the ``table_6_1`` suite uses N/p = 10⁵
+rather than the paper's 10⁶ to keep the harness fast — the round count
+depends on N only through ``ln N`` inside the w.h.p. machinery, and
+measurements at both grains agree.
 """
 
-import pytest
-
-from repro.core.config import HSSConfig
-from repro.core.rankspace import RankSpaceSimulator
-from repro.perf.report import format_series_table
-from repro.theory.rounds import round_bound_constant_oversampling
-
-PS = [4_000, 8_000, 16_000, 32_000]
-EPS = 0.02
-OVERSAMPLE = 5.0
-KEYS_PER_PROC = 100_000
+from repro.bench.report import render_suite
 
 
-def measure_rounds(p: int, seed: int = 11):
-    cfg = HSSConfig.constant_oversampling(OVERSAMPLE, eps=EPS, seed=seed)
-    stats = RankSpaceSimulator(p * KEYS_PER_PROC, p, cfg).run()
-    return stats
+def test_table_6_1(bench_run, emit):
+    run = bench_run("table_6_1")
+    emit("table_6_1", render_suite(run))
 
-
-def test_table_6_1(benchmark, emit):
-    stats_by_p = {p: measure_rounds(p) for p in PS}
-    benchmark(measure_rounds, PS[0])
-
-    rows = {
-        "sample size/round (xp)": [
-            round(stats_by_p[p].total_sample / stats_by_p[p].num_rounds / p, 1)
-            for p in PS
-        ],
-        "rounds observed": [stats_by_p[p].num_rounds for p in PS],
-        "rounds (paper)": [4, 4, 4, 4],
-        "bound": [round_bound_constant_oversampling(p, EPS, OVERSAMPLE) for p in PS],
-        "bound (paper)": [8, 8, 8, 8],
-    }
-    emit(
-        "table_6_1",
-        format_series_table(
-            "p",
-            PS,
-            rows,
-            title=f"Table 6.1 — eps={EPS}, {OVERSAMPLE:g}p sample/round",
-        ),
-    )
-
-    for p in PS:
-        stats = stats_by_p[p]
-        assert stats.all_finalized
+    for p in run.params["ps"]:
+        m = run.case(f"p={p}").metrics
+        assert m["all_finalized"]
         # Paper: 4 observed; allow ±1 for sampling noise at this grain.
-        assert 3 <= stats.num_rounds <= 5
-        assert stats.num_rounds <= round_bound_constant_oversampling(
-            p, EPS, OVERSAMPLE
-        )
+        assert 3 <= m["rounds"] <= 5
+        assert m["rounds"] <= m["round_bound"]

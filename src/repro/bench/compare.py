@@ -1,0 +1,207 @@
+"""Regression gating: diff two :class:`BenchDocument`\\ s.
+
+Only *modeled* metrics are gated — makespan, network bytes/messages and the
+phase/total seconds are pure functions of (code, params, seed) on the
+simulated machine, so any drift beyond tolerance is a real behavioural
+change, not host noise.  Wall-clock fields are never compared.
+
+Lower is better for every gated metric.  A candidate value may *improve*
+without bound; it regresses when::
+
+    candidate > baseline * (1 + tolerance)
+
+Cases present in the baseline but missing from the candidate are reported
+as regressions too (a suite silently dropping coverage must not pass the
+gate); new candidate cases are informational.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.bench.schema import BenchDocument
+
+__all__ = [
+    "DEFAULT_TOLERANCES",
+    "MetricDelta",
+    "CompareReport",
+    "compare_documents",
+]
+
+#: Gated metric -> allowed relative increase.  Anything not listed is
+#: informational (recorded in deltas, never failing the gate).
+DEFAULT_TOLERANCES: dict[str, float] = {
+    "makespan_s": 0.10,
+    "total_s": 0.10,
+    "net_bytes": 0.05,
+    "net_messages": 0.05,
+}
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One (suite, case, metric) comparison."""
+
+    suite: str
+    case: str
+    metric: str
+    baseline: float
+    candidate: float
+    tolerance: float | None  # None = informational metric
+
+    @property
+    def ratio(self) -> float:
+        if self.baseline == 0:
+            return float("inf") if self.candidate > 0 else 1.0
+        return self.candidate / self.baseline
+
+    @property
+    def gated(self) -> bool:
+        return self.tolerance is not None
+
+    @property
+    def regressed(self) -> bool:
+        return (
+            self.gated
+            and self.candidate > self.baseline * (1.0 + self.tolerance)
+        )
+
+    @property
+    def improved(self) -> bool:
+        return (
+            self.gated
+            and self.candidate < self.baseline * (1.0 - self.tolerance)
+        )
+
+    def describe(self) -> str:
+        pct = (self.ratio - 1.0) * 100.0
+        tol = (
+            f" (tolerance +{self.tolerance * 100:.0f}%)"
+            if self.tolerance is not None
+            else ""
+        )
+        return (
+            f"{self.suite}/{self.case} {self.metric}: "
+            f"{self.baseline:.6g} -> {self.candidate:.6g} "
+            f"({pct:+.1f}%){tol}"
+        )
+
+
+@dataclass
+class CompareReport:
+    """Outcome of comparing a candidate document against a baseline."""
+
+    regressions: list[MetricDelta] = field(default_factory=list)
+    improvements: list[MetricDelta] = field(default_factory=list)
+    deltas: list[MetricDelta] = field(default_factory=list)
+    missing_cases: list[str] = field(default_factory=list)  # "suite/case"
+    #: Gated metrics present in the baseline but absent from the candidate
+    #: ("suite/case/metric") — dropped perf coverage fails the gate.
+    missing_metrics: list[str] = field(default_factory=list)
+    new_cases: list[str] = field(default_factory=list)
+    missing_suites: list[str] = field(default_factory=list)
+    new_suites: list[str] = field(default_factory=list)  # informational
+    #: Set when the two documents were produced at different tiers — their
+    #: parameter regimes are incomparable and nothing was gated.
+    tier_mismatch: str | None = None
+    checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not (
+            self.tier_mismatch
+            or self.regressions
+            or self.missing_cases
+            or self.missing_suites
+            or self.missing_metrics
+        )
+
+    def summary(self) -> str:
+        if self.tier_mismatch:
+            return (
+                f"INCOMPARABLE — baseline and candidate tiers differ "
+                f"({self.tier_mismatch}); nothing gated"
+            )
+        if self.ok:
+            return (
+                f"OK — {self.checked} gated metrics within tolerance, "
+                f"{len(self.improvements)} improved, "
+                f"{len(self.new_cases)} new cases"
+            )
+        parts = []
+        if self.regressions:
+            parts.append(f"{len(self.regressions)} metric regressions")
+        if self.missing_suites:
+            parts.append(f"{len(self.missing_suites)} suites missing")
+        if self.missing_cases:
+            parts.append(f"{len(self.missing_cases)} cases missing")
+        if self.missing_metrics:
+            parts.append(f"{len(self.missing_metrics)} gated metrics missing")
+        return "REGRESSION — " + ", ".join(parts)
+
+
+def compare_documents(
+    baseline: BenchDocument,
+    candidate: BenchDocument,
+    *,
+    tolerances: Mapping[str, float] | None = None,
+) -> CompareReport:
+    """Diff ``candidate`` against ``baseline`` under the given tolerances."""
+    tol = dict(DEFAULT_TOLERANCES)
+    if tolerances:
+        tol.update(tolerances)
+    report = CompareReport()
+    if baseline.tier != candidate.tier:
+        # quick-vs-full numbers come from different parameter regimes;
+        # comparing them yields only spurious verdicts.
+        report.tier_mismatch = f"{baseline.tier} vs {candidate.tier}"
+        return report
+
+    candidate_suites = {run.suite: run for run in candidate.suites}
+    for base_run in baseline.suites:
+        cand_run = candidate_suites.get(base_run.suite)
+        if cand_run is None:
+            report.missing_suites.append(base_run.suite)
+            continue
+        cand_cases = {c.name: c for c in cand_run.cases}
+        for base_case in base_run.cases:
+            cand_case = cand_cases.get(base_case.name)
+            if cand_case is None:
+                report.missing_cases.append(f"{base_run.suite}/{base_case.name}")
+                continue
+            for metric, base_value in base_case.metrics.items():
+                if metric not in cand_case.metrics:
+                    # A *gated* metric disappearing is dropped perf
+                    # coverage, not a pass; ungated ones are free to go.
+                    if metric in tol and not isinstance(base_value, bool):
+                        report.missing_metrics.append(
+                            f"{base_run.suite}/{base_case.name}/{metric}"
+                        )
+                    continue
+                cand_value = cand_case.metrics[metric]
+                if isinstance(base_value, bool) or isinstance(cand_value, bool):
+                    continue
+                delta = MetricDelta(
+                    suite=base_run.suite,
+                    case=base_case.name,
+                    metric=metric,
+                    baseline=float(base_value),
+                    candidate=float(cand_value),
+                    tolerance=tol.get(metric),
+                )
+                report.deltas.append(delta)
+                if delta.gated:
+                    report.checked += 1
+                    if delta.regressed:
+                        report.regressions.append(delta)
+                    elif delta.improved:
+                        report.improvements.append(delta)
+        for name in cand_cases:
+            if all(c.name != name for c in base_run.cases):
+                report.new_cases.append(f"{base_run.suite}/{name}")
+    baseline_names = {run.suite for run in baseline.suites}
+    report.new_suites = [
+        run.suite for run in candidate.suites if run.suite not in baseline_names
+    ]
+    return report

@@ -1,0 +1,122 @@
+"""Registry of parameterized benchmark suites.
+
+Every figure/table reproduction and ablation in ``benchmarks/`` is a
+:class:`Benchmark`: a measurement function plus per-tier parameter sets and
+a text renderer.  The pytest files under ``benchmarks/`` and the ``repro
+bench`` CLI both execute suites *through this registry*, so the JSON
+document and the human-readable artifact are two views of one measurement.
+
+Tiers
+-----
+``full``
+    The paper-faithful operating points — what ``pytest benchmarks/``
+    asserts against (minutes of runtime).
+``quick``
+    Scaled-down sweeps with the same structure, cheap enough for CI's
+    ``bench-smoke`` gate (seconds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.bench.schema import CaseResult
+from repro.errors import ConfigError
+
+__all__ = ["Benchmark", "REGISTRY", "TIERS", "register", "get_suite", "suite_names"]
+
+TIERS = ("quick", "full")
+
+#: Measurement function: params -> list of cases.
+RunFn = Callable[[Mapping[str, Any]], list[CaseResult]]
+#: Renderer: (cases, params) -> text artifact body.
+RenderFn = Callable[[Sequence[CaseResult], Mapping[str, Any]], str]
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One registered suite."""
+
+    name: str
+    description: str
+    kind: str  # "shootout" | "figure" | "table" | "ablation"
+    tiers: Mapping[str, Mapping[str, Any]]
+    fn: RunFn
+    render: RenderFn
+    #: Stem of the text artifact under ``benchmarks/results/`` (no suffix).
+    artifact: str = ""
+
+    def params_for(
+        self, tier: str, overrides: Mapping[str, Any] | None = None
+    ) -> dict[str, Any]:
+        if tier not in self.tiers:
+            raise ConfigError(
+                f"suite {self.name!r} has no tier {tier!r}; "
+                f"choose from {sorted(self.tiers)}"
+            )
+        params = dict(self.tiers[tier])
+        if overrides:
+            unknown = set(overrides) - set(params)
+            if unknown:
+                raise ConfigError(
+                    f"unknown parameter overrides for suite {self.name!r}: "
+                    f"{sorted(unknown)}"
+                )
+            params.update(overrides)
+        return params
+
+
+REGISTRY: dict[str, Benchmark] = {}
+
+
+def register(
+    name: str,
+    *,
+    description: str,
+    kind: str,
+    tiers: Mapping[str, Mapping[str, Any]],
+    render: RenderFn,
+    artifact: str = "",
+) -> Callable[[RunFn], RunFn]:
+    """Decorator registering a measurement function as a suite."""
+    if name in REGISTRY:
+        raise ConfigError(f"benchmark suite {name!r} already registered")
+    missing = [t for t in TIERS if t not in tiers]
+    if missing:
+        raise ConfigError(f"suite {name!r} missing tiers {missing}")
+
+    def decorate(fn: RunFn) -> RunFn:
+        REGISTRY[name] = Benchmark(
+            name=name,
+            description=description,
+            kind=kind,
+            tiers={t: dict(p) for t, p in tiers.items()},
+            fn=fn,
+            render=render,
+            artifact=artifact or name,
+        )
+        return fn
+
+    return decorate
+
+
+def _ensure_loaded() -> None:
+    # Suites self-register on import; keep the import inside the accessor so
+    # ``repro.bench.schema`` stays importable without pulling in numpy-heavy
+    # measurement code.
+    from repro.bench import suites  # noqa: F401
+
+
+def get_suite(name: str) -> Benchmark:
+    _ensure_loaded()
+    if name not in REGISTRY:
+        raise ConfigError(
+            f"unknown benchmark suite {name!r}; choose from {suite_names()}"
+        )
+    return REGISTRY[name]
+
+
+def suite_names() -> list[str]:
+    _ensure_loaded()
+    return sorted(REGISTRY)

@@ -1,0 +1,98 @@
+"""Execute registered suites and assemble a :class:`BenchDocument`.
+
+The runner is the single choke point between the registry and the schema:
+``pytest benchmarks/`` and ``repro bench`` both call :func:`run_suite` /
+:func:`run_suites`, so every measurement — interactive or CI — lands in the
+same JSON shape with the same provenance.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.bench.registry import get_suite, suite_names
+from repro.bench.schema import BenchDocument, SuiteRun
+from repro.errors import ConfigError
+
+__all__ = ["run_suite", "run_suites", "resolve_suites"]
+
+
+def resolve_suites(names: Sequence[str] | None) -> list[str]:
+    """Validate requested suite names (``None``/empty = all registered)."""
+    known = suite_names()
+    if not names:
+        return known
+    unknown = [n for n in names if n not in known]
+    if unknown:
+        raise ConfigError(
+            f"unknown benchmark suite(s) {unknown}; choose from {known}"
+        )
+    # Preserve registry order, drop duplicates.
+    requested = set(names)
+    return [n for n in known if n in requested]
+
+
+def run_suite(
+    name: str,
+    tier: str = "quick",
+    *,
+    overrides: Mapping[str, Any] | None = None,
+) -> SuiteRun:
+    """Run one registered suite and wrap its cases in a :class:`SuiteRun`."""
+    bench = get_suite(name)
+    params = bench.params_for(tier, overrides)
+    start = time.perf_counter()
+    cases = bench.fn(params)
+    wall = time.perf_counter() - start
+    for case in cases:
+        if case.wall_s == 0.0:
+            case.wall_s = wall / len(cases)
+    return SuiteRun(
+        suite=name, tier=tier, params=dict(params), cases=cases, wall_s=wall
+    )
+
+
+def run_suites(
+    names: Sequence[str] | None = None,
+    tier: str = "quick",
+    *,
+    overrides: Mapping[str, Mapping[str, Any]] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> BenchDocument:
+    """Run several suites into one document.
+
+    Parameters
+    ----------
+    names:
+        Suite names (default: every registered suite, registry order).
+    tier:
+        ``"quick"`` or ``"full"``.
+    overrides:
+        Optional per-suite parameter overrides, keyed by suite name.
+    progress:
+        Callback invoked with a one-line status per suite (the CLI passes a
+        stderr printer; tests pass nothing).
+    """
+    selected = resolve_suites(names)
+    doc = BenchDocument(tier=tier)
+    total_start = time.perf_counter()
+    for name in selected:
+        if progress is not None:
+            progress(f"running suite {name!r} (tier={tier}) ...")
+        run = run_suite(
+            name, tier, overrides=(overrides or {}).get(name)
+        )
+        if progress is not None:
+            progress(
+                f"  {name}: {len(run.cases)} cases in {run.wall_s:.2f}s"
+            )
+        doc.suites.append(run)
+    doc.wall_s = time.perf_counter() - total_start
+    return doc
+
+
+def stderr_progress(message: str) -> None:
+    """Default progress sink for interactive runs."""
+    print(message, file=sys.stderr, flush=True)

@@ -34,11 +34,11 @@ pure function of its inputs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Generator, Iterator, Sequence
 
 from repro.bsp import collectives as coll
-from repro.bsp.cost_model import CollectiveCost, CommStats, CostModel
+from repro.bsp.cost_model import CommStats, CostModel
 from repro.bsp.machine import LAPTOP, MachineModel
 from repro.bsp.node import NodeLayout
 from repro.bsp.trace import SuperstepRecord, Trace

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three subcommands:
+Four subcommands:
 
 ``sort``
     Generate a workload, sort it with any algorithm from the paper on a
@@ -13,6 +13,12 @@ Three subcommands:
     Run the rank-space splitter-phase simulator at large ``p`` and report
     per-round statistics (the Table 6.1 / Fig 3.1 views).
 
+``bench``
+    Run the registered benchmark suites (see :mod:`repro.bench`) at the
+    ``quick`` or ``full`` tier, write the machine-readable JSON document,
+    and optionally gate against a baseline document (non-zero exit on
+    regression) — the CI entry point.
+
 Examples
 --------
 ::
@@ -22,6 +28,9 @@ Examples
     python -m repro sort --algorithm histogram --distribution staircase
     python -m repro table 5.1
     python -m repro simulate --procs 32768 --keys-per-proc 100000 --eps 0.02
+    python -m repro bench --tier quick --json bench.json \
+        --baseline benchmarks/results/bench.json
+    python -m repro bench --baseline old.json --candidate new.json
 """
 
 from __future__ import annotations
@@ -29,8 +38,6 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import Sequence
-
-import numpy as np
 
 __all__ = ["main", "build_parser"]
 
@@ -83,6 +90,68 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--rounds", type=int, default=0,
                      help="fixed geometric rounds (0 = constant oversampling)")
     sim.add_argument("--seed", type=int, default=0)
+
+    bench = sub.add_parser(
+        "bench", help="run registered benchmark suites / gate regressions"
+    )
+    bench.add_argument(
+        "--tier",
+        choices=["quick", "full"],
+        default=None,
+        help="parameter tier: quick (CI seconds, the default) or full "
+        "(paper-faithful)",
+    )
+    bench.add_argument(
+        "--suite",
+        action="append",
+        dest="suites",
+        metavar="NAME",
+        help="suite to run (repeatable; default: all registered suites)",
+    )
+    bench.add_argument(
+        "--json",
+        dest="json_path",
+        metavar="PATH",
+        help="write the run's BenchDocument JSON here",
+    )
+    bench.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="gate against this baseline document (exit 1 on regression)",
+    )
+    bench.add_argument(
+        "--candidate",
+        metavar="PATH",
+        help="compare this document against --baseline instead of running "
+        "suites (pure file-vs-file gate)",
+    )
+    bench.add_argument(
+        "--list", action="store_true", help="list registered suites and exit"
+    )
+    bench.add_argument(
+        "--tol-makespan",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="allowed relative makespan increase (default 0.10)",
+    )
+    bench.add_argument(
+        "--tol-bytes",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="allowed relative network-bytes increase (default 0.05)",
+    )
+    bench.add_argument(
+        "--tol-messages",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="allowed relative network-messages increase (default 0.05)",
+    )
+    bench.add_argument(
+        "--verbose", action="store_true", help="print every gated delta"
+    )
     return parser
 
 
@@ -219,6 +288,131 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench_tolerances(args: argparse.Namespace) -> dict[str, float]:
+    overrides: dict[str, float] = {}
+    if args.tol_makespan is not None:
+        overrides["makespan_s"] = args.tol_makespan
+        overrides["total_s"] = args.tol_makespan
+    if args.tol_bytes is not None:
+        overrides["net_bytes"] = args.tol_bytes
+    if args.tol_messages is not None:
+        overrides["net_messages"] = args.tol_messages
+    return overrides
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        BenchDocument,
+        SchemaError,
+        compare_documents,
+        get_suite,
+        resolve_suites,
+        run_suites,
+        suite_names,
+    )
+    from repro.bench.report import render_comparison, render_document
+    from repro.bench.runner import stderr_progress
+    from repro.errors import ConfigError
+
+    if args.list:
+        for name in suite_names():
+            bench = get_suite(name)
+            print(f"{name:22s} [{bench.kind}] {bench.description}")
+        return 0
+
+    try:
+        selected = resolve_suites(args.suites)
+    except ConfigError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    # Reject an unreadable baseline up front — never *after* a (possibly
+    # minutes-long, full-tier) measurement run.
+    baseline = None
+    if args.baseline is not None:
+        try:
+            baseline = BenchDocument.load(args.baseline)
+        except (OSError, SchemaError) as exc:
+            print(f"cannot load baseline {args.baseline}: {exc}", file=sys.stderr)
+            return 2
+        if args.candidate is None and baseline.tier != (args.tier or "quick"):
+            print(
+                f"baseline {args.baseline} is tier {baseline.tier!r} but this "
+                f"run is tier {args.tier or 'quick'!r}; the documents would "
+                f"be incomparable",
+                file=sys.stderr,
+            )
+            return 2
+        if args.suites:
+            # The user deliberately selected a subset; gate only those
+            # suites (an unrestricted run still flags baseline suites that
+            # went missing).  Both checks happen *before* any measurement.
+            baseline.suites = [
+                run for run in baseline.suites if run.suite in set(selected)
+            ]
+            if not baseline.suites:
+                # Gating against nothing would be a vacuous green.
+                print(
+                    f"baseline {args.baseline} contains none of the "
+                    f"selected suites {selected}; nothing to gate",
+                    file=sys.stderr,
+                )
+                return 2
+
+    if args.candidate is not None:
+        if baseline is None:
+            print("--candidate requires --baseline", file=sys.stderr)
+            return 2
+        # File-vs-file mode runs nothing, so run-only flags are mistakes,
+        # not no-ops.
+        if args.json_path is not None or args.tier is not None:
+            print(
+                "--json/--tier have no effect with --candidate "
+                "(nothing is run)",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            doc = BenchDocument.load(args.candidate)
+        except (OSError, SchemaError) as exc:
+            print(f"cannot load candidate {args.candidate}: {exc}", file=sys.stderr)
+            return 2
+        if baseline.tier != doc.tier:
+            # Same usage error as the run-mode tier precheck — exit 2, not
+            # the regression code.
+            print(
+                f"baseline tier {baseline.tier!r} != candidate tier "
+                f"{doc.tier!r}; the documents are incomparable",
+                file=sys.stderr,
+            )
+            return 2
+        if args.suites:
+            # Restrict the file-vs-file gate to the requested suites.
+            doc.suites = [
+                run for run in doc.suites if run.suite in set(selected)
+            ]
+    else:
+        tier = args.tier if args.tier is not None else "quick"
+        doc = run_suites(selected, tier=tier, progress=stderr_progress)
+        if args.json_path:
+            try:
+                doc.save(args.json_path)
+            except OSError as exc:
+                print(f"cannot write {args.json_path}: {exc}", file=sys.stderr)
+                return 2
+            print(f"wrote {args.json_path}", file=sys.stderr)
+        print(render_document(doc))
+
+    if baseline is None:
+        return 0
+    report = compare_documents(
+        baseline, doc, tolerances=_bench_tolerances(args)
+    )
+    print()
+    print(render_comparison(report, verbose=args.verbose))
+    return 0 if report.ok else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -228,6 +422,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_table(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     raise AssertionError("unreachable")
 
 

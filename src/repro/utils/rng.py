@@ -10,8 +10,6 @@ entire experiment.
 
 from __future__ import annotations
 
-from typing import Iterable
-
 import numpy as np
 
 __all__ = ["RngTree", "spawn_rngs"]

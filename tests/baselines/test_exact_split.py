@@ -1,11 +1,9 @@
 """Tests for the exact-splitting baseline (Cheng et al., §2.1)."""
 
 import numpy as np
-import pytest
 
 from repro.baselines.exact_split import exact_split_sort_program
 from repro.bsp import BSPEngine
-from repro.errors import VerificationError
 from repro.metrics import verify_sorted_output
 
 

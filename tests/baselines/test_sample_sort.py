@@ -1,7 +1,6 @@
 """Tests for sample sort baselines (regular + block random sampling)."""
 
 import numpy as np
-import pytest
 
 from repro.bsp import BSPEngine
 from repro.baselines.sample_sort import (

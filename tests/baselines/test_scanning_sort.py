@@ -1,7 +1,6 @@
 """Tests for the full scanning-based sort (§3.2 end-to-end)."""
 
 import numpy as np
-import pytest
 
 from repro.baselines.scanning_sort import scanning_sort_program
 from repro.bsp import BSPEngine

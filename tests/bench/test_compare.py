@@ -1,0 +1,141 @@
+"""Tests for the regression gate (compare.py pass/fail behaviour)."""
+
+from repro.bench.compare import (
+    DEFAULT_TOLERANCES,
+    compare_documents,
+)
+from repro.bench.report import render_comparison
+from repro.bench.schema import BenchDocument, CaseResult, SuiteRun
+
+
+def make_doc(makespan=1.0, nbytes=1000, extra_case=False, extra_suite=False,
+             imbalance=1.05):
+    cases = [
+        CaseResult(
+            name="uniform/hss",
+            params={"algorithm": "hss"},
+            metrics={
+                "makespan_s": makespan,
+                "net_bytes": nbytes,
+                "imbalance": imbalance,
+                "all_finalized": True,
+            },
+        )
+    ]
+    if extra_case:
+        cases.append(CaseResult(name="uniform/radix", metrics={"net_bytes": 5}))
+    suites = [SuiteRun(suite="shootout", tier="quick", cases=cases)]
+    if extra_suite:
+        suites.append(SuiteRun(suite="fig_3_1", tier="quick", cases=[]))
+    return BenchDocument(tier="quick", suites=suites)
+
+
+class TestPassFail:
+    def test_identical_documents_pass(self):
+        report = compare_documents(make_doc(), make_doc())
+        assert report.ok
+        assert report.checked == 2  # makespan_s + net_bytes gated
+        assert not report.regressions
+
+    def test_within_tolerance_passes(self):
+        report = compare_documents(make_doc(1.0), make_doc(1.09))
+        assert report.ok
+
+    def test_makespan_beyond_tolerance_fails(self):
+        report = compare_documents(make_doc(1.0), make_doc(1.11))
+        assert not report.ok
+        (reg,) = report.regressions
+        assert reg.metric == "makespan_s"
+        assert reg.ratio > 1.1
+
+    def test_double_makespan_fails(self):
+        # The acceptance scenario: synthetic 2x inflation must gate.
+        report = compare_documents(make_doc(1.0), make_doc(2.0))
+        assert not report.ok
+
+    def test_bytes_tolerance_is_tighter(self):
+        assert DEFAULT_TOLERANCES["net_bytes"] == 0.05
+        assert compare_documents(make_doc(nbytes=1000), make_doc(nbytes=1049)).ok
+        assert not compare_documents(
+            make_doc(nbytes=1000), make_doc(nbytes=1060)
+        ).ok
+
+    def test_improvement_never_fails(self):
+        report = compare_documents(make_doc(1.0, 1000), make_doc(0.5, 100))
+        assert report.ok
+        assert len(report.improvements) == 2
+
+    def test_ungated_metric_drift_is_informational(self):
+        report = compare_documents(
+            make_doc(imbalance=1.01), make_doc(imbalance=1.9)
+        )
+        assert report.ok
+        assert any(d.metric == "imbalance" and not d.gated for d in report.deltas)
+
+    def test_custom_tolerance_overrides_default(self):
+        report = compare_documents(
+            make_doc(1.0), make_doc(1.5), tolerances={"makespan_s": 0.6}
+        )
+        assert report.ok
+
+
+class TestTierMismatch:
+    def test_different_tiers_never_compare(self):
+        full = make_doc()
+        full.tier = "full"
+        report = compare_documents(make_doc(), full)
+        assert not report.ok
+        assert report.tier_mismatch == "quick vs full"
+        assert report.checked == 0 and not report.deltas
+        assert "INCOMPARABLE" in report.summary()
+        assert "quick vs full" in render_comparison(report)
+
+
+class TestCoverageChanges:
+    def test_dropped_gated_metric_fails(self):
+        # A candidate that stops emitting a gated metric must not pass.
+        candidate = make_doc()
+        del candidate.suite("shootout").case("uniform/hss").metrics["makespan_s"]
+        report = compare_documents(make_doc(), candidate)
+        assert not report.ok
+        assert report.missing_metrics == ["shootout/uniform/hss/makespan_s"]
+        assert "gated metrics missing" in report.summary()
+
+    def test_dropped_ungated_metric_passes(self):
+        candidate = make_doc()
+        del candidate.suite("shootout").case("uniform/hss").metrics["imbalance"]
+        assert compare_documents(make_doc(), candidate).ok
+
+    def test_missing_case_fails(self):
+        report = compare_documents(make_doc(extra_case=True), make_doc())
+        assert not report.ok
+        assert report.missing_cases == ["shootout/uniform/radix"]
+
+    def test_missing_suite_fails(self):
+        report = compare_documents(make_doc(extra_suite=True), make_doc())
+        assert not report.ok
+        assert report.missing_suites == ["fig_3_1"]
+
+    def test_new_case_is_informational(self):
+        report = compare_documents(make_doc(), make_doc(extra_case=True))
+        assert report.ok
+        assert report.new_cases == ["shootout/uniform/radix"]
+
+    def test_new_suite_is_informational_but_visible(self):
+        report = compare_documents(make_doc(), make_doc(extra_suite=True))
+        assert report.ok
+        assert report.new_suites == ["fig_3_1"]
+        assert "fig_3_1" in render_comparison(report)
+
+
+class TestRendering:
+    def test_report_text_states_verdict(self):
+        ok = compare_documents(make_doc(), make_doc())
+        assert render_comparison(ok).startswith("OK")
+        bad = compare_documents(make_doc(1.0), make_doc(2.0))
+        text = render_comparison(bad)
+        assert "REGRESSION" in text and "makespan_s" in text
+
+    def test_verbose_lists_gated_deltas(self):
+        report = compare_documents(make_doc(), make_doc())
+        assert "all gated deltas" in render_comparison(report, verbose=True)

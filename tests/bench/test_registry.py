@@ -1,0 +1,69 @@
+"""Tests for the benchmark suite registry."""
+
+import pytest
+
+from repro.bench.registry import TIERS, get_suite, suite_names
+from repro.errors import ConfigError
+
+EXPECTED_SUITES = {
+    "shootout",
+    "fig_3_1",
+    "fig_4_1",
+    "fig_6_1",
+    "fig_6_2",
+    "table_5_1",
+    "table_6_1",
+    "ablation_approx",
+    "ablation_duplicates",
+    "ablation_node",
+    "ablation_refinement",
+    "ablation_rounds",
+}
+
+
+class TestContents:
+    def test_every_paper_artifact_registered(self):
+        assert set(suite_names()) == EXPECTED_SUITES
+
+    def test_each_suite_has_both_tiers(self):
+        for name in suite_names():
+            bench = get_suite(name)
+            assert set(bench.tiers) == set(TIERS), name
+            for tier in TIERS:
+                assert bench.tiers[tier], f"{name}/{tier} has empty params"
+
+    def test_tier_params_share_keys(self):
+        # quick must be a re-parameterization of full, never a different shape.
+        for name in suite_names():
+            bench = get_suite(name)
+            assert set(bench.tiers["quick"]) == set(bench.tiers["full"]), name
+
+    def test_descriptions_and_kinds(self):
+        kinds = {"shootout", "figure", "table", "ablation"}
+        for name in suite_names():
+            bench = get_suite(name)
+            assert bench.description
+            assert bench.kind in kinds
+            assert bench.artifact  # text artifact stem
+
+    def test_artifacts_unique(self):
+        artifacts = [get_suite(n).artifact for n in suite_names()]
+        assert len(artifacts) == len(set(artifacts))
+
+
+class TestResolution:
+    def test_unknown_suite_raises(self):
+        with pytest.raises(ConfigError, match="unknown benchmark suite"):
+            get_suite("quicksort")
+
+    def test_unknown_tier_raises(self):
+        with pytest.raises(ConfigError, match="no tier"):
+            get_suite("table_5_1").params_for("huge")
+
+    def test_unknown_override_raises(self):
+        with pytest.raises(ConfigError, match="unknown parameter"):
+            get_suite("table_5_1").params_for("quick", {"bogus": 1})
+
+    def test_override_applies(self):
+        params = get_suite("table_5_1").params_for("quick", {"procs": 1000})
+        assert params["procs"] == 1000

@@ -1,0 +1,94 @@
+"""Tests for the suite runner: determinism, document assembly, rendering."""
+
+import pytest
+
+from repro.bench.report import render_document, render_suite
+from repro.bench.runner import resolve_suites, run_suite, run_suites
+from repro.bench.schema import validate_document
+from repro.errors import ConfigError
+
+# A deliberately tiny shootout: two algorithms, one workload, 4 ranks.
+TINY_SHOOTOUT = {
+    "procs": 4,
+    "keys_per_rank": 200,
+    "workloads": ["uniform"],
+    "algorithms": ["hss", "sample-regular"],
+}
+
+
+def strip_volatile(doc_dict):
+    """Drop the fields allowed to differ between identical runs."""
+    doc_dict = dict(doc_dict)
+    doc_dict.pop("created_unix", None)
+    doc_dict.pop("provenance", None)
+    doc_dict.pop("wall_s", None)
+    suites = []
+    for run in doc_dict["suites"]:
+        run = dict(run)
+        run.pop("wall_s", None)
+        run["cases"] = [
+            {k: v for k, v in case.items() if k != "wall_s"}
+            for case in run["cases"]
+        ]
+        suites.append(run)
+    doc_dict["suites"] = suites
+    return doc_dict
+
+
+class TestDeterminism:
+    def test_same_seed_identical_json_modulo_wall_clock(self):
+        docs = [
+            run_suites(
+                ["shootout", "table_5_1"],
+                tier="quick",
+                overrides={"shootout": TINY_SHOOTOUT},
+            )
+            for _ in range(2)
+        ]
+        a, b = (strip_volatile(d.to_dict()) for d in docs)
+        assert a == b
+        # ... and the volatile fields are genuinely present/populated.
+        assert docs[0].created_unix > 0
+        assert docs[0].provenance["python"]
+
+    def test_rendering_is_a_pure_function_of_cases(self):
+        run1 = run_suite("shootout", "quick", overrides=TINY_SHOOTOUT)
+        run2 = run_suite("shootout", "quick", overrides=TINY_SHOOTOUT)
+        assert render_suite(run1) == render_suite(run2)
+        assert "workload: uniform" in render_suite(run1)
+
+
+class TestDocument:
+    def test_document_is_schema_valid(self):
+        doc = run_suites(
+            ["shootout"], tier="quick", overrides={"shootout": TINY_SHOOTOUT}
+        )
+        assert validate_document(doc.to_dict()) == []
+        assert doc.suite_names() == ["shootout"]
+        assert doc.suite("shootout").tier == "quick"
+        assert doc.algorithms() == {"hss", "sample-regular"}
+
+    def test_progress_callback_invoked(self):
+        lines = []
+        run_suites(["table_5_1"], tier="quick", progress=lines.append)
+        assert any("table_5_1" in line for line in lines)
+
+    def test_summary_render_mentions_every_suite(self):
+        doc = run_suites(["table_5_1"], tier="quick")
+        text = render_document(doc)
+        assert "table_5_1" in text and "tier=quick" in text
+
+
+class TestResolution:
+    def test_default_is_all_suites(self):
+        assert resolve_suites(None) == resolve_suites([]) != []
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigError, match="quicksort"):
+            resolve_suites(["quicksort"])
+
+    def test_subset_preserves_registry_order_and_dedupes(self):
+        assert resolve_suites(["table_5_1", "fig_3_1", "table_5_1"]) == [
+            "fig_3_1",
+            "table_5_1",
+        ]

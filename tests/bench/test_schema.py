@@ -1,0 +1,139 @@
+"""Tests for the bench JSON schema: round-trip, validation, provenance."""
+
+import numpy as np
+import pytest
+
+from repro.bench.schema import (
+    SCHEMA_VERSION,
+    BenchDocument,
+    CaseResult,
+    SchemaError,
+    SuiteRun,
+    machine_provenance,
+    validate_document,
+)
+
+
+def sample_document() -> BenchDocument:
+    return BenchDocument(
+        tier="quick",
+        suites=[
+            SuiteRun(
+                suite="demo",
+                tier="quick",
+                params={"procs": 8, "eps": 0.05},
+                cases=[
+                    CaseResult(
+                        name="uniform/hss",
+                        params={"workload": "uniform", "algorithm": "hss"},
+                        metrics={
+                            "makespan_s": 1.5e-3,
+                            "net_bytes": 123456,
+                            "imbalance": 1.02,
+                            "all_finalized": True,
+                        },
+                        wall_s=0.01,
+                    ),
+                    CaseResult(name="uniform/radix", metrics={"net_bytes": 9}),
+                ],
+                wall_s=0.02,
+            )
+        ],
+    )
+
+
+class TestRoundTrip:
+    def test_json_round_trip_preserves_everything(self):
+        doc = sample_document()
+        back = BenchDocument.from_json(doc.to_json())
+        assert back.to_dict() == doc.to_dict()
+        assert back.tier == "quick"
+        case = back.suite("demo").case("uniform/hss")
+        assert case.metrics["net_bytes"] == 123456
+        assert case.metrics["all_finalized"] is True
+        assert case.params["algorithm"] == "hss"
+
+    def test_save_load(self, tmp_path):
+        path = tmp_path / "bench.json"
+        doc = sample_document()
+        doc.save(path)
+        assert BenchDocument.load(path).to_dict() == doc.to_dict()
+
+    def test_numpy_scalars_are_coerced(self):
+        case = CaseResult(
+            name="x",
+            params={"p": np.int64(8)},
+            metrics={"v": np.float64(1.5), "n": np.int32(7), "b": np.bool_(True)},
+        )
+        data = case.to_dict()
+        # np.float64 already subclasses float; the exotic ones must coerce.
+        assert type(data["params"]["p"]) is int
+        assert isinstance(data["metrics"]["v"], float)
+        assert type(data["metrics"]["n"]) is int
+        assert data["metrics"]["b"] in (True, 1)
+        # The coerced dict must be JSON-serializable end to end — including
+        # numpy scalars handed in as *suite* params (e.g. runner overrides).
+        doc = BenchDocument(
+            tier="quick",
+            suites=[
+                SuiteRun(
+                    "s", "quick", params={"procs": np.int64(8)}, cases=[case]
+                )
+            ],
+        )
+        back = BenchDocument.from_json(doc.to_json())
+        assert back.suite("s").params["procs"] == 8
+
+    def test_provenance_recorded(self):
+        doc = sample_document()
+        prov = doc.provenance
+        assert prov["python"] and prov["numpy"] and prov["platform"]
+        assert machine_provenance().keys() == prov.keys()
+
+
+class TestValidation:
+    def test_valid_document_has_no_errors(self):
+        assert validate_document(sample_document().to_dict()) == []
+
+    def test_non_object_rejected(self):
+        assert validate_document([1, 2]) != []
+        assert validate_document("nope") != []
+
+    def test_missing_keys_reported(self):
+        errors = validate_document({"tier": "quick"})
+        assert any("schema_version" in e for e in errors)
+        assert any("suites" in e for e in errors)
+
+    def test_wrong_version_rejected(self):
+        data = sample_document().to_dict()
+        data["schema_version"] = SCHEMA_VERSION + 1
+        assert any("schema_version" in e for e in validate_document(data))
+        with pytest.raises(SchemaError):
+            BenchDocument.from_dict(data)
+
+    def test_duplicate_case_names_rejected(self):
+        data = sample_document().to_dict()
+        cases = data["suites"][0]["cases"]
+        cases.append(dict(cases[0]))
+        assert any("duplicate case" in e for e in validate_document(data))
+
+    def test_non_numeric_metric_rejected(self):
+        data = sample_document().to_dict()
+        data["suites"][0]["cases"][0]["metrics"]["bad"] = "fast"
+        assert any("bad" in e for e in validate_document(data))
+
+    def test_invalid_json_text(self):
+        with pytest.raises(SchemaError):
+            BenchDocument.from_json("{not json")
+
+
+class TestAccessors:
+    def test_suite_and_case_lookup_errors(self):
+        doc = sample_document()
+        with pytest.raises(KeyError):
+            doc.suite("absent")
+        with pytest.raises(KeyError):
+            doc.suite("demo").case("absent")
+
+    def test_algorithms_collected_from_params(self):
+        assert sample_document().algorithms() == {"hss"}

@@ -4,9 +4,9 @@ import numpy as np
 import pytest
 
 from repro.core.api import hss_sort
-from repro.core.config import HSSConfig, SamplingSchedule
+from repro.core.config import HSSConfig
 from repro.errors import ConfigError
-from repro.metrics import check_load_balance, load_imbalance, verify_sorted_output
+from repro.metrics import verify_sorted_output
 
 
 class TestBasicCorrectness:

@@ -1,7 +1,6 @@
 """Tests for key-space adapters (plain and duplicate-tagged)."""
 
 import numpy as np
-import pytest
 
 from repro.core.keyspace import PlainKeySpace, TaggedKeySpace, make_keyspace
 

@@ -1,6 +1,5 @@
 """Tests for the two-level node-partitioned sort (§6.1)."""
 
-import numpy as np
 import pytest
 
 from repro.bsp import BSPEngine

@@ -15,7 +15,6 @@ import pytest
 from repro.core.config import HSSConfig
 from repro.core.rankspace import RankSpaceSimulator
 from repro.core.scanning import scanning_sample_probability, scanning_splitters
-from repro.core.splitters import SplitterState
 from repro.sampling.random_blocks import block_random_sample
 from repro.sampling.regular import regular_sample
 from repro.sampling.representative import (

@@ -119,3 +119,182 @@ class TestSimulateCommand:
         out = capsys.readouterr().out
         assert code == 0
         assert "geometric, k=2" in out
+
+
+class TestBenchCommand:
+    @pytest.fixture(scope="class")
+    def bench_json(self, tmp_path_factory):
+        """One real quick-tier run of a cheap suite, shared by the class."""
+        path = tmp_path_factory.mktemp("bench") / "bench.json"
+        assert (
+            main(
+                [
+                    "bench",
+                    "--tier",
+                    "quick",
+                    "--suite",
+                    "ablation_approx",
+                    "--json",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        return path
+
+    def test_list_exits_0(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "shootout" in out and "table_5_1" in out
+
+    def test_unknown_suite_exits_2(self, capsys):
+        assert main(["bench", "--suite", "quicksort"]) == 2
+        assert "unknown benchmark suite" in capsys.readouterr().err
+
+    def test_candidate_without_baseline_exits_2(self, capsys, tmp_path):
+        assert main(["bench", "--candidate", str(tmp_path / "x.json")]) == 2
+        assert "requires --baseline" in capsys.readouterr().err
+
+    def test_candidate_rejects_run_only_flags(self, bench_json, capsys):
+        code = main(
+            [
+                "bench",
+                "--baseline",
+                str(bench_json),
+                "--candidate",
+                str(bench_json),
+                "--json",
+                "out.json",
+            ]
+        )
+        assert code == 2
+        assert "no effect with --candidate" in capsys.readouterr().err
+        assert main(
+            [
+                "bench",
+                "--baseline",
+                str(bench_json),
+                "--candidate",
+                str(bench_json),
+                "--tier",
+                "full",
+            ]
+        ) == 2
+
+    def test_run_writes_schema_valid_json(self, bench_json):
+        from repro.bench.schema import BenchDocument, validate_document
+        import json
+
+        data = json.loads(bench_json.read_text())
+        assert validate_document(data) == []
+        doc = BenchDocument.load(bench_json)
+        assert doc.suite_names() == ["ablation_approx"]
+
+    def test_clean_rerun_against_baseline_exits_0(self, bench_json, capsys):
+        code = main(
+            [
+                "bench",
+                "--tier",
+                "quick",
+                "--suite",
+                "ablation_approx",
+                "--baseline",
+                str(bench_json),
+            ]
+        )
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_self_compare_exits_0(self, bench_json, capsys):
+        code = main(
+            [
+                "bench",
+                "--baseline",
+                str(bench_json),
+                "--candidate",
+                str(bench_json),
+            ]
+        )
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_makespan_regression_exits_1(self, bench_json, tmp_path, capsys):
+        import json
+
+        data = json.loads(bench_json.read_text())
+        for suite in data["suites"]:
+            for case in suite["cases"]:
+                if "makespan_s" in case["metrics"]:
+                    case["metrics"]["makespan_s"] *= 2
+        inflated = tmp_path / "inflated.json"
+        inflated.write_text(json.dumps(data))
+        code = main(
+            [
+                "bench",
+                "--baseline",
+                str(bench_json),
+                "--candidate",
+                str(inflated),
+            ]
+        )
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_tolerance_flag_relaxes_gate(self, bench_json, tmp_path):
+        import json
+
+        data = json.loads(bench_json.read_text())
+        for suite in data["suites"]:
+            for case in suite["cases"]:
+                if "makespan_s" in case["metrics"]:
+                    case["metrics"]["makespan_s"] *= 2
+        inflated = tmp_path / "inflated.json"
+        inflated.write_text(json.dumps(data))
+        code = main(
+            [
+                "bench",
+                "--baseline",
+                str(bench_json),
+                "--candidate",
+                str(inflated),
+                "--tol-makespan",
+                "1.5",
+            ]
+        )
+        assert code == 0
+
+    def test_tier_mismatch_with_baseline_rejected_before_running(
+        self, bench_json, capsys
+    ):
+        # The committed-style baseline is quick-tier; a full-tier run must
+        # be rejected in milliseconds, not after the measurement.
+        code = main(
+            ["bench", "--tier", "full", "--baseline", str(bench_json)]
+        )
+        assert code == 2
+        assert "incomparable" in capsys.readouterr().err
+
+    def test_subset_absent_from_baseline_exits_2(self, bench_json, capsys):
+        # Gating a suite the baseline never measured must not pass vacuously.
+        code = main(
+            [
+                "bench",
+                "--tier",
+                "quick",
+                "--suite",
+                "table_5_1",
+                "--baseline",
+                str(bench_json),  # contains only ablation_approx
+            ]
+        )
+        assert code == 2
+        assert "none of the selected suites" in capsys.readouterr().err
+
+    def test_corrupt_baseline_exits_2(self, bench_json, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        code = main(
+            ["bench", "--baseline", str(bad), "--candidate", str(bench_json)]
+        )
+        assert code == 2
+        assert "cannot load baseline" in capsys.readouterr().err

@@ -16,6 +16,7 @@ SUBPACKAGES = [
     "repro.metrics",
     "repro.perf",
     "repro.utils",
+    "repro.bench",
     "repro.cli",
 ]
 

@@ -1,8 +1,6 @@
 """Tests for the Table 5.1 complexity rows."""
 
-import pytest
-
-from repro.theory.complexity import ComplexityRow, complexity_table, render_table_5_1
+from repro.theory.complexity import complexity_table, render_table_5_1
 
 
 class TestTableStructure:

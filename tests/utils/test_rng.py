@@ -1,7 +1,6 @@
 """Tests for the deterministic RNG tree."""
 
 import numpy as np
-import pytest
 
 from repro.utils.rng import RngTree, rng_or_default, spawn_rngs
 
