@@ -56,7 +56,10 @@ def demo(shards, label: str) -> None:
 
 
 def main() -> None:
-    demo(hotspot_shards(P, N_PER, 3, hot_fraction=0.7), "hotspot: one key = 70% of input")
+    demo(
+        hotspot_shards(P, N_PER, 3, hot_fraction=0.7),
+        "hotspot: one key = 70% of input",
+    )
     demo(
         zipf_duplicate_shards(P, N_PER, 3, alphabet=500, exponent=1.6),
         "zipf over a 500-word alphabet",

@@ -61,7 +61,8 @@ def bitonic_sort_program(
     sizes = yield from ctx.allgather(np.int64(len(keys)))
     if len(set(int(s) for s in sizes)) != 1:
         raise ConfigError(
-            f"bitonic sort requires equal local sizes, got {sorted(set(int(s) for s in sizes))}"
+            f"bitonic sort requires equal local sizes, "
+            f"got {sorted(set(int(s) for s in sizes))}"
         )
 
     with ctx.phase("local sort"):

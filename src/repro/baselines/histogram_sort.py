@@ -27,6 +27,7 @@ from repro.bsp.engine import Context
 from repro.core.data_movement import Shard, exchange_and_merge
 from repro.core.splitters import SplitterState
 from repro.errors import ConfigError, VerificationError
+from repro.utils.arrays import sorted_unique
 
 __all__ = ["HistogramSortStats", "histogram_sort_program", "keyspace_probes"]
 
@@ -85,34 +86,51 @@ def keyspace_probes(
     pairs, counts = np.unique(
         np.column_stack((lo, hi)), axis=0, return_counts=True
     )
-    pieces: list[np.ndarray] = []
-    for (l, h), c in zip(pairs, counts):
-        if h <= l:
-            continue
-        if adaptive or first_round:
-            m = int(c) * probes_per_splitter
-        else:
-            m = probes_per_splitter
-        fracs = np.arange(1, m + 1, dtype=np.float64) / (m + 1)
-        if integer_keys:
-            # Integer-exact interior probes: float spacing would quantize
-            # (float64 resolves 63-bit keys only to ~2^11) and stall the
-            # bisection once intervals shrink below that granularity.
-            width = int(h) - int(l)
-            offsets = np.floor(float(width) * fracs).astype(np.int64)
-            offsets = np.clip(offsets, 1, max(1, width - 1))
-            # Stay in the key dtype end-to-end (an int64/float64 mix would
-            # upcast to float64 and reintroduce the quantization).
-            pieces.append(
-                np.unique(offsets).astype(state.key_dtype)
-                + np.asarray(l, dtype=state.key_dtype)
-            )
-        else:
-            pieces.append(l + (h - l) * fracs)
-    if not pieces:
+    l_arr = pairs[:, 0]
+    h_arr = pairs[:, 1]
+    valid = h_arr > l_arr
+    l_arr, h_arr, counts = l_arr[valid], h_arr[valid], counts[valid]
+    if len(l_arr) == 0:
         return np.empty(0, dtype=state.key_dtype)
-    pts = np.concatenate(pieces).astype(state.key_dtype)
-    return np.unique(pts)
+    if adaptive or first_round:
+        m_per = counts.astype(np.int64) * probes_per_splitter
+    else:
+        m_per = np.full(len(l_arr), probes_per_splitter, dtype=np.int64)
+
+    # Flatten the per-interval probe grids into one batch: position j of
+    # interval i is fraction (j+1)/(m_i+1) of the interval's width.  A round
+    # can hold thousands of open intervals, so per-interval little arrays
+    # would dominate; everything below is one pass over the concatenation.
+    total = int(m_per.sum())
+    starts = np.concatenate(([0], np.cumsum(m_per)[:-1]))
+    ordinal = np.arange(1, total + 1, dtype=np.float64) - np.repeat(
+        starts, m_per
+    )
+    fracs = ordinal / np.repeat(m_per + 1, m_per)
+    if integer_keys:
+        # Integer-exact interior probes: float spacing would quantize
+        # (float64 resolves 63-bit keys only to ~2^11) and stall the
+        # bisection once intervals shrink below that granularity.  Widths
+        # and offsets live in uint64: for h > l the modular difference is
+        # the true width even when a signed subtraction would wrap (e.g. a
+        # first-round interval spanning [-2^62, 2^62]), and the final
+        # lo + offset wraps back to the correct signed key the same way.
+        u_lo = l_arr.astype(np.uint64)
+        widths = h_arr.astype(np.uint64) - u_lo
+        rep_widths = np.repeat(widths, m_per)
+        offsets = np.floor(rep_widths.astype(np.float64) * fracs).astype(np.uint64)
+        offsets = np.clip(
+            offsets,
+            np.uint64(1),
+            np.maximum(np.uint64(1), rep_widths - np.uint64(1)),
+        )
+        # Stay in an integer dtype end-to-end (an int64/float64 mix would
+        # upcast to float64 and reintroduce the quantization).
+        pts = (np.repeat(u_lo, m_per) + offsets).astype(state.key_dtype)
+    else:
+        rep_lo = np.repeat(l_arr, m_per)
+        pts = rep_lo + np.repeat(h_arr - l_arr, m_per) * fracs
+    return sorted_unique(pts.astype(state.key_dtype))
 
 
 def histogram_sort_program(

@@ -30,13 +30,19 @@ from repro.bench.compare import (
     compare_documents,
 )
 from repro.bench.registry import Benchmark, get_suite, register, suite_names
-from repro.bench.runner import resolve_suites, run_suite, run_suites
+from repro.bench.runner import (
+    ParallelRunner,
+    resolve_suites,
+    run_suite,
+    run_suites,
+)
 from repro.bench.schema import (
     SCHEMA_VERSION,
     BenchDocument,
     CaseResult,
     SchemaError,
     SuiteRun,
+    strip_volatile,
     validate_document,
 )
 
@@ -48,6 +54,7 @@ __all__ = [
     "CompareReport",
     "DEFAULT_TOLERANCES",
     "MetricDelta",
+    "ParallelRunner",
     "SchemaError",
     "SuiteRun",
     "compare_documents",
@@ -56,6 +63,7 @@ __all__ = [
     "resolve_suites",
     "run_suite",
     "run_suites",
+    "strip_volatile",
     "suite_names",
     "validate_document",
 ]

@@ -14,6 +14,12 @@ Tiers
 ``quick``
     Scaled-down sweeps with the same structure, cheap enough for CI's
     ``bench-smoke`` gate (seconds).
+``stress``
+    Optional scaled-*up* sweeps (4–16x the quick tier's problem sizes) for
+    suites whose engines can take it — the nightly workflow's trend view.
+    Every suite must define ``quick`` and ``full``; ``stress`` is opt-in,
+    and tier-filtered selection (``suite_names(tier="stress")``) returns
+    only the suites that registered it.
 """
 
 from __future__ import annotations
@@ -24,9 +30,20 @@ from typing import Any, Callable, Mapping, Sequence
 from repro.bench.schema import CaseResult
 from repro.errors import ConfigError
 
-__all__ = ["Benchmark", "REGISTRY", "TIERS", "register", "get_suite", "suite_names"]
+__all__ = [
+    "Benchmark",
+    "REGISTRY",
+    "TIERS",
+    "KNOWN_TIERS",
+    "register",
+    "get_suite",
+    "suite_names",
+]
 
+#: Tiers every suite must define.
 TIERS = ("quick", "full")
+#: All tiers a suite may define (anything else is a registration typo).
+KNOWN_TIERS = ("quick", "full", "stress")
 
 #: Measurement function: params -> list of cases.
 RunFn = Callable[[Mapping[str, Any]], list[CaseResult]]
@@ -46,6 +63,9 @@ class Benchmark:
     render: RenderFn
     #: Stem of the text artifact under ``benchmarks/results/`` (no suffix).
     artifact: str = ""
+
+    def has_tier(self, tier: str) -> bool:
+        return tier in self.tiers
 
     def params_for(
         self, tier: str, overrides: Mapping[str, Any] | None = None
@@ -85,6 +105,12 @@ def register(
     missing = [t for t in TIERS if t not in tiers]
     if missing:
         raise ConfigError(f"suite {name!r} missing tiers {missing}")
+    unknown_tiers = [t for t in tiers if t not in KNOWN_TIERS]
+    if unknown_tiers:
+        raise ConfigError(
+            f"suite {name!r} declares unknown tiers {unknown_tiers}; "
+            f"choose from {list(KNOWN_TIERS)}"
+        )
 
     def decorate(fn: RunFn) -> RunFn:
         REGISTRY[name] = Benchmark(
@@ -117,6 +143,9 @@ def get_suite(name: str) -> Benchmark:
     return REGISTRY[name]
 
 
-def suite_names() -> list[str]:
+def suite_names(tier: str | None = None) -> list[str]:
+    """Registered suite names, optionally only those defining ``tier``."""
     _ensure_loaded()
-    return sorted(REGISTRY)
+    if tier is None:
+        return sorted(REGISTRY)
+    return sorted(n for n, b in REGISTRY.items() if b.has_tier(tier))

@@ -4,31 +4,59 @@ The runner is the single choke point between the registry and the schema:
 ``pytest benchmarks/`` and ``repro bench`` both call :func:`run_suite` /
 :func:`run_suites`, so every measurement — interactive or CI — lands in the
 same JSON shape with the same provenance.
+
+Parallel execution
+------------------
+Suites are pure functions of (parameters, seed): every random stream is
+seeded from suite parameters and no suite touches global state.  They can
+therefore run in separate *processes* with no effect on the measured
+numbers, and :class:`ParallelRunner` does exactly that over a
+``ProcessPoolExecutor``.  The contract — enforced by test and by CI's
+``bench-parallel`` job — is that the document's deterministic projection
+(:func:`repro.bench.schema.strip_volatile`) is byte-identical between
+``jobs=1`` and ``jobs=N``.  Which process ran a suite is recorded in the
+suite's ``worker`` block, next to (not inside) the gated payload.
 """
 
 from __future__ import annotations
 
+import os
 import sys
 import time
+from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.bench.registry import get_suite, suite_names
 from repro.bench.schema import BenchDocument, SuiteRun
 from repro.errors import ConfigError
 
-__all__ = ["run_suite", "run_suites", "resolve_suites"]
+__all__ = ["ParallelRunner", "run_suite", "run_suites", "resolve_suites"]
 
 
-def resolve_suites(names: Sequence[str] | None) -> list[str]:
-    """Validate requested suite names (``None``/empty = all registered)."""
+def resolve_suites(
+    names: Sequence[str] | None, tier: str | None = None
+) -> list[str]:
+    """Validate requested suite names (``None``/empty = all registered).
+
+    With a ``tier``, an empty selection expands to the suites *defining*
+    that tier (the ``stress`` tier is opt-in), while an explicit name that
+    lacks the tier is an error rather than a silent skip.
+    """
     known = suite_names()
     if not names:
-        return known
+        return known if tier is None else suite_names(tier)
     unknown = [n for n in names if n not in known]
     if unknown:
         raise ConfigError(
             f"unknown benchmark suite(s) {unknown}; choose from {known}"
         )
+    if tier is not None:
+        lacking = [n for n in names if not get_suite(n).has_tier(tier)]
+        if lacking:
+            raise ConfigError(
+                f"suite(s) {lacking} do not define tier {tier!r}; "
+                f"tier {tier!r} suites: {suite_names(tier)}"
+            )
     # Preserve registry order, drop duplicates.
     requested = set(names)
     return [n for n in known if n in requested]
@@ -54,43 +82,133 @@ def run_suite(
     )
 
 
+def _run_suite_task(
+    name: str, tier: str, overrides: Mapping[str, Any] | None
+) -> SuiteRun:
+    """Worker entry point: one suite, stamped with its process of origin.
+
+    Module-level so it pickles under every multiprocessing start method.
+    """
+    run = run_suite(name, tier, overrides=overrides)
+    run.worker = {"pid": os.getpid()}
+    return run
+
+
+class ParallelRunner:
+    """Execute independent suites across a process pool.
+
+    ``jobs=1`` runs everything inline (no pool, no pickling) and is the
+    default; any higher value fans suites out over up to ``jobs`` worker
+    processes.  Suites always land in the document in registry order, so
+    the deterministic projection of the result is independent of ``jobs``,
+    scheduling, and completion order.
+    """
+
+    def __init__(self, jobs: int = 1) -> None:
+        if jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+
+    def run(
+        self,
+        names: Sequence[str] | None = None,
+        tier: str = "quick",
+        *,
+        overrides: Mapping[str, Mapping[str, Any]] | None = None,
+        progress: Callable[[str], None] | None = None,
+    ) -> BenchDocument:
+        selected = resolve_suites(names, tier)
+        doc = BenchDocument(tier=tier)
+        total_start = time.perf_counter()
+        jobs = min(self.jobs, len(selected)) if selected else 1
+        if jobs <= 1:
+            self._run_serial(doc, selected, tier, overrides, progress, jobs)
+        else:
+            self._run_pool(doc, selected, tier, overrides, progress, jobs)
+        doc.wall_s = time.perf_counter() - total_start
+        return doc
+
+    def _run_serial(
+        self,
+        doc: BenchDocument,
+        selected: Sequence[str],
+        tier: str,
+        overrides: Mapping[str, Mapping[str, Any]] | None,
+        progress: Callable[[str], None] | None,
+        jobs: int,
+    ) -> None:
+        for name in selected:
+            if progress is not None:
+                progress(f"running suite {name!r} (tier={tier}) ...")
+            run = _run_suite_task(name, tier, (overrides or {}).get(name))
+            run.worker["jobs"] = jobs
+            if progress is not None:
+                progress(f"  {name}: {len(run.cases)} cases in {run.wall_s:.2f}s")
+            doc.suites.append(run)
+
+    def _run_pool(
+        self,
+        doc: BenchDocument,
+        selected: Sequence[str],
+        tier: str,
+        overrides: Mapping[str, Mapping[str, Any]] | None,
+        progress: Callable[[str], None] | None,
+        jobs: int,
+    ) -> None:
+        if progress is not None:
+            progress(
+                f"running {len(selected)} suites (tier={tier}) "
+                f"across {jobs} worker processes ..."
+            )
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {
+                name: pool.submit(
+                    _run_suite_task, name, tier, (overrides or {}).get(name)
+                )
+                for name in selected
+            }
+            # Collect in submission (= registry) order: the document layout
+            # must not depend on completion order.
+            for name in selected:
+                run = futures[name].result()
+                run.worker["jobs"] = jobs
+                if progress is not None:
+                    progress(
+                        f"  {name}: {len(run.cases)} cases in "
+                        f"{run.wall_s:.2f}s (pid {run.worker['pid']})"
+                    )
+                doc.suites.append(run)
+
+
 def run_suites(
     names: Sequence[str] | None = None,
     tier: str = "quick",
     *,
     overrides: Mapping[str, Mapping[str, Any]] | None = None,
     progress: Callable[[str], None] | None = None,
+    jobs: int = 1,
 ) -> BenchDocument:
     """Run several suites into one document.
 
     Parameters
     ----------
     names:
-        Suite names (default: every registered suite, registry order).
+        Suite names (default: every registered suite, registry order;
+        for ``tier="stress"`` the default narrows to suites defining it).
     tier:
-        ``"quick"`` or ``"full"``.
+        ``"quick"``, ``"full"``, or ``"stress"``.
     overrides:
         Optional per-suite parameter overrides, keyed by suite name.
     progress:
         Callback invoked with a one-line status per suite (the CLI passes a
         stderr printer; tests pass nothing).
+    jobs:
+        Worker processes.  ``1`` (default) runs inline; higher values use a
+        process pool with identical modeled output.
     """
-    selected = resolve_suites(names)
-    doc = BenchDocument(tier=tier)
-    total_start = time.perf_counter()
-    for name in selected:
-        if progress is not None:
-            progress(f"running suite {name!r} (tier={tier}) ...")
-        run = run_suite(
-            name, tier, overrides=(overrides or {}).get(name)
-        )
-        if progress is not None:
-            progress(
-                f"  {name}: {len(run.cases)} cases in {run.wall_s:.2f}s"
-            )
-        doc.suites.append(run)
-    doc.wall_s = time.perf_counter() - total_start
-    return doc
+    return ParallelRunner(jobs).run(
+        names, tier, overrides=overrides, progress=progress
+    )
 
 
 def stderr_progress(message: str) -> None:

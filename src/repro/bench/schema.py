@@ -8,13 +8,18 @@ regression gate (:mod:`repro.bench.compare`) diffs two documents.
 
 Determinism contract
 --------------------
-Everything in the document except the ``wall_*`` fields and the
-``provenance`` block is a pure function of (code, suite parameters, seed):
-metrics come from the simulated BSP machine and the rank-space splitter
-engine, not from host timing.  Two runs with the same tier on different
-hosts therefore produce comparable documents, which is what lets CI gate a
-laptop-generated baseline.  ``wall_s`` records host wall-clock purely as
-provenance and is never compared.
+Everything in the document except the ``wall_*`` fields, the ``provenance``
+block, and the per-suite ``worker`` block is a pure function of (code,
+suite parameters, seed): metrics come from the simulated BSP machine and
+the rank-space splitter engine, not from host timing.  Two runs with the
+same tier on different hosts therefore produce comparable documents, which
+is what lets CI gate a laptop-generated baseline.  ``wall_s`` records host
+wall-clock purely as provenance and is never compared; ``worker`` records
+which process executed the suite (the parallel runner's provenance).
+
+:func:`strip_volatile` projects a document dict down to exactly the
+deterministic subset, so "two runs agree" is a dict (or JSON) equality
+check — the parallel runner's serial-equivalence gate in CI is built on it.
 """
 
 from __future__ import annotations
@@ -34,6 +39,7 @@ __all__ = [
     "BenchDocument",
     "SchemaError",
     "machine_provenance",
+    "strip_volatile",
     "validate_document",
 ]
 
@@ -118,13 +124,20 @@ class CaseResult:
 
 @dataclass
 class SuiteRun:
-    """All cases of one suite at one tier."""
+    """All cases of one suite at one tier.
+
+    ``worker`` is execution provenance: which process ran the suite and
+    under which job count (see :class:`repro.bench.runner.ParallelRunner`).
+    Like ``wall_s`` it is informational — never part of the deterministic
+    payload and never gated.
+    """
 
     suite: str
     tier: str
     params: dict[str, Any] = field(default_factory=dict)
     cases: list[CaseResult] = field(default_factory=list)
     wall_s: float = 0.0
+    worker: dict[str, Any] = field(default_factory=dict)
 
     def case(self, name: str) -> CaseResult:
         for case in self.cases:
@@ -142,6 +155,7 @@ class SuiteRun:
             "params": _scalar_map(self.params),
             "cases": [c.to_dict() for c in self.cases],
             "wall_s": self.wall_s,
+            "worker": dict(self.worker),
         }
 
     @classmethod
@@ -153,6 +167,7 @@ class SuiteRun:
             params=dict(data.get("params", {})),
             cases=[CaseResult.from_dict(c) for c in data["cases"]],
             wall_s=float(data.get("wall_s", 0.0)),
+            worker=dict(data.get("worker", {})),
         )
 
 
@@ -202,6 +217,15 @@ class BenchDocument:
             "suites": [run.to_dict() for run in self.suites],
         }
 
+    def modeled_dict(self) -> dict[str, Any]:
+        """The deterministic projection of this document.
+
+        Equal for any two runs of the same code at the same tier — serial or
+        parallel, laptop or CI — which makes "the parallel runner changed
+        nothing" a plain equality assertion.
+        """
+        return strip_volatile(self.to_dict())
+
     def to_json(self, *, indent: int | None = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
@@ -237,6 +261,33 @@ class BenchDocument:
         from pathlib import Path
 
         return cls.from_json(Path(path).read_text())
+
+
+#: Host-dependent document keys, by nesting level.  Everything else is a
+#: pure function of (code, tier parameters, seed).
+_VOLATILE_DOCUMENT_KEYS = ("created_unix", "provenance", "wall_s")
+_VOLATILE_SUITE_KEYS = ("wall_s", "worker")
+_VOLATILE_CASE_KEYS = ("wall_s",)
+
+
+def strip_volatile(data: Mapping[str, Any]) -> dict[str, Any]:
+    """Drop the fields allowed to differ between identical runs.
+
+    Takes and returns plain dicts (the ``to_dict`` / JSON shape) so callers
+    can diff documents loaded straight from disk without constructing
+    :class:`BenchDocument` objects.
+    """
+    doc = {k: v for k, v in data.items() if k not in _VOLATILE_DOCUMENT_KEYS}
+    suites = []
+    for run in doc.get("suites", []):
+        run = {k: v for k, v in run.items() if k not in _VOLATILE_SUITE_KEYS}
+        run["cases"] = [
+            {k: v for k, v in case.items() if k not in _VOLATILE_CASE_KEYS}
+            for case in run.get("cases", [])
+        ]
+        suites.append(run)
+    doc["suites"] = suites
+    return doc
 
 
 # --------------------------------------------------------------------- #
@@ -282,6 +333,8 @@ def validate_document(data: Any) -> list[str]:
             if run["suite"] in seen_suites:
                 errors.append(f"{where}: duplicate suite {run['suite']!r}")
             seen_suites.add(run["suite"])
+        if not isinstance(run.get("worker", {}), Mapping):
+            errors.append(f"{where}.worker must be an object")
         if not isinstance(run.get("cases", []), list):
             errors.append(f"{where}.cases must be a list")
             continue

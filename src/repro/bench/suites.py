@@ -24,7 +24,9 @@ from repro.perf.report import format_series_table, format_stacked_table
 __all__: list[str] = []  # suites are reached through the registry
 
 
-def _case(name: str, params: Mapping[str, Any], metrics: Mapping[str, Any]) -> CaseResult:
+def _case(
+    name: str, params: Mapping[str, Any], metrics: Mapping[str, Any]
+) -> CaseResult:
     return CaseResult(name=name, params=dict(params), metrics=dict(metrics))
 
 
@@ -94,6 +96,15 @@ _SHOOTOUT_ALGORITHMS = [
             "keys_per_rank": 500,
             "eps": 0.1,
             "workloads": ["uniform", "staircase"],
+            "algorithms": list(_SHOOTOUT_ALGORITHMS),
+            "workload_seed": 42,
+            "sort_seed": 13,
+        },
+        "stress": {
+            "procs": 32,
+            "keys_per_rank": 2_000,
+            "eps": 0.1,
+            "workloads": ["uniform", "staircase", "nearly-sorted"],
             "algorithms": list(_SHOOTOUT_ALGORITHMS),
             "workload_seed": 42,
             "sort_seed": 13,
@@ -185,6 +196,8 @@ def _render_shootout(cases: Sequence[CaseResult], params: Mapping[str, Any]) -> 
                  "k": 4, "seed": 5},
         "quick": {"procs": 1_024, "keys_per_proc": 5_000, "eps": 0.05,
                   "k": 4, "seed": 5},
+        "stress": {"procs": 8_192, "keys_per_proc": 10_000, "eps": 0.05,
+                   "k": 4, "seed": 5},
     },
     render=lambda cases, params: _render_fig_3_1(cases, params),
 )
@@ -276,6 +289,13 @@ def _render_fig_3_1(cases: Sequence[CaseResult], params: Mapping[str, Any]) -> s
             "analytic_ps": [4**k for k in range(1, 10)],
             "measured_ps": [64, 256, 1024],
             "keys_per_proc": 1_000,
+            "seed": 3,
+        },
+        "stress": {
+            "eps": 0.05,
+            "analytic_ps": [4**k for k in range(1, 10)],
+            "measured_ps": [64, 8_192, 131_072],
+            "keys_per_proc": 2_000,
             "seed": 3,
         },
     },
@@ -642,6 +662,8 @@ def _render_table_5_1(cases: Sequence[CaseResult], params: Mapping[str, Any]) ->
                  "oversample": 5.0, "keys_per_proc": 100_000, "seed": 11},
         "quick": {"ps": [4_000, 8_000], "eps": 0.02,
                   "oversample": 5.0, "keys_per_proc": 50_000, "seed": 11},
+        "stress": {"ps": [16_000, 64_000], "eps": 0.02,
+                   "oversample": 5.0, "keys_per_proc": 100_000, "seed": 11},
     },
     render=lambda cases, params: _render_table_6_1(cases, params),
 )
@@ -1070,6 +1092,8 @@ def _render_ablation_refinement(
                  "ks": [1, 2, 3, 4, 5, 6], "seed": 31},
         "quick": {"procs": 2_048, "keys_per_proc": 5_000, "eps": 0.05,
                   "ks": [1, 2, 3, 4], "seed": 31},
+        "stress": {"procs": 16_384, "keys_per_proc": 10_000, "eps": 0.05,
+                   "ks": [1, 2, 3, 4, 5, 6], "seed": 31},
     },
     render=lambda cases, params: _render_ablation_rounds(cases, params),
 )

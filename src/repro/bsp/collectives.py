@@ -22,7 +22,12 @@ exchange       partner's payload (pairwise, partners must be symmetric)
 Reductions support ``'sum'``, ``'min'``, ``'max'`` and operate elementwise on
 NumPy arrays or directly on scalars.  Payload sizes are measured with
 :func:`sizeof`, which understands NumPy arrays, scalars, strings, bytes and
-(recursively) containers.
+(recursively) containers.  ``sizeof`` is on the engine's superstep hot path
+(every collective sizes every rank's payload), so it dispatches through a
+per-type cache with vectorized fast paths for the payload shapes the sort
+programs actually send — ndarrays, scalars, and flat homogeneous sequences
+of either; :func:`sizeof_reference` keeps the plain recursive walk as the
+semantic ground truth the fast path is tested against.
 """
 
 from __future__ import annotations
@@ -33,16 +38,26 @@ import numpy as np
 
 from repro.errors import BSPError, CollectiveMismatchError
 
-__all__ = ["sizeof", "resolve", "ResolvedCollective", "REDUCERS"]
+__all__ = [
+    "sizeof",
+    "sizeof_reference",
+    "resolve",
+    "ResolvedCollective",
+    "REDUCERS",
+]
 
 
-def sizeof(obj: Any) -> int:
-    """Approximate wire size of a payload in bytes.
+def sizeof_reference(obj: Any) -> int:
+    """Approximate wire size of a payload in bytes (recursive reference).
 
     NumPy arrays report their exact buffer size; Python scalars count as 8
     bytes (their natural wire encoding); containers sum their elements.  The
     goal is faithful *relative* accounting for the cost model, not Python
     object-graph memory measurement.
+
+    This is the original, obviously-correct recursive walk.  :func:`sizeof`
+    is the production entry point and must agree with it on every payload;
+    ``tests/bsp/test_sizeof.py`` enforces the equivalence.
     """
     if obj is None:
         return 0
@@ -55,13 +70,131 @@ def sizeof(obj: Any) -> int:
     if isinstance(obj, str):
         return len(obj.encode())
     if isinstance(obj, dict):
-        return sum(sizeof(k) + sizeof(v) for k, v in obj.items())
+        return sum(sizeof_reference(k) + sizeof_reference(v) for k, v in obj.items())
     if isinstance(obj, (list, tuple, set, frozenset)):
-        return sum(sizeof(x) for x in obj)
+        return sum(sizeof_reference(x) for x in obj)
     # Dataclass-ish objects: count their public attributes.
     if hasattr(obj, "__dict__"):
-        return sum(sizeof(v) for v in vars(obj).values())
+        return sum(sizeof_reference(v) for v in vars(obj).values())
     return 8
+
+
+# ------------------------------------------------------------------ #
+# Fast-path sizeof: per-type dispatch cache + flat-sequence batching.
+# ------------------------------------------------------------------ #
+_SCALAR_TYPES = frozenset((bool, int, float, complex))
+
+
+def _sizeof_none(obj: Any) -> int:
+    return 0
+
+
+def _sizeof_ndarray(obj: np.ndarray) -> int:
+    return int(obj.nbytes)
+
+
+def _sizeof_scalar(obj: Any) -> int:
+    return 8
+
+
+def _sizeof_buffer(obj: Any) -> int:
+    return len(obj)
+
+
+def _sizeof_str(obj: str) -> int:
+    return len(obj.encode())
+
+
+def _sizeof_dict(obj: dict) -> int:
+    return sum(sizeof(k) + sizeof(v) for k, v in obj.items())
+
+
+def _sizeof_flat_sequence(obj: Any) -> int:
+    """Size a list/tuple/set, batching the homogeneous flat shapes.
+
+    The sort programs overwhelmingly send flat sequences — per-destination
+    ndarray rows for ``alltoall``, splitter/count vectors as Python lists.
+    When every element is the same scalar type the answer is ``8 * len``;
+    when every element is an ndarray the buffer sizes sum without any
+    per-element dispatch.  Mixed/nested sequences fall back to the generic
+    per-element walk.
+    """
+    if not obj:
+        return 0
+    kinds = {type(x) for x in obj}
+    if len(kinds) == 1:
+        kind = next(iter(kinds))
+        if kind in _SCALAR_TYPES:
+            return 8 * len(obj)
+        if kind is np.ndarray:
+            return int(sum(x.nbytes for x in obj))
+        if issubclass(kind, np.generic):
+            return 8 * len(obj)
+    return sum(sizeof(x) for x in obj)
+
+
+#: Exact-type dispatch table.  Seeded with the builtin payload types; other
+#: types are resolved once through the isinstance ladder of
+#: :func:`sizeof_reference` and then memoized, so repeated payloads of the
+#: same type (the common case inside a superstep sweep) never re-walk it.
+_SIZEOF_DISPATCH: dict[type, Callable[[Any], int]] = {
+    type(None): _sizeof_none,
+    np.ndarray: _sizeof_ndarray,
+    bool: _sizeof_scalar,
+    int: _sizeof_scalar,
+    float: _sizeof_scalar,
+    complex: _sizeof_scalar,
+    bytes: _sizeof_buffer,
+    bytearray: _sizeof_buffer,
+    memoryview: _sizeof_buffer,
+    str: _sizeof_str,
+    dict: _sizeof_dict,
+    list: _sizeof_flat_sequence,
+    tuple: _sizeof_flat_sequence,
+    set: _sizeof_flat_sequence,
+    frozenset: _sizeof_flat_sequence,
+}
+
+
+def _resolve_handler(kind: type) -> Callable[[Any], int]:
+    """Mirror ``sizeof_reference``'s isinstance ladder, once per type."""
+    if issubclass(kind, np.ndarray):
+        return _sizeof_ndarray
+    if issubclass(kind, (bool, int, float, complex, np.generic)):
+        return _sizeof_scalar
+    if issubclass(kind, (bytes, bytearray, memoryview)):
+        return _sizeof_buffer
+    if issubclass(kind, str):
+        return _sizeof_str
+    if issubclass(kind, dict):
+        return _sizeof_dict
+    if issubclass(kind, (list, tuple, set, frozenset)):
+        return _sizeof_flat_sequence
+    return _sizeof_attrs_or_opaque
+
+
+def _sizeof_attrs_or_opaque(obj: Any) -> int:
+    # Dataclass-ish objects count their attributes; instances without a
+    # __dict__ (pure-__slots__ classes, opaque extension types) count as one
+    # 8-byte word, matching sizeof_reference's terminal case.
+    try:
+        attrs = vars(obj)
+    except TypeError:
+        return 8
+    return sum(sizeof(v) for v in attrs.values())
+
+
+def sizeof(obj: Any) -> int:
+    """Approximate wire size of a payload in bytes (cached fast path).
+
+    Semantics are exactly those of :func:`sizeof_reference`; the dispatch
+    cache and the flat-sequence batching only change the constant factor.
+    """
+    handler = _SIZEOF_DISPATCH.get(type(obj))
+    if handler is None:
+        handler = _resolve_handler(type(obj))
+        _SIZEOF_DISPATCH[type(obj)] = handler
+    return handler(obj)
 
 
 def _reduce_pair(a: Any, b: Any, op: str) -> Any:
@@ -121,26 +254,14 @@ def resolve(
 ) -> ResolvedCollective:
     """Compute every rank's result for one collective rendezvous."""
     p = len(payloads)
-    sizes = [sizeof(x) for x in payloads]
-    total = sum(sizes)
-    largest = max(sizes) if sizes else 0
 
     if op == "barrier":
         return ResolvedCollective([None] * p, 0, 0)
 
     if op == "bcast":
         value = payloads[root]
-        size = sizes[root]
+        size = sizeof(value)
         return ResolvedCollective([value] * p, size, size * max(0, p - 1))
-
-    if op == "gather":
-        results: list[Any] = [None] * p
-        results[root] = list(payloads)
-        return ResolvedCollective(results, total, total)
-
-    if op == "allgather":
-        everywhere = list(payloads)
-        return ResolvedCollective([everywhere] * p, total, total)
 
     if op == "scatter":
         chunks = payloads[root]
@@ -150,10 +271,40 @@ def resolve(
                 f"got {type(chunks).__name__}"
                 + (f" of length {len(chunks)}" if hasattr(chunks, "__len__") else "")
             )
-        chunk_sizes = [sizeof(c) for c in chunks]
-        return ResolvedCollective(
-            list(chunks), sum(chunk_sizes), sum(chunk_sizes)
+        chunk_total = sum(sizeof(c) for c in chunks)
+        return ResolvedCollective(list(chunks), chunk_total, chunk_total)
+
+    if op in ("alltoall", "alltoallv"):
+        for r, row in enumerate(payloads):
+            if row is None or len(row) != p:
+                raise BSPError(
+                    f"alltoall payload at rank {r} must be a length-{p} "
+                    f"sequence of per-destination items"
+                )
+        results = [[payloads[src][dst] for src in range(p)] for dst in range(p)]
+        # Size every (src, dst) element exactly once: row sums are the send
+        # volumes, column sums the receive volumes.
+        elem_bytes = np.array(
+            [[sizeof(x) for x in row] for row in payloads], dtype=np.int64
         )
+        send_bytes = elem_bytes.sum(axis=1)
+        recv_bytes = elem_bytes.sum(axis=0)
+        vmax = int((send_bytes + recv_bytes).max()) if p else 0
+        return ResolvedCollective(results, vmax, int(send_bytes.sum()))
+
+    # The remaining ops all charge by per-rank payload sizes.
+    sizes = [sizeof(x) for x in payloads]
+    total = sum(sizes)
+    largest = max(sizes) if sizes else 0
+
+    if op == "gather":
+        results: list[Any] = [None] * p
+        results[root] = list(payloads)
+        return ResolvedCollective(results, total, total)
+
+    if op == "allgather":
+        everywhere = list(payloads)
+        return ResolvedCollective([everywhere] * p, total, total)
 
     if op == "reduce":
         combined = _combine(payloads, reduce_op)
@@ -175,21 +326,6 @@ def resolve(
                 acc = REDUCERS[reduce_op](acc, value)
             results.append(acc.copy() if isinstance(acc, np.ndarray) else acc)
         return ResolvedCollective(results, largest, total)
-
-    if op in ("alltoall", "alltoallv"):
-        for r, row in enumerate(payloads):
-            if row is None or len(row) != p:
-                raise BSPError(
-                    f"alltoall payload at rank {r} must be a length-{p} "
-                    f"sequence of per-destination items"
-                )
-        results = [[payloads[src][dst] for src in range(p)] for dst in range(p)]
-        send_bytes = [sum(sizeof(x) for x in row) for row in payloads]
-        recv_bytes = [sum(sizeof(x) for x in col) for col in results]
-        vmax = max(
-            (s + r for s, r in zip(send_bytes, recv_bytes)), default=0
-        )
-        return ResolvedCollective(results, vmax, sum(send_bytes))
 
     if op == "exchange":
         if partners is None:

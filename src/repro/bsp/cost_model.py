@@ -178,7 +178,9 @@ class CostModel:
         if op == "allreduce":
             comm = 2.0 * (a * lg + 2 * S * b)
             compute = S * m.gamma_byte
-            return CollectiveCost(comm, compute, 2 * int(S) * (e - 1), 2 * (e - 1), e, "pipelined")
+            return CollectiveCost(
+                comm, compute, 2 * int(S) * (e - 1), 2 * (e - 1), e, "pipelined"
+            )
 
         if op in ("gather", "gatherv", "scatter", "scatterv", "sample_gather"):
             comm = a * lg + T * b

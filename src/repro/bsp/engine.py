@@ -186,11 +186,15 @@ class Context:
         result = yield _Call("allgather", value, group=self._group)
         return result
 
-    def scatter(self, values: Sequence[Any] | None, root: int = 0) -> Generator[Any, Any, Any]:
+    def scatter(
+        self, values: Sequence[Any] | None, root: int = 0
+    ) -> Generator[Any, Any, Any]:
         result = yield _Call("scatter", values, root, group=self._group)
         return result
 
-    def reduce(self, value: Any, op: str = "sum", root: int = 0) -> Generator[Any, Any, Any]:
+    def reduce(
+        self, value: Any, op: str = "sum", root: int = 0
+    ) -> Generator[Any, Any, Any]:
         result = yield _Call("reduce", value, root, reduce_op=op, group=self._group)
         return result
 
@@ -345,18 +349,23 @@ class BSPEngine:
         stats = CommStats()
         step = 0
 
-        while True:
+        # Ranks whose generators are still running.  The scheduling sweep
+        # walks only this list, so ranks that returned early are never
+        # re-scanned superstep after superstep (at large p the sweeps
+        # dominate engine overhead).
+        active: list[int] = list(range(p))
+        finished: list[int] = []
+
+        while active:
             calls: list[_Call | None] = [None] * p
-            live = 0
-            for r in range(p):
-                gen = gens[r]
-                if gen is None:
-                    continue
+            waiting: list[int] = []
+            for r in active:
                 try:
-                    request = gen.send(resume[r])
+                    request = gens[r].send(resume[r])
                 except StopIteration as stop:
                     returns[r] = stop.value
                     gens[r] = None
+                    finished.append(r)
                     continue
                 if not isinstance(request, _Call):
                     raise BSPError(
@@ -364,19 +373,17 @@ class BSPEngine:
                         "must only 'yield from' Context collectives"
                     )
                 calls[r] = request
-                live += 1
+                waiting.append(r)
                 resume[r] = None
+            active = waiting
 
-            if live == 0:
+            if not active:
                 break
 
             # --- group the rendezvous ----------------------------------
             groups: dict[tuple, list[int]] = {}
-            for r in range(p):
-                if calls[r] is not None:
-                    groups.setdefault(calls[r].group, []).append(r)
-
-            finished = [r for r in range(p) if gens[r] is None]
+            for r in active:
+                groups.setdefault(calls[r].group, []).append(r)
             if ("global",) in groups:
                 if len(groups) > 1:
                     other = next(g for g in groups if g != ("global",))
@@ -386,11 +393,11 @@ class BSPEngine:
                         f"{groups[other][:4]} issued a {other} collective"
                     )
                 if finished:
-                    waiting = groups[("global",)]
+                    stalled = groups[("global",)]
                     raise DeadlockError(
-                        f"ranks {finished[:8]} finished while ranks "
-                        f"{waiting[:8]} wait on "
-                        f"'{calls[waiting[0]].op}' — program is not SPMD"
+                        f"ranks {sorted(finished)[:8]} finished while ranks "
+                        f"{stalled[:8]} wait on "
+                        f"'{calls[stalled[0]].op}' — program is not SPMD"
                     )
             else:
                 # All node-scoped: every node group must be complete.
@@ -405,11 +412,7 @@ class BSPEngine:
                         )
 
             # --- per-rank compute drained once per sweep ----------------
-            drained = {
-                r: contexts[r]._drain_compute()
-                for r in range(p)
-                if calls[r] is not None
-            }
+            drained = {r: contexts[r]._drain_compute() for r in active}
 
             # --- resolve each group independently -----------------------
             # Node groups on different nodes run concurrently: a sweep of

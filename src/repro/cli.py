@@ -96,10 +96,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--tier",
-        choices=["quick", "full"],
+        choices=["quick", "full", "stress"],
         default=None,
-        help="parameter tier: quick (CI seconds, the default) or full "
-        "(paper-faithful)",
+        help="parameter tier: quick (CI seconds, the default), full "
+        "(paper-faithful), or stress (scaled beyond full; only suites "
+        "registering the tier run)",
+    )
+    bench.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run suites across N worker processes (default 1 = inline; "
+        "modeled metrics are identical at any job count)",
     )
     bench.add_argument(
         "--suite",
@@ -315,13 +324,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.errors import ConfigError
 
     if args.list:
+        from repro.bench.registry import KNOWN_TIERS
+
         for name in suite_names():
             bench = get_suite(name)
-            print(f"{name:22s} [{bench.kind}] {bench.description}")
+            tiers = ",".join(t for t in KNOWN_TIERS if t in bench.tiers)
+            print(f"{name:22s} [{bench.kind}] ({tiers}) {bench.description}")
         return 0
 
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+
     try:
-        selected = resolve_suites(args.suites)
+        selected = resolve_suites(
+            args.suites, args.tier if args.candidate is None else None
+        )
     except ConfigError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -365,9 +383,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             return 2
         # File-vs-file mode runs nothing, so run-only flags are mistakes,
         # not no-ops.
-        if args.json_path is not None or args.tier is not None:
+        if args.json_path is not None or args.tier is not None or args.jobs != 1:
             print(
-                "--json/--tier have no effect with --candidate "
+                "--json/--tier/--jobs have no effect with --candidate "
                 "(nothing is run)",
                 file=sys.stderr,
             )
@@ -393,7 +411,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             ]
     else:
         tier = args.tier if args.tier is not None else "quick"
-        doc = run_suites(selected, tier=tier, progress=stderr_progress)
+        doc = run_suites(
+            selected, tier=tier, progress=stderr_progress, jobs=args.jobs
+        )
         if args.json_path:
             try:
                 doc.save(args.json_path)

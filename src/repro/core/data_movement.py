@@ -62,7 +62,10 @@ def partition_by_splitters(
     bounds[-1] = n
     if np.any(np.diff(bounds) < 0):
         raise ValueError("bucket boundary positions must be non-decreasing")
-    return [shard.slice(int(bounds[i]), int(bounds[i + 1])) for i in range(len(bounds) - 1)]
+    return [
+        shard.slice(int(bounds[i]), int(bounds[i + 1]))
+        for i in range(len(bounds) - 1)
+    ]
 
 
 def _merge_runs(runs: list[Shard], key_dtype: np.dtype) -> Shard:

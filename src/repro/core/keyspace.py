@@ -68,7 +68,9 @@ class PlainKeySpace:
     ) -> np.ndarray:
         """Bernoulli-sample probe keys (whole input when ``intervals`` is None)."""
         if intervals is None:
-            intervals = [(local_sorted[0], local_sorted[-1])] if len(local_sorted) else []
+            intervals = (
+                [(local_sorted[0], local_sorted[-1])] if len(local_sorted) else []
+            )
         return bernoulli_sample_in_intervals(local_sorted, intervals, prob, rng)
 
     def sort_unique_probes(self, pieces: Sequence[np.ndarray]) -> np.ndarray:
@@ -120,7 +122,10 @@ class TaggedKeySpace:
             info = np.iinfo(self.base_dtype)
             kmin, kmax = info.min, info.max
         lo = np.array([(kmin, -1, -1)], dtype=self.key_dtype)[0]
-        hi = np.array([(kmax, np.iinfo(np.int64).max, np.iinfo(np.int64).max)], dtype=self.key_dtype)[0]
+        hi = np.array(
+            [(kmax, np.iinfo(np.int64).max, np.iinfo(np.int64).max)],
+            dtype=self.key_dtype,
+        )[0]
         return SplitterState(
             total_keys,
             nparts,

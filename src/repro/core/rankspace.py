@@ -41,39 +41,115 @@ from repro.core.config import HSSConfig
 from repro.core.hss import RoundStats, SplitterStats
 from repro.core.splitters import SplitterState
 from repro.errors import ConfigError
+from repro.utils.arrays import sorted_unique as _sorted_unique
 
 __all__ = ["RankSpaceSimulator", "simulate_histogram_sort_rounds", "HistogramSortSim"]
 
 
-def _sample_ranks_in_interval(
-    lo: int, hi: int, prob: float, rng: np.random.Generator
+def _draw_in_intervals(
+    lo: np.ndarray, hi: np.ndarray, counts: np.ndarray, rng: np.random.Generator
 ) -> np.ndarray:
-    """Bernoulli(prob) over ranks ``[lo, hi)``, exact count, unique ranks.
+    """``counts[i]`` uniform draws (with replacement) from each ``[lo_i, hi_i)``.
 
-    Drawing ``Binomial(m, prob)`` positions uniformly *with* replacement and
-    deduplicating under-counts slightly when collisions occur; we compensate
-    by re-drawing until the exact binomial count is reached (collision rates
-    are ~count²/m, negligible at the paper's scales, so the loop almost
-    always runs once).
+    Scalar-bound ``rng.integers`` is an order of magnitude faster than the
+    broadcast array-bound form, so the single-interval case — round 1's
+    whole-keyspace draw, by far the largest — gets the scalar path.
     """
-    m = hi - lo
-    if m <= 0 or prob <= 0.0:
+    if len(lo) == 1:
+        return rng.integers(lo[0], hi[0], size=int(counts[0]), dtype=np.int64)
+    return rng.integers(
+        np.repeat(lo, counts), np.repeat(hi, counts), dtype=np.int64
+    )
+
+
+def _sample_ranks_in_intervals(
+    lo: np.ndarray, hi: np.ndarray, prob: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Bernoulli(prob) over the disjoint rank intervals ``[lo_i, hi_i)``.
+
+    Returns the sorted union of sampled ranks.  Statistically this is a
+    per-rank coin flip with success probability ``prob``, realized as an
+    exact ``Binomial(m_i, prob)`` count per interval followed by uniform
+    sampling without replacement inside the interval — but batched across
+    *all* intervals of a round.  Late HSS rounds have tens of thousands of
+    narrow intervals; drawing them one `np.unique` at a time used to
+    dominate quick-tier benchmark wall-clock.
+
+    Sampling without replacement draws positions uniformly *with*
+    replacement and deduplicates; collisions (rate ~count²/m, negligible in
+    the sparse regime) are compensated by re-drawing only the deficient
+    intervals until every interval holds its exact binomial count.  Dense
+    intervals (count > m/16) flip per-rank coins directly instead: above
+    that occupancy the with-replacement top-up re-sorts the whole draw per
+    round of collisions, while coins cost O(m) with already-sorted output.
+    """
+    lo = np.asarray(lo, dtype=np.int64)
+    hi = np.asarray(hi, dtype=np.int64)
+    masses = hi - lo
+    keep = masses > 0
+    if prob <= 0.0 or not np.any(keep):
         return np.empty(0, dtype=np.int64)
+    lo, hi, masses = lo[keep], hi[keep], masses[keep]
+    # Normalize to ascending rank order so every return path below can rely
+    # on "per-interval outputs are ascending and intervals are disjoint" to
+    # produce a globally sorted result without a final sort.
+    if len(lo) > 1 and np.any(lo[1:] < lo[:-1]):
+        order = np.argsort(lo, kind="stable")
+        lo, hi, masses = lo[order], hi[order], masses[order]
     if prob >= 1.0:
-        return np.arange(lo, hi, dtype=np.int64)
-    count = int(rng.binomial(m, prob))
-    if count == 0:
-        return np.empty(0, dtype=np.int64)
-    if count > m // 2:
-        # Dense regime: flip per-rank coins directly.
-        picks = lo + np.where(rng.random(m) < prob)[0]
-        return picks.astype(np.int64)
-    picks = np.unique(rng.integers(lo, hi, size=count, dtype=np.int64))
-    attempts = 0
-    while len(picks) < count and attempts < 64:
-        extra = rng.integers(lo, hi, size=count - len(picks), dtype=np.int64)
-        picks = np.unique(np.concatenate((picks, extra)))
-        attempts += 1
+        pieces = [np.arange(a, b, dtype=np.int64) for a, b in zip(lo, hi)]
+        return np.concatenate(pieces)
+
+    counts = rng.binomial(masses, prob)
+
+    # Dense regime: per-rank coins over the interval's full mass.
+    dense = counts > masses // 16
+    dense_picks = np.empty(0, dtype=np.int64)
+    if np.any(dense):
+        # Conceptually one coin per rank of the dense intervals'
+        # concatenated mass; flipped in bounded slabs so the float scratch
+        # stays ~128 MB no matter how large the notional key space is.
+        # Slab outputs are ascending, so the result needs no sort.
+        d_lo, d_m = lo[dense], masses[dense]
+        bounds = np.concatenate(([0], np.cumsum(d_m)))
+        mass_total = int(bounds[-1])
+        slab = 1 << 24
+        pieces = []
+        for start in range(0, mass_total, slab):
+            stop = min(start + slab, mass_total)
+            pieces.append(np.where(rng.random(stop - start) < prob)[0] + start)
+        hits = np.concatenate(pieces)
+        owner = np.searchsorted(bounds, hits, side="right") - 1
+        dense_picks = d_lo[owner] + (hits - bounds[owner])
+        lo, hi, counts = lo[~dense], hi[~dense], counts[~dense]
+
+    positive = counts > 0
+    lo, hi, counts = lo[positive], hi[positive], counts[positive]
+    total = int(counts.sum())
+    if total == 0:
+        picks = np.empty(0, dtype=np.int64)
+    else:
+        picks = _sorted_unique(_draw_in_intervals(lo, hi, counts, rng))
+        attempts = 0
+        # Intervals are disjoint, so per-interval unique counts are
+        # recoverable from the sorted union by binary search; top up only
+        # the intervals that actually collided.
+        while len(picks) < total and attempts < 64:
+            have = np.searchsorted(picks, hi) - np.searchsorted(picks, lo)
+            deficit = counts - have
+            short = deficit > 0
+            extra = _draw_in_intervals(
+                lo[short], hi[short], deficit[short], rng
+            )
+            picks = _sorted_unique(np.concatenate((picks, extra)))
+            attempts += 1
+
+    if len(dense_picks):
+        if len(picks) == 0:
+            return dense_picks
+        # Dense and sparse intervals are disjoint, but interleaved in rank
+        # order; one final sort merges the two sorted halves.
+        picks = np.sort(np.concatenate((picks, dense_picks)))
     return picks
 
 
@@ -115,15 +191,15 @@ class RankSpaceSimulator:
         while not state.all_finalized() and round_index < max_rounds:
             round_index += 1
             if round_index == 1:
-                intervals = [(0, n)]
+                lo_ranks = np.zeros(1, dtype=np.int64)
+                hi_ranks = np.full(1, n, dtype=np.int64)
                 mass = n
             else:
                 merged = state.merged_intervals()
                 # In rank space key == rank, so the rank bounds are usable
                 # directly as sampling intervals.
-                intervals = list(
-                    zip(merged.lo_ranks.tolist(), merged.hi_ranks.tolist())
-                )
+                lo_ranks = merged.lo_ranks
+                hi_ranks = merged.hi_ranks
                 mass = merged.mass
             prob = schedule.probability(
                 round_index,
@@ -132,15 +208,7 @@ class RankSpaceSimulator:
                 total_keys=n,
                 candidate_mass=mass,
             )
-            pieces = [
-                _sample_ranks_in_interval(lo, hi, prob, self.rng)
-                for lo, hi in intervals
-            ]
-            sampled = (
-                np.unique(np.concatenate(pieces))
-                if any(len(x) for x in pieces)
-                else np.empty(0, dtype=np.int64)
-            )
+            sampled = _sample_ranks_in_intervals(lo_ranks, hi_ranks, prob, self.rng)
             state.update(sampled, sampled)  # a rank's rank is itself
             width = state.interval_width_stats()
             stats.rounds.append(

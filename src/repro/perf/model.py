@@ -208,7 +208,8 @@ def model_weak_scaling(
         nprocs=nprocs,
         nbuckets=splitter_stats.nparts,
         rounds=[
-            (r.sample_size, max(1, r.open_intervals_after)) for r in splitter_stats.rounds
+            (r.sample_size, max(1, r.open_intervals_after))
+            for r in splitter_stats.rounds
         ],
         local_keys=n_local,
         key_bytes=key_bytes,

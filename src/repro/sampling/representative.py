@@ -88,7 +88,9 @@ class RepresentativeSample:
         counts = np.searchsorted(self.sample, queries, side="right")
         return counts.astype(np.float64) * self.keys_per_sample
 
-    def local_rank_exact_bounds(self, queries: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    def local_rank_exact_bounds(
+        self, queries: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Deterministic bounds on the true local rank of each query.
 
         If ``b`` blocks are completely ≤ q then the true count lies in

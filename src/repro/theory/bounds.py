@@ -45,7 +45,9 @@ def chernoff_multiplicative_tail(mean: float, delta: float) -> float:
     return min(1.0, math.exp(-(delta * delta) * mean / (2.0 + delta)))
 
 
-def prob_some_interval_unsampled(p: int, eps: float, prob: float, total_keys: int) -> float:
+def prob_some_interval_unsampled(
+    p: int, eps: float, prob: float, total_keys: int
+) -> float:
     """Union-bound failure probability of Theorem 3.2.2 / 3.3.4.
 
     Each window ``T_i`` holds ``εN/p`` keys; the chance a Bernoulli(``prob``)

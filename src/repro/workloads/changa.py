@@ -206,7 +206,10 @@ def lambb_like_shards(
         if counts[h]:
             chunks.append(
                 plummer_positions(
-                    int(counts[h]), rng, center=tuple(centers[h]), scale=float(scales[h])
+                    int(counts[h]),
+                    rng,
+                    center=tuple(centers[h]),
+                    scale=float(scales[h]),
                 )
             )
 

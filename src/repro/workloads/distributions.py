@@ -37,7 +37,9 @@ __all__ = [
 KEY_SPAN = 2**62
 
 
-def _deal(global_keys: np.ndarray, p: int, rng: np.random.Generator) -> list[np.ndarray]:
+def _deal(
+    global_keys: np.ndarray, p: int, rng: np.random.Generator
+) -> list[np.ndarray]:
     """Shuffle and deal a global key array into ``p`` equal shards."""
     rng.shuffle(global_keys)
     return [chunk.copy() for chunk in np.array_split(global_keys, p)]

@@ -106,3 +106,16 @@ class TestKeyspaceProbes:
         state.update(np.array([0.2, 0.8]), np.array([300, 700]))
         probes = keyspace_probes(state, 3, 0.0, 1.0)
         assert np.all((probes >= 0.2) & (probes <= 0.8))
+
+    def test_signed_range_wider_than_int64_does_not_wrap(self):
+        # Regression: an interval spanning [-2^62, 2^62] has width 2^63,
+        # which wraps under signed int64 subtraction; the probe grid must
+        # still spread across the whole range instead of collapsing to
+        # a single lo+1 probe.
+        state = SplitterState(1000, 4, 0.1, key_dtype=np.int64)
+        probes = keyspace_probes(state, 3, -(2**62), 2**62)
+        assert len(probes) >= 4
+        assert np.all(np.diff(probes) > 0)
+        assert probes[0] > -(2**62) and probes[-1] < 2**62
+        # Spread, not bunched: the extremes sit in opposite halves.
+        assert probes[0] < 0 < probes[-1]

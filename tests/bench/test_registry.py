@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.bench.registry import TIERS, get_suite, suite_names
+from repro.bench.registry import KNOWN_TIERS, TIERS, get_suite, suite_names
 from repro.errors import ConfigError
 
 EXPECTED_SUITES = {
@@ -25,18 +25,47 @@ class TestContents:
     def test_every_paper_artifact_registered(self):
         assert set(suite_names()) == EXPECTED_SUITES
 
-    def test_each_suite_has_both_tiers(self):
+    def test_each_suite_has_required_tiers(self):
         for name in suite_names():
             bench = get_suite(name)
-            assert set(bench.tiers) == set(TIERS), name
-            for tier in TIERS:
+            assert set(TIERS) <= set(bench.tiers), name
+            assert set(bench.tiers) <= set(KNOWN_TIERS), name
+            for tier in bench.tiers:
                 assert bench.tiers[tier], f"{name}/{tier} has empty params"
 
     def test_tier_params_share_keys(self):
-        # quick must be a re-parameterization of full, never a different shape.
+        # Every tier must be a re-parameterization of full, never a
+        # different shape.
         for name in suite_names():
             bench = get_suite(name)
-            assert set(bench.tiers["quick"]) == set(bench.tiers["full"]), name
+            for tier in bench.tiers:
+                assert set(bench.tiers[tier]) == set(bench.tiers["full"]), (
+                    f"{name}/{tier}"
+                )
+
+    def test_stress_tier_is_registered_at_scale(self):
+        """≥4 suites opt into stress, each scaling the largest problem
+        dimension beyond both quick (≥4x) and full."""
+
+        def scale(params):
+            # The dominant size knob per suite: total simulated keys.
+            procs = params.get("procs") or max(
+                params.get("ps", params.get("measured_ps", [1]))
+            )
+            keys = (
+                params.get("keys_per_proc")
+                or params.get("keys_per_rank")
+                or params.get("keys_per_core")
+                or 1
+            )
+            return procs * keys
+
+        stress = suite_names("stress")
+        assert len(stress) >= 4
+        for name in stress:
+            bench = get_suite(name)
+            assert scale(bench.tiers["stress"]) >= 4 * scale(bench.tiers["quick"])
+            assert scale(bench.tiers["stress"]) > scale(bench.tiers["full"])
 
     def test_descriptions_and_kinds(self):
         kinds = {"shootout", "figure", "table", "ablation"}

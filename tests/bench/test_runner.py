@@ -1,10 +1,17 @@
-"""Tests for the suite runner: determinism, document assembly, rendering."""
+"""Tests for the suite runner: determinism, parallelism, document assembly."""
+
+import os
 
 import pytest
 
 from repro.bench.report import render_document, render_suite
-from repro.bench.runner import resolve_suites, run_suite, run_suites
-from repro.bench.schema import validate_document
+from repro.bench.runner import (
+    ParallelRunner,
+    resolve_suites,
+    run_suite,
+    run_suites,
+)
+from repro.bench.schema import strip_volatile, validate_document
 from repro.errors import ConfigError
 
 # A deliberately tiny shootout: two algorithms, one workload, 4 ranks.
@@ -14,25 +21,6 @@ TINY_SHOOTOUT = {
     "workloads": ["uniform"],
     "algorithms": ["hss", "sample-regular"],
 }
-
-
-def strip_volatile(doc_dict):
-    """Drop the fields allowed to differ between identical runs."""
-    doc_dict = dict(doc_dict)
-    doc_dict.pop("created_unix", None)
-    doc_dict.pop("provenance", None)
-    doc_dict.pop("wall_s", None)
-    suites = []
-    for run in doc_dict["suites"]:
-        run = dict(run)
-        run.pop("wall_s", None)
-        run["cases"] = [
-            {k: v for k, v in case.items() if k != "wall_s"}
-            for case in run["cases"]
-        ]
-        suites.append(run)
-    doc_dict["suites"] = suites
-    return doc_dict
 
 
 class TestDeterminism:
@@ -92,3 +80,63 @@ class TestResolution:
             "fig_3_1",
             "table_5_1",
         ]
+
+    def test_stress_tier_narrows_default_selection(self):
+        stress = resolve_suites(None, "stress")
+        assert len(stress) >= 4
+        assert set(stress) < set(resolve_suites(None))
+
+    def test_stress_tier_rejects_explicit_non_stress_suite(self):
+        with pytest.raises(ConfigError, match="do not define tier 'stress'"):
+            resolve_suites(["table_5_1"], "stress")
+
+    def test_quick_tier_keeps_full_selection(self):
+        assert resolve_suites(None, "quick") == resolve_suites(None)
+
+
+class TestParallelRunner:
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ConfigError, match="jobs"):
+            ParallelRunner(0)
+
+    def test_parallel_modeled_document_identical_to_serial(self):
+        names = ["shootout", "table_5_1", "fig_3_1"]
+        overrides = {"shootout": TINY_SHOOTOUT}
+        serial = run_suites(names, tier="quick", overrides=overrides, jobs=1)
+        parallel = run_suites(names, tier="quick", overrides=overrides, jobs=3)
+        assert serial.modeled_dict() == parallel.modeled_dict()
+        # Suites land in registry order regardless of completion order.
+        assert parallel.suite_names() == serial.suite_names()
+
+    def test_worker_provenance_recorded(self):
+        serial = run_suites(["table_5_1"], tier="quick", jobs=1)
+        run = serial.suite("table_5_1")
+        assert run.worker["pid"] == os.getpid()
+        assert run.worker["jobs"] == 1
+
+        parallel = run_suites(
+            ["table_5_1", "fig_3_1"], tier="quick", jobs=2
+        )
+        for suite_run in parallel.suites:
+            assert suite_run.worker["jobs"] == 2
+            assert suite_run.worker["pid"] != os.getpid()
+
+    def test_worker_block_is_volatile(self):
+        doc = run_suites(["table_5_1"], tier="quick", jobs=1)
+        stripped = strip_volatile(doc.to_dict())
+        assert "worker" not in stripped["suites"][0]
+        assert "wall_s" not in stripped["suites"][0]
+
+    def test_single_suite_with_many_jobs_runs_inline(self):
+        doc = ParallelRunner(8).run(["table_5_1"], tier="quick")
+        assert doc.suite("table_5_1").worker["pid"] == os.getpid()
+
+    def test_progress_reports_worker_fanout(self):
+        lines = []
+        run_suites(
+            ["table_5_1", "fig_3_1"],
+            tier="quick",
+            jobs=2,
+            progress=lines.append,
+        )
+        assert any("2 worker processes" in line for line in lines)

@@ -10,6 +10,7 @@ from repro.bench.schema import (
     SchemaError,
     SuiteRun,
     machine_provenance,
+    strip_volatile,
     validate_document,
 )
 
@@ -37,6 +38,7 @@ def sample_document() -> BenchDocument:
                     CaseResult(name="uniform/radix", metrics={"net_bytes": 9}),
                 ],
                 wall_s=0.02,
+                worker={"pid": 4242, "jobs": 2},
             )
         ],
     )
@@ -89,6 +91,39 @@ class TestRoundTrip:
         prov = doc.provenance
         assert prov["python"] and prov["numpy"] and prov["platform"]
         assert machine_provenance().keys() == prov.keys()
+
+
+class TestWorkerProvenance:
+    def test_worker_round_trips(self):
+        doc = sample_document()
+        back = BenchDocument.from_json(doc.to_json())
+        assert back.suite("demo").worker == {"pid": 4242, "jobs": 2}
+
+    def test_worker_is_optional_for_old_documents(self):
+        data = sample_document().to_dict()
+        del data["suites"][0]["worker"]
+        assert validate_document(data) == []
+        back = BenchDocument.from_dict(data)
+        assert back.suite("demo").worker == {}
+
+    def test_non_object_worker_rejected(self):
+        data = sample_document().to_dict()
+        data["suites"][0]["worker"] = "pid 7"
+        assert any("worker" in err for err in validate_document(data))
+
+    def test_strip_volatile_drops_host_fields_only(self):
+        doc = sample_document()
+        stripped = strip_volatile(doc.to_dict())
+        assert "provenance" not in stripped
+        assert "created_unix" not in stripped
+        assert "wall_s" not in stripped
+        suite = stripped["suites"][0]
+        assert "worker" not in suite and "wall_s" not in suite
+        assert all("wall_s" not in case for case in suite["cases"])
+        # ... while the deterministic payload survives intact.
+        assert suite["cases"][0]["metrics"]["net_bytes"] == 123456
+        assert stripped["schema_version"] == SCHEMA_VERSION
+        assert doc.modeled_dict() == stripped
 
 
 class TestValidation:

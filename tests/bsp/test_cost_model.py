@@ -55,7 +55,9 @@ class TestPricingBasics:
 
     def test_monotone_in_p(self):
         costs = [
-            CostModel(LAPTOP, p).price("barrier", max_bytes=0, total_bytes=0).comm_seconds
+            CostModel(LAPTOP, p)
+            .price("barrier", max_bytes=0, total_bytes=0)
+            .comm_seconds
             for p in (2, 16, 256, 4096)
         ]
         assert costs == sorted(costs)

@@ -53,7 +53,9 @@ class TestBasicCorrectness:
 
     def test_payloads_travel(self, rng):
         p = 4
-        inputs = [rng.permutation(np.arange(r * 1000, (r + 1) * 1000)) for r in range(p)]
+        inputs = [
+            rng.permutation(np.arange(r * 1000, (r + 1) * 1000)) for r in range(p)
+        ]
         payloads = [(k * 3).astype(np.int64) for k in inputs]
         run = hss_sort(inputs, payloads=payloads, eps=0.1)
         for keys, pay in zip(run.shards, run.payloads):
@@ -131,7 +133,11 @@ class TestAdversarialInputs:
         verify_sorted_output(inputs, run.shards)
 
     def test_too_few_keys_raises(self):
-        inputs = [np.array([1]), np.array([], dtype=np.int64), np.array([], dtype=np.int64)]
+        inputs = [
+            np.array([1]),
+            np.array([], dtype=np.int64),
+            np.array([], dtype=np.int64),
+        ]
         with pytest.raises(ConfigError):
             hss_sort(inputs, eps=0.5)
 

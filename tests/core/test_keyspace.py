@@ -76,8 +76,12 @@ class TestTaggedKeySpace:
     def test_sentinels_cover_space(self):
         state = self.ks.make_state(100, 4, 0.05)
         lo, hi = state.lo_key[0], state.hi_key[0]
-        pos_lo = self.ks.local_counts(self.keys, 2, np.array([lo], dtype=self.ks.key_dtype))
-        pos_hi = self.ks.local_counts(self.keys, 2, np.array([hi], dtype=self.ks.key_dtype))
+        pos_lo = self.ks.local_counts(
+            self.keys, 2, np.array([lo], dtype=self.ks.key_dtype)
+        )
+        pos_hi = self.ks.local_counts(
+            self.keys, 2, np.array([hi], dtype=self.ks.key_dtype)
+        )
         assert pos_lo[0] == 0 and pos_hi[0] == len(self.keys)
 
     def test_sample_tags_carry_rank_and_position(self, rng):

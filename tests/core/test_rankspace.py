@@ -6,6 +6,7 @@ import pytest
 from repro.core.config import HSSConfig
 from repro.core.rankspace import (
     RankSpaceSimulator,
+    _sample_ranks_in_intervals,
     simulate_histogram_sort_rounds,
 )
 from repro.errors import ConfigError
@@ -90,6 +91,76 @@ class TestRankSpaceHSS:
         stats = RankSpaceSimulator(2**18 * 100, 2**18, cfg).run()
         assert stats.all_finalized
         assert time.time() - t0 < 60
+
+
+class TestBatchedIntervalSampler:
+    """The vectorized Bernoulli sampler behind RankSpaceSimulator."""
+
+    @staticmethod
+    def intervals():
+        lo = np.array([0, 100, 10_000, 10_050], dtype=np.int64)
+        hi = np.array([40, 1_100, 10_040, 10_051], dtype=np.int64)
+        return lo, hi
+
+    def test_picks_are_sorted_unique_and_in_range(self):
+        lo, hi = self.intervals()
+        rng = np.random.default_rng(0)
+        picks = _sample_ranks_in_intervals(lo, hi, 0.3, rng)
+        assert np.all(np.diff(picks) > 0)
+        inside = np.zeros(len(picks), dtype=bool)
+        for a, b in zip(lo, hi):
+            inside |= (picks >= a) & (picks < b)
+        assert inside.all()
+
+    def test_prob_one_returns_every_rank(self):
+        lo, hi = self.intervals()
+        picks = _sample_ranks_in_intervals(lo, hi, 1.0, np.random.default_rng(1))
+        assert len(picks) == int((hi - lo).sum())
+
+    def test_prob_zero_and_empty_intervals(self):
+        lo, hi = self.intervals()
+        rng = np.random.default_rng(2)
+        assert len(_sample_ranks_in_intervals(lo, hi, 0.0, rng)) == 0
+        empty = _sample_ranks_in_intervals(
+            np.array([5], dtype=np.int64), np.array([5], dtype=np.int64), 0.5, rng
+        )
+        assert len(empty) == 0
+
+    @pytest.mark.parametrize("prob", [0.01, 0.2, 0.7, 0.95])
+    def test_sample_count_concentrates_at_binomial_mean(self, prob):
+        """Both the sparse and the dense (coin-flip) regimes are per-rank
+        Bernoulli(prob); the total must concentrate at mass * prob."""
+        lo = np.arange(0, 200_000, 2_000, dtype=np.int64)
+        hi = lo + 1_000
+        mass = int((hi - lo).sum())
+        rng = np.random.default_rng(3)
+        sizes = [
+            len(_sample_ranks_in_intervals(lo, hi, prob, rng)) for _ in range(5)
+        ]
+        mean = np.mean(sizes)
+        sigma = np.sqrt(mass * prob * (1 - prob) / 5)
+        assert abs(mean - mass * prob) < 6 * sigma + 1
+
+    def test_unsorted_interval_input_still_yields_sorted_picks(self):
+        # The simulator always passes ascending merged intervals, but the
+        # sampler's contract is a sorted union for any disjoint input order
+        # — including the dense-only and prob>=1 fast paths.
+        lo = np.array([100, 0], dtype=np.int64)
+        hi = np.array([108, 8], dtype=np.int64)
+        for prob in (0.9, 1.0, 0.05):
+            picks = _sample_ranks_in_intervals(
+                lo, hi, prob, np.random.default_rng(1)
+            )
+            assert np.all(np.diff(picks) > 0), prob
+
+    def test_matches_simulator_update_contract(self):
+        # Exactly what RankSpaceSimulator feeds SplitterState.update:
+        # int64, sorted, unique — even in the mixed dense/sparse case.
+        lo = np.array([0, 50], dtype=np.int64)
+        hi = np.array([8, 1_000_050], dtype=np.int64)  # tiny + huge interval
+        picks = _sample_ranks_in_intervals(lo, hi, 0.4, np.random.default_rng(4))
+        assert picks.dtype == np.int64
+        assert np.all(np.diff(picks) > 0)
 
 
 class TestHistogramSortSim:

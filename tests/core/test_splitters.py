@@ -37,7 +37,9 @@ class TestConstruction:
             SplitterState(100, 0, 0.1)
 
     def test_custom_sentinels(self):
-        s = SplitterState(100, 2, 0.1, key_dtype=np.int64, lo_sentinel=-7, hi_sentinel=7)
+        s = SplitterState(
+            100, 2, 0.1, key_dtype=np.int64, lo_sentinel=-7, hi_sentinel=7
+        )
         assert s.lo_key[0] == -7 and s.hi_key[0] == 7
 
 

@@ -54,7 +54,9 @@ class TestPermutation:
             check_permutation([np.array([1, 1, 2])], [np.array([1, 2, 2])])
 
     def test_empty(self):
-        check_permutation([np.array([], dtype=np.int64)], [np.array([], dtype=np.int64)])
+        check_permutation(
+            [np.array([], dtype=np.int64)], [np.array([], dtype=np.int64)]
+        )
 
 
 class TestLoadBalance:

@@ -298,3 +298,79 @@ class TestBenchCommand:
         )
         assert code == 2
         assert "cannot load baseline" in capsys.readouterr().err
+
+
+class TestBenchParallelAndTiers:
+    def test_invalid_jobs_exits_2(self, capsys):
+        assert main(["bench", "--jobs", "0"]) == 2
+        assert "--jobs must be >= 1" in capsys.readouterr().err
+
+    def test_jobs_rejected_with_candidate(self, tmp_path, capsys):
+        import json
+
+        stub = tmp_path / "doc.json"
+        stub.write_text(
+            json.dumps({"schema_version": 1, "tier": "quick", "suites": []})
+        )
+        code = main(
+            [
+                "bench",
+                "--baseline",
+                str(stub),
+                "--candidate",
+                str(stub),
+                "--jobs",
+                "2",
+            ]
+        )
+        assert code == 2
+        assert "no effect with --candidate" in capsys.readouterr().err
+
+    def test_parallel_run_modeled_identical_to_serial(self, tmp_path):
+        import json
+
+        from repro.bench.schema import strip_volatile
+
+        serial = tmp_path / "serial.json"
+        parallel = tmp_path / "parallel.json"
+        args = ["bench", "--tier", "quick", "--suite", "ablation_approx",
+                "--suite", "table_5_1"]
+        assert main(args + ["--jobs", "1", "--json", str(serial)]) == 0
+        assert main(args + ["--jobs", "2", "--json", str(parallel)]) == 0
+        a, b = (
+            strip_volatile(json.loads(path.read_text()))
+            for path in (serial, parallel)
+        )
+        assert a == b
+        # Worker provenance is recorded next to (not inside) the payload.
+        data = json.loads(parallel.read_text())
+        assert all(run["worker"]["jobs"] == 2 for run in data["suites"])
+        assert all(run["worker"]["pid"] > 0 for run in data["suites"])
+
+    def test_stress_tier_selects_only_stress_suites(self, tmp_path, capsys):
+        from repro.bench.registry import suite_names
+
+        out = tmp_path / "stress.json"
+        code = main(
+            [
+                "bench",
+                "--tier",
+                "stress",
+                "--suite",
+                "fig_3_1",
+                "--json",
+                str(out),
+            ]
+        )
+        assert code == 0
+        import json
+
+        data = json.loads(out.read_text())
+        assert data["tier"] == "stress"
+        assert [run["suite"] for run in data["suites"]] == ["fig_3_1"]
+        assert len(suite_names("stress")) >= 4
+
+    def test_stress_tier_rejects_non_stress_suite(self, capsys):
+        code = main(["bench", "--tier", "stress", "--suite", "table_5_1"])
+        assert code == 2
+        assert "do not define tier 'stress'" in capsys.readouterr().err

@@ -118,4 +118,6 @@ class TestMortonFloat:
 
     def test_empty_range_raises(self):
         with pytest.raises(ValueError):
-            morton_encode_3d(np.array([0.5]), np.array([0.5]), np.array([0.5]), lo=1.0, hi=1.0)
+            morton_encode_3d(
+                np.array([0.5]), np.array([0.5]), np.array([0.5]), lo=1.0, hi=1.0
+            )

@@ -81,7 +81,9 @@ class TestDatasets:
         uniform_keys = np.random.default_rng(0).integers(
             0, 1 << 62, 8000
         ).astype(np.float64)
-        uniform = (np.quantile(uniform_keys, 0.95) - np.quantile(uniform_keys, 0.05)) / (
+        uniform = (
+            np.quantile(uniform_keys, 0.95) - np.quantile(uniform_keys, 0.05)
+        ) / (
             uniform_keys.max() - uniform_keys.min()
         )
         assert dwarf < lambb < uniform
@@ -97,7 +99,9 @@ class TestDatasets:
 
         for maker in (dwarf_like_shards, lambb_like_shards):
             shards = maker(8, 800, 5)
-            run = hss_sort(shards, config=HSSConfig(eps=0.1, seed=1, tag_duplicates=True))
+            run = hss_sort(
+                shards, config=HSSConfig(eps=0.1, seed=1, tag_duplicates=True)
+            )
             verify_sorted_output(shards, run.shards, 0.1)
 
 
