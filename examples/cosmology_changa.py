@@ -17,12 +17,8 @@ Run:  python examples/cosmology_changa.py
 
 import numpy as np
 
-from repro.bsp import BSPEngine
-from repro.baselines.histogram_sort import histogram_sort_program
-from repro.core.api import hss_sort
-from repro.core.config import HSSConfig
+from repro.algorithms import Dataset, Sorter
 from repro.metrics import verify_sorted_output
-from repro.workloads.changa import dwarf_like_shards, lambb_like_shards
 
 P = 16
 PARTICLES_PER_PROC = 20_000
@@ -37,40 +33,39 @@ def key_concentration(shards) -> float:
     return core / max(1.0, keys[-1] - keys[0])
 
 
-def old_histogram_rounds(shards) -> int:
+def old_histogram_rounds(dataset: Dataset) -> int:
     """Run classic histogram sort and report its probe-refinement rounds."""
-    engine = BSPEngine(P)
     # Morton keys are uint64; bisection needs signed-safe arithmetic, so
     # histogram sort runs on the float view of the keys (order-preserving
     # for 63-bit Morton codes).
-    as_float = [s.astype(np.float64) for s in shards]
-    res = engine.run(
-        histogram_sort_program,
-        rank_args=[(x,) for x in as_float],
-        eps=EPS,
-        max_rounds=300,
+    as_float = Dataset.from_arrays(
+        [s.astype(np.float64) for s in dataset.shards]
     )
-    return res.returns[0][1].rounds
+    run = Sorter(
+        "histogram", eps=EPS, max_rounds=300, verify=False
+    ).run(as_float)
+    return run.stats.rounds
 
 
 def main() -> None:
-    for name, maker in (
-        ("dwarf (single halo)", dwarf_like_shards),
-        ("lambb (cosmic web) ", lambb_like_shards),
+    for name, workload in (
+        ("dwarf (single halo)", "changa-dwarf"),
+        ("lambb (cosmic web) ", "changa-lambb"),
     ):
-        shards = maker(P, PARTICLES_PER_PROC, 7)
-        conc = key_concentration(shards)
+        dataset = Dataset.from_workload(
+            workload, p=P, n_per=PARTICLES_PER_PROC, seed=7
+        )
+        conc = key_concentration(dataset.shards)
         print(f"== {name}: {P * PARTICLES_PER_PROC:,} particles ==")
         print(f"   90% of keys occupy {conc:.2%} of the key-space span")
 
-        cfg = HSSConfig.constant_oversampling(
-            5.0, eps=EPS, seed=3, tag_duplicates=True
-        )
-        run = hss_sort(shards, config=cfg)
-        verify_sorted_output(shards, run.shards, EPS)
+        run = Sorter(
+            "hss", eps=EPS, seed=3, oversample=5.0, tag_duplicates=True
+        ).run(dataset)
+        verify_sorted_output(dataset.shards, run.shards, EPS)
         hss_rounds = run.splitter_stats.num_rounds
 
-        old_rounds = old_histogram_rounds(shards)
+        old_rounds = old_histogram_rounds(dataset)
         print(f"   HSS rounds          : {hss_rounds} "
               f"(sample {run.splitter_stats.total_sample} keys)")
         print(f"   Old histogram rounds: {old_rounds}")

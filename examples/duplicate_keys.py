@@ -17,39 +17,33 @@ Run:  python examples/duplicate_keys.py
 
 import numpy as np
 
-from repro.core.api import hss_sort
-from repro.core.config import HSSConfig
+from repro.algorithms import Dataset, Sorter
 from repro.errors import LoadBalanceError, VerificationError
 from repro.metrics import load_imbalance
-from repro.workloads.duplicates import hotspot_shards, zipf_duplicate_shards
 
 P = 16
 N_PER = 5_000
 EPS = 0.05
 
 
-def demo(shards, label: str) -> None:
+def demo(dataset: Dataset, label: str) -> None:
     print(f"== {label} ==")
-    values, counts = np.unique(np.concatenate(shards), return_counts=True)
+    values, counts = np.unique(np.concatenate(dataset.shards), return_counts=True)
     print(f"   {len(values):,} distinct keys / {P * N_PER:,} total; "
           f"hottest key holds {counts.max() / (P * N_PER):.1%}")
 
     try:
-        hss_sort(shards, config=HSSConfig(eps=EPS, seed=1))
+        Sorter("hss", eps=EPS, seed=1).run(dataset)
         print("   untagged: met the balance contract (duplicates mild)")
     except (LoadBalanceError, VerificationError):
         # Re-run in best-effort mode to measure how badly it degrades.
-        raw = hss_sort(
-            shards,
-            config=HSSConfig(eps=EPS, seed=1, strict=False),
-            verify=False,
+        raw = Sorter("hss", eps=EPS, seed=1, strict=False, verify=False).run(
+            dataset
         )
         print(f"   untagged: FAILS — imbalance {load_imbalance(raw.shards):.2f} "
               f"(budget {1 + EPS})")
 
-    run = hss_sort(
-        shards, config=HSSConfig(eps=EPS, seed=1, tag_duplicates=True)
-    )
+    run = Sorter("hss", eps=EPS, seed=1, tag_duplicates=True).run(dataset)
     print(f"   tagged  : imbalance {run.imbalance:.4f} in "
           f"{run.splitter_stats.num_rounds} rounds — contract met")
     print()
@@ -57,11 +51,13 @@ def demo(shards, label: str) -> None:
 
 def main() -> None:
     demo(
-        hotspot_shards(P, N_PER, 3, hot_fraction=0.7),
+        Dataset.from_workload("hotspot", p=P, n_per=N_PER, seed=3,
+                              hot_fraction=0.7),
         "hotspot: one key = 70% of input",
     )
     demo(
-        zipf_duplicate_shards(P, N_PER, 3, alphabet=500, exponent=1.6),
+        Dataset.from_workload("zipf-duplicates", p=P, n_per=N_PER, seed=3,
+                              alphabet=500, exponent=1.6),
         "zipf over a 500-word alphabet",
     )
     print("tagging never bloats the input — only histogram probes carry")

@@ -10,14 +10,8 @@ histogram, and ~cores²-fold fewer network messages.
 Run:  python examples/node_level_cluster.py
 """
 
-import numpy as np
-
-from repro.bsp import BSPEngine
+from repro.algorithms import Dataset, Sorter
 from repro.bsp.machine import MIRA_LIKE
-from repro.core.config import HSSConfig
-from repro.core.hss import hss_sort_program
-from repro.core.node_sort import combined_eps, hss_node_sort_program
-from repro.metrics import load_imbalance, verify_sorted_output
 
 P = 64               # simulated cores
 CORES_PER_NODE = 16  # => 4 nodes
@@ -27,31 +21,26 @@ EPS_WITHIN = 0.05    # within a node
 
 
 def main() -> None:
-    rng = np.random.default_rng(42)
-    inputs = [rng.integers(0, 2**62, KEYS_PER_CORE) for _ in range(P)]
+    dataset = Dataset.from_workload(
+        "uniform", p=P, n_per=KEYS_PER_CORE, seed=42
+    )
     machine = MIRA_LIKE.with_(cores_per_node=CORES_PER_NODE)
 
     # --- two-level: node splitters + shared-memory within-node sort ------
-    engine = BSPEngine(P, machine=machine)
-    cfg = HSSConfig(
-        eps=EPS_NODE, within_node_eps=EPS_WITHIN, node_level=True, seed=9
-    )
-    node_res = engine.run(
-        hss_node_sort_program, rank_args=[(x,) for x in inputs], cfg=cfg
-    )
-    node_out = [r[0].keys for r in node_res.returns]
-    verify_sorted_output(inputs, node_out, combined_eps(EPS_NODE, EPS_WITHIN))
-    node_stats = node_res.returns[0][1]
+    # The Sorter verifies against the combined (1+eps)(1+within)-1 bound
+    # declared by the hss-node spec.
+    node_run = Sorter(
+        "hss-node",
+        machine=machine,
+        eps=EPS_NODE,
+        within_node_eps=EPS_WITHIN,
+        seed=9,
+    ).run(dataset)
+    node_stats = node_run.stats
 
     # --- flat core-level HSS for contrast --------------------------------
-    engine = BSPEngine(P, machine=machine)
-    flat_res = engine.run(
-        hss_sort_program,
-        rank_args=[(x, None) for x in inputs],
-        cfg=HSSConfig(eps=EPS_NODE, seed=9),
-    )
-    flat_out = [r[0].keys for r in flat_res.returns]
-    flat_stats = flat_res.returns[0][1]
+    flat_run = Sorter("hss", machine=machine, eps=EPS_NODE, seed=9).run(dataset)
+    flat_stats = flat_run.stats
 
     nodes = P // CORES_PER_NODE
     print(f"machine: {P} cores = {nodes} nodes x {CORES_PER_NODE} cores, "
@@ -66,15 +55,16 @@ def main() -> None:
           f"{flat_stats.num_rounds:>12}")
     print(f"{'total sample (keys)':28s} {node_stats.total_sample:>12} "
           f"{flat_stats.total_sample:>12}")
-    print(f"{'network messages':28s} {node_res.stats.messages:>12,} "
-          f"{flat_res.stats.messages:>12,}")
+    print(f"{'network messages':28s} "
+          f"{node_run.engine_result.stats.messages:>12,} "
+          f"{flat_run.engine_result.stats.messages:>12,}")
     print(f"{'modeled makespan (ms)':28s} "
-          f"{node_res.makespan * 1e3:>12.3f} {flat_res.makespan * 1e3:>12.3f}")
-    print(f"{'imbalance':28s} {load_imbalance(node_out):>12.4f} "
-          f"{load_imbalance(flat_out):>12.4f}")
+          f"{node_run.makespan * 1e3:>12.3f} {flat_run.makespan * 1e3:>12.3f}")
+    print(f"{'imbalance':28s} {node_run.imbalance:>12.4f} "
+          f"{flat_run.imbalance:>12.4f}")
 
     print("\nnode-level phase breakdown:")
-    print(node_res.breakdown().table())
+    print(node_run.breakdown().table())
 
 
 if __name__ == "__main__":

@@ -1,8 +1,8 @@
 #!/usr/bin/env python
 """Quickstart: sort a distributed dataset with Histogram Sort with Sampling.
 
-Creates a simulated 16-processor machine, generates one million uniform
-64-bit keys spread across the processors, sorts them with HSS at a 5%
+Builds a :class:`repro.Dataset` of one million uniform 64-bit keys spread
+across 16 simulated processors, sorts it with ``Sorter("hss")`` at a 5%
 load-imbalance budget, and prints what the algorithm did: histogramming
 rounds, sample sizes, interval shrinkage, the modeled phase breakdown and
 the achieved balance.
@@ -10,10 +10,7 @@ the achieved balance.
 Run:  python examples/quickstart.py
 """
 
-import numpy as np
-
-from repro.core.api import hss_sort
-from repro.core.config import HSSConfig
+from repro.algorithms import Dataset, Sorter
 from repro.metrics import verify_sorted_output
 
 P = 16               # simulated processors
@@ -22,18 +19,22 @@ EPS = 0.05           # load-imbalance budget: max load <= (1+eps) * N/p
 
 
 def main() -> None:
-    rng = np.random.default_rng(2019)
-    inputs = [rng.integers(0, 2**62, KEYS_PER_PROC) for _ in range(P)]
+    # A Dataset owns the distributed input: one shard per simulated rank,
+    # validated once (any workload from repro.workloads.WORKLOADS by name,
+    # or Dataset.from_arrays for your own arrays).
+    dataset = Dataset.from_workload(
+        "uniform", p=P, n_per=KEYS_PER_PROC, seed=2019
+    )
 
-    # The §6.1.2 configuration: expected 5p sample keys per histogramming
+    # Sorter resolves "hss" through the algorithm registry and builds the
+    # §6.1.2 configuration: expected 5p sample keys per histogramming
     # round, iterate until every splitter is inside its tolerance window.
-    cfg = HSSConfig.constant_oversampling(5.0, eps=EPS, seed=1)
-    run = hss_sort(inputs, config=cfg)
+    run = Sorter("hss", eps=EPS, seed=1, oversample=5.0).run(dataset)
 
     # The output is the same multiset, globally sorted, within the budget —
-    # hss_sort already verified this (verify=True); do it again explicitly
-    # to show the API.
-    verify_sorted_output(inputs, run.shards, EPS)
+    # the Sorter already verified this (verify=True); do it again
+    # explicitly to show the API.
+    verify_sorted_output(dataset.shards, run.shards, EPS)
 
     stats = run.splitter_stats
     print(f"sorted {P * KEYS_PER_PROC:,} keys on {P} simulated processors")

@@ -2,10 +2,9 @@
 
 Quick tour
 ----------
->>> import numpy as np
->>> from repro import hss_sort
->>> shards = [np.random.default_rng(r).integers(0, 10**9, 10_000) for r in range(8)]
->>> run = hss_sort(shards, eps=0.05)
+>>> from repro import Dataset, Sorter
+>>> ds = Dataset.from_workload("uniform", p=8, n_per=10_000, seed=0)
+>>> run = Sorter("hss", eps=0.05).run(ds)
 >>> run.imbalance <= 1.05
 True
 >>> run.splitter_stats.num_rounds  # doctest: +SKIP
@@ -13,15 +12,20 @@ True
 
 Public API highlights
 ---------------------
-- :func:`repro.hss_sort` — sort a distributed input with HSS.
-- :func:`repro.parallel_sort` — one entry point for every algorithm in the
-  paper (HSS variants + all baselines), selected by name.
+- :class:`repro.Sorter` / :class:`repro.Dataset` — the first-class API:
+  capability-checked execution of any registered algorithm on validated
+  distributed inputs.
+- :data:`repro.algorithms.REGISTRY` — typed
+  :class:`~repro.algorithms.AlgorithmSpec` for every algorithm (HSS
+  variants + all baselines); plugins register the same way.
+- :func:`repro.hss_sort` / :func:`repro.parallel_sort` — the historical
+  entry points, kept as thin shims.
 - :class:`repro.bsp.BSPEngine` — the BSP simulation substrate (simulated
   ranks, collectives, α–β cost model, multicore nodes).
 - :class:`repro.core.rankspace.RankSpaceSimulator` — exact splitter-phase
   simulation at hundreds of thousands of processors.
 - :mod:`repro.workloads` — input generators (uniform/skewed/ChaNGa-like/
-  duplicate-heavy).
+  duplicate-heavy) behind one catalog, :data:`repro.workloads.WORKLOADS`.
 - :mod:`repro.theory` — closed-form sample sizes, round bounds, Table 5.1.
 
 See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
@@ -29,7 +33,18 @@ paper-vs-measured record of every table and figure.
 """
 
 from repro._version import __version__
-from repro.core.api import ALGORITHMS, SortRun, hss_sort, parallel_sort
+
+# Populate the algorithm registry before the shim layer loads (the program
+# modules self-register on import).
+from repro.algorithms import (
+    AlgorithmSpec,
+    Dataset,
+    REGISTRY,
+    SortRun,
+    Sorter,
+    register_algorithm,
+)
+from repro.core.api import ALGORITHMS, hss_sort, parallel_sort
 from repro.core.config import HSSConfig, SamplingSchedule
 
 __all__ = [
@@ -37,6 +52,11 @@ __all__ = [
     "hss_sort",
     "parallel_sort",
     "ALGORITHMS",
+    "AlgorithmSpec",
+    "REGISTRY",
+    "register_algorithm",
+    "Dataset",
+    "Sorter",
     "SortRun",
     "HSSConfig",
     "SamplingSchedule",

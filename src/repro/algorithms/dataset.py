@@ -1,0 +1,182 @@
+"""Distributed input data as a first-class object.
+
+A :class:`Dataset` is the one place input plumbing happens: per-rank key
+shards (one array per simulated rank) plus optional aligned payload arrays,
+with all dtype/shape validation done at construction instead of being
+re-rolled by every bench, test, example and CLI command.
+
+Construct one from raw arrays::
+
+    ds = Dataset.from_arrays([rng.integers(0, 2**40, 1000) for _ in range(8)])
+
+or by name from the workload catalog::
+
+    ds = Dataset.from_workload("changa-dwarf", p=64, n_per=15_625, seed=0)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["Dataset"]
+
+
+def _validated_shards(keys: Sequence[np.ndarray]) -> list[np.ndarray]:
+    shards = [np.asarray(k) for k in keys]
+    if not shards:
+        raise ConfigError("need at least one rank's keys")
+    dtypes = {s.dtype for s in shards}
+    if len(dtypes) != 1:
+        raise ConfigError(f"all shards must share a dtype, got {dtypes}")
+    for r, s in enumerate(shards):
+        if s.ndim != 1:
+            raise ConfigError(
+                f"rank {r} keys must be one-dimensional, got shape {s.shape}"
+            )
+    return shards
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """Per-rank key shards plus optional aligned payloads, validated once.
+
+    Use the classmethod constructors (:meth:`from_arrays`,
+    :meth:`from_workload`) rather than the raw dataclass constructor — they
+    perform the dtype/shape validation.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> ds = Dataset.from_workload("uniform", p=4, n_per=100, seed=0)
+    >>> ds.nprocs, ds.total_keys, ds.has_payloads
+    (4, 400, False)
+    >>> tagged = ds.with_index_payloads()
+    >>> tagged.has_payloads and len(tagged.payloads[0]) == 100
+    True
+    """
+
+    #: One key array per simulated rank (``p = len(shards)``).
+    shards: list[np.ndarray]
+    #: Optional per-rank payload arrays aligned element-for-element with
+    #: :attr:`shards`, or None.
+    payloads: list[np.ndarray] | None = None
+    #: Workload name when built by :meth:`from_workload` (provenance only).
+    workload: str | None = None
+
+    # ------------------------------------------------------------- build #
+    @classmethod
+    def from_arrays(
+        cls,
+        keys: Sequence[np.ndarray],
+        payloads: Sequence[np.ndarray] | None = None,
+        *,
+        workload: str | None = None,
+    ) -> "Dataset":
+        """Validate and wrap raw per-rank arrays."""
+        shards = _validated_shards(keys)
+        checked_payloads = None
+        if payloads is not None:
+            if len(payloads) != len(shards):
+                raise ConfigError("payloads must match keys rank-for-rank")
+            checked_payloads = [np.asarray(v) for v in payloads]
+            for r, (k, v) in enumerate(zip(shards, checked_payloads)):
+                if len(v) != len(k):
+                    raise ConfigError(
+                        f"rank {r} payload length {len(v)} != keys "
+                        f"length {len(k)}"
+                    )
+            pay_dtypes = {v.dtype for v in checked_payloads}
+            if len(pay_dtypes) != 1:
+                raise ConfigError(
+                    f"all payloads must share a dtype, got {pay_dtypes}"
+                )
+        return cls(shards=shards, payloads=checked_payloads, workload=workload)
+
+    @classmethod
+    def from_workload(
+        cls,
+        name: str,
+        *,
+        p: int,
+        n_per: int | None = None,
+        n_total: int | None = None,
+        seed: int = 0,
+        **kwargs: Any,
+    ) -> "Dataset":
+        """Generate a named workload from the catalog.
+
+        Exactly one of ``n_per`` (keys per rank) or ``n_total`` (total
+        keys, split evenly) must be given.  ``name`` is resolved against
+        :data:`repro.workloads.WORKLOADS`; extra ``kwargs`` are forwarded
+        to the generator (e.g. ``hot_fraction`` for ``"hotspot"``).
+        """
+        from repro.workloads import make_workload
+
+        if (n_per is None) == (n_total is None):
+            raise ConfigError("give exactly one of n_per or n_total")
+        if n_per is None:
+            n_per, rem = divmod(int(n_total), p)
+            if rem:
+                raise ConfigError(
+                    f"n_total={n_total} is not divisible by p={p} "
+                    f"(keys would be silently dropped); pass n_per instead"
+                )
+            if n_per < 1:
+                raise ConfigError(
+                    f"n_total={n_total} spread over p={p} ranks leaves "
+                    f"no keys per rank"
+                )
+        shards = make_workload(name, p, int(n_per), seed, **kwargs)
+        return cls.from_arrays(shards, workload=name)
+
+    def with_payloads(self, payloads: Sequence[np.ndarray]) -> "Dataset":
+        """A copy of this dataset carrying the given per-rank payloads."""
+        return Dataset.from_arrays(
+            self.shards, payloads, workload=self.workload
+        )
+
+    def with_index_payloads(self) -> "Dataset":
+        """Attach tracer payloads: the global ``(rank, position)`` index.
+
+        Payload ``rank * n_per + i`` identifies where each key started, so
+        a sorted run can be checked for exact key/payload alignment —
+        the standard payload round-trip probe.
+        """
+        offsets = np.cumsum([0] + [len(s) for s in self.shards[:-1]])
+        payloads = [
+            off + np.arange(len(s), dtype=np.int64)
+            for off, s in zip(offsets, self.shards)
+        ]
+        return self.with_payloads(payloads)
+
+    # -------------------------------------------------------------- view #
+    @property
+    def nprocs(self) -> int:
+        """Number of simulated ranks."""
+        return len(self.shards)
+
+    @property
+    def total_keys(self) -> int:
+        return int(sum(len(s) for s in self.shards))
+
+    @property
+    def key_dtype(self) -> np.dtype:
+        return self.shards[0].dtype
+
+    @property
+    def has_payloads(self) -> bool:
+        return self.payloads is not None
+
+    def rank_args(self) -> list[tuple]:
+        """Per-rank positional args for a BSP program: ``(keys[, payload])``."""
+        if self.payloads is None:
+            return [(k,) for k in self.shards]
+        return list(zip(self.shards, self.payloads))
+
+    def __len__(self) -> int:
+        return len(self.shards)

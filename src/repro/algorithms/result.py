@@ -1,0 +1,63 @@
+"""The uniform result type returned by every sorter entry point."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.bsp.engine import RunResult
+    from repro.core.hss import SplitterStats
+
+__all__ = ["SortRun"]
+
+
+@dataclass
+class SortRun:
+    """Sorted output plus everything observable about the simulated run."""
+
+    #: Per-rank sorted output key arrays (globally ascending across ranks).
+    shards: list[np.ndarray]
+    #: Per-rank payload arrays when the input carried payloads, else None.
+    payloads: list[np.ndarray] | None
+    #: Algorithm statistics (central-processor view): the per-algorithm
+    #: stats object every program returns alongside its shard —
+    #: :class:`~repro.core.hss.SplitterStats` for the HSS family,
+    #: ``HistogramSortStats`` for classic histogram sort, ``RadixStats``
+    #: for radix, ... — or None for algorithms that report nothing.
+    stats: Any
+    #: Raw BSP engine result (trace, comm stats, modeled makespan).
+    engine_result: "RunResult"
+    #: Algorithm name.
+    algorithm: str
+    #: Per-rank stats objects, extracted uniformly from every rank's
+    #: return (not just rank 0).  Entries are None for ranks that
+    #: returned no stats.
+    rank_stats: list[Any] = field(default_factory=list)
+
+    @property
+    def splitter_stats(self) -> "SplitterStats | None":
+        """Splitter-phase statistics, for runs that histogram.
+
+        Populated (with :class:`~repro.core.hss.SplitterStats`) by the HSS
+        variants and scanning sort; None for every other algorithm — whose
+        own stats objects remain available as :attr:`stats`.
+        """
+        from repro.core.hss import SplitterStats
+
+        return self.stats if isinstance(self.stats, SplitterStats) else None
+
+    @property
+    def makespan(self) -> float:
+        """Modeled execution time on the simulated machine (seconds)."""
+        return self.engine_result.makespan
+
+    @property
+    def imbalance(self) -> float:
+        loads = np.array([len(s) for s in self.shards], dtype=np.float64)
+        return float(loads.max() / loads.mean()) if loads.sum() else 1.0
+
+    def breakdown(self):
+        return self.engine_result.breakdown()

@@ -1,0 +1,169 @@
+"""The uniform, capability-checked execution front end for every algorithm.
+
+``Sorter`` resolves an algorithm name through the plugin registry, builds
+(or accepts) its typed config, validates the request against the
+algorithm's declared capabilities *before* any simulation runs, executes
+the SPMD program on a :class:`~repro.bsp.engine.BSPEngine`, and extracts
+shards / payloads / stats uniformly from every rank's return.
+
+    >>> from repro.algorithms import Dataset, Sorter
+    >>> ds = Dataset.from_workload("uniform", p=4, n_per=400, seed=7)
+    >>> run = Sorter("hss", eps=0.1).run(ds)
+    >>> run.algorithm, run.imbalance <= 1.1
+    ('hss', True)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.algorithms.dataset import Dataset
+from repro.algorithms.registry import get_spec
+from repro.algorithms.result import SortRun
+from repro.bsp.engine import BSPEngine
+from repro.bsp.machine import LAPTOP, MachineModel
+from repro.errors import CapabilityError, ConfigError
+
+__all__ = ["Sorter"]
+
+
+class Sorter:
+    """Run one registered algorithm on :class:`Dataset` inputs.
+
+    Parameters
+    ----------
+    algorithm:
+        Registered algorithm name (see ``repro algorithms`` or
+        :data:`repro.algorithms.REGISTRY`).
+    machine:
+        Simulated machine (defaults to :data:`repro.bsp.machine.LAPTOP`).
+    config:
+        A pre-built instance of the algorithm's typed config class.
+        Mutually exclusive with keyword knobs.
+    verify:
+        Check sortedness, permutation and (for balanced algorithms) the
+        load bound on every run's output.
+    **config_kwargs:
+        Typed config knobs (e.g. ``eps=0.02`` for HSS,
+        ``probes_per_splitter=5`` for classic histogram sort).  Unknown
+        keys raise :class:`~repro.errors.ConfigError` naming the valid
+        ones — nothing is forwarded blind.
+    """
+
+    def __init__(
+        self,
+        algorithm: str,
+        *,
+        machine: MachineModel | None = None,
+        config: Any | None = None,
+        verify: bool = True,
+        **config_kwargs: Any,
+    ) -> None:
+        self.spec = get_spec(algorithm)
+        if config is not None and config_kwargs:
+            raise ConfigError(
+                "pass either a pre-built config or keyword knobs, not both"
+            )
+        if config is not None:
+            self.config = self.spec.check_config(config)
+        else:
+            self.config = self.spec.build_config(**config_kwargs)
+        self.machine = machine
+        self.verify = verify
+
+    # ------------------------------------------------------------------ #
+    @property
+    def algorithm(self) -> str:
+        return self.spec.name
+
+    def _effective_machine(self) -> MachineModel:
+        return self.machine if self.machine is not None else LAPTOP
+
+    def _check_capabilities(self, dataset: Dataset) -> None:
+        spec = self.spec
+        if dataset.has_payloads and not spec.supports_payloads:
+            raise CapabilityError(
+                f"algorithm {spec.name!r} does not support payloads "
+                f"(AlgorithmSpec.supports_payloads is False); use one of "
+                f"the payload-capable algorithms or drop the payloads"
+            )
+        if spec.needs_multicore and self._effective_machine().cores_per_node < 2:
+            raise CapabilityError(
+                f"{spec.name} needs a multicore machine "
+                f"(machine.cores_per_node > 1)"
+            )
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        data: Dataset | Sequence[np.ndarray],
+        *,
+        payloads: Sequence[np.ndarray] | None = None,
+    ) -> SortRun:
+        """Sort a dataset; returns a :class:`SortRun`.
+
+        ``data`` may be a :class:`Dataset` or a plain sequence of per-rank
+        key arrays (wrapped via :meth:`Dataset.from_arrays`, optionally
+        with ``payloads``).
+        """
+        if isinstance(data, Dataset):
+            if payloads is not None:
+                data = data.with_payloads(payloads)
+            dataset = data
+        else:
+            dataset = Dataset.from_arrays(data, payloads=payloads)
+        self._check_capabilities(dataset)
+
+        engine = BSPEngine(dataset.nprocs, machine=self.machine)
+        result = engine.run(
+            self.spec.program,
+            rank_args=dataset.rank_args(),
+            **self.spec.program_kwargs(self.config),
+        )
+
+        shards, out_payloads, rank_stats = self._extract(result.returns)
+        if not dataset.has_payloads:
+            out_payloads = None
+        if self.verify:
+            from repro.metrics.verify import verify_sorted_output
+
+            verify_sorted_output(
+                dataset.shards, shards, self.spec.verify_eps(self.config)
+            )
+        return SortRun(
+            shards=shards,
+            payloads=out_payloads,
+            stats=rank_stats[0] if rank_stats else None,
+            engine_result=result,
+            algorithm=self.spec.name,
+            rank_stats=rank_stats,
+        )
+
+    @staticmethod
+    def _extract(returns: Sequence[Any]):
+        """Normalize every rank's return to ``(keys, payload, stats)``.
+
+        Programs return ``Shard | ndarray`` or ``(Shard | ndarray, stats)``
+        per rank; extraction is uniform across all ranks rather than
+        isinstance-sniffing rank 0.
+        """
+        from repro.core.data_movement import Shard
+
+        shards: list[np.ndarray] = []
+        payloads: list[np.ndarray | None] = []
+        rank_stats: list[Any] = []
+        for ret in returns:
+            stats = None
+            out = ret
+            if isinstance(ret, tuple):
+                out, stats = ret
+            if isinstance(out, Shard):
+                shards.append(out.keys)
+                payloads.append(out.payload)
+            else:
+                shards.append(out)
+                payloads.append(None)
+            rank_stats.append(stats)
+        return shards, payloads, rank_stats

@@ -16,14 +16,21 @@ textbook preconditions).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Generator
 
 import numpy as np
 
+from repro.algorithms.registry import register_algorithm
 from repro.bsp.engine import Context
 from repro.errors import ConfigError
 
-__all__ = ["bitonic_sort_program"]
+__all__ = ["BitonicConfig", "bitonic_sort_program"]
+
+
+@dataclass(frozen=True)
+class BitonicConfig:
+    """Bitonic sort has no knobs: deterministic, exactly balanced blocks."""
 
 
 def _keep_half(
@@ -41,6 +48,14 @@ def _keep_half(
     return merged[len(theirs):]
 
 
+@register_algorithm(
+    name="bitonic",
+    config_cls=BitonicConfig,
+    balanced=False,
+    duplicate_tolerant=True,
+    paper_section="4.2",
+    description="Batcher bitonic sort on a hypercube (power-of-two p)",
+)
 def bitonic_sort_program(
     ctx: Context,
     keys: np.ndarray,

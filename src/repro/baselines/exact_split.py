@@ -30,11 +30,23 @@ from typing import Generator
 
 import numpy as np
 
+from repro.algorithms.registry import register_algorithm
 from repro.bsp.engine import Context
 from repro.core.data_movement import Shard, exchange_and_merge
 from repro.errors import VerificationError
 
-__all__ = ["ExactSplitStats", "exact_split_sort_program"]
+__all__ = ["ExactSplitConfig", "ExactSplitStats", "exact_split_sort_program"]
+
+
+@dataclass(frozen=True)
+class ExactSplitConfig:
+    """Typed knobs for exact splitting (ε = 0 multi-selection)."""
+
+    #: Verification budget only — the algorithm itself always targets
+    #: perfect balance.
+    eps: float = 0.05
+    #: Bisection-round budget.
+    max_rounds: int = 256
 
 
 @dataclass
@@ -58,6 +70,13 @@ def _midpoint(lo, hi, dtype):
     return dtype.type(int(lo) + width // 2)
 
 
+@register_algorithm(
+    name="exact-split",
+    config_cls=ExactSplitConfig,
+    balanced=True,
+    paper_section="2.1",
+    description="exact splitters / perfect balance (Cheng et al.)",
+)
 def exact_split_sort_program(
     ctx: Context,
     keys: np.ndarray,

@@ -23,13 +23,31 @@ from typing import Generator
 
 import numpy as np
 
+from repro.algorithms.registry import register_algorithm
 from repro.bsp.engine import Context
-from repro.core.data_movement import Shard, exchange_and_merge
+from repro.core.data_movement import exchange_and_merge, locally_sorted_shard
 from repro.core.splitters import SplitterState
 from repro.errors import ConfigError, VerificationError
 from repro.utils.arrays import sorted_unique
 
-__all__ = ["HistogramSortStats", "histogram_sort_program", "keyspace_probes"]
+__all__ = [
+    "HistogramSortConfig",
+    "HistogramSortStats",
+    "histogram_sort_program",
+    "keyspace_probes",
+]
+
+
+@dataclass(frozen=True)
+class HistogramSortConfig:
+    """Typed knobs for classic (no-sampling) histogram sort."""
+
+    #: Load-imbalance target for splitter finalization.
+    eps: float = 0.05
+    #: Probes generated per still-open splitter each bisection round.
+    probes_per_splitter: int = 3
+    #: Round budget before the run fails with VerificationError.
+    max_rounds: int = 128
 
 
 @dataclass
@@ -133,9 +151,18 @@ def keyspace_probes(
     return sorted_unique(pts.astype(state.key_dtype))
 
 
+@register_algorithm(
+    name="histogram",
+    config_cls=HistogramSortConfig,
+    supports_payloads=True,
+    balanced=True,
+    paper_section="2.3",
+    description="classic histogram sort, key-space bisection (no sampling)",
+)
 def histogram_sort_program(
     ctx: Context,
     keys: np.ndarray,
+    payload: np.ndarray | None = None,
     *,
     eps: float = 0.05,
     seed: int = 0,
@@ -146,7 +173,8 @@ def histogram_sort_program(
 
     Only numeric key dtypes are supported (probe generation needs key
     arithmetic — an inherent limitation of key-space bisection that the
-    sampling-based methods do not share).
+    sampling-based methods do not share).  An optional aligned ``payload``
+    array is permuted along with the keys.
     """
     del seed  # deterministic
     if probes_per_splitter < 1:
@@ -157,8 +185,8 @@ def histogram_sort_program(
     root = 0
 
     with ctx.phase("local sort"):
-        keys = np.sort(keys, kind="stable")
-        ctx.charge_sort(len(keys), key_bytes=keys.dtype.itemsize)
+        shard = locally_sorted_shard(ctx, keys, payload)
+        keys = shard.keys
 
     with ctx.phase("histogramming"):
         total_keys = int((yield from ctx.allreduce(np.int64(len(keys)))))
@@ -214,5 +242,5 @@ def histogram_sort_program(
         ctx.charge_binary_searches(p - 1, max(1, len(keys)))
 
     with ctx.phase("data exchange"):
-        merged = yield from exchange_and_merge(ctx, Shard(keys), positions)
+        merged = yield from exchange_and_merge(ctx, shard, positions)
     return merged, stats

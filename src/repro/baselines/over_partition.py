@@ -24,13 +24,32 @@ from typing import Generator
 
 import numpy as np
 
+from repro.algorithms.registry import register_algorithm
 from repro.bsp.engine import Context
 from repro.core.data_movement import Shard, exchange_and_merge
 from repro.errors import ConfigError
 from repro.sampling.random_blocks import block_random_sample
 from repro.utils.rng import RngTree
 
-__all__ = ["OverPartitionStats", "over_partition_program", "assign_buckets_greedy"]
+__all__ = [
+    "OverPartitionConfig",
+    "OverPartitionStats",
+    "over_partition_program",
+    "assign_buckets_greedy",
+]
+
+
+@dataclass(frozen=True)
+class OverPartitionConfig:
+    """Typed knobs for parallel sorting by over-partitioning."""
+
+    #: Sampling seed.
+    seed: int = 0
+    #: Over-partitioning ratio ``k`` (buckets = ``k·p``); None = the
+    #: Li & Sevcik default ``⌈log₂ p⌉ + 1``.
+    ratio: int | None = None
+    #: Sample keys per bucket used to pick the bucket splitters.
+    oversample: int = 32
 
 
 @dataclass
@@ -81,6 +100,13 @@ def assign_buckets_greedy(bucket_sizes: np.ndarray, p: int) -> np.ndarray:
     return owner
 
 
+@register_algorithm(
+    name="over-partition",
+    config_cls=OverPartitionConfig,
+    balanced=False,
+    paper_section="4.2",
+    description="over-partitioning with contiguous greedy bucket assignment",
+)
 def over_partition_program(
     ctx: Context,
     keys: np.ndarray,

@@ -21,10 +21,20 @@ from typing import Generator
 
 import numpy as np
 
+from repro.algorithms.registry import register_algorithm
 from repro.bsp.engine import Context
 from repro.errors import ConfigError
 
-__all__ = ["RadixStats", "radix_sort_program"]
+__all__ = ["RadixConfig", "RadixStats", "radix_sort_program"]
+
+
+@dataclass(frozen=True)
+class RadixConfig:
+    """Typed knobs for distributed LSD radix sort (integer keys only)."""
+
+    #: Significant bits to process; None = detected from the data (a
+    #: global max/min reduction).  Benchmarks force 64 for worst-case runs.
+    key_bits: int | None = None
 
 
 @dataclass
@@ -56,6 +66,14 @@ def _from_unsigned(keys: np.ndarray, was_signed: bool, dtype: np.dtype) -> np.nd
     return (keys ^ np.uint64(1 << (bits - 1)).astype(keys.dtype)).astype(dtype)
 
 
+@register_algorithm(
+    name="radix",
+    config_cls=RadixConfig,
+    balanced=False,
+    duplicate_tolerant=True,
+    paper_section="4.2",
+    description="parallel LSD radix sort (integer keys, full data movement)",
+)
 def radix_sort_program(
     ctx: Context,
     keys: np.ndarray,

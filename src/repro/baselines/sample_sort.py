@@ -24,18 +24,33 @@ from typing import Generator
 
 import numpy as np
 
+from repro.algorithms.registry import register_algorithm
 from repro.bsp.engine import Context
-from repro.core.data_movement import Shard, exchange_and_merge
+from repro.core.data_movement import exchange_and_merge, locally_sorted_shard
 from repro.errors import ConfigError
 from repro.sampling.random_blocks import block_random_sample
 from repro.sampling.regular import regular_sample
 from repro.utils.rng import RngTree
 
 __all__ = [
+    "SampleSortConfig",
     "SampleSortStats",
     "sample_sort_regular_program",
     "sample_sort_random_program",
 ]
+
+
+@dataclass(frozen=True)
+class SampleSortConfig:
+    """Typed knobs for the single-round sample-sort baselines."""
+
+    #: Load-imbalance target (guaranteed for regular, w.h.p. for random).
+    eps: float = 0.05
+    #: Sampling seed (block-random variant; regular is deterministic).
+    seed: int = 0
+    #: Per-processor sample size override (None = the variant's
+    #: guarantee-preserving default).
+    oversample: int | None = None
 
 
 @dataclass
@@ -83,9 +98,18 @@ def _central_splitters(
     return splitters, total
 
 
+@register_algorithm(
+    name="sample-regular",
+    config_cls=SampleSortConfig,
+    supports_payloads=True,
+    balanced=True,
+    paper_section="4.1.2",
+    description="sample sort, regular sampling (PSRS, central splitter pick)",
+)
 def sample_sort_regular_program(
     ctx: Context,
     keys: np.ndarray,
+    payload: np.ndarray | None = None,
     *,
     eps: float = 0.05,
     seed: int = 0,
@@ -93,7 +117,8 @@ def sample_sort_regular_program(
 ) -> Generator:
     """PSRS: sample sort with regular sampling; returns ``(Shard, stats)``.
 
-    ``oversample`` defaults to the guarantee-preserving ``⌈p/ε⌉``.
+    ``oversample`` defaults to the guarantee-preserving ``⌈p/ε⌉``.  An
+    optional aligned ``payload`` array is permuted along with the keys.
     """
     del seed  # deterministic sampling
     p = ctx.nprocs
@@ -102,8 +127,8 @@ def sample_sort_regular_program(
         raise ConfigError(f"oversample must be >= 1, got {s}")
 
     with ctx.phase("local sort"):
-        keys = np.sort(keys, kind="stable")
-        ctx.charge_sort(len(keys), key_bytes=keys.dtype.itemsize)
+        shard = locally_sorted_shard(ctx, keys, payload)
+        keys = shard.keys
 
     with ctx.phase("splitting"):
         local_sample = regular_sample(keys, s)
@@ -114,13 +139,22 @@ def sample_sort_regular_program(
         ctx.charge_binary_searches(p - 1, max(1, len(keys)))
 
     with ctx.phase("data exchange"):
-        merged = yield from exchange_and_merge(ctx, Shard(keys), positions)
+        merged = yield from exchange_and_merge(ctx, shard, positions)
     return merged, SampleSortStats(s, total, splitters)
 
 
+@register_algorithm(
+    name="sample-random",
+    config_cls=SampleSortConfig,
+    supports_payloads=True,
+    balanced=False,
+    paper_section="4.1.1",
+    description="sample sort, block random sampling (w.h.p. balance)",
+)
 def sample_sort_random_program(
     ctx: Context,
     keys: np.ndarray,
+    payload: np.ndarray | None = None,
     *,
     eps: float = 0.05,
     seed: int = 0,
@@ -130,14 +164,14 @@ def sample_sort_random_program(
 
     ``oversample`` defaults to Theorem 4.1.1's ``⌈4(1+ε)·ln N/ε²⌉`` (the
     constant making the failure probability ``1/N``), capped at the local
-    size.
+    size.  An optional aligned ``payload`` is permuted with the keys.
     """
     p = ctx.nprocs
     rng = RngTree(seed).generator("sample-sort-random", ctx.rank)
 
     with ctx.phase("local sort"):
-        keys = np.sort(keys, kind="stable")
-        ctx.charge_sort(len(keys), key_bytes=keys.dtype.itemsize)
+        shard = locally_sorted_shard(ctx, keys, payload)
+        keys = shard.keys
 
     with ctx.phase("splitting"):
         total_keys = int((yield from ctx.allreduce(np.int64(len(keys)))))
@@ -158,5 +192,5 @@ def sample_sort_random_program(
         ctx.charge_binary_searches(p - 1, max(1, len(keys)))
 
     with ctx.phase("data exchange"):
-        merged = yield from exchange_and_merge(ctx, Shard(keys), positions)
+        merged = yield from exchange_and_merge(ctx, shard, positions)
     return merged, SampleSortStats(s, total, splitters)

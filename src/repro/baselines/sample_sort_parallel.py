@@ -31,6 +31,8 @@ from typing import Generator
 
 import numpy as np
 
+from repro.algorithms.registry import register_algorithm
+from repro.baselines.sample_sort import SampleSortConfig
 from repro.bsp.engine import Context
 from repro.core.data_movement import Shard, exchange_and_merge
 from repro.errors import ConfigError
@@ -63,6 +65,13 @@ def _keep_half(mine: np.ndarray, theirs: np.ndarray, keep_low: bool) -> np.ndarr
     return merged[:n] if keep_low else merged[len(theirs):]
 
 
+@register_algorithm(
+    name="sample-regular-parallel",
+    config_cls=SampleSortConfig,
+    balanced=True,
+    paper_section="4.1.2",
+    description="PSRS with the sample sorted in parallel (Goodrich-style)",
+)
 def sample_sort_regular_parallel_program(
     ctx: Context,
     keys: np.ndarray,

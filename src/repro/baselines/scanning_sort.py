@@ -13,6 +13,8 @@ from typing import Generator
 
 import numpy as np
 
+from repro.algorithms.registry import register_algorithm
+from repro.algorithms.spec import AlgorithmSpec
 from repro.bsp.engine import Context
 from repro.core.config import HSSConfig
 from repro.core.data_movement import Shard, exchange_and_merge
@@ -59,3 +61,18 @@ def scanning_sort_program(
             ctx, Shard(keys), positions, node_combining=cfg.node_level
         )
     return merged, stats
+
+
+register_algorithm(
+    AlgorithmSpec(
+        name="scanning",
+        program=scanning_sort_program,
+        config_cls=HSSConfig,
+        config_style="cfg",
+        balanced=True,
+        duplicate_tolerant=True,
+        paper_section="3.2",
+        description="one-round sample + Axtmann scanning splitters",
+        excluded_config_keys=("schedule",),
+    )
+)

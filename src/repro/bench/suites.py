@@ -113,9 +113,8 @@ _SHOOTOUT_ALGORITHMS = [
     render=lambda cases, params: _render_shootout(cases, params),
 )
 def _run_shootout(params: Mapping[str, Any]) -> list[CaseResult]:
+    from repro.algorithms import Dataset, Sorter, get_spec
     from repro.bsp.machine import MIRA_LIKE
-    from repro.core.api import parallel_sort
-    from repro.workloads.distributions import make_distributed
 
     p = params["procs"]
     n_per = params["keys_per_rank"]
@@ -123,21 +122,20 @@ def _run_shootout(params: Mapping[str, Any]) -> list[CaseResult]:
     machine = MIRA_LIKE.with_(cores_per_node=1)
     cases = []
     for workload in params["workloads"]:
-        shards = make_distributed(workload, p, n_per, params["workload_seed"])
+        dataset = Dataset.from_workload(
+            workload, p=p, n_per=n_per, seed=params["workload_seed"]
+        )
         for name in params["algorithms"]:
             # Fixed-round HSS variants give their balance guarantee only
             # w.h.p.; at small p the Theorem 3.2.2 failure budget is a few
             # percent, so run them best-effort and *report* imbalance.
             kwargs = {"strict": False} if name.startswith("hss-") else {}
-            run = parallel_sort(
-                shards,
-                name,
-                eps=eps,
-                seed=params["sort_seed"],
-                machine=machine,
-                verify=False,
-                **kwargs,
+            config = get_spec(name).legacy_config(
+                eps=eps, seed=params["sort_seed"], **kwargs
             )
+            run = Sorter(
+                name, machine=machine, config=config, verify=False
+            ).run(dataset)
             metrics: dict[str, Any] = {
                 "makespan_s": run.makespan,
                 "net_bytes": run.engine_result.stats.bytes,
@@ -735,7 +733,7 @@ def _render_table_6_1(cases: Sequence[CaseResult], params: Mapping[str, Any]) ->
     render=lambda cases, params: _render_ablation_approx(cases, params),
 )
 def _run_ablation_approx(params: Mapping[str, Any]) -> list[CaseResult]:
-    from repro.core.api import hss_sort
+    from repro.algorithms import Dataset, Sorter
     from repro.core.config import HSSConfig
     from repro.sampling.representative import representative_sample_size
 
@@ -746,11 +744,13 @@ def _run_ablation_approx(params: Mapping[str, Any]) -> list[CaseResult]:
     cases = []
     for mode, approx in (("exact", False), ("approx", True)):
         rng = np.random.default_rng(params["input_seed"])
-        inputs = [rng.integers(0, 2**60, n_per) for _ in range(p)]
+        inputs = Dataset.from_arrays(
+            [rng.integers(0, 2**60, n_per) for _ in range(p)]
+        )
         cfg = HSSConfig(
             eps=eps, approximate_histograms=approx, seed=params["seed"]
         )
-        run = hss_sort(inputs, config=cfg)
+        run = Sorter("hss", config=cfg).run(inputs)
         cases.append(
             _case(
                 mode,
@@ -809,11 +809,10 @@ def _render_ablation_approx(
     render=lambda cases, params: _render_ablation_duplicates(cases, params),
 )
 def _run_ablation_duplicates(params: Mapping[str, Any]) -> list[CaseResult]:
-    from repro.core.api import hss_sort
+    from repro.algorithms import Dataset, Sorter
     from repro.core.config import HSSConfig
     from repro.errors import VerificationError
     from repro.metrics import load_imbalance
-    from repro.workloads.duplicates import hotspot_shards
 
     p = params["procs"]
     n_per = params["keys_per_rank"]
@@ -821,13 +820,17 @@ def _run_ablation_duplicates(params: Mapping[str, Any]) -> list[CaseResult]:
     cases = []
     for hot in params["hot_fractions"]:
         for tagged in (True, False):
-            shards = hotspot_shards(
-                p, n_per, params["workload_seed"], hot_fraction=hot
+            dataset = Dataset.from_workload(
+                "hotspot",
+                p=p,
+                n_per=n_per,
+                seed=params["workload_seed"],
+                hot_fraction=hot,
             )
             cfg = HSSConfig(eps=eps, tag_duplicates=tagged, seed=params["seed"])
             strict_failed = False
             try:
-                run = hss_sort(shards, config=cfg)
+                run = Sorter("hss", config=cfg).run(dataset)
                 imbalance = run.imbalance
             except VerificationError:
                 # Without tagging the hot key cannot be split across
@@ -839,7 +842,7 @@ def _run_ablation_duplicates(params: Mapping[str, Any]) -> list[CaseResult]:
                     seed=params["seed"],
                     strict=False,
                 )
-                raw = hss_sort(shards, config=relaxed, verify=False)
+                raw = Sorter("hss", config=relaxed, verify=False).run(dataset)
                 imbalance = load_imbalance(raw.shards)
             label = "tagged" if tagged else "untagged"
             cases.append(

@@ -1,10 +1,15 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four subcommands:
+Five subcommands:
 
 ``sort``
-    Generate a workload, sort it with any algorithm from the paper on a
-    simulated machine, and report rounds/samples/imbalance/phase breakdown.
+    Generate a workload, sort it with any registered algorithm on a
+    simulated machine, and report rounds/samples/imbalance/phase breakdown
+    (a :class:`~repro.algorithms.SortRun` summary).
+
+``algorithms``
+    List every algorithm in the plugin registry with its typed-config
+    keys, capability flags and paper section.
 
 ``table``
     Print an analytic table (``5.1`` or the intro sample-size example).
@@ -23,9 +28,10 @@ Examples
 --------
 ::
 
-    python -m repro sort --algorithm hss --procs 16 --keys 50000 \
-        --distribution lognormal --eps 0.05
-    python -m repro sort --algorithm histogram --distribution staircase
+    python -m repro sort --algorithm hss -p 16 -n 50000 \
+        --workload lognormal --eps 0.05
+    python -m repro sort --algorithm histogram --workload staircase --payloads
+    python -m repro algorithms
     python -m repro table 5.1
     python -m repro simulate --procs 32768 --keys-per-proc 100000 --eps 0.02
     python -m repro bench --tier quick --json bench.json \
@@ -53,16 +59,19 @@ def build_parser() -> argparse.ArgumentParser:
     sort.add_argument(
         "--algorithm",
         default="hss",
-        help="algorithm name (see repro.ALGORITHMS)",
+        help="algorithm name (see 'repro algorithms')",
     )
-    sort.add_argument("--procs", type=int, default=16, help="simulated ranks")
     sort.add_argument(
-        "--keys", type=int, default=20_000, help="keys per rank"
+        "-p", "--procs", type=int, default=16, help="simulated ranks"
+    )
+    sort.add_argument(
+        "-n", "--keys", type=int, default=20_000, help="keys per rank"
     )
     sort.add_argument(
         "--distribution",
+        "--workload",
         default="uniform",
-        help="workload name (see repro.workloads.DISTRIBUTIONS)",
+        help="workload name (see repro.workloads.WORKLOADS)",
     )
     sort.add_argument("--eps", type=float, default=0.05)
     sort.add_argument("--seed", type=int, default=0)
@@ -75,6 +84,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--tag-duplicates",
         action="store_true",
         help="apply §4.3 implicit tagging (HSS variants only)",
+    )
+    sort.add_argument(
+        "--payloads",
+        action="store_true",
+        help="attach tracer payloads and report the round-trip (only "
+        "payload-capable algorithms; see 'repro algorithms')",
+    )
+
+    sub.add_parser(
+        "algorithms",
+        help="list registered algorithms, capabilities and config keys",
     )
 
     table = sub.add_parser("table", help="print an analytic table")
@@ -171,40 +191,68 @@ def _machine(name: str):
 
 
 def _cmd_sort(args: argparse.Namespace) -> int:
-    from repro.core.api import ALGORITHMS, parallel_sort
-    from repro.workloads.distributions import DISTRIBUTIONS, make_distributed
+    import numpy as np
 
-    if args.algorithm not in ALGORITHMS:
+    from repro.algorithms import REGISTRY, Dataset, Sorter
+    from repro.errors import ConfigError
+    from repro.workloads import WORKLOADS
+
+    if args.algorithm not in REGISTRY:
         print(
             f"unknown algorithm {args.algorithm!r}; "
-            f"choose from {', '.join(sorted(ALGORITHMS))}",
+            f"choose from {', '.join(sorted(REGISTRY))}",
             file=sys.stderr,
         )
         return 2
-    if args.distribution not in DISTRIBUTIONS:
+    if args.distribution not in WORKLOADS:
         print(
             f"unknown distribution {args.distribution!r}; "
-            f"choose from {', '.join(sorted(DISTRIBUTIONS))}",
+            f"choose from {', '.join(sorted(WORKLOADS))}",
             file=sys.stderr,
         )
         return 2
 
-    shards = make_distributed(args.distribution, args.procs, args.keys, args.seed)
+    dataset = Dataset.from_workload(
+        args.distribution, p=args.procs, n_per=args.keys, seed=args.seed
+    )
+    if args.payloads:
+        dataset = dataset.with_index_payloads()
+    spec = REGISTRY[args.algorithm]
     kwargs = {}
     if args.tag_duplicates:
         kwargs["tag_duplicates"] = True
-    run = parallel_sort(
-        shards,
-        args.algorithm,
-        eps=args.eps,
-        seed=args.seed,
-        machine=_machine(args.machine),
-        verify=False,
-        **kwargs,
-    )
+    # ConfigError covers both bad config keys (legacy_config) and
+    # capability violations (CapabilityError subclasses it): usage
+    # errors, exit 2 with the message — never a traceback.
+    try:
+        config = spec.legacy_config(eps=args.eps, seed=args.seed, **kwargs)
+        sorter = Sorter(
+            args.algorithm,
+            machine=_machine(args.machine),
+            config=config,
+            verify=False,
+        )
+        run = sorter.run(dataset)
+    except ConfigError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     from repro.metrics import verify_sorted_output
 
-    verify_sorted_output(shards, run.shards)
+    verify_sorted_output(dataset.shards, run.shards)
+    if args.payloads:
+        # Tracer payloads are global input positions: output key i must
+        # equal the input key its payload points at, on every rank.
+        flat_input = np.concatenate(dataset.shards)
+        for keys, payload in zip(run.shards, run.payloads):
+            if payload is None:
+                if len(keys):
+                    print("payload round-trip FAILED: payloads dropped",
+                          file=sys.stderr)
+                    return 1
+                continue
+            if not np.array_equal(flat_input[payload], keys):
+                print("payload round-trip FAILED", file=sys.stderr)
+                return 1
     total = args.procs * args.keys
     print(
         f"{args.algorithm}: sorted {total:,} {args.distribution} keys on "
@@ -218,6 +266,12 @@ def _cmd_sort(args: argparse.Namespace) -> int:
             f"total sample      : {stats.total_sample} keys "
             f"({stats.total_sample / total:.2e} of input)"
         )
+    if run.payloads is not None:
+        carried = sum(len(v) for v in run.payloads if v is not None)
+        print(
+            f"payloads          : {carried:,} values verified aligned "
+            f"with their keys"
+        )
     print(f"modeled makespan  : {run.makespan:.3e} s")
     print(
         f"network           : {run.engine_result.stats.messages:,} messages, "
@@ -225,6 +279,30 @@ def _cmd_sort(args: argparse.Namespace) -> int:
     )
     print()
     print(run.breakdown().table())
+    return 0
+
+
+def _cmd_algorithms(args: argparse.Namespace) -> int:
+    from repro.algorithms import REGISTRY
+
+    del args
+    flags = {
+        "supports_payloads": "payloads",
+        "balanced": "balanced",
+        "needs_multicore": "multicore",
+        "duplicate_tolerant": "dup-tolerant",
+    }
+    for name in sorted(REGISTRY):
+        spec = REGISTRY[name]
+        caps = spec.capabilities()
+        cap_text = ",".join(short for key, short in flags.items() if caps[key])
+        section = f"§{spec.paper_section}" if spec.paper_section else ""
+        print(f"{name:24s} {section:8s} [{cap_text}]")
+        print(f"{'':24s} {spec.description}")
+        print(
+            f"{'':24s} config: {spec.config_cls.__name__}"
+            f"({', '.join(sorted(spec.config_keys())) or 'no knobs'})"
+        )
     return 0
 
 
@@ -438,6 +516,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "sort":
         return _cmd_sort(args)
+    if args.command == "algorithms":
+        return _cmd_algorithms(args)
     if args.command == "table":
         return _cmd_table(args)
     if args.command == "simulate":

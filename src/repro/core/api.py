@@ -1,5 +1,11 @@
 """User-facing entry points.
 
+The first-class API lives in :mod:`repro.algorithms`:
+``Sorter(name, ...).run(Dataset...)`` resolves algorithms through the
+typed-spec plugin registry, validates capabilities up front, and returns a
+:class:`~repro.algorithms.SortRun`.  This module keeps the two historical
+entry points as thin shims over it:
+
 :func:`hss_sort` sorts a distributed input (list of per-rank key arrays)
 with Histogram Sort with Sampling on a simulated BSP machine and returns the
 sorted shards plus full run diagnostics.
@@ -28,64 +34,28 @@ name                    algorithm
 ``bitonic``             Batcher bitonic sort (§4.2)
 ``radix``               parallel MSB radix sort (§4.2)
 ======================  ====================================================
+
+Every row is backed by an :class:`~repro.algorithms.AlgorithmSpec` in
+:data:`repro.algorithms.REGISTRY` (also exported here as ``ALGORITHMS``);
+``repro algorithms`` on the command line prints the same table with each
+algorithm's capability flags.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
-from repro.bsp.engine import BSPEngine, RunResult
+from repro.algorithms import REGISTRY, Dataset, Sorter, SortRun, get_spec
 from repro.bsp.machine import MachineModel
 from repro.core.config import HSSConfig
-from repro.core.data_movement import Shard
-from repro.core.hss import SplitterStats, hss_sort_program
-from repro.errors import ConfigError
-from repro.metrics.verify import verify_sorted_output
 
 __all__ = ["SortRun", "hss_sort", "parallel_sort", "ALGORITHMS"]
 
-
-@dataclass
-class SortRun:
-    """Sorted output plus everything observable about the simulated run."""
-
-    #: Per-rank sorted output key arrays (globally ascending across ranks).
-    shards: list[np.ndarray]
-    #: Per-rank payload arrays when the input carried payloads, else None.
-    payloads: list[np.ndarray] | None
-    #: Splitter-phase statistics (HSS/scanning runs; None for baselines that
-    #: do not histogram).
-    splitter_stats: SplitterStats | None
-    #: Raw BSP engine result (trace, comm stats, modeled makespan).
-    engine_result: RunResult
-    #: Algorithm name.
-    algorithm: str
-
-    @property
-    def makespan(self) -> float:
-        """Modeled execution time on the simulated machine (seconds)."""
-        return self.engine_result.makespan
-
-    @property
-    def imbalance(self) -> float:
-        loads = np.array([len(s) for s in self.shards], dtype=np.float64)
-        return float(loads.max() / loads.mean()) if loads.sum() else 1.0
-
-    def breakdown(self):
-        return self.engine_result.breakdown()
-
-
-def _as_shards(keys: Sequence[np.ndarray]) -> list[np.ndarray]:
-    shards = [np.asarray(k) for k in keys]
-    if not shards:
-        raise ConfigError("need at least one rank's keys")
-    dtypes = {s.dtype for s in shards}
-    if len(dtypes) != 1:
-        raise ConfigError(f"all shards must share a dtype, got {dtypes}")
-    return shards
+#: Live view of the algorithm registry (name -> AlgorithmSpec).  Retained
+#: under its historical name; prefer :data:`repro.algorithms.REGISTRY`.
+ALGORITHMS = REGISTRY
 
 
 def hss_sort(
@@ -98,6 +68,9 @@ def hss_sort(
     verify: bool = True,
 ) -> SortRun:
     """Sort a distributed input with Histogram Sort with Sampling.
+
+    Shim over ``Sorter("hss")`` kept for compatibility; new code should
+    use :class:`repro.algorithms.Sorter` directly.
 
     Parameters
     ----------
@@ -126,69 +99,8 @@ def hss_sort(
     True
     """
     cfg = config if config is not None else HSSConfig(eps=eps)
-    shards = _as_shards(keys)
-    p = len(shards)
-    engine = BSPEngine(p, machine=machine)
-    if payloads is not None:
-        if len(payloads) != p:
-            raise ConfigError("payloads must match keys rank-for-rank")
-        rank_args = [(shards[r], np.asarray(payloads[r])) for r in range(p)]
-    else:
-        rank_args = [(shards[r], None) for r in range(p)]
-
-    result = engine.run(hss_sort_program, rank_args=rank_args, cfg=cfg)
-    out_shards = [ret[0].keys for ret in result.returns]
-    out_payloads = (
-        [ret[0].payload for ret in result.returns] if payloads is not None else None
-    )
-    stats = result.returns[0][1]
-    if verify:
-        verify_sorted_output(shards, out_shards, cfg.eps)
-    return SortRun(
-        shards=out_shards,
-        payloads=out_payloads,
-        splitter_stats=stats,
-        engine_result=result,
-        algorithm="hss",
-    )
-
-
-def _run_named(
-    name: str,
-    program: Callable,
-    keys: Sequence[np.ndarray],
-    *,
-    machine: MachineModel | None,
-    verify: bool,
-    verify_eps: float | None,
-    program_kwargs: dict[str, Any],
-) -> SortRun:
-    shards = _as_shards(keys)
-    p = len(shards)
-    engine = BSPEngine(p, machine=machine)
-    rank_args = [(shards[r],) for r in range(p)]
-    result = engine.run(program, rank_args=rank_args, **program_kwargs)
-    returns = result.returns
-    # Programs return either Shard / ndarray, or (Shard/ndarray, stats).
-    stats = None
-    outs = []
-    for ret in returns:
-        if isinstance(ret, tuple):
-            payload, rank_stats = ret
-            if stats is None:
-                stats = rank_stats
-        else:
-            payload = ret
-        outs.append(payload.keys if isinstance(payload, Shard) else payload)
-    if verify:
-        verify_sorted_output(shards, outs, verify_eps)
-    return SortRun(
-        shards=outs,
-        payloads=None,
-        splitter_stats=stats if isinstance(stats, SplitterStats) else None,
-        engine_result=result,
-        algorithm=name,
-    )
+    dataset = Dataset.from_arrays(keys, payloads=payloads)
+    return Sorter("hss", machine=machine, config=cfg, verify=verify).run(dataset)
 
 
 def parallel_sort(
@@ -203,179 +115,26 @@ def parallel_sort(
 ) -> SortRun:
     """Sort with any algorithm from the paper, selected by name.
 
-    ``kwargs`` are forwarded to the algorithm's program (e.g. ``radix_bits``
-    for radix sort, ``over_partition_ratio`` for over-partitioning).
+    Shim over :class:`repro.algorithms.Sorter` kept for compatibility.
+    ``kwargs`` are validated against the algorithm's typed config class —
+    unknown keys raise :class:`~repro.errors.ConfigError` naming the valid
+    ones (e.g. ``key_bits`` for radix, ``ratio`` for over-partitioning);
+    ``eps``/``seed`` are accepted for every algorithm and ignored by those
+    without such a knob.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> rng = np.random.default_rng(1)
+    >>> inputs = [rng.integers(0, 10**6, 400) for _ in range(4)]
+    >>> parallel_sort(inputs, "sample-regular", eps=0.2).algorithm
+    'sample-regular'
+    >>> parallel_sort(inputs, "radix", radix_width=8)
+    Traceback (most recent call last):
+        ...
+    repro.errors.ConfigError: unknown config key(s) ['radix_width'] ...
     """
-    if algorithm not in ALGORITHMS:
-        raise ConfigError(
-            f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
-        )
-    return ALGORITHMS[algorithm](
-        keys, eps=eps, machine=machine, seed=seed, verify=verify, **kwargs
-    )
-
-
-# --------------------------------------------------------------------- #
-# Registry construction.  Baseline entries are bound lazily to avoid import
-# cycles (baselines import the data-movement phase from core).
-# --------------------------------------------------------------------- #
-def _hss_entry(name: str, config_factory: Callable[..., HSSConfig]) -> Callable:
-    def run(
-        keys: Sequence[np.ndarray],
-        *,
-        eps: float,
-        machine: MachineModel | None,
-        seed: int,
-        verify: bool,
-        **kwargs: Any,
-    ) -> SortRun:
-        cfg = config_factory(eps=eps, seed=seed, **kwargs)
-        result = hss_sort(keys, config=cfg, machine=machine, verify=verify)
-        result.algorithm = name
-        return result
-
-    return run
-
-
-def _node_level_entry(
-    keys: Sequence[np.ndarray],
-    *,
-    eps: float,
-    machine: MachineModel | None,
-    seed: int,
-    verify: bool,
-    within_node_eps: float = 0.05,
-    **kwargs: Any,
-) -> SortRun:
-    from repro.bsp.machine import LAPTOP
-    from repro.core.node_sort import combined_eps, hss_node_sort_program
-
-    effective_machine = machine if machine is not None else LAPTOP
-    if effective_machine.cores_per_node < 2:
-        raise ConfigError(
-            "hss-node needs a multicore machine (machine.cores_per_node > 1)"
-        )
-    cfg = HSSConfig(
-        eps=eps,
-        within_node_eps=within_node_eps,
-        node_level=True,
-        seed=seed,
-        **kwargs,
-    )
-    return _run_named(
-        "hss-node",
-        hss_node_sort_program,
-        keys,
-        machine=effective_machine,
-        verify=verify,
-        verify_eps=combined_eps(eps, within_node_eps),
-        program_kwargs={"cfg": cfg},
-    )
-
-
-def _scanning_entry(
-    keys: Sequence[np.ndarray],
-    *,
-    eps: float,
-    machine: MachineModel | None,
-    seed: int,
-    verify: bool,
-    **kwargs: Any,
-) -> SortRun:
-    from repro.baselines.scanning_sort import scanning_sort_program
-
-    cfg = HSSConfig(eps=eps, seed=seed, **kwargs)
-    return _run_named(
-        "scanning",
-        scanning_sort_program,
-        keys,
-        machine=machine,
-        verify=verify,
-        verify_eps=eps,
-        program_kwargs={"cfg": cfg},
-    )
-
-
-def _baseline_entry(name: str, module: str, program_name: str, *, balanced: bool):
-    def run(
-        keys: Sequence[np.ndarray],
-        *,
-        eps: float,
-        machine: MachineModel | None,
-        seed: int,
-        verify: bool,
-        **kwargs: Any,
-    ) -> SortRun:
-        import importlib
-
-        mod = importlib.import_module(module)
-        program = getattr(mod, program_name)
-        program_kwargs: dict[str, Any] = {"eps": eps, "seed": seed, **kwargs}
-        return _run_named(
-            name,
-            program,
-            keys,
-            machine=machine,
-            verify=verify,
-            verify_eps=eps if balanced else None,
-            program_kwargs=program_kwargs,
-        )
-
-    return run
-
-
-ALGORITHMS: dict[str, Callable[..., SortRun]] = {
-    "hss": _hss_entry("hss", HSSConfig.constant_oversampling),
-    "hss-1round": _hss_entry("hss-1round", HSSConfig.one_round),
-    "hss-2round": _hss_entry("hss-2round", lambda **kw: HSSConfig.k_rounds(2, **kw)),
-    "hss-node": _node_level_entry,
-    "scanning": _scanning_entry,
-    "sample-regular": _baseline_entry(
-        "sample-regular",
-        "repro.baselines.sample_sort",
-        "sample_sort_regular_program",
-        balanced=True,
-    ),
-    "sample-random": _baseline_entry(
-        "sample-random",
-        "repro.baselines.sample_sort",
-        "sample_sort_random_program",
-        balanced=False,
-    ),
-    "sample-regular-parallel": _baseline_entry(
-        "sample-regular-parallel",
-        "repro.baselines.sample_sort_parallel",
-        "sample_sort_regular_parallel_program",
-        balanced=True,
-    ),
-    "histogram": _baseline_entry(
-        "histogram",
-        "repro.baselines.histogram_sort",
-        "histogram_sort_program",
-        balanced=True,
-    ),
-    "over-partition": _baseline_entry(
-        "over-partition",
-        "repro.baselines.over_partition",
-        "over_partition_program",
-        balanced=False,
-    ),
-    "exact-split": _baseline_entry(
-        "exact-split",
-        "repro.baselines.exact_split",
-        "exact_split_sort_program",
-        balanced=True,
-    ),
-    "bitonic": _baseline_entry(
-        "bitonic",
-        "repro.baselines.bitonic",
-        "bitonic_sort_program",
-        balanced=False,
-    ),
-    "radix": _baseline_entry(
-        "radix",
-        "repro.baselines.radix",
-        "radix_sort_program",
-        balanced=False,
-    ),
-}
+    spec = get_spec(algorithm)
+    config = spec.legacy_config(eps=eps, seed=seed, **kwargs)
+    sorter = Sorter(algorithm, machine=machine, config=config, verify=verify)
+    return sorter.run(keys)

@@ -20,7 +20,12 @@ import numpy as np
 
 from repro.bsp.engine import Context
 
-__all__ = ["Shard", "partition_by_splitters", "exchange_and_merge"]
+__all__ = [
+    "Shard",
+    "locally_sorted_shard",
+    "partition_by_splitters",
+    "exchange_and_merge",
+]
 
 
 @dataclass
@@ -44,6 +49,27 @@ class Shard:
             self.keys[start:stop],
             None if self.payload is None else self.payload[start:stop],
         )
+
+
+def locally_sorted_shard(
+    ctx: Context,
+    keys: np.ndarray,
+    payload: np.ndarray | None = None,
+) -> Shard:
+    """Stable local sort with cost charging, for every program's phase 1.
+
+    When a payload rides along it is permuted with its keys (argsort);
+    otherwise the cheaper in-place path is taken.  Charged as a plain key
+    sort either way, matching §5.1's accounting.
+    """
+    if payload is not None:
+        order = np.argsort(keys, kind="stable")
+        keys = keys[order]
+        payload = payload[order]
+    else:
+        keys = np.sort(keys, kind="stable")
+    ctx.charge_sort(len(keys), key_bytes=keys.dtype.itemsize)
+    return Shard(keys, payload)
 
 
 def partition_by_splitters(

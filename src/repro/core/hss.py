@@ -30,9 +30,11 @@ from typing import Generator
 
 import numpy as np
 
+from repro.algorithms.registry import register_algorithm
+from repro.algorithms.spec import AlgorithmSpec
 from repro.bsp.engine import Context
 from repro.core.config import HSSConfig
-from repro.core.data_movement import Shard, exchange_and_merge
+from repro.core.data_movement import exchange_and_merge, locally_sorted_shard
 from repro.core.keyspace import make_keyspace
 from repro.core.scanning import scanning_sample_probability, scanning_splitters
 from repro.errors import ConfigError, VerificationError
@@ -310,14 +312,8 @@ def hss_sort_program(
         keyspace = make_keyspace(keys.dtype, cfg.tag_duplicates)
 
     with ctx.phase(HSS_PHASE_LOCAL_SORT):
-        if payload is not None:
-            order = np.argsort(keys, kind="stable")
-            keys = keys[order]
-            payload = payload[order]
-        else:
-            keys = np.sort(keys, kind="stable")
-        ctx.charge_sort(len(keys), key_bytes=keys.dtype.itemsize)
-    shard = Shard(keys, payload)
+        shard = locally_sorted_shard(ctx, keys, payload)
+        keys = shard.keys
 
     with ctx.phase(HSS_PHASE_HISTOGRAM):
         splitters, stats = yield from hss_splitter_program(
@@ -346,3 +342,51 @@ def hss_sort_program(
             f"tag_duplicates=True if the input has heavy duplicates)"
         )
     return merged, stats
+
+
+# --------------------------------------------------------------------- #
+# Registry entries — one program, three named sampling schedules.  The
+# spec lives next to the program it describes (self-registration); see
+# repro.algorithms.registry for the plugin model.
+# --------------------------------------------------------------------- #
+def _register_hss_variants() -> None:
+    common: dict = dict(
+        program=hss_sort_program,
+        config_cls=HSSConfig,
+        config_style="cfg",
+        supports_payloads=True,
+        balanced=True,
+        duplicate_tolerant=True,  # via HSSConfig(tag_duplicates=True), §4.3
+        excluded_config_keys=("schedule", "node_level"),
+    )
+    register_algorithm(
+        AlgorithmSpec(
+            name="hss",
+            make_config=HSSConfig.constant_oversampling,
+            extra_config_keys=("oversample",),
+            paper_section="6.1.2",
+            description="HSS, constant oversampling until finalization",
+            **common,
+        )
+    )
+    register_algorithm(
+        AlgorithmSpec(
+            name="hss-1round",
+            make_config=HSSConfig.one_round,
+            paper_section="3.2",
+            description="HSS, one geometric round (Lemma 3.2.1)",
+            **common,
+        )
+    )
+    register_algorithm(
+        AlgorithmSpec(
+            name="hss-2round",
+            make_config=lambda **kw: HSSConfig.k_rounds(2, **kw),
+            paper_section="3.3",
+            description="HSS, two geometric rounds",
+            **common,
+        )
+    )
+
+
+_register_hss_variants()

@@ -27,6 +27,8 @@ from typing import Generator
 
 import numpy as np
 
+from repro.algorithms.registry import register_algorithm
+from repro.algorithms.spec import AlgorithmSpec
 from repro.bsp.engine import Context
 from repro.core.config import HSSConfig
 from repro.core.data_movement import Shard
@@ -169,3 +171,22 @@ def hss_node_sort_program(
         final = yield from node_sample_sort(node_ctx, mine, cfg.within_node_eps)
 
     return Shard(final), stats
+
+
+register_algorithm(
+    AlgorithmSpec(
+        name="hss-node",
+        program=hss_node_sort_program,
+        config_cls=HSSConfig,
+        make_config=lambda **kw: HSSConfig(node_level=True, **kw),
+        config_style="cfg",
+        balanced=True,
+        needs_multicore=True,
+        duplicate_tolerant=True,
+        paper_section="6.1",
+        description="two-level node-partitioned HSS (multicore machines)",
+        excluded_config_keys=("schedule", "node_level"),
+        pinned_config=(("node_level", True),),
+        verify_eps_fn=lambda cfg: combined_eps(cfg.eps, cfg.within_node_eps),
+    )
+)

@@ -14,6 +14,7 @@ __all__ = [
     "CollectiveMismatchError",
     "DeadlockError",
     "ConfigError",
+    "CapabilityError",
     "VerificationError",
     "LoadBalanceError",
     "WorkloadError",
@@ -44,6 +45,17 @@ class DeadlockError(BSPError):
 
 class ConfigError(ReproError):
     """Invalid algorithm configuration (bad epsilon, rounds, layout, ...)."""
+
+
+class CapabilityError(ConfigError):
+    """An algorithm was asked for something its spec says it cannot do.
+
+    Raised *before* any simulation runs — e.g. payloads handed to an
+    algorithm whose :class:`~repro.algorithms.AlgorithmSpec` declares
+    ``supports_payloads=False``, or a node-partitioned algorithm run on a
+    single-core machine.  Subclasses :class:`ConfigError` so existing
+    ``except ConfigError`` handlers keep working.
+    """
 
 
 class VerificationError(ReproError):

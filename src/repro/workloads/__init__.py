@@ -26,6 +26,8 @@ from repro.workloads.changa import (
     lambb_like_shards,
     plummer_positions,
     morton_keys_from_positions,
+    fractal_dwarf_shards,
+    fractal_lambb_shards,
 )
 from repro.workloads.duplicates import (
     constant_shards,
@@ -34,9 +36,40 @@ from repro.workloads.duplicates import (
     zipf_duplicate_shards,
 )
 
+#: Unified catalog of every named workload — the parametric distributions
+#: plus the ChaNGa-like particle sets and the duplicate-heavy generators.
+#: Every entry has the same call shape ``fn(p, n_per, rng, **kwargs)`` and
+#: returns ``p`` per-rank key arrays; this is what
+#: :meth:`repro.algorithms.Dataset.from_workload` resolves names against.
+WORKLOADS = {
+    **DISTRIBUTIONS,
+    "changa-dwarf": dwarf_like_shards,
+    "changa-lambb": lambb_like_shards,
+    "fractal-dwarf": fractal_dwarf_shards,
+    "fractal-lambb": fractal_lambb_shards,
+    "constant": constant_shards,
+    "few-distinct": few_distinct_shards,
+    "hotspot": hotspot_shards,
+    "zipf-duplicates": zipf_duplicate_shards,
+}
+
+
+def make_workload(name, p, n_per, rng=0, **kwargs):
+    """Generate per-rank shards for any catalogued workload by name."""
+    from repro.errors import WorkloadError
+
+    if name not in WORKLOADS:
+        raise WorkloadError(
+            f"unknown workload {name!r}; choose from {sorted(WORKLOADS)}"
+        )
+    return WORKLOADS[name](p, n_per, rng, **kwargs)
+
+
 __all__ = [
     "DISTRIBUTIONS",
+    "WORKLOADS",
     "make_distributed",
+    "make_workload",
     "uniform_shards",
     "normal_shards",
     "exponential_shards",
@@ -46,6 +79,8 @@ __all__ = [
     "reversed_shards",
     "dwarf_like_shards",
     "lambb_like_shards",
+    "fractal_dwarf_shards",
+    "fractal_lambb_shards",
     "plummer_positions",
     "morton_keys_from_positions",
     "constant_shards",

@@ -15,6 +15,14 @@ class TestParser:
         assert args.algorithm == "hss"
         assert args.procs == 16
 
+    def test_sort_short_flags_and_workload_alias(self):
+        args = build_parser().parse_args(
+            ["sort", "-p", "4", "-n", "100", "--workload", "staircase"]
+        )
+        assert args.procs == 4
+        assert args.keys == 100
+        assert args.distribution == "staircase"
+
     def test_simulate_args(self):
         args = build_parser().parse_args(
             ["simulate", "--procs", "1024", "--eps", "0.1"]
@@ -72,6 +80,69 @@ class TestSortCommand:
     def test_unknown_distribution_exits_2(self, capsys):
         assert main(["sort", "--distribution", "cauchy"]) == 2
         assert "unknown distribution" in capsys.readouterr().err
+
+    def test_acceptance_invocation_prints_sortrun_summary(self, capsys):
+        code = main(
+            [
+                "sort",
+                "--algorithm",
+                "hss",
+                "--workload",
+                "uniform",
+                "-p",
+                "8",
+                "-n",
+                "1000",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "imbalance" in out and "modeled makespan" in out
+        assert "TOTAL" in out
+
+    def test_payload_roundtrip_flag(self, capsys):
+        code = main(
+            ["sort", "--algorithm", "sample-regular", "-p", "4", "-n", "300",
+             "--payloads"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "payloads" in out and "1,200 values" in out
+
+    def test_bad_config_key_exits_2_not_traceback(self, capsys):
+        code = main(
+            ["sort", "--algorithm", "radix", "-p", "4", "-n", "100",
+             "--tag-duplicates"]
+        )
+        assert code == 2
+        assert "unknown config key" in capsys.readouterr().err
+
+    def test_payloads_with_incapable_algorithm_exits_2(self, capsys):
+        code = main(
+            ["sort", "--algorithm", "bitonic", "-p", "4", "-n", "100",
+             "--payloads"]
+        )
+        assert code == 2
+        assert "does not support payloads" in capsys.readouterr().err
+
+    def test_catalog_workload_beyond_distributions(self, capsys):
+        code = main(
+            ["sort", "--algorithm", "hss", "--workload", "hotspot",
+             "-p", "4", "-n", "200", "--tag-duplicates"]
+        )
+        assert code == 0
+        assert "hotspot" in capsys.readouterr().out
+
+
+class TestAlgorithmsCommand:
+    def test_lists_registry_with_capabilities(self, capsys):
+        from repro.algorithms import REGISTRY
+
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        for name in REGISTRY:
+            assert name in out
+        assert "config:" in out and "§6.1.2" in out
 
 
 class TestTableCommand:

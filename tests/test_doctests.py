@@ -5,12 +5,20 @@ import doctest
 import pytest
 
 import repro
+import repro.algorithms
+import repro.algorithms.dataset
+import repro.algorithms.sorter
+import repro.algorithms.spec
 import repro.bsp.node
 import repro.core.api
 import repro.utils.rng
 
 MODULES = [
     repro,
+    repro.algorithms,
+    repro.algorithms.dataset,
+    repro.algorithms.sorter,
+    repro.algorithms.spec,
     repro.bsp.node,
     repro.core.api,
     repro.utils.rng,
@@ -19,8 +27,8 @@ MODULES = [
 
 @pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
 def test_doctests(module):
-    failures, tested = doctest.testmod(
+    result = doctest.testmod(
         module, optionflags=doctest.ELLIPSIS, verbose=False
-    ).failed, doctest.testmod(module, optionflags=doctest.ELLIPSIS).attempted
-    assert failures == 0
-    assert tested >= 0
+    )
+    assert result.failed == 0
+    assert result.attempted >= 0
