@@ -16,7 +16,12 @@ def test_ablation_node(bench_run, emit):
     emit("ablation_node", render_suite(run))
 
     p = run.params["procs"]
-    cores = run.params["cores_per_node"]
+    cores = run.params["machine_overrides"]["cores_per_node"]
+    assert run.machine == {
+        "name": "mira-like-bgq",
+        "topology": "torus",
+        "cores_per_node": cores,
+    }
     flat = run.case("core-level").metrics
     node = run.case("node-level").metrics
 

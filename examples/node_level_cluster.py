@@ -11,7 +11,7 @@ Run:  python examples/node_level_cluster.py
 """
 
 from repro.algorithms import Dataset, Sorter
-from repro.bsp.machine import MIRA_LIKE
+from repro.machines import get_machine
 
 P = 64               # simulated cores
 CORES_PER_NODE = 16  # => 4 nodes
@@ -24,7 +24,9 @@ def main() -> None:
     dataset = Dataset.from_workload(
         "uniform", p=P, n_per=KEYS_PER_CORE, seed=42
     )
-    machine = MIRA_LIKE.with_(cores_per_node=CORES_PER_NODE)
+    machine = get_machine(
+        "mira-like-bgq", overrides={"cores_per_node": CORES_PER_NODE}
+    )
 
     # --- two-level: node splitters + shared-memory within-node sort ------
     # The Sorter verifies against the combined (1+eps)(1+within)-1 bound

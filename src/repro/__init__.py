@@ -18,6 +18,11 @@ Public API highlights
 - :data:`repro.algorithms.REGISTRY` — typed
   :class:`~repro.algorithms.AlgorithmSpec` for every algorithm (HSS
   variants + all baselines); plugins register the same way.
+- :class:`repro.MachineSpec` / :func:`repro.get_machine` — the machine
+  registry (:mod:`repro.machines`): six catalogued presets, pluggable
+  named topologies, JSON-serializable specs.
+- :mod:`repro.experiments` — ``Scenario`` grids and the
+  ``ExperimentRunner.sweep`` engine behind ``repro sweep``.
 - :func:`repro.hss_sort` / :func:`repro.parallel_sort` — the historical
   entry points, kept as thin shims.
 - :class:`repro.bsp.BSPEngine` — the BSP simulation substrate (simulated
@@ -46,6 +51,7 @@ from repro.algorithms import (
 )
 from repro.core.api import ALGORITHMS, hss_sort, parallel_sort
 from repro.core.config import HSSConfig, SamplingSchedule
+from repro.machines import MachineSpec, get_machine, register_machine
 
 __all__ = [
     "__version__",
@@ -60,4 +66,7 @@ __all__ = [
     "SortRun",
     "HSSConfig",
     "SamplingSchedule",
+    "MachineSpec",
+    "get_machine",
+    "register_machine",
 ]

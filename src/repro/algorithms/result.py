@@ -36,6 +36,10 @@ class SortRun:
     #: return (not just rank 0).  Entries are None for ranks that
     #: returned no stats.
     rank_stats: list[Any] = field(default_factory=list)
+    #: Resolved machine the run executed on —
+    #: ``{name, topology, cores_per_node}`` (see
+    #: :func:`repro.machines.machine_summary`).
+    machine: dict[str, Any] = field(default_factory=dict)
 
     @property
     def splitter_stats(self) -> "SplitterStats | None":

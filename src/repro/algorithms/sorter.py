@@ -23,8 +23,9 @@ from repro.algorithms.dataset import Dataset
 from repro.algorithms.registry import get_spec
 from repro.algorithms.result import SortRun
 from repro.bsp.engine import BSPEngine
-from repro.bsp.machine import LAPTOP, MachineModel
+from repro.bsp.machine import MachineModel
 from repro.errors import CapabilityError, ConfigError
+from repro.machines import MachineSpec, machine_summary, resolve_machine
 
 __all__ = ["Sorter"]
 
@@ -38,7 +39,10 @@ class Sorter:
         Registered algorithm name (see ``repro algorithms`` or
         :data:`repro.algorithms.REGISTRY`).
     machine:
-        Simulated machine (defaults to :data:`repro.bsp.machine.LAPTOP`).
+        Simulated machine: a registered name (``"mira-like-bgq"``, see
+        ``repro machines``), a :class:`~repro.machines.MachineSpec`, or a
+        pre-built :class:`~repro.bsp.machine.MachineModel`.  Defaults to
+        the ``"laptop"`` preset.
     config:
         A pre-built instance of the algorithm's typed config class.
         Mutually exclusive with keyword knobs.
@@ -56,7 +60,7 @@ class Sorter:
         self,
         algorithm: str,
         *,
-        machine: MachineModel | None = None,
+        machine: str | MachineSpec | MachineModel | None = None,
         config: Any | None = None,
         verify: bool = True,
         **config_kwargs: Any,
@@ -70,16 +74,13 @@ class Sorter:
             self.config = self.spec.check_config(config)
         else:
             self.config = self.spec.build_config(**config_kwargs)
-        self.machine = machine
+        self.machine = resolve_machine(machine)
         self.verify = verify
 
     # ------------------------------------------------------------------ #
     @property
     def algorithm(self) -> str:
         return self.spec.name
-
-    def _effective_machine(self) -> MachineModel:
-        return self.machine if self.machine is not None else LAPTOP
 
     def _check_capabilities(self, dataset: Dataset) -> None:
         spec = self.spec
@@ -89,7 +90,7 @@ class Sorter:
                 f"(AlgorithmSpec.supports_payloads is False); use one of "
                 f"the payload-capable algorithms or drop the payloads"
             )
-        if spec.needs_multicore and self._effective_machine().cores_per_node < 2:
+        if spec.needs_multicore and self.machine.cores_per_node < 2:
             raise CapabilityError(
                 f"{spec.name} needs a multicore machine "
                 f"(machine.cores_per_node > 1)"
@@ -139,6 +140,7 @@ class Sorter:
             engine_result=result,
             algorithm=self.spec.name,
             rank_stats=rank_stats,
+            machine=machine_summary(self.machine),
         )
 
     @staticmethod

@@ -78,7 +78,27 @@ def run_suite(
         if case.wall_s == 0.0:
             case.wall_s = wall / len(cases)
     return SuiteRun(
-        suite=name, tier=tier, params=dict(params), cases=cases, wall_s=wall
+        suite=name,
+        tier=tier,
+        params=dict(params),
+        cases=cases,
+        wall_s=wall,
+        machine=_machine_block(params),
+    )
+
+
+def _machine_block(params: Mapping[str, Any]) -> dict[str, Any]:
+    """Resolved-machine provenance for suites declaring a ``machine`` param.
+
+    A pure function of the suite parameters (the registry resolution is
+    deterministic), so the block lives in the document's gated projection.
+    """
+    if "machine" not in params:
+        return {}
+    from repro.machines import machine_summary
+
+    return machine_summary(
+        params["machine"], params.get("machine_overrides")
     )
 
 
@@ -95,19 +115,60 @@ def _run_suite_task(
 
 
 class ParallelRunner:
-    """Execute independent suites across a process pool.
+    """Execute independent tasks across a process pool.
 
     ``jobs=1`` runs everything inline (no pool, no pickling) and is the
-    default; any higher value fans suites out over up to ``jobs`` worker
-    processes.  Suites always land in the document in registry order, so
-    the deterministic projection of the result is independent of ``jobs``,
-    scheduling, and completion order.
+    default; any higher value fans tasks out over up to ``jobs`` worker
+    processes.  Results always land in submission order, so the
+    deterministic projection of any document built on :meth:`map_tasks`
+    is independent of ``jobs``, scheduling, and completion order.
+
+    :meth:`run` is the benchmark-suite front end; the experiment sweep
+    runner (:mod:`repro.experiments.runner`) drives :meth:`map_tasks`
+    directly with its own task function.
     """
 
     def __init__(self, jobs: int = 1) -> None:
         if jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
+
+    def map_tasks(
+        self,
+        fn: Callable[..., Any],
+        tasks: Sequence[tuple[str, tuple]],
+        *,
+        on_start: Callable[[str], None] | None = None,
+        on_done: Callable[[str, Any], None] | None = None,
+    ) -> list[Any]:
+        """Run ``fn(*args)`` for every ``(label, args)`` task, in order.
+
+        ``fn`` must be a module-level function (it is pickled under every
+        multiprocessing start method).  ``on_start`` fires before each task
+        in inline mode only (in pool mode tasks start concurrently);
+        ``on_done`` fires in submission order as results are collected.
+        """
+        jobs = min(self.jobs, len(tasks)) if tasks else 1
+        results: list[Any] = []
+        if jobs <= 1:
+            for label, args in tasks:
+                if on_start is not None:
+                    on_start(label)
+                result = fn(*args)
+                if on_done is not None:
+                    on_done(label, result)
+                results.append(result)
+            return results
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [(label, pool.submit(fn, *args)) for label, args in tasks]
+            # Collect in submission order: document layout must not depend
+            # on completion order.
+            for label, future in futures:
+                result = future.result()
+                if on_done is not None:
+                    on_done(label, result)
+                results.append(result)
+        return results
 
     def run(
         self,
@@ -121,63 +182,37 @@ class ParallelRunner:
         doc = BenchDocument(tier=tier)
         total_start = time.perf_counter()
         jobs = min(self.jobs, len(selected)) if selected else 1
-        if jobs <= 1:
-            self._run_serial(doc, selected, tier, overrides, progress, jobs)
-        else:
-            self._run_pool(doc, selected, tier, overrides, progress, jobs)
-        doc.wall_s = time.perf_counter() - total_start
-        return doc
-
-    def _run_serial(
-        self,
-        doc: BenchDocument,
-        selected: Sequence[str],
-        tier: str,
-        overrides: Mapping[str, Mapping[str, Any]] | None,
-        progress: Callable[[str], None] | None,
-        jobs: int,
-    ) -> None:
-        for name in selected:
-            if progress is not None:
-                progress(f"running suite {name!r} (tier={tier}) ...")
-            run = _run_suite_task(name, tier, (overrides or {}).get(name))
-            run.worker["jobs"] = jobs
-            if progress is not None:
-                progress(f"  {name}: {len(run.cases)} cases in {run.wall_s:.2f}s")
-            doc.suites.append(run)
-
-    def _run_pool(
-        self,
-        doc: BenchDocument,
-        selected: Sequence[str],
-        tier: str,
-        overrides: Mapping[str, Mapping[str, Any]] | None,
-        progress: Callable[[str], None] | None,
-        jobs: int,
-    ) -> None:
-        if progress is not None:
+        if progress is not None and jobs > 1:
             progress(
                 f"running {len(selected)} suites (tier={tier}) "
                 f"across {jobs} worker processes ..."
             )
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = {
-                name: pool.submit(
-                    _run_suite_task, name, tier, (overrides or {}).get(name)
+
+        def on_start(name: str) -> None:
+            if progress is not None:
+                progress(f"running suite {name!r} (tier={tier}) ...")
+
+        def on_done(name: str, run: SuiteRun) -> None:
+            run.worker["jobs"] = jobs
+            if progress is not None:
+                pid = f" (pid {run.worker['pid']})" if jobs > 1 else ""
+                progress(
+                    f"  {name}: {len(run.cases)} cases in "
+                    f"{run.wall_s:.2f}s{pid}"
                 )
+            doc.suites.append(run)
+
+        self.map_tasks(
+            _run_suite_task,
+            [
+                (name, (name, tier, (overrides or {}).get(name)))
                 for name in selected
-            }
-            # Collect in submission (= registry) order: the document layout
-            # must not depend on completion order.
-            for name in selected:
-                run = futures[name].result()
-                run.worker["jobs"] = jobs
-                if progress is not None:
-                    progress(
-                        f"  {name}: {len(run.cases)} cases in "
-                        f"{run.wall_s:.2f}s (pid {run.worker['pid']})"
-                    )
-                doc.suites.append(run)
+            ],
+            on_start=on_start,
+            on_done=on_done,
+        )
+        doc.wall_s = time.perf_counter() - total_start
+        return doc
 
 
 def run_suites(

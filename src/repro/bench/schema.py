@@ -15,7 +15,10 @@ the rank-space splitter engine, not from host timing.  Two runs with the
 same tier on different hosts therefore produce comparable documents, which
 is what lets CI gate a laptop-generated baseline.  ``wall_s`` records host
 wall-clock purely as provenance and is never compared; ``worker`` records
-which process executed the suite (the parallel runner's provenance).
+which process executed the suite (the parallel runner's provenance).  The
+per-suite ``machine`` block (resolved simulated-machine name + topology)
+is provenance too, but *deterministic* — it is a pure function of the
+suite parameters, so it stays in the gated projection.
 
 :func:`strip_volatile` projects a document dict down to exactly the
 deterministic subset, so "two runs agree" is a dict (or JSON) equality
@@ -130,6 +133,13 @@ class SuiteRun:
     under which job count (see :class:`repro.bench.runner.ParallelRunner`).
     Like ``wall_s`` it is informational — never part of the deterministic
     payload and never gated.
+
+    ``machine`` records the *resolved* simulated machine the suite priced
+    against (``{name, topology, cores_per_node}``), for suites that
+    declare one via their ``machine`` tier parameter.  Unlike ``worker``
+    it is a pure function of the suite parameters, so it lives in the
+    deterministic payload — baselines are self-describing about the
+    hardware model they encode.
     """
 
     suite: str
@@ -138,6 +148,7 @@ class SuiteRun:
     cases: list[CaseResult] = field(default_factory=list)
     wall_s: float = 0.0
     worker: dict[str, Any] = field(default_factory=dict)
+    machine: dict[str, Any] = field(default_factory=dict)
 
     def case(self, name: str) -> CaseResult:
         for case in self.cases:
@@ -156,6 +167,7 @@ class SuiteRun:
             "cases": [c.to_dict() for c in self.cases],
             "wall_s": self.wall_s,
             "worker": dict(self.worker),
+            "machine": dict(self.machine),
         }
 
     @classmethod
@@ -168,6 +180,7 @@ class SuiteRun:
             cases=[CaseResult.from_dict(c) for c in data["cases"]],
             wall_s=float(data.get("wall_s", 0.0)),
             worker=dict(data.get("worker", {})),
+            machine=dict(data.get("machine", {})),
         )
 
 
@@ -335,6 +348,8 @@ def validate_document(data: Any) -> list[str]:
             seen_suites.add(run["suite"])
         if not isinstance(run.get("worker", {}), Mapping):
             errors.append(f"{where}.worker must be an object")
+        if not isinstance(run.get("machine", {}), Mapping):
+            errors.append(f"{where}.machine must be an object")
         if not isinstance(run.get("cases", []), list):
             errors.append(f"{where}.cases must be a list")
             continue

@@ -30,6 +30,21 @@ def _case(
     return CaseResult(name=name, params=dict(params), metrics=dict(metrics))
 
 
+def _suite_machine(params: Mapping[str, Any]):
+    """Resolve a suite's simulated machine from its tier parameters.
+
+    Suites declare ``machine`` (a registry name) and optionally
+    ``machine_overrides``; the runner records the same resolution in the
+    suite's ``machine`` provenance block, so what the document *says* ran
+    is what actually priced the cases.
+    """
+    from repro.machines import resolve_machine
+
+    return resolve_machine(
+        params.get("machine"), params.get("machine_overrides")
+    )
+
+
 def _by_name(cases: Sequence[CaseResult]) -> dict[str, CaseResult]:
     return {c.name: c for c in cases}
 
@@ -88,6 +103,8 @@ _SHOOTOUT_ALGORITHMS = [
             "eps": 0.1,
             "workloads": ["uniform", "staircase", "nearly-sorted"],
             "algorithms": list(_SHOOTOUT_ALGORITHMS),
+            "machine": "mira-like-bgq",
+            "machine_overrides": {"cores_per_node": 1},
             "workload_seed": 42,
             "sort_seed": 13,
         },
@@ -97,6 +114,8 @@ _SHOOTOUT_ALGORITHMS = [
             "eps": 0.1,
             "workloads": ["uniform", "staircase"],
             "algorithms": list(_SHOOTOUT_ALGORITHMS),
+            "machine": "mira-like-bgq",
+            "machine_overrides": {"cores_per_node": 1},
             "workload_seed": 42,
             "sort_seed": 13,
         },
@@ -106,6 +125,8 @@ _SHOOTOUT_ALGORITHMS = [
             "eps": 0.1,
             "workloads": ["uniform", "staircase", "nearly-sorted"],
             "algorithms": list(_SHOOTOUT_ALGORITHMS),
+            "machine": "mira-like-bgq",
+            "machine_overrides": {"cores_per_node": 1},
             "workload_seed": 42,
             "sort_seed": 13,
         },
@@ -114,12 +135,11 @@ _SHOOTOUT_ALGORITHMS = [
 )
 def _run_shootout(params: Mapping[str, Any]) -> list[CaseResult]:
     from repro.algorithms import Dataset, Sorter, get_spec
-    from repro.bsp.machine import MIRA_LIKE
 
     p = params["procs"]
     n_per = params["keys_per_rank"]
     eps = params["eps"]
-    machine = MIRA_LIKE.with_(cores_per_node=1)
+    machine = _suite_machine(params)
     cases = []
     for workload in params["workloads"]:
         dataset = Dataset.from_workload(
@@ -400,27 +420,29 @@ def _render_fig_4_1(cases: Sequence[CaseResult], params: Mapping[str, Any]) -> s
     kind="figure",
     tiers={
         "full": {"ps": [512, 2048, 8192, 32768], "keys_per_core": 1_000_000,
-                 "eps": 0.02, "oversample": 5.0, "seed": 17},
+                 "eps": 0.02, "oversample": 5.0, "seed": 17,
+                 "machine": "mira-like-bgq"},
         "quick": {"ps": [512, 2048, 8192], "keys_per_core": 1_000_000,
-                  "eps": 0.02, "oversample": 5.0, "seed": 17},
+                  "eps": 0.02, "oversample": 5.0, "seed": 17,
+                  "machine": "mira-like-bgq"},
     },
     render=lambda cases, params: _render_fig_6_1(cases, params),
 )
 def _run_fig_6_1(params: Mapping[str, Any]) -> list[CaseResult]:
-    from repro.bsp.machine import MIRA_LIKE
     from repro.core.config import HSSConfig
     from repro.core.rankspace import RankSpaceSimulator
     from repro.perf.model import model_weak_scaling
 
+    machine = _suite_machine(params)
     cases = []
     for p in params["ps"]:
-        nodes = max(2, p // MIRA_LIKE.cores_per_node)
+        nodes = max(2, p // machine.cores_per_node)
         cfg = HSSConfig.constant_oversampling(
             params["oversample"], eps=params["eps"], seed=params["seed"]
         )
         stats = RankSpaceSimulator(p * params["keys_per_core"], nodes, cfg).run()
         times = model_weak_scaling(
-            MIRA_LIKE,
+            machine,
             nprocs=p,
             keys_per_core=params["keys_per_core"],
             splitter_stats=stats,
@@ -482,15 +504,14 @@ def _render_fig_6_1(cases: Sequence[CaseResult], params: Mapping[str, Any]) -> s
     tiers={
         "full": {"ps": [256, 1024, 4096, 16384, 65536], "n_total": 4_000_000,
                  "eps": 0.02, "max_old_rounds": 600, "oversample": 5.0,
-                 "seed": 29, "dataset_seed": 21},
+                 "seed": 29, "dataset_seed": 21, "machine": "mira-like-bgq"},
         "quick": {"ps": [256, 1024, 4096], "n_total": 500_000,
                   "eps": 0.02, "max_old_rounds": 600, "oversample": 5.0,
-                  "seed": 29, "dataset_seed": 21},
+                  "seed": 29, "dataset_seed": 21, "machine": "mira-like-bgq"},
     },
     render=lambda cases, params: _render_fig_6_2(cases, params),
 )
 def _run_fig_6_2(params: Mapping[str, Any]) -> list[CaseResult]:
-    from repro.bsp.machine import MIRA_LIKE
     from repro.core.config import HSSConfig
     from repro.core.rankspace import (
         RankSpaceSimulator,
@@ -501,6 +522,7 @@ def _run_fig_6_2(params: Mapping[str, Any]) -> list[CaseResult]:
 
     n_total = params["n_total"]
     eps = params["eps"]
+    machine = _suite_machine(params)
     shard_fns = {"dwarf": fractal_dwarf_shards, "lambb": fractal_lambb_shards}
 
     cases = []
@@ -515,7 +537,7 @@ def _run_fig_6_2(params: Mapping[str, Any]) -> list[CaseResult]:
             )
             hss_stats = RankSpaceSimulator(n, p, cfg).run()
             hss_seconds = model_splitting_time(
-                MIRA_LIKE,
+                machine,
                 nprocs=p,
                 nbuckets=p,
                 rounds=[
@@ -534,7 +556,7 @@ def _run_fig_6_2(params: Mapping[str, Any]) -> list[CaseResult]:
                 key_dtype=np.int64,
             )
             old_seconds = model_splitting_time(
-                MIRA_LIKE,
+                machine,
                 nprocs=p,
                 nbuckets=p,
                 rounds=[(m, m) for m in old.probes_per_round],
@@ -726,9 +748,9 @@ def _render_table_6_1(cases: Sequence[CaseResult], params: Mapping[str, Any]) ->
     kind="ablation",
     tiers={
         "full": {"procs": 16, "keys_per_rank": 20_000, "eps": 0.05,
-                 "seed": 7, "input_seed": 1234},
+                 "seed": 7, "input_seed": 1234, "machine": "laptop"},
         "quick": {"procs": 8, "keys_per_rank": 5_000, "eps": 0.05,
-                  "seed": 7, "input_seed": 1234},
+                  "seed": 7, "input_seed": 1234, "machine": "laptop"},
     },
     render=lambda cases, params: _render_ablation_approx(cases, params),
 )
@@ -740,6 +762,7 @@ def _run_ablation_approx(params: Mapping[str, Any]) -> list[CaseResult]:
     p = params["procs"]
     n_per = params["keys_per_rank"]
     eps = params["eps"]
+    machine = _suite_machine(params)
     oracle_s = representative_sample_size(p, eps / 4)
     cases = []
     for mode, approx in (("exact", False), ("approx", True)):
@@ -750,7 +773,7 @@ def _run_ablation_approx(params: Mapping[str, Any]) -> list[CaseResult]:
         cfg = HSSConfig(
             eps=eps, approximate_histograms=approx, seed=params["seed"]
         )
-        run = Sorter("hss", config=cfg).run(inputs)
+        run = Sorter("hss", config=cfg, machine=machine).run(inputs)
         cases.append(
             _case(
                 mode,
@@ -801,10 +824,10 @@ def _render_ablation_approx(
     tiers={
         "full": {"procs": 16, "keys_per_rank": 2_000, "eps": 0.05,
                  "hot_fractions": [0.0, 0.2, 0.5, 0.8, 1.0],
-                 "workload_seed": 7, "seed": 5},
+                 "workload_seed": 7, "seed": 5, "machine": "laptop"},
         "quick": {"procs": 8, "keys_per_rank": 500, "eps": 0.05,
                   "hot_fractions": [0.0, 0.5, 1.0],
-                  "workload_seed": 7, "seed": 5},
+                  "workload_seed": 7, "seed": 5, "machine": "laptop"},
     },
     render=lambda cases, params: _render_ablation_duplicates(cases, params),
 )
@@ -817,6 +840,7 @@ def _run_ablation_duplicates(params: Mapping[str, Any]) -> list[CaseResult]:
     p = params["procs"]
     n_per = params["keys_per_rank"]
     eps = params["eps"]
+    machine = _suite_machine(params)
     cases = []
     for hot in params["hot_fractions"]:
         for tagged in (True, False):
@@ -830,7 +854,7 @@ def _run_ablation_duplicates(params: Mapping[str, Any]) -> list[CaseResult]:
             cfg = HSSConfig(eps=eps, tag_duplicates=tagged, seed=params["seed"])
             strict_failed = False
             try:
-                run = Sorter("hss", config=cfg).run(dataset)
+                run = Sorter("hss", config=cfg, machine=machine).run(dataset)
                 imbalance = run.imbalance
             except VerificationError:
                 # Without tagging the hot key cannot be split across
@@ -842,7 +866,9 @@ def _run_ablation_duplicates(params: Mapping[str, Any]) -> list[CaseResult]:
                     seed=params["seed"],
                     strict=False,
                 )
-                raw = Sorter("hss", config=relaxed, verify=False).run(dataset)
+                raw = Sorter(
+                    "hss", config=relaxed, machine=machine, verify=False
+                ).run(dataset)
                 imbalance = load_imbalance(raw.shards)
             label = "tagged" if tagged else "untagged"
             cases.append(
@@ -894,18 +920,21 @@ def _render_ablation_duplicates(
     description="Node-level partitioning vs flat HSS: messages, sample, time",
     kind="ablation",
     tiers={
-        "full": {"procs": 64, "cores_per_node": 16, "keys_per_rank": 4_000,
+        "full": {"procs": 64, "keys_per_rank": 4_000,
                  "eps": 0.02, "within_node_eps": 0.05,
+                 "machine": "mira-like-bgq",
+                 "machine_overrides": {"cores_per_node": 16},
                  "input_seed": 99, "seed": 3},
-        "quick": {"procs": 32, "cores_per_node": 8, "keys_per_rank": 1_000,
+        "quick": {"procs": 32, "keys_per_rank": 1_000,
                   "eps": 0.02, "within_node_eps": 0.05,
+                  "machine": "mira-like-bgq",
+                  "machine_overrides": {"cores_per_node": 8},
                   "input_seed": 99, "seed": 3},
     },
     render=lambda cases, params: _render_ablation_node(cases, params),
 )
 def _run_ablation_node(params: Mapping[str, Any]) -> list[CaseResult]:
     from repro.bsp import BSPEngine
-    from repro.bsp.machine import MIRA_LIKE
     from repro.core.config import HSSConfig
     from repro.core.hss import hss_sort_program
     from repro.core.node_sort import combined_eps, hss_node_sort_program
@@ -915,7 +944,7 @@ def _run_ablation_node(params: Mapping[str, Any]) -> list[CaseResult]:
     n_per = params["keys_per_rank"]
     eps = params["eps"]
     within = params["within_node_eps"]
-    machine = MIRA_LIKE.with_(cores_per_node=params["cores_per_node"])
+    machine = _suite_machine(params)
 
     cases = []
     for mode, node_level in (("core-level", False), ("node-level", True)):
@@ -946,7 +975,7 @@ def _run_ablation_node(params: Mapping[str, Any]) -> list[CaseResult]:
             _case(
                 mode,
                 {"mode": mode, "procs": p,
-                 "cores_per_node": params["cores_per_node"]},
+                 "cores_per_node": machine.cores_per_node},
                 {
                     "splitters": stats.nparts - 1,
                     "nparts": stats.nparts,
@@ -974,7 +1003,7 @@ def _render_ablation_node(
         "makespan (s)": [f"{by[m].metrics['makespan_s']:.3e}" for m in modes],
     }
     p = params["procs"]
-    cores = params["cores_per_node"]
+    cores = params["machine_overrides"]["cores_per_node"]
     return format_series_table(
         "variant",
         modes,

@@ -31,12 +31,13 @@ mpi4py code with ``yield from`` at communication points::
 """
 
 from repro.bsp.engine import BSPEngine, Context, NodeContext, RunResult
-from repro.bsp.machine import MachineModel, MIRA_LIKE, GENERIC_CLUSTER, LAPTOP
+from repro.bsp.machine import MachineModel
 from repro.bsp.network import (
     Topology,
     FullyConnected,
     Torus,
     FatTree,
+    Dragonfly,
 )
 from repro.bsp.node import NodeLayout
 from repro.bsp.cost_model import CostModel, CommStats
@@ -48,16 +49,25 @@ __all__ = [
     "NodeContext",
     "RunResult",
     "MachineModel",
-    "MIRA_LIKE",
-    "GENERIC_CLUSTER",
-    "LAPTOP",
     "Topology",
     "FullyConnected",
     "Torus",
     "FatTree",
+    "Dragonfly",
     "NodeLayout",
     "CostModel",
     "CommStats",
     "Trace",
     "PhaseBreakdown",
 ]
+
+
+def __getattr__(name: str):
+    # Backwards compatibility for the package-level preset imports
+    # (``from repro.bsp import MIRA_LIKE``); the constants now live in the
+    # repro.machines catalog — same lazy shim as repro.bsp.machine.
+    from repro.bsp import machine as _machine_module
+
+    if name in _machine_module._LEGACY_PRESETS:
+        return getattr(_machine_module, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -77,6 +77,9 @@ class CostModel:
         node_layout: NodeLayout | None = None,
     ) -> None:
         self.machine = machine
+        #: Pricing view with every "0 means inherit" fallback applied
+        #: (:meth:`MachineModel.resolved` — the one place those rules live).
+        self._m = machine.resolved()
         self.nprocs = nprocs
         self.node_layout = node_layout
 
@@ -118,7 +121,7 @@ class CostModel:
         group_size:
             Participant count for node-scoped collectives.
         """
-        m = self.machine
+        m = self._m
         if scope == "node":
             if group_size is None:
                 raise ValueError("node-scoped pricing needs group_size")
@@ -157,7 +160,7 @@ class CostModel:
         T: float,
         scope: str,
     ) -> CollectiveCost:
-        m = self.machine
+        m = self._m
 
         if op == "barrier":
             return CollectiveCost(a * lg, 0.0, 0, 2 * (e - 1), e, "tree")

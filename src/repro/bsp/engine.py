@@ -39,7 +39,7 @@ from typing import Any, Callable, Generator, Iterator, Sequence
 
 from repro.bsp import collectives as coll
 from repro.bsp.cost_model import CommStats, CostModel
-from repro.bsp.machine import LAPTOP, MachineModel
+from repro.bsp.machine import MachineModel
 from repro.bsp.node import NodeLayout
 from repro.bsp.trace import SuperstepRecord, Trace
 from repro.errors import BSPError, CollectiveMismatchError, DeadlockError
@@ -300,7 +300,12 @@ class BSPEngine:
         if nprocs < 1:
             raise BSPError(f"need at least one rank, got {nprocs}")
         self.nprocs = nprocs
-        self.machine = machine if machine is not None else LAPTOP
+        if machine is None:
+            # Lazy import: the registry layer sits above the BSP substrate.
+            from repro.machines import get_machine
+
+            machine = get_machine("laptop")
+        self.machine = machine
         if node_layout is None and self.machine.cores_per_node > 1:
             node_layout = NodeLayout(nprocs, self.machine.cores_per_node)
         self.node_layout = node_layout

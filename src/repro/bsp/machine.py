@@ -10,19 +10,33 @@ Chapter 5 analysis needs:
 * ``topology`` — interconnect model supplying contention factors,
 * ``cores_per_node`` — for the §6.1.1 shared-memory node-combining layout.
 
-Three presets are provided.  ``MIRA_LIKE`` is calibrated to the IBM Blue
-Gene/Q system of the paper's Figure 6.1 experiments (1.6 GHz A2 cores, 5-D
-torus, 16 cores/node, ~1.8 GB/s per link); the absolute constants matter less
-than their *ratios*, which set where the phase crossovers fall.
+``MachineModel`` is the *resolved, executable* form consumed by the cost
+model and engine.  The serializable catalog of named machines — presets,
+the ``@register_machine`` plugin registry, topology-by-name references —
+lives in :mod:`repro.machines`; build models from it with
+``repro.machines.get_machine("mira-like-bgq")``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from functools import cached_property
 
-from repro.bsp.network import FatTree, FullyConnected, Topology, Torus
+from repro.bsp.network import FullyConnected, Topology
 
-__all__ = ["MachineModel", "MIRA_LIKE", "GENERIC_CLUSTER", "LAPTOP"]
+__all__ = ["MachineModel"]
+
+#: Fields where 0 means "inherit the value of another field" — the single
+#: source of truth for every derived-field fallback rule.  Use sites must
+#: price through :meth:`MachineModel.resolved` (or the convenience
+#: conversion methods, which do) rather than re-implementing ``x or y``.
+DERIVED_FIELD_FALLBACKS: dict[str, str] = {
+    # Bare-key comparisons default to the record-comparison constant.
+    "gamma_key_compare": "gamma_compare",
+    # Intra-node latency defaults to the network message latency (a
+    # machine spec that never thought about shared memory stays safe).
+    "node_alpha": "alpha",
+}
 
 
 @dataclass(frozen=True)
@@ -39,7 +53,8 @@ class MachineModel:
     #: Per-byte transfer time in seconds (inverse of link bandwidth).
     beta: float = 1.0 / 2.0e9
     #: Per-message latency for *intra-node* (shared-memory) collectives —
-    #: essentially a synchronization + cache-line handoff.
+    #: essentially a synchronization + cache-line handoff.  0 means
+    #: "inherit ``alpha``" (see :meth:`resolved`).
     node_alpha: float = 2.0e-7
     #: Runtime synchronization overhead per histogramming *round*, per tree
     #: level (seconds).  Iterative splitter refinement needs a full
@@ -57,7 +72,7 @@ class MachineModel:
     gamma_compare: float = 1.5e-9
     #: Seconds per *bare-key* comparison (contiguous key arrays: sample
     #: sorting, histogram binary searches, probe generation).  0 means
-    #: "same as gamma_compare".
+    #: "inherit ``gamma_compare``" (see :meth:`resolved`).
     gamma_key_compare: float = 0.0
     #: Seconds per byte of local memory traffic (bucketizing, copying).
     gamma_byte: float = 1.0 / 6.0e9
@@ -85,6 +100,25 @@ class MachineModel:
         """Return a copy with some fields replaced (dataclass ``replace``)."""
         return replace(self, **changes)
 
+    @cached_property
+    def _resolved(self) -> "MachineModel":
+        changes = {
+            derived: getattr(self, source)
+            for derived, source in DERIVED_FIELD_FALLBACKS.items()
+            if getattr(self, derived) == 0.0 and getattr(self, source) != 0.0
+        }
+        return replace(self, **changes) if changes else self
+
+    def resolved(self) -> "MachineModel":
+        """This machine with every "0 means inherit" field made explicit.
+
+        The returned view prices identically whether a spec spelled a
+        derived field out or left it 0 — the one place the fallback rules
+        in :data:`DERIVED_FIELD_FALLBACKS` are applied.  Idempotent and
+        cached; a model with no zeroed derived fields returns itself.
+        """
+        return self._resolved
+
     def nodes_for(self, nprocs: int) -> int:
         """Number of physical nodes hosting ``nprocs`` simulated cores."""
         return -(-nprocs // self.cores_per_node)
@@ -96,8 +130,7 @@ class MachineModel:
 
     def key_compare_seconds(self, comparisons: float) -> float:
         """Time for ``comparisons`` bare-key comparisons (no payload)."""
-        gamma = self.gamma_key_compare or self.gamma_compare
-        return comparisons * gamma
+        return comparisons * self.resolved().gamma_key_compare
 
     def copy_seconds(self, nbytes: float) -> float:
         """Time to move ``nbytes`` through local memory."""
@@ -108,43 +141,20 @@ class MachineModel:
         return nbytes * self.beta * contention
 
 
-#: IBM Blue Gene/Q "Mira"-like machine of the paper's Figure 6.1 experiments.
-#: 16 cores/node, 5-D torus, slow in-order A2 cores.  ``gamma_compare`` is
-#: calibrated so sorting 10⁶ 12-byte records takes ~1 s/core (the paper's
-#: local-sort bar) and ``beta`` is the *effective* per-core injection
-#: bandwidth including runtime software overheads, not the raw link rate —
-#: raw α–β with 1.8 GB/s links underestimates BG/Q all-to-all by ~10×.
-MIRA_LIKE = MachineModel(
-    name="mira-like-bgq",
-    alpha=2.5e-6,
-    beta=1.0 / 2.0e8,
-    gamma_compare=4.0e-8,
-    gamma_key_compare=8.0e-9,
-    gamma_byte=1.0 / 2.0e9,
-    topology=Torus(dims=5, base_endpoints=32),
-    cores_per_node=16,
-    round_sync_per_level=1.0e-3,
-)
+# Backwards compatibility: the historical preset constants now live in the
+# repro.machines catalog (resolved lazily so this module keeps zero
+# knowledge of the registry layer).  In-tree code uses
+# ``repro.machines.get_machine``; this keeps third-party imports working.
+_LEGACY_PRESETS = {
+    "MIRA_LIKE": "mira-like-bgq",
+    "GENERIC_CLUSTER": "generic-cluster",
+    "LAPTOP": "laptop",
+}
 
-#: A contemporary commodity cluster: fat tree with 2:1 taper, fast cores.
-GENERIC_CLUSTER = MachineModel(
-    name="generic-cluster",
-    alpha=1.5e-6,
-    beta=1.0 / 1.0e10,
-    gamma_compare=1.0e-9,
-    gamma_byte=1.0 / 1.0e10,
-    topology=FatTree(bisection=0.5),
-    cores_per_node=64,
-)
 
-#: Single multicore machine (everything in shared memory) — used by tests so
-#: cost accounting stays meaningful even for tiny runs.
-LAPTOP = MachineModel(
-    name="laptop",
-    alpha=2.0e-7,
-    beta=1.0 / 2.0e10,
-    gamma_compare=1.0e-9,
-    gamma_byte=1.0 / 2.0e10,
-    topology=FullyConnected(),
-    cores_per_node=8,
-)
+def __getattr__(name: str) -> MachineModel:
+    if name in _LEGACY_PRESETS:
+        from repro.machines import get_machine
+
+        return get_machine(_LEGACY_PRESETS[name])
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

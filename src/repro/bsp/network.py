@@ -22,7 +22,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-__all__ = ["Topology", "FullyConnected", "Torus", "FatTree"]
+__all__ = ["Topology", "FullyConnected", "Torus", "FatTree", "Dragonfly"]
 
 
 class Topology:
@@ -132,3 +132,44 @@ class FatTree(Topology):
 
     def diameter(self, n: int) -> int:
         return max(1, 2 * math.ceil(math.log2(max(2, n))) // 2)
+
+
+@dataclass(frozen=True)
+class Dragonfly(Topology):
+    """Two-level dragonfly (Aries / Slingshot style).
+
+    Endpoints are grouped into all-to-all connected *groups* of
+    ``group_size`` endpoints; groups are joined by a global all-to-all
+    whose aggregate bandwidth is ``global_taper`` of the injection
+    bandwidth.  Uniform all-to-all traffic inside one group sees no
+    contention; once traffic crosses groups the tapered global links are
+    the bottleneck, independent of scale (the dragonfly design point) —
+    modeled as a constant ``1 / global_taper`` factor.  Diameter is the
+    canonical min-routing hop count: 1 within a group, 3 across
+    (local, global, local).
+    """
+
+    group_size: int = 1024
+    global_taper: float = 0.5
+    name: str = "dragonfly"
+
+    def __post_init__(self) -> None:
+        if self.group_size < 1:
+            raise ValueError(
+                f"group_size must be >= 1, got {self.group_size}"
+            )
+        if not 0.0 < self.global_taper <= 1.0:
+            raise ValueError(
+                f"global_taper must be in (0, 1], got {self.global_taper}"
+            )
+
+    def alltoall_contention(self, n: int) -> float:
+        if n <= self.group_size:
+            return 1.0
+        return 1.0 / self.global_taper
+
+    def diameter(self, n: int) -> int:
+        return 1 if n <= self.group_size else 3
+
+    def describe(self) -> str:
+        return f"dragonfly ({self.group_size}/group)"

@@ -1,15 +1,25 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five subcommands:
+Seven subcommands:
 
 ``sort``
-    Generate a workload, sort it with any registered algorithm on a
-    simulated machine, and report rounds/samples/imbalance/phase breakdown
-    (a :class:`~repro.algorithms.SortRun` summary).
+    Generate a workload, sort it with any registered algorithm on any
+    registered machine, and report rounds/samples/imbalance/phase
+    breakdown (a :class:`~repro.algorithms.SortRun` summary).
 
 ``algorithms``
     List every algorithm in the plugin registry with its typed-config
     keys, capability flags and paper section.
+
+``machines``
+    List every machine in the plugin registry with its topology,
+    alpha/beta/gamma constants and provenance note.
+
+``sweep``
+    Expand an algorithm x workload x machine x layout grid, run every
+    cell through the standard Sorter plumbing (``--jobs N`` fans cells
+    over a process pool), and emit a versioned ``experiment.json`` plus a
+    text report (see :mod:`repro.experiments`).
 
 ``table``
     Print an analytic table (``5.1`` or the intro sample-size example).
@@ -29,9 +39,13 @@ Examples
 ::
 
     python -m repro sort --algorithm hss -p 16 -n 50000 \
-        --workload lognormal --eps 0.05
+        --workload lognormal --eps 0.05 --machine cloud-ethernet
     python -m repro sort --algorithm histogram --workload staircase --payloads
     python -m repro algorithms
+    python -m repro machines
+    python -m repro sweep --algorithms hss,sample-regular \
+        --workloads uniform,staircase --machines laptop,mira-like-bgq \
+        --jobs 2 --json experiment.json
     python -m repro table 5.1
     python -m repro simulate --procs 32768 --keys-per-proc 100000 --eps 0.02
     python -m repro bench --tier quick --json bench.json \
@@ -77,8 +91,9 @@ def build_parser() -> argparse.ArgumentParser:
     sort.add_argument("--seed", type=int, default=0)
     sort.add_argument(
         "--machine",
-        choices=["laptop", "mira", "cluster"],
         default="laptop",
+        help="registered machine name (see 'repro machines'; the legacy "
+        "'mira'/'cluster' aliases still resolve)",
     )
     sort.add_argument(
         "--tag-duplicates",
@@ -95,6 +110,67 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "algorithms",
         help="list registered algorithms, capabilities and config keys",
+    )
+
+    sub.add_parser(
+        "machines",
+        help="list registered machines, topologies and constants",
+    )
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run an algorithm x workload x machine x layout grid",
+    )
+    sweep.add_argument(
+        "--algorithms",
+        required=True,
+        help="comma-separated algorithm names (see 'repro algorithms')",
+    )
+    sweep.add_argument(
+        "--workloads",
+        required=True,
+        help="comma-separated workload names (see repro.workloads.WORKLOADS)",
+    )
+    sweep.add_argument(
+        "--machines",
+        default="laptop",
+        help="comma-separated machine names (see 'repro machines')",
+    )
+    sweep.add_argument(
+        "--layouts",
+        default="flat",
+        help="comma-separated rank layouts: flat (1 rank/endpoint) and/or "
+        "node (keep the machine's multicore structure)",
+    )
+    sweep.add_argument(
+        "-p", "--procs", default="8",
+        help="comma-separated simulated rank counts",
+    )
+    sweep.add_argument(
+        "-n", "--keys", default="1000",
+        help="comma-separated keys-per-rank values",
+    )
+    sweep.add_argument("--eps", type=float, default=0.05)
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run cells across N worker processes (default 1 = inline; "
+        "modeled metrics are identical at any job count)",
+    )
+    sweep.add_argument(
+        "--json",
+        dest="json_path",
+        metavar="PATH",
+        help="write the run's ExperimentDocument JSON here",
+    )
+    sweep.add_argument(
+        "--report",
+        dest="report_path",
+        metavar="PATH",
+        help="also write the text report to this file",
     )
 
     table = sub.add_parser("table", help="print an analytic table")
@@ -184,12 +260,6 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _machine(name: str):
-    from repro.bsp.machine import GENERIC_CLUSTER, LAPTOP, MIRA_LIKE
-
-    return {"laptop": LAPTOP, "mira": MIRA_LIKE, "cluster": GENERIC_CLUSTER}[name]
-
-
 def _cmd_sort(args: argparse.Namespace) -> int:
     import numpy as np
 
@@ -228,7 +298,7 @@ def _cmd_sort(args: argparse.Namespace) -> int:
         config = spec.legacy_config(eps=args.eps, seed=args.seed, **kwargs)
         sorter = Sorter(
             args.algorithm,
-            machine=_machine(args.machine),
+            machine=args.machine,
             config=config,
             verify=False,
         )
@@ -254,9 +324,12 @@ def _cmd_sort(args: argparse.Namespace) -> int:
                 print("payload round-trip FAILED", file=sys.stderr)
                 return 1
     total = args.procs * args.keys
+    # run.machine is the *resolved* spec — canonical name even when the
+    # user passed a legacy alias.
     print(
         f"{args.algorithm}: sorted {total:,} {args.distribution} keys on "
-        f"{args.procs} ranks ({args.machine} machine)"
+        f"{args.procs} ranks ({run.machine['name']} machine, "
+        f"{run.machine['topology']} topology)"
     )
     print(f"imbalance         : {run.imbalance:.4f} (budget {1 + args.eps:g})")
     if run.splitter_stats is not None:
@@ -303,6 +376,82 @@ def _cmd_algorithms(args: argparse.Namespace) -> int:
             f"{'':24s} config: {spec.config_cls.__name__}"
             f"({', '.join(sorted(spec.config_keys())) or 'no knobs'})"
         )
+    return 0
+
+
+def _cmd_machines(args: argparse.Namespace) -> int:
+    from repro.machines import MACHINES
+
+    del args
+    for name in sorted(MACHINES):
+        spec = MACHINES[name]
+        section = f"§{spec.paper_section}" if spec.paper_section else ""
+        topo = spec.topology
+        if spec.topology_params:
+            inner = ", ".join(
+                f"{k}={v}" for k, v in sorted(spec.topology_params.items())
+            )
+            topo = f"{topo}({inner})"
+        print(f"{name:18s} {section:6s} {topo}, {spec.cores_per_node} cores/node")
+        print(
+            f"{'':18s} alpha={spec.alpha:.2e}s  beta={spec.beta:.2e}s/B  "
+            f"gamma={spec.gamma_compare:.2e}s/cmp"
+        )
+        if spec.note:
+            print(f"{'':18s} {spec.note}")
+    return 0
+
+
+def _split_csv(text: str) -> list[str]:
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.bench.runner import stderr_progress
+    from repro.errors import ConfigError
+    from repro.experiments import ExperimentRunner, render_experiment
+
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    try:
+        procs = [int(p) for p in _split_csv(args.procs)]
+        keys = [int(n) for n in _split_csv(args.keys)]
+    except ValueError as exc:
+        print(f"bad -p/-n value: {exc}", file=sys.stderr)
+        return 2
+    try:
+        doc = ExperimentRunner(args.jobs).sweep(
+            algorithms=_split_csv(args.algorithms),
+            workloads=_split_csv(args.workloads),
+            machines=_split_csv(args.machines),
+            layouts=_split_csv(args.layouts),
+            procs=procs,
+            keys_per_rank=keys,
+            eps=args.eps,
+            seed=args.seed,
+            progress=stderr_progress,
+        )
+    except ConfigError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.json_path:
+        try:
+            doc.save(args.json_path)
+        except OSError as exc:
+            print(f"cannot write {args.json_path}: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote {args.json_path}", file=sys.stderr)
+    text = render_experiment(doc)
+    if args.report_path:
+        try:
+            from pathlib import Path
+
+            Path(args.report_path).write_text(text + "\n")
+        except OSError as exc:
+            print(f"cannot write {args.report_path}: {exc}", file=sys.stderr)
+            return 2
+    print(text)
     return 0
 
 
@@ -518,6 +667,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_sort(args)
     if args.command == "algorithms":
         return _cmd_algorithms(args)
+    if args.command == "machines":
+        return _cmd_machines(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "table":
         return _cmd_table(args)
     if args.command == "simulate":

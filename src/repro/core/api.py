@@ -49,6 +49,7 @@ import numpy as np
 
 from repro.algorithms import REGISTRY, Dataset, Sorter, SortRun, get_spec
 from repro.bsp.machine import MachineModel
+from repro.machines import MachineSpec
 from repro.core.config import HSSConfig
 
 __all__ = ["SortRun", "hss_sort", "parallel_sort", "ALGORITHMS"]
@@ -63,7 +64,7 @@ def hss_sort(
     *,
     eps: float = 0.05,
     config: HSSConfig | None = None,
-    machine: MachineModel | None = None,
+    machine: str | MachineSpec | MachineModel | None = None,
     payloads: Sequence[np.ndarray] | None = None,
     verify: bool = True,
 ) -> SortRun:
@@ -82,7 +83,8 @@ def hss_sort(
         Full :class:`HSSConfig`; defaults to the §6.1.2 constant-oversampling
         schedule with ``eps``.
     machine:
-        Simulated machine (defaults to :data:`repro.bsp.machine.LAPTOP`).
+        Simulated machine: a registered name, spec, or model
+        (defaults to the ``"laptop"`` preset).
     payloads:
         Optional per-rank payload arrays aligned with ``keys``.
     verify:
@@ -108,7 +110,7 @@ def parallel_sort(
     algorithm: str = "hss",
     *,
     eps: float = 0.05,
-    machine: MachineModel | None = None,
+    machine: str | MachineSpec | MachineModel | None = None,
     seed: int = 0,
     verify: bool = True,
     **kwargs: Any,

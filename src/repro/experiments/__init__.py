@@ -1,0 +1,51 @@
+"""Experiment grids: Scenario cells, sweep execution, versioned documents.
+
+The scenario layer closes the loop over the three plugin registries —
+*algorithms* (:mod:`repro.algorithms`), *workloads*
+(:mod:`repro.workloads`) and *machines* (:mod:`repro.machines`):
+
+- :class:`Scenario` — one validated grid cell
+  (algorithm x workload x machine x layout + scalar knobs), serializable
+  and runnable through the standard ``Sorter`` plumbing.
+- :class:`ExperimentRunner` / :func:`run_sweep` — expand a grid, run every
+  cell (``jobs=N`` reuses the benchmark subsystem's process pool with
+  byte-identical modeled output), and emit a versioned
+  :class:`ExperimentDocument` (``experiment.json``) plus a text report.
+
+Quick tour
+----------
+>>> from repro.experiments import run_sweep
+>>> doc = run_sweep(algorithms=["hss"], workloads=["uniform"],
+...                 machines=["laptop"], procs=4, keys_per_rank=200)
+>>> [cell.status for cell in doc.cells]
+['ok']
+>>> sorted(doc.cells[0].metrics)[:3]
+['imbalance', 'makespan_s', 'net_bytes']
+"""
+
+from repro.experiments.scenario import LAYOUTS, Scenario
+from repro.experiments.schema import (
+    EXPERIMENT_SCHEMA_VERSION,
+    CellResult,
+    ExperimentDocument,
+    ExperimentSchemaError,
+    strip_volatile_experiment,
+    validate_experiment,
+)
+from repro.experiments.runner import ExperimentRunner, expand_grid, run_sweep
+from repro.experiments.report import render_experiment
+
+__all__ = [
+    "LAYOUTS",
+    "Scenario",
+    "EXPERIMENT_SCHEMA_VERSION",
+    "CellResult",
+    "ExperimentDocument",
+    "ExperimentSchemaError",
+    "ExperimentRunner",
+    "expand_grid",
+    "run_sweep",
+    "render_experiment",
+    "strip_volatile_experiment",
+    "validate_experiment",
+]

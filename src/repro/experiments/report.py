@@ -1,0 +1,73 @@
+"""Text rendering for experiment documents.
+
+One table per (machine, workload, layout, p, n) slice — algorithms as
+rows, modeled metrics as columns — mirroring the shootout artifact so
+sweep output reads like the rest of ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.experiments.schema import CellResult, ExperimentDocument
+from repro.perf.report import format_series_table
+
+__all__ = ["render_experiment"]
+
+
+def _slice_key(cell: CellResult) -> tuple:
+    s = cell.scenario
+    return (
+        s.get("machine", "?"),
+        s.get("workload", "?"),
+        s.get("layout", "flat"),
+        s.get("procs", 0),
+        s.get("keys_per_rank", 0),
+    )
+
+
+def _fmt_metric(value: Any) -> Any:
+    if isinstance(value, float):
+        return round(value, 6) if value >= 1e-3 else float(f"{value:.4e}")
+    return value
+
+
+def render_experiment(doc: ExperimentDocument) -> str:
+    """Render the whole document as aligned text tables."""
+    slices: dict[tuple, list[CellResult]] = {}
+    for cell in doc.cells:
+        slices.setdefault(_slice_key(cell), []).append(cell)
+
+    blocks: list[str] = []
+    head = (
+        f"Experiment sweep — {len(doc.cells)} cells "
+        f"({sum(1 for c in doc.cells if c.status == 'ok')} ok, "
+        f"{len(doc.skipped())} skipped)"
+    )
+    blocks.append(head)
+    for key in sorted(slices):
+        machine, workload, layout, procs, n_per = key
+        cells = slices[key]
+        ok = [c for c in cells if c.status == "ok"]
+        names = [c.scenario["algorithm"] for c in ok]
+        metric_names: list[str] = []
+        for cell in ok:
+            for m in cell.metrics:
+                if m not in metric_names:
+                    metric_names.append(m)
+        rows = {
+            metric: [_fmt_metric(c.metrics.get(metric, "-")) for c in ok]
+            for metric in metric_names
+        }
+        title = (
+            f"machine={machine}  workload={workload}  layout={layout}  "
+            f"p={procs}  N/p={n_per}"
+        )
+        if names:
+            blocks.append(format_series_table("algorithm", names, rows, title))
+        skipped = [c for c in cells if c.status == "skipped"]
+        for cell in skipped:
+            blocks.append(
+                f"  skipped {cell.scenario['algorithm']}: {cell.reason}"
+            )
+    return "\n\n".join(blocks)

@@ -1,0 +1,194 @@
+"""Expand and execute experiment grids (the ``repro sweep`` engine).
+
+:class:`ExperimentRunner` turns lists of registry names into the full
+cross product of :class:`~repro.experiments.Scenario` cells, runs each
+cell through the standard ``Dataset``/``Sorter`` plumbing, and assembles a
+versioned :class:`~repro.experiments.ExperimentDocument`.  Parallel
+execution reuses the benchmark subsystem's
+:class:`~repro.bench.runner.ParallelRunner` process-pool plumbing —
+scenarios are pure functions of their own fields, so the document's
+deterministic projection is byte-identical at any ``jobs`` count (CI's
+``sweep-smoke`` job runs the grid at ``--jobs 2``).
+
+Cells the capability model rejects (e.g. ``hss-node`` on a ``flat``
+layout) are recorded as ``skipped`` with the capability error as reason —
+a sweep never dies half way because one corner of the grid is infeasible.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.bench.runner import ParallelRunner
+from repro.errors import CapabilityError, ConfigError
+from repro.experiments.scenario import Scenario
+from repro.experiments.schema import CellResult, ExperimentDocument
+
+__all__ = ["ExperimentRunner", "expand_grid", "run_sweep"]
+
+
+def _as_list(value: Any) -> list[Any]:
+    """Promote a scalar to a one-element axis; dedupe preserving order.
+
+    Deduplication matters: repeated axis values would expand to duplicate
+    scenarios, and the experiment schema rejects documents with duplicate
+    cells — the sweep must not write a file its own loader refuses.
+    """
+    if isinstance(value, (str, int, float)):
+        return [value]
+    out: list[Any] = []
+    for item in value:
+        if item not in out:
+            out.append(item)
+    return out
+
+
+def expand_grid(
+    *,
+    algorithms: Sequence[str] | str,
+    workloads: Sequence[str] | str,
+    machines: Sequence[str] | str = ("laptop",),
+    procs: Sequence[int] | int = (8,),
+    keys_per_rank: Sequence[int] | int = (1_000,),
+    layouts: Sequence[str] | str = ("flat",),
+    eps: float = 0.05,
+    seed: int = 0,
+) -> list[Scenario]:
+    """Cross-product the axes into validated scenarios, in axis order.
+
+    Validation is eager: one bad name anywhere fails the whole expansion
+    with the canonical registry error before anything runs.
+    """
+    cells = [
+        Scenario(
+            algorithm=a, workload=w, machine=m, procs=p,
+            keys_per_rank=n, eps=eps, seed=seed, layout=layout,
+        )
+        for m in _as_list(machines)
+        for w in _as_list(workloads)
+        for layout in _as_list(layouts)
+        for p in _as_list(procs)
+        for n in _as_list(keys_per_rank)
+        for a in _as_list(algorithms)
+    ]
+    if not cells:
+        raise ConfigError("experiment grid is empty (some axis has no values)")
+    return cells
+
+
+def _run_cell_task(scenario: Scenario) -> CellResult:
+    """Worker entry point: one grid cell, stamped with its process.
+
+    Module-level so it pickles under every multiprocessing start method.
+    """
+    start = time.perf_counter()
+    try:
+        outcome = scenario.run()
+    except CapabilityError as exc:
+        return CellResult(
+            scenario=scenario.to_dict(),
+            status="skipped",
+            reason=str(exc),
+            wall_s=time.perf_counter() - start,
+            worker={"pid": os.getpid()},
+        )
+    return CellResult(
+        scenario=outcome["scenario"],
+        status="ok",
+        metrics=outcome["metrics"],
+        machine=outcome["machine"],
+        wall_s=time.perf_counter() - start,
+        worker={"pid": os.getpid()},
+    )
+
+
+class ExperimentRunner:
+    """Run scenario grids into experiment documents.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` (default) runs inline; higher values fan
+        cells out over the shared :class:`ParallelRunner` pool with
+        identical modeled output.
+    """
+
+    def __init__(self, jobs: int = 1) -> None:
+        self._pool = ParallelRunner(jobs)
+        self.jobs = self._pool.jobs
+
+    def run(
+        self,
+        scenarios: Iterable[Scenario],
+        *,
+        grid: dict[str, Any] | None = None,
+        progress: Callable[[str], None] | None = None,
+    ) -> ExperimentDocument:
+        """Execute pre-built scenarios (cells land in input order)."""
+        cells = list(scenarios)
+        doc = ExperimentDocument(grid=dict(grid or {}))
+        start = time.perf_counter()
+        jobs = min(self.jobs, len(cells)) if cells else 1
+        if progress is not None and jobs > 1:
+            progress(
+                f"running {len(cells)} scenarios across {jobs} "
+                f"worker processes ..."
+            )
+
+        def on_start(name: str) -> None:
+            if progress is not None:
+                progress(f"running {name} ...")
+
+        def on_done(name: str, cell: CellResult) -> None:
+            cell.worker["jobs"] = jobs
+            if progress is not None:
+                tag = cell.status if cell.status != "ok" else f"{cell.wall_s:.2f}s"
+                progress(f"  {name}: {tag}")
+            doc.cells.append(cell)
+
+        self._pool.map_tasks(
+            _run_cell_task,
+            [(cell.name, (cell,)) for cell in cells],
+            on_start=on_start,
+            on_done=on_done,
+        )
+        doc.wall_s = time.perf_counter() - start
+        return doc
+
+    def sweep(
+        self,
+        *,
+        algorithms: Sequence[str] | str,
+        workloads: Sequence[str] | str,
+        machines: Sequence[str] | str = ("laptop",),
+        procs: Sequence[int] | int = (8,),
+        keys_per_rank: Sequence[int] | int = (1_000,),
+        layouts: Sequence[str] | str = ("flat",),
+        eps: float = 0.05,
+        seed: int = 0,
+        progress: Callable[[str], None] | None = None,
+    ) -> ExperimentDocument:
+        """Expand the grid and run every cell; the ``repro sweep`` core."""
+        grid = {
+            "algorithms": _as_list(algorithms),
+            "workloads": _as_list(workloads),
+            "machines": _as_list(machines),
+            "procs": _as_list(procs),
+            "keys_per_rank": _as_list(keys_per_rank),
+            "layouts": _as_list(layouts),
+            "eps": eps,
+            "seed": seed,
+        }
+        cells = expand_grid(
+            algorithms=algorithms, workloads=workloads, machines=machines,
+            procs=procs, keys_per_rank=keys_per_rank, layouts=layouts,
+            eps=eps, seed=seed,
+        )
+        return self.run(cells, grid=grid, progress=progress)
+
+
+def run_sweep(jobs: int = 1, **grid: Any) -> ExperimentDocument:
+    """One-call convenience: ``run_sweep(algorithms=[...], ...)``."""
+    return ExperimentRunner(jobs).sweep(**grid)

@@ -1,0 +1,153 @@
+"""One cell of an experiment grid: algorithm x workload x machine x layout.
+
+A :class:`Scenario` is fully described by names resolved through the three
+plugin registries (algorithms, workloads, machines) plus scalar knobs — so
+it serializes to a flat JSON object and validates *eagerly* at
+construction, before any simulation runs.  :meth:`Scenario.run` executes
+the cell through the standard :class:`~repro.algorithms.Sorter` plumbing
+and returns the same modeled metrics the benchmark suites record.
+
+Examples
+--------
+>>> from repro.experiments import Scenario
+>>> cell = Scenario(algorithm="hss", workload="uniform",
+...                 machine="mira-like-bgq", procs=4, keys_per_rank=300)
+>>> cell.name
+'uniform/hss@mira-like-bgq/flat/p4'
+>>> Scenario.from_dict(cell.to_dict()) == cell
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields, replace
+from typing import Any, Mapping
+
+from repro.errors import ConfigError
+
+__all__ = ["Scenario", "LAYOUTS"]
+
+#: How simulated ranks map onto the machine's nodes:
+#: ``flat`` — one rank per network endpoint (cores_per_node forced to 1);
+#: ``node`` — keep the machine's multicore structure (enables the §6.1
+#: message-combining path for node-aware algorithms).
+LAYOUTS = ("flat", "node")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One validated grid cell.
+
+    All axes are registry *names*; resolution happens at :meth:`run` time,
+    so a scenario built on one host means the same thing on another.
+    """
+
+    algorithm: str
+    workload: str
+    machine: str = "laptop"
+    procs: int = 8
+    keys_per_rank: int = 1_000
+    eps: float = 0.05
+    seed: int = 0
+    layout: str = "flat"
+
+    def __post_init__(self) -> None:
+        from repro.algorithms import REGISTRY
+        from repro.machines import get_machine_spec
+        from repro.workloads import WORKLOADS
+
+        if self.algorithm not in REGISTRY:
+            raise ConfigError(
+                f"unknown algorithm {self.algorithm!r}; "
+                f"choose from {sorted(REGISTRY)}"
+            )
+        if self.workload not in WORKLOADS:
+            raise ConfigError(
+                f"unknown workload {self.workload!r}; "
+                f"choose from {sorted(WORKLOADS)}"
+            )
+        get_machine_spec(self.machine)  # raises ConfigError when unknown
+        if self.layout not in LAYOUTS:
+            raise ConfigError(
+                f"unknown layout {self.layout!r}; choose from {list(LAYOUTS)}"
+            )
+        if self.procs < 1:
+            raise ConfigError(f"procs must be >= 1, got {self.procs}")
+        if self.keys_per_rank < 1:
+            raise ConfigError(
+                f"keys_per_rank must be >= 1, got {self.keys_per_rank}"
+            )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        """Stable cell key: ``workload/algorithm@machine/layout/pN``."""
+        return (
+            f"{self.workload}/{self.algorithm}@{self.machine}/"
+            f"{self.layout}/p{self.procs}"
+        )
+
+    def resolved_machine(self):
+        """The executable machine model this cell prices against."""
+        from repro.machines import get_machine
+
+        overrides = {"cores_per_node": 1} if self.layout == "flat" else None
+        return get_machine(self.machine, overrides)
+
+    def run(self) -> dict[str, Any]:
+        """Execute the cell; returns ``{scenario, machine, metrics}``.
+
+        Runs through ``Dataset.from_workload`` + ``Sorter`` — exactly the
+        benchmark suites' plumbing — with verification off (imbalance is a
+        *measured* metric here, not an assertion).
+        """
+        from repro.algorithms import Dataset, Sorter, get_spec
+        from repro.machines import machine_summary
+
+        machine = self.resolved_machine()
+        dataset = Dataset.from_workload(
+            self.workload, p=self.procs, n_per=self.keys_per_rank,
+            seed=self.seed,
+        )
+        config = get_spec(self.algorithm).legacy_config(
+            eps=self.eps, seed=self.seed
+        )
+        run = Sorter(
+            self.algorithm, machine=machine, config=config, verify=False
+        ).run(dataset)
+        metrics: dict[str, Any] = {
+            "makespan_s": run.makespan,
+            "net_bytes": run.engine_result.stats.bytes,
+            "net_messages": run.engine_result.stats.messages,
+            "imbalance": run.imbalance,
+        }
+        if run.splitter_stats is not None:
+            metrics["rounds"] = run.splitter_stats.num_rounds
+            metrics["total_sample"] = run.splitter_stats.total_sample
+        return {
+            "scenario": self.to_dict(),
+            "machine": machine_summary(machine),
+            "metrics": metrics,
+        }
+
+    # ------------------------------------------------------------------ #
+    def replace(self, **changes: Any) -> "Scenario":
+        """A copy with some axes replaced (re-validated)."""
+        return replace(self, **changes)
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigError(
+                f"unknown scenario field(s) {unknown}; "
+                f"valid fields: {sorted(known)}"
+            )
+        missing = [k for k in ("algorithm", "workload") if k not in data]
+        if missing:
+            raise ConfigError(f"scenario missing required keys {missing}")
+        return cls(**dict(data))

@@ -1,0 +1,229 @@
+"""Machine-readable experiment documents (the ``experiment.json`` format).
+
+An :class:`ExperimentDocument` is the canonical record of one
+``repro sweep`` invocation: the grid axes that were expanded, one
+:class:`CellResult` per scenario, and host provenance.  It follows the
+same determinism contract as :mod:`repro.bench.schema`: everything except
+``wall_*``, ``created_unix``, ``provenance`` and the per-cell ``worker``
+block is a pure function of (code, grid, seeds), so two runs of the same
+sweep — serial or parallel, any host — agree on
+:func:`strip_volatile_experiment` projections exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+from repro.bench.schema import machine_provenance
+from repro.experiments.scenario import Scenario
+
+__all__ = [
+    "EXPERIMENT_SCHEMA_VERSION",
+    "CellResult",
+    "ExperimentDocument",
+    "ExperimentSchemaError",
+    "strip_volatile_experiment",
+    "validate_experiment",
+]
+
+#: Bumped on any backwards-incompatible change to the JSON layout.
+EXPERIMENT_SCHEMA_VERSION = 1
+
+#: Cell execution outcomes.  ``skipped`` records a scenario the capability
+#: model rejected upfront (e.g. a node-level algorithm on a flat layout) —
+#: part of the deterministic payload, since which cells are runnable is a
+#: property of the grid, not the host.
+CELL_STATUSES = ("ok", "skipped")
+
+
+class ExperimentSchemaError(ValueError):
+    """A document (or dict) does not conform to the experiment schema."""
+
+
+@dataclass
+class CellResult:
+    """One executed (or skipped) grid cell."""
+
+    scenario: dict[str, Any]
+    status: str = "ok"
+    metrics: dict[str, Any] = field(default_factory=dict)
+    machine: dict[str, Any] = field(default_factory=dict)
+    #: Human-readable reason for ``status="skipped"`` cells.
+    reason: str = ""
+    wall_s: float = 0.0
+    worker: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return Scenario.from_dict(self.scenario).name
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "scenario": dict(self.scenario),
+            "status": self.status,
+            "metrics": dict(self.metrics),
+            "machine": dict(self.machine),
+            "reason": self.reason,
+            "wall_s": self.wall_s,
+            "worker": dict(self.worker),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CellResult":
+        missing = [k for k in ("scenario", "status") if k not in data]
+        if missing:
+            raise ExperimentSchemaError(f"cell missing required keys {missing}")
+        return cls(
+            scenario=dict(data["scenario"]),
+            status=data["status"],
+            metrics=dict(data.get("metrics", {})),
+            machine=dict(data.get("machine", {})),
+            reason=data.get("reason", ""),
+            wall_s=float(data.get("wall_s", 0.0)),
+            worker=dict(data.get("worker", {})),
+        )
+
+
+@dataclass
+class ExperimentDocument:
+    """A full ``repro sweep`` run: grid axes plus one entry per cell."""
+
+    grid: dict[str, Any] = field(default_factory=dict)
+    cells: list[CellResult] = field(default_factory=list)
+    schema_version: int = EXPERIMENT_SCHEMA_VERSION
+    created_unix: float = field(default_factory=time.time)
+    provenance: dict[str, Any] = field(default_factory=machine_provenance)
+    wall_s: float = 0.0
+
+    def cell(self, name: str) -> CellResult:
+        for cell in self.cells:
+            if cell.name == name:
+                return cell
+        raise KeyError(f"document has no cell {name!r}")
+
+    def iter_ok(self) -> Iterator[CellResult]:
+        for cell in self.cells:
+            if cell.status == "ok":
+                yield cell
+
+    def skipped(self) -> list[CellResult]:
+        return [c for c in self.cells if c.status == "skipped"]
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema_version": self.schema_version,
+            "created_unix": self.created_unix,
+            "provenance": dict(self.provenance),
+            "grid": dict(self.grid),
+            "wall_s": self.wall_s,
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+
+    def modeled_dict(self) -> dict[str, Any]:
+        """The deterministic projection (see module docstring)."""
+        return strip_volatile_experiment(self.to_dict())
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentDocument":
+        errors = validate_experiment(data)
+        if errors:
+            raise ExperimentSchemaError("; ".join(errors))
+        return cls(
+            grid=dict(data.get("grid", {})),
+            cells=[CellResult.from_dict(c) for c in data["cells"]],
+            schema_version=int(data["schema_version"]),
+            created_unix=float(data.get("created_unix", 0.0)),
+            provenance=dict(data.get("provenance", {})),
+            wall_s=float(data.get("wall_s", 0.0)),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentDocument":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ExperimentSchemaError(f"not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    def save(self, path) -> None:
+        from pathlib import Path
+
+        Path(path).write_text(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path) -> "ExperimentDocument":
+        from pathlib import Path
+
+        return cls.from_json(Path(path).read_text())
+
+
+_VOLATILE_DOCUMENT_KEYS = ("created_unix", "provenance", "wall_s")
+_VOLATILE_CELL_KEYS = ("wall_s", "worker")
+
+
+def strip_volatile_experiment(data: Mapping[str, Any]) -> dict[str, Any]:
+    """Drop the fields allowed to differ between identical sweeps."""
+    doc = {k: v for k, v in data.items() if k not in _VOLATILE_DOCUMENT_KEYS}
+    doc["cells"] = [
+        {k: v for k, v in cell.items() if k not in _VOLATILE_CELL_KEYS}
+        for cell in doc.get("cells", [])
+    ]
+    return doc
+
+
+def validate_experiment(data: Any) -> list[str]:
+    """Return a list of human-readable schema violations (empty = valid)."""
+    errors: list[str] = []
+    if not isinstance(data, Mapping):
+        return [f"document must be a JSON object, got {type(data).__name__}"]
+    for key in ("schema_version", "grid", "cells"):
+        if key not in data:
+            errors.append(f"document missing required key {key!r}")
+    if errors:
+        return errors
+    if data["schema_version"] != EXPERIMENT_SCHEMA_VERSION:
+        errors.append(
+            f"schema_version {data['schema_version']!r} != "
+            f"supported {EXPERIMENT_SCHEMA_VERSION}"
+        )
+    if not isinstance(data["grid"], Mapping):
+        errors.append("grid must be an object")
+    if not isinstance(data["cells"], list):
+        return errors + ["cells must be a list"]
+    seen: set[str] = set()
+    for i, cell in enumerate(data["cells"]):
+        where = f"cells[{i}]"
+        if not isinstance(cell, Mapping):
+            errors.append(f"{where} must be an object")
+            continue
+        for key in ("scenario", "status"):
+            if key not in cell:
+                errors.append(f"{where} missing required key {key!r}")
+        status = cell.get("status")
+        if status is not None and status not in CELL_STATUSES:
+            errors.append(
+                f"{where}.status {status!r} not in {list(CELL_STATUSES)}"
+            )
+        scenario = cell.get("scenario")
+        if scenario is not None:
+            if not isinstance(scenario, Mapping):
+                errors.append(f"{where}.scenario must be an object")
+            else:
+                key = json.dumps(scenario, sort_keys=True)
+                if key in seen:
+                    errors.append(f"{where}: duplicate scenario")
+                seen.add(key)
+        if status == "ok" and not cell.get("metrics"):
+            errors.append(f"{where}: ok cell has no metrics")
+        if not isinstance(cell.get("metrics", {}), Mapping):
+            errors.append(f"{where}.metrics must be an object")
+        if not isinstance(cell.get("machine", {}), Mapping):
+            errors.append(f"{where}.machine must be an object")
+    return errors

@@ -11,12 +11,14 @@ depend on algorithm behaviour (round counts, per-round sample sizes) are
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Mapping
 
 from repro.bsp.cost_model import CostModel
 from repro.bsp.machine import MachineModel
 from repro.bsp.node import NodeLayout
 from repro.core.hss import SplitterStats
+from repro.machines import MachineSpec, machine_summary, resolve_machine
 
 __all__ = [
     "PhaseTimes",
@@ -34,6 +36,9 @@ class PhaseTimes:
     histogramming: float
     data_exchange: float
     within_node: float = 0.0
+    #: Resolved machine the phases were priced on
+    #: (``{name, topology, cores_per_node}``); empty for hand-built values.
+    machine: Mapping[str, object] = field(default_factory=dict)
 
     @property
     def total(self) -> float:
@@ -122,7 +127,7 @@ def histogram_round_cost(
 
 
 def model_splitting_time(
-    machine: MachineModel,
+    machine: str | MachineSpec | MachineModel,
     *,
     nprocs: int,
     nbuckets: int,
@@ -137,8 +142,10 @@ def model_splitting_time(
     ``rounds`` is a list of ``(sample_keys, open_intervals)`` per round —
     taken from a measured :class:`SplitterStats` (HSS; ``style="hss"``) or
     probe counts (classic histogram sort; ``style="bisect"``, where
-    ``sample_keys`` plays the probe-count role).
+    ``sample_keys`` plays the probe-count role).  ``machine`` may be a
+    registered machine name, a spec, or a pre-built model.
     """
+    machine = resolve_machine(machine)
     cost_model = CostModel(machine, nprocs, node_layout)
     total = 0.0
     for sample_keys, open_intervals in rounds:
@@ -161,7 +168,7 @@ def model_splitting_time(
 
 
 def model_weak_scaling(
-    machine: MachineModel,
+    machine: str | MachineSpec | MachineModel,
     *,
     nprocs: int,
     keys_per_core: float,
@@ -175,7 +182,9 @@ def model_weak_scaling(
     Parameters
     ----------
     machine:
-        Machine description (use :data:`~repro.bsp.machine.MIRA_LIKE`).
+        Machine reference — a registered name (``"mira-like-bgq"``), a
+        :class:`~repro.machines.MachineSpec`, or a pre-built
+        :class:`~repro.bsp.machine.MachineModel`.
     nprocs:
         Total cores ``p``.
     keys_per_core:
@@ -188,6 +197,7 @@ def model_weak_scaling(
         Apply the §6.1 optimizations (node-level partitioning + message
         combining + within-node sample sort).
     """
+    machine = resolve_machine(machine)
     record = key_bytes + payload_bytes
     layout = (
         NodeLayout(nprocs, machine.cores_per_node)
@@ -237,11 +247,12 @@ def model_weak_scaling(
         # node-local gather/bcast/alltoall plus a merge pass.
         within += machine.copy_seconds(2 * n_local * record)
         within += machine.compare_seconds(n_local * math.log2(max(2, c)))
-        within += machine.node_alpha * 3 * math.log2(max(2, c))
+        within += machine.resolved().node_alpha * 3 * math.log2(max(2, c))
 
     return PhaseTimes(
         local_sort=local_sort,
         histogramming=histogramming,
         data_exchange=data_exchange,
         within_node=within,
+        machine=machine_summary(machine),
     )

@@ -61,9 +61,9 @@ class TestCapabilityValidation:
             Sorter(name, machine=None).run(ds)
 
     def test_hss_node_rejects_single_core_machine(self, small_shards):
-        from repro.bsp.machine import LAPTOP
+        from repro.machines import get_machine
 
-        flat = LAPTOP.with_(cores_per_node=1)
+        flat = get_machine("laptop", overrides={"cores_per_node": 1})
         with pytest.raises(CapabilityError, match="multicore"):
             Sorter("hss-node", machine=flat).run(small_shards)
 

@@ -140,3 +140,29 @@ class TestParallelRunner:
             progress=lines.append,
         )
         assert any("2 worker processes" in line for line in lines)
+
+
+class TestMachineProvenance:
+    def test_suites_with_machines_record_the_resolved_block(self):
+        doc = run_suites(
+            ["shootout"], tier="quick", overrides={"shootout": TINY_SHOOTOUT}
+        )
+        run = doc.suite("shootout")
+        # The shootout prices on a flattened Mira: the block records the
+        # resolution *with* overrides applied, not the raw preset.
+        assert run.machine == {
+            "name": "mira-like-bgq",
+            "topology": "torus",
+            "cores_per_node": 1,
+        }
+
+    def test_machine_block_defaults_for_machineless_suites(self):
+        doc = run_suites(["table_5_1"], tier="quick")
+        assert doc.suite("table_5_1").machine == {}
+
+    def test_machine_block_is_deterministic_not_volatile(self):
+        doc = run_suites(
+            ["shootout"], tier="quick", overrides={"shootout": TINY_SHOOTOUT}
+        )
+        stripped = strip_volatile(doc.to_dict())
+        assert stripped["suites"][0]["machine"]["name"] == "mira-like-bgq"

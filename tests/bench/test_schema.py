@@ -172,3 +172,31 @@ class TestAccessors:
 
     def test_algorithms_collected_from_params(self):
         assert sample_document().algorithms() == {"hss"}
+
+
+class TestMachineBlock:
+    def test_machine_round_trips(self):
+        doc = sample_document()
+        doc.suites[0].machine = {
+            "name": "laptop", "topology": "fully-connected",
+            "cores_per_node": 8,
+        }
+        back = BenchDocument.from_json(doc.to_json())
+        assert back.suites[0].machine == doc.suites[0].machine
+
+    def test_machine_is_optional_for_old_documents(self):
+        data = sample_document().to_dict()
+        del data["suites"][0]["machine"]
+        assert validate_document(data) == []
+        assert BenchDocument.from_dict(data).suites[0].machine == {}
+
+    def test_non_object_machine_rejected(self):
+        data = sample_document().to_dict()
+        data["suites"][0]["machine"] = "laptop"
+        assert any("machine" in e for e in validate_document(data))
+
+    def test_machine_survives_strip_volatile(self):
+        data = sample_document().to_dict()
+        data["suites"][0]["machine"] = {"name": "laptop"}
+        stripped = strip_volatile(data)
+        assert stripped["suites"][0]["machine"] == {"name": "laptop"}

@@ -3,9 +3,14 @@
 import pytest
 
 from repro.bsp.cost_model import CostModel
-from repro.bsp.machine import GENERIC_CLUSTER, LAPTOP, MIRA_LIKE, MachineModel
+from repro.bsp.machine import MachineModel
+from repro.machines import get_machine
 from repro.bsp.network import FullyConnected, Torus
 from repro.bsp.node import NodeLayout
+
+MIRA_LIKE = get_machine("mira-like-bgq")
+GENERIC_CLUSTER = get_machine("generic-cluster")
+LAPTOP = get_machine("laptop")
 
 
 def model(p=64, machine=None, layout=None):
@@ -173,3 +178,64 @@ class TestMachinePresets:
         assert LAPTOP.transfer_seconds(100, 2.0) == pytest.approx(
             200 * LAPTOP.beta
         )
+
+
+class TestResolvedFallbacks:
+    """The "0 means inherit" rules live in one place: MachineModel.resolved."""
+
+    def test_zeros_resolve_to_source_fields(self):
+        m = MachineModel(
+            gamma_compare=3e-9, gamma_key_compare=0.0,
+            alpha=5e-6, node_alpha=0.0,
+        )
+        r = m.resolved()
+        assert r.gamma_key_compare == m.gamma_compare
+        assert r.node_alpha == m.alpha
+
+    def test_explicit_values_pass_through(self):
+        m = MachineModel(gamma_key_compare=7e-10, node_alpha=3e-7)
+        assert m.resolved() is m  # nothing to resolve: same object
+
+    def test_resolved_is_idempotent_and_cached(self):
+        m = MachineModel(gamma_key_compare=0.0)
+        r = m.resolved()
+        assert r.resolved() is r
+        assert m.resolved() is r
+
+    def test_zeroed_spec_prices_identically_to_explicit(self):
+        """Regression: derived-field zeros must price like spelled-out values.
+
+        Before centralization each use site re-implemented its own
+        fallback (or forgot to): node-scoped collectives priced
+        node_alpha=0 as literally free latency while key comparisons
+        inherited gamma_compare.
+        """
+        zeroed = MachineModel(
+            alpha=4e-6, gamma_compare=2e-9,
+            gamma_key_compare=0.0, node_alpha=0.0,
+        )
+        explicit = zeroed.with_(gamma_key_compare=2e-9, node_alpha=4e-6)
+        layout = NodeLayout(64, 16)
+        ops = [
+            ("bcast", dict(max_bytes=4096, total_bytes=4096)),
+            ("alltoallv", dict(max_bytes=8192, total_bytes=8192 * 64)),
+            ("reduce", dict(max_bytes=1024, total_bytes=1024)),
+            ("gather", dict(max_bytes=512, total_bytes=512 * 64,
+                            scope="node", group_size=16)),
+            ("alltoall", dict(max_bytes=2048, total_bytes=2048 * 16,
+                              scope="node", group_size=16)),
+            ("barrier", dict(max_bytes=0, total_bytes=0,
+                             scope="node", group_size=16)),
+        ]
+        for op, kwargs in ops:
+            a = CostModel(zeroed, 64, layout).price(op, **kwargs)
+            b = CostModel(explicit, 64, layout).price(op, **kwargs)
+            assert a == b, op
+        assert zeroed.key_compare_seconds(1000) == pytest.approx(
+            explicit.key_compare_seconds(1000)
+        )
+
+    def test_cost_model_keeps_the_unresolved_machine_visible(self):
+        m = MachineModel(gamma_key_compare=0.0)
+        cm = CostModel(m, 8)
+        assert cm.machine is m

@@ -4,8 +4,10 @@ import numpy as np
 import pytest
 
 from repro.bsp import BSPEngine
-from repro.bsp.machine import LAPTOP
+from repro.machines import get_machine
 from repro.errors import BSPError, CollectiveMismatchError, DeadlockError
+
+LAPTOP = get_machine("laptop")
 
 
 def run(engine, program, args=None, **kw):

@@ -88,3 +88,83 @@ class TestPhaseBreakdown:
         text = b.table()
         assert "phase-one" in text
         assert "TOTAL" in text
+
+
+class TestEngineTraceAccounting:
+    """Trace/CommStats accounting driven through the real engine, on
+    machines resolved from the named-topology registry path."""
+
+    @staticmethod
+    def _program(ctx, value):
+        with ctx.phase("alpha"):
+            ctx.charge_compare(100)
+            yield from ctx.bcast(value, root=0)
+            yield from ctx.gather(value, root=0)
+        with ctx.phase("beta"):
+            yield from ctx.bcast(value, root=0)
+            yield from ctx.barrier()
+        return value
+
+    def _run(self, machine_name):
+        from repro.bsp import BSPEngine
+        from repro.machines import get_machine
+
+        engine = BSPEngine(4, machine=get_machine(machine_name))
+        return engine.run(self._program, rank_args=[(r,) for r in range(4)])
+
+    def test_by_op_counts_every_collective(self):
+        res = self._run("dragonfly-hpc")
+        assert res.stats.by_op == {"bcast": 2, "gather": 1, "barrier": 1}
+        assert res.stats.collectives == 4
+
+    def test_by_op_agrees_with_trace_counts(self):
+        res = self._run("mira-like-bgq")
+        for op, count in res.stats.by_op.items():
+            assert res.trace.count_collectives(op) == count
+        assert res.trace.count_collectives() == res.stats.collectives
+
+    def test_stats_totals_agree_with_trace(self):
+        res = self._run("cloud-ethernet")
+        assert res.stats.bytes == res.trace.total_bytes()
+        assert res.stats.messages == res.trace.total_messages()
+        assert res.stats.comm_seconds == pytest.approx(
+            sum(r.comm_seconds for r in res.trace.records)
+        )
+
+    def test_breakdown_attributes_compute_to_the_charging_phase(self):
+        res = self._run("fat-tree-hpc")
+        b = res.breakdown()
+        assert set(b.phases()) >= {"alpha", "beta"}
+        # All 100 comparisons were charged under "alpha".
+        assert b.compute.get("beta", 0.0) == 0.0
+        assert b.compute["alpha"] > 0.0
+        assert res.makespan == pytest.approx(b.total())
+
+    def test_contention_separates_topologies(self):
+        # Same program, same scalars, different named topology: the torus
+        # machine must not price identically to its flat-crossbar twin.
+        from repro.bsp import BSPEngine
+        from repro.machines import get_machine_spec
+        import numpy as np
+
+        def exchange_heavy(ctx, chunk):
+            parts = [chunk] * ctx.nprocs
+            yield from ctx.alltoall(parts)
+            return None
+
+        def run_on(topology, params):
+            spec = get_machine_spec("mira-like-bgq").override(
+                topology=topology, topology_params=params,
+                cores_per_node=1,
+            )
+            engine = BSPEngine(64, machine=spec.model())
+            chunk = np.arange(256, dtype=np.int64)
+            return engine.run(
+                exchange_heavy, rank_args=[(chunk,)] * 64
+            )
+
+        torus = run_on("torus", {"dims": 2, "base_endpoints": 4})
+        flat = run_on("fully-connected", {})
+        assert torus.stats.by_op == flat.stats.by_op == {"alltoallv": 1}
+        assert torus.stats.bytes == flat.stats.bytes
+        assert torus.makespan > flat.makespan

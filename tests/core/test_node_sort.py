@@ -3,7 +3,7 @@
 import pytest
 
 from repro.bsp import BSPEngine
-from repro.bsp.machine import LAPTOP
+from repro.machines import get_machine
 from repro.core.config import HSSConfig
 from repro.core.node_sort import (
     combined_eps,
@@ -11,6 +11,8 @@ from repro.core.node_sort import (
 )
 from repro.errors import BSPError
 from repro.metrics import verify_sorted_output
+
+LAPTOP = get_machine("laptop")
 
 
 def run_node_sort(inputs, cores_per_node=4, eps=0.05, within=0.05, seed=1):

@@ -1,0 +1,191 @@
+"""Tests for grid expansion, the sweep runner, and the experiment schema."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import (
+    EXPERIMENT_SCHEMA_VERSION,
+    ExperimentDocument,
+    ExperimentRunner,
+    ExperimentSchemaError,
+    Scenario,
+    expand_grid,
+    render_experiment,
+    run_sweep,
+    strip_volatile_experiment,
+    validate_experiment,
+)
+
+GRID = dict(
+    algorithms=["hss", "sample-regular"],
+    workloads=["uniform", "staircase"],
+    machines=["laptop"],
+    procs=4,
+    keys_per_rank=200,
+    eps=0.1,
+    seed=1,
+)
+
+
+@pytest.fixture(scope="module")
+def doc():
+    return run_sweep(**GRID)
+
+
+class TestExpandGrid:
+    def test_full_cross_product(self):
+        cells = expand_grid(**GRID)
+        assert len(cells) == 4
+        assert all(isinstance(c, Scenario) for c in cells)
+        assert len({c.name for c in cells}) == 4
+
+    def test_scalars_promote_to_single_element_axes(self):
+        cells = expand_grid(
+            algorithms="hss", workloads="uniform", procs=8, keys_per_rank=100
+        )
+        assert len(cells) == 1 and cells[0].procs == 8
+
+    def test_bad_name_fails_before_anything_runs(self):
+        with pytest.raises(ConfigError, match="unknown workload"):
+            expand_grid(algorithms=["hss"], workloads=["uniform", "nope"])
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigError, match="empty"):
+            expand_grid(algorithms=[], workloads=["uniform"])
+
+
+class TestSweep:
+    def test_document_shape(self, doc):
+        assert len(doc.cells) == 4
+        assert [c.status for c in doc.cells] == ["ok"] * 4
+        assert doc.grid["algorithms"] == ["hss", "sample-regular"]
+        assert doc.schema_version == EXPERIMENT_SCHEMA_VERSION
+        assert validate_experiment(doc.to_dict()) == []
+
+    def test_cells_carry_machine_provenance(self, doc):
+        for cell in doc.cells:
+            assert cell.machine["name"] == "laptop"
+            assert cell.machine["topology"] == "fully-connected"
+
+    def test_parallel_identical_to_serial(self, doc):
+        parallel = ExperimentRunner(jobs=2).sweep(**GRID)
+        assert json.dumps(
+            strip_volatile_experiment(parallel.to_dict()), sort_keys=True
+        ) == json.dumps(
+            strip_volatile_experiment(doc.to_dict()), sort_keys=True
+        )
+        # Worker provenance proves the pool actually ran the cells.
+        assert all(c.worker["jobs"] == 2 for c in parallel.cells)
+
+    def test_capability_violations_become_skipped_cells(self):
+        # hss-node on a flat layout is a capability error, not a crash.
+        sweep = run_sweep(
+            algorithms=["hss", "hss-node"], workloads=["uniform"],
+            procs=4, keys_per_rank=100, layouts="flat",
+        )
+        by_status = {c.scenario["algorithm"]: c.status for c in sweep.cells}
+        assert by_status == {"hss": "ok", "hss-node": "skipped"}
+        skipped = sweep.skipped()[0]
+        assert "multicore" in skipped.reason
+        assert skipped.metrics == {}
+        assert validate_experiment(sweep.to_dict()) == []
+
+    def test_node_layout_unlocks_node_algorithms(self):
+        sweep = run_sweep(
+            algorithms=["hss-node"], workloads=["uniform"],
+            machines=["mira-like-bgq"], procs=32, keys_per_rank=100,
+            layouts="node",
+        )
+        (cell,) = sweep.cells
+        assert cell.status == "ok"
+        assert cell.machine["cores_per_node"] == 16
+
+    def test_json_round_trip(self, doc, tmp_path):
+        path = tmp_path / "experiment.json"
+        doc.save(path)
+        restored = ExperimentDocument.load(path)
+        assert strip_volatile_experiment(
+            restored.to_dict()
+        ) == strip_volatile_experiment(doc.to_dict())
+        assert restored.cell(doc.cells[0].name).metrics == doc.cells[0].metrics
+
+    def test_render(self, doc):
+        text = render_experiment(doc)
+        assert "4 cells (4 ok, 0 skipped)" in text
+        assert "machine=laptop  workload=uniform" in text
+        assert "sample-regular" in text and "makespan_s" in text
+
+
+class TestSchemaValidation:
+    def test_missing_keys(self):
+        errors = validate_experiment({})
+        assert any("schema_version" in e for e in errors)
+        assert any("cells" in e for e in errors)
+
+    def test_wrong_version(self):
+        errors = validate_experiment(
+            {"schema_version": 99, "grid": {}, "cells": []}
+        )
+        assert any("schema_version" in e for e in errors)
+
+    def test_bad_status(self):
+        errors = validate_experiment(
+            {
+                "schema_version": 1,
+                "grid": {},
+                "cells": [{"scenario": {}, "status": "exploded"}],
+            }
+        )
+        assert any("status" in e for e in errors)
+
+    def test_ok_cell_needs_metrics(self):
+        errors = validate_experiment(
+            {
+                "schema_version": 1,
+                "grid": {},
+                "cells": [{"scenario": {"algorithm": "hss"}, "status": "ok"}],
+            }
+        )
+        assert any("no metrics" in e for e in errors)
+
+    def test_duplicate_scenarios_flagged(self):
+        cell = {
+            "scenario": {"algorithm": "hss"},
+            "status": "ok",
+            "metrics": {"makespan_s": 1.0},
+        }
+        errors = validate_experiment(
+            {"schema_version": 1, "grid": {}, "cells": [cell, dict(cell)]}
+        )
+        assert any("duplicate" in e for e in errors)
+
+    def test_from_dict_raises_on_invalid(self):
+        with pytest.raises(ExperimentSchemaError, match="schema_version"):
+            ExperimentDocument.from_dict({"cells": []})
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(ExperimentSchemaError, match="JSON"):
+            ExperimentDocument.from_json("[not json")
+
+
+class TestAxisDeduplication:
+    def test_repeated_axis_values_collapse(self):
+        cells = expand_grid(
+            algorithms=["hss", "hss"], workloads=["uniform"],
+            procs=[4, 4], keys_per_rank=100,
+        )
+        assert len(cells) == 1
+
+    def test_deduped_sweep_document_reloads(self, tmp_path):
+        # Regression: duplicate axis values used to expand to duplicate
+        # cells, producing a document validate_experiment rejects.
+        doc = run_sweep(
+            algorithms=["hss", "hss"], workloads=["uniform"],
+            procs=4, keys_per_rank=100,
+        )
+        assert validate_experiment(doc.to_dict()) == []
+        path = tmp_path / "dedup.json"
+        doc.save(path)
+        assert len(ExperimentDocument.load(path).cells) == 1

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.bsp.machine import MIRA_LIKE
+from repro.machines import get_machine
 from repro.core.config import HSSConfig
 from repro.core.rankspace import RankSpaceSimulator
 from repro.perf.model import (
@@ -10,6 +10,8 @@ from repro.perf.model import (
     model_splitting_time,
     model_weak_scaling,
 )
+
+MIRA_LIKE = get_machine("mira-like-bgq")
 
 
 def measured_stats(p, nodes, eps=0.02, seed=3):

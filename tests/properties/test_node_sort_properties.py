@@ -10,11 +10,13 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.bsp import BSPEngine
-from repro.bsp.machine import LAPTOP
 from repro.bsp.node import NodeLayout
 from repro.core.config import HSSConfig
 from repro.core.node_sort import combined_eps, hss_node_sort_program
+from repro.machines import get_machine
 from repro.metrics import verify_sorted_output
+
+LAPTOP = get_machine("laptop")
 
 COMMON = dict(
     deadline=None,

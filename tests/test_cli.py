@@ -445,3 +445,120 @@ class TestBenchParallelAndTiers:
         code = main(["bench", "--tier", "stress", "--suite", "table_5_1"])
         assert code == 2
         assert "do not define tier 'stress'" in capsys.readouterr().err
+
+
+class TestMachineFlag:
+    def test_sort_reports_resolved_machine(self, capsys):
+        code = main(
+            ["sort", "-p", "4", "-n", "300", "--machine", "dragonfly-hpc"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "dragonfly-hpc machine" in out
+        assert "dragonfly topology" in out
+
+    def test_legacy_alias_resolves_to_canonical_name(self, capsys):
+        code = main(["sort", "-p", "4", "-n", "300", "--machine", "mira"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "mira-like-bgq machine" in out
+
+    def test_unknown_machine_exits_2(self, capsys):
+        assert main(["sort", "--machine", "pdp-11"]) == 2
+        assert "unknown machine" in capsys.readouterr().err
+
+
+class TestMachinesCommand:
+    def test_lists_all_presets_with_notes(self, capsys):
+        from repro.machines import available_machines
+
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        assert len(available_machines()) >= 6
+        for name in available_machines():
+            assert name in out
+        assert "torus" in out and "alpha=" in out
+
+
+class TestSweepCommand:
+    def test_two_by_two_grid_with_json(self, capsys, tmp_path):
+        path = tmp_path / "experiment.json"
+        code = main(
+            [
+                "sweep",
+                "--algorithms", "hss,sample-regular",
+                "--workloads", "uniform,staircase",
+                "--machines", "laptop",
+                "-p", "4",
+                "-n", "200",
+                "--json", str(path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "4 cells (4 ok, 0 skipped)" in out
+
+        from repro.experiments import ExperimentDocument, validate_experiment
+
+        doc = ExperimentDocument.load(path)
+        assert validate_experiment(doc.to_dict()) == []
+        assert len(doc.cells) == 4
+
+    def test_jobs_matches_serial(self, tmp_path, capsys):
+        import json
+
+        from repro.experiments import strip_volatile_experiment
+
+        args = [
+            "sweep", "--algorithms", "hss", "--workloads", "uniform",
+            "-p", "4", "-n", "200",
+        ]
+        paths = []
+        for jobs, tag in (("1", "serial"), ("2", "parallel")):
+            path = tmp_path / f"{tag}.json"
+            assert main(args + ["--jobs", jobs, "--json", str(path)]) == 0
+            paths.append(path)
+        capsys.readouterr()
+        serial, parallel = (
+            json.dumps(
+                strip_volatile_experiment(json.loads(p.read_text())),
+                sort_keys=True,
+            )
+            for p in paths
+        )
+        assert serial == parallel
+
+    def test_report_file(self, capsys, tmp_path):
+        report = tmp_path / "report.txt"
+        code = main(
+            [
+                "sweep", "--algorithms", "hss", "--workloads", "uniform",
+                "-p", "4", "-n", "200", "--report", str(report),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert report.read_text().strip() == out.strip()
+
+    def test_bad_algorithm_exits_2(self, capsys):
+        code = main(
+            ["sweep", "--algorithms", "quicksort", "--workloads", "uniform"]
+        )
+        assert code == 2
+        assert "unknown algorithm" in capsys.readouterr().err
+
+    def test_bad_procs_exits_2(self, capsys):
+        code = main(
+            ["sweep", "--algorithms", "hss", "--workloads", "uniform",
+             "-p", "four"]
+        )
+        assert code == 2
+        assert "bad -p/-n" in capsys.readouterr().err
+
+    def test_bad_jobs_exits_2(self, capsys):
+        code = main(
+            ["sweep", "--algorithms", "hss", "--workloads", "uniform",
+             "--jobs", "0"]
+        )
+        assert code == 2
+        assert "--jobs" in capsys.readouterr().err

@@ -11,6 +11,12 @@ import repro.algorithms.sorter
 import repro.algorithms.spec
 import repro.bsp.node
 import repro.core.api
+import repro.experiments
+import repro.experiments.scenario
+import repro.machines
+import repro.machines.registry
+import repro.machines.spec
+import repro.machines.topologies
 import repro.utils.rng
 
 MODULES = [
@@ -21,6 +27,12 @@ MODULES = [
     repro.algorithms.spec,
     repro.bsp.node,
     repro.core.api,
+    repro.experiments,
+    repro.experiments.scenario,
+    repro.machines,
+    repro.machines.registry,
+    repro.machines.spec,
+    repro.machines.topologies,
     repro.utils.rng,
 ]
 
