@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Measured vs modeled: one HSS run on both execution backends.
+
+The paper reports *measured* end-to-end times on real parallel hardware
+alongside its analytic cost model.  This example tells the same two-sided
+story with the `repro.runtime` backends: it sorts one dataset with HSS on
+the lockstep simulator and again on the process backend (real worker
+processes, one per rank up to the core count), checks the outputs and the
+modeled metrics are bit-identical — that is the backend contract — and
+prints the modeled per-phase seconds next to the measured per-phase
+wall-clock, under the same phase labels.
+
+The modeled column prices a Mira-like BG/Q; the measured column is this
+host.  The per-phase ratio between the two columns is the seed for
+calibrating the cost model's α–β constants against real hardware as the
+runtime grows toward MPI backends.
+
+Run:  python examples/measured_vs_modeled.py [keys_per_rank]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.algorithms import Dataset, Sorter
+
+P = 8                    # ranks (the process backend maps them to cores)
+KEYS_PER_PROC = 200_000  # bump this to see real-core speedups grow
+EPS = 0.05
+
+
+def main() -> None:
+    n_per = int(sys.argv[1]) if len(sys.argv) > 1 else KEYS_PER_PROC
+    dataset = Dataset.from_workload("uniform", p=P, n_per=n_per, seed=2019)
+
+    runs = {}
+    for backend in ("simulated", "process"):
+        runs[backend] = Sorter(
+            "hss",
+            machine="mira-like-bgq",
+            eps=EPS,
+            seed=1,
+            backend=backend,
+            verify=False,
+        ).run(dataset)
+
+    sim, proc = runs["simulated"], runs["process"]
+
+    # The backend contract: execution strategy changes nothing observable
+    # except wall-clock.
+    assert all(
+        np.array_equal(a, b) for a, b in zip(sim.shards, proc.shards)
+    ), "backends disagreed on the sorted output"
+    assert sim.engine_result.stats == proc.engine_result.stats
+    assert sim.makespan == proc.makespan
+
+    print(
+        f"sorted {P * n_per:,} keys on {P} ranks with both backends "
+        f"(outputs and comm stats bit-identical)"
+    )
+    print(
+        f"  simulated : wall {sim.measured.wall_s:8.3f} s   "
+        f"(single process, lockstep)"
+    )
+    print(
+        f"  process   : wall {proc.measured.wall_s:8.3f} s   "
+        f"({proc.measured.workers} workers; compute "
+        f"{proc.measured.compute_s:.3f} s, collective wait "
+        f"{proc.measured.comm_wait_s:.3f} s)"
+    )
+    speedup = sim.measured.wall_s / proc.measured.wall_s
+    print(f"  speedup   : {speedup:.2f}x over the lockstep simulator")
+    print()
+
+    # Modeled phase seconds (max over ranks, priced on the simulated
+    # machine) next to measured phase wall-clock (max over ranks, this
+    # host) — same labels, same aggregation convention.
+    breakdown = sim.breakdown()
+    modeled = {
+        phase: breakdown.total(phase) for phase in breakdown.phases()
+    }
+    measured = proc.measured.phase_wall_s
+    print(f"{'phase':<16} {'modeled (s)':>12} {'measured (s)':>13} "
+          f"{'measured/modeled':>17}")
+    for phase in modeled:
+        model_s = modeled[phase]
+        meas_s = measured.get(phase, 0.0)
+        ratio = f"{meas_s / model_s:16.1f}x" if model_s > 0 else f"{'—':>17}"
+        print(f"{phase:<16} {model_s:>12.3e} {meas_s:>13.3e} {ratio}")
+    print()
+    print(
+        "modeled seconds price a Mira-like BG/Q; measured seconds are "
+        "this host.\nPer-phase ratios are the starting point for "
+        "calibrating alpha/beta against real hardware."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -10,6 +10,7 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - annotations only
     from repro.bsp.engine import RunResult
     from repro.core.hss import SplitterStats
+    from repro.runtime import Measured
 
 __all__ = ["SortRun"]
 
@@ -40,6 +41,10 @@ class SortRun:
     #: ``{name, topology, cores_per_node}`` (see
     #: :func:`repro.machines.machine_summary`).
     machine: dict[str, Any] = field(default_factory=dict)
+    #: Execution backend the run used (``"simulated"``, ``"process"``, ...;
+    #: see :mod:`repro.runtime`).  Modeled fields are bit-identical across
+    #: backends; only :attr:`measured` depends on it.
+    backend: str = "simulated"
 
     @property
     def splitter_stats(self) -> "SplitterStats | None":
@@ -57,6 +62,18 @@ class SortRun:
     def makespan(self) -> float:
         """Modeled execution time on the simulated machine (seconds)."""
         return self.engine_result.makespan
+
+    @property
+    def measured(self) -> "Measured | None":
+        """Real wall-clock measurements from the execution backend.
+
+        The measured counterpart of the *modeled* :attr:`makespan` /
+        :meth:`breakdown`: end-to-end wall time for every backend, plus
+        per-rank/per-phase compute and collective-wait times when the
+        backend instruments ranks (the process backend does; the
+        simulator reports only the total).
+        """
+        return self.engine_result.measured
 
     @property
     def imbalance(self) -> float:

@@ -22,10 +22,10 @@ import numpy as np
 from repro.algorithms.dataset import Dataset
 from repro.algorithms.registry import get_spec
 from repro.algorithms.result import SortRun
-from repro.bsp.engine import BSPEngine
 from repro.bsp.machine import MachineModel
 from repro.errors import CapabilityError, ConfigError
 from repro.machines import MachineSpec, machine_summary, resolve_machine
+from repro.runtime import Backend, resolve_backend
 
 __all__ = ["Sorter"]
 
@@ -46,6 +46,13 @@ class Sorter:
     config:
         A pre-built instance of the algorithm's typed config class.
         Mutually exclusive with keyword knobs.
+    backend:
+        Execution backend: a registered name (``"simulated"`` — the
+        default — or ``"process"``; see ``repro backends``) or a
+        pre-built :class:`~repro.runtime.Backend` instance.  Sorted
+        output, comm stats and modeled times are bit-identical across
+        backends; ``SortRun.measured`` records the backend's real
+        wall-clock observations.
     verify:
         Check sortedness, permutation and (for balanced algorithms) the
         load bound on every run's output.
@@ -62,6 +69,7 @@ class Sorter:
         *,
         machine: str | MachineSpec | MachineModel | None = None,
         config: Any | None = None,
+        backend: str | Backend | None = None,
         verify: bool = True,
         **config_kwargs: Any,
     ) -> None:
@@ -75,6 +83,7 @@ class Sorter:
         else:
             self.config = self.spec.build_config(**config_kwargs)
         self.machine = resolve_machine(machine)
+        self.backend = resolve_backend(backend)
         self.verify = verify
 
     # ------------------------------------------------------------------ #
@@ -117,10 +126,10 @@ class Sorter:
             dataset = Dataset.from_arrays(data, payloads=payloads)
         self._check_capabilities(dataset)
 
-        engine = BSPEngine(dataset.nprocs, machine=self.machine)
-        result = engine.run(
+        result = self.backend.run(
             self.spec.program,
-            rank_args=dataset.rank_args(),
+            dataset.rank_args(),
+            machine=self.machine,
             **self.spec.program_kwargs(self.config),
         )
 
@@ -141,6 +150,7 @@ class Sorter:
             algorithm=self.spec.name,
             rank_stats=rank_stats,
             machine=machine_summary(self.machine),
+            backend=self.backend.name,
         )
 
     @staticmethod

@@ -28,7 +28,7 @@ from repro.bsp.engine import Context
 from repro.core.data_movement import exchange_and_merge, locally_sorted_shard
 from repro.core.splitters import SplitterState
 from repro.errors import ConfigError, VerificationError
-from repro.utils.arrays import sorted_unique
+from repro.utils.arrays import sorted_unique, sorted_unique_pairs
 
 __all__ = [
     "HistogramSortConfig",
@@ -101,11 +101,7 @@ def keyspace_probes(
     hi = state.hi_key[open_mask]
     lo = np.maximum(lo, np.asarray(key_min, dtype=state.key_dtype))
     hi = np.minimum(hi, np.asarray(key_max, dtype=state.key_dtype))
-    pairs, counts = np.unique(
-        np.column_stack((lo, hi)), axis=0, return_counts=True
-    )
-    l_arr = pairs[:, 0]
-    h_arr = pairs[:, 1]
+    l_arr, h_arr, counts = sorted_unique_pairs(lo, hi)
     valid = h_arr > l_arr
     l_arr, h_arr, counts = l_arr[valid], h_arr[valid], counts[valid]
     if len(l_arr) == 0:

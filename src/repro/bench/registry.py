@@ -24,7 +24,7 @@ Tiers
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.bench.schema import CaseResult
@@ -63,6 +63,13 @@ class Benchmark:
     render: RenderFn
     #: Stem of the text artifact under ``benchmarks/results/`` (no suffix).
     artifact: str = ""
+    #: Override-only knobs with their defaults (e.g. ``backend`` for
+    #: suites that execute through ``Sorter``).  Unlike tier parameters
+    #: they are *not* merged into the run's params unless explicitly
+    #: overridden — the measurement and the document are byte-identical
+    #: to a run that never heard of them, so adding one cannot disturb
+    #: committed baselines.
+    runtime_params: Mapping[str, Any] = field(default_factory=dict)
 
     def has_tier(self, tier: str) -> bool:
         return tier in self.tiers
@@ -77,7 +84,7 @@ class Benchmark:
             )
         params = dict(self.tiers[tier])
         if overrides:
-            unknown = set(overrides) - set(params)
+            unknown = set(overrides) - set(params) - set(self.runtime_params)
             if unknown:
                 raise ConfigError(
                     f"unknown parameter overrides for suite {self.name!r}: "
@@ -98,6 +105,7 @@ def register(
     tiers: Mapping[str, Mapping[str, Any]],
     render: RenderFn,
     artifact: str = "",
+    runtime_params: Mapping[str, Any] | None = None,
 ) -> Callable[[RunFn], RunFn]:
     """Decorator registering a measurement function as a suite."""
     if name in REGISTRY:
@@ -121,6 +129,7 @@ def register(
             fn=fn,
             render=render,
             artifact=artifact or name,
+            runtime_params=dict(runtime_params or {}),
         )
         return fn
 

@@ -20,6 +20,7 @@ suite's ``worker`` block, next to (not inside) the gated payload.
 
 from __future__ import annotations
 
+import fnmatch
 import os
 import sys
 import time
@@ -33,33 +34,61 @@ from repro.errors import ConfigError
 __all__ = ["ParallelRunner", "run_suite", "run_suites", "resolve_suites"]
 
 
+def _is_glob(pattern: str) -> bool:
+    return any(ch in pattern for ch in "*?[")
+
+
 def resolve_suites(
     names: Sequence[str] | None, tier: str | None = None
 ) -> list[str]:
-    """Validate requested suite names (``None``/empty = all registered).
+    """Validate requested suite names/globs (``None``/empty = all).
 
-    With a ``tier``, an empty selection expands to the suites *defining*
-    that tier (the ``stress`` tier is opt-in), while an explicit name that
-    lacks the tier is an error rather than a silent skip.
+    Entries may be exact registered names or ``fnmatch`` glob patterns
+    (``'fig_*'``, ``'ablation_?ounds'``); a pattern that matches nothing
+    is an error, never a silent no-op.  With a ``tier``, an empty
+    selection expands to the suites *defining* that tier (the ``stress``
+    tier is opt-in); an explicit name that lacks the tier is an error
+    rather than a silent skip, while a glob merely narrows to the
+    pattern's tier-defining matches (erroring only when none remain).
     """
     known = suite_names()
     if not names:
         return known if tier is None else suite_names(tier)
-    unknown = [n for n in names if n not in known]
+    eligible = known if tier is None else suite_names(tier)
+    selected: set[str] = set()
+    unknown: list[str] = []
+    for pattern in names:
+        if _is_glob(pattern):
+            matches = fnmatch.filter(known, pattern)
+            if not matches:
+                raise ConfigError(
+                    f"suite pattern {pattern!r} matches no registered "
+                    f"suite; choose from {known}"
+                )
+            tiered = [m for m in matches if m in eligible]
+            if not tiered:
+                raise ConfigError(
+                    f"suite pattern {pattern!r} matches {matches} but "
+                    f"none define tier {tier!r}; "
+                    f"tier {tier!r} suites: {suite_names(tier)}"
+                )
+            selected.update(tiered)
+        elif pattern not in known:
+            unknown.append(pattern)
+        else:
+            selected.add(pattern)
     if unknown:
         raise ConfigError(
             f"unknown benchmark suite(s) {unknown}; choose from {known}"
         )
-    if tier is not None:
-        lacking = [n for n in names if not get_suite(n).has_tier(tier)]
-        if lacking:
-            raise ConfigError(
-                f"suite(s) {lacking} do not define tier {tier!r}; "
-                f"tier {tier!r} suites: {suite_names(tier)}"
-            )
+    lacking = [n for n in names if not _is_glob(n) and n not in eligible]
+    if lacking:
+        raise ConfigError(
+            f"suite(s) {lacking} do not define tier {tier!r}; "
+            f"tier {tier!r} suites: {suite_names(tier)}"
+        )
     # Preserve registry order, drop duplicates.
-    requested = set(names)
-    return [n for n in known if n in requested]
+    return [n for n in known if n in selected]
 
 
 def run_suite(

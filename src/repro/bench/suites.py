@@ -45,6 +45,18 @@ def _suite_machine(params: Mapping[str, Any]):
     )
 
 
+def _suite_backend(params: Mapping[str, Any]) -> str:
+    """Execution backend for Sorter-driven suites (a runtime param).
+
+    Defaults to the simulator; absent from tier params so baselines are
+    untouched.  ``repro bench --backend process`` overrides it on every
+    suite that declares the ``backend`` runtime param — the modeled,
+    gated metrics are bit-identical either way (that is the backend
+    contract), so the gate still applies.
+    """
+    return params.get("backend", "simulated")
+
+
 def _by_name(cases: Sequence[CaseResult]) -> dict[str, CaseResult]:
     return {c.name: c for c in cases}
 
@@ -132,6 +144,7 @@ _SHOOTOUT_ALGORITHMS = [
         },
     },
     render=lambda cases, params: _render_shootout(cases, params),
+    runtime_params={"backend": "simulated"},
 )
 def _run_shootout(params: Mapping[str, Any]) -> list[CaseResult]:
     from repro.algorithms import Dataset, Sorter, get_spec
@@ -154,7 +167,11 @@ def _run_shootout(params: Mapping[str, Any]) -> list[CaseResult]:
                 eps=eps, seed=params["sort_seed"], **kwargs
             )
             run = Sorter(
-                name, machine=machine, config=config, verify=False
+                name,
+                machine=machine,
+                config=config,
+                backend=_suite_backend(params),
+                verify=False,
             ).run(dataset)
             metrics: dict[str, Any] = {
                 "makespan_s": run.makespan,
@@ -753,6 +770,7 @@ def _render_table_6_1(cases: Sequence[CaseResult], params: Mapping[str, Any]) ->
                   "seed": 7, "input_seed": 1234, "machine": "laptop"},
     },
     render=lambda cases, params: _render_ablation_approx(cases, params),
+    runtime_params={"backend": "simulated"},
 )
 def _run_ablation_approx(params: Mapping[str, Any]) -> list[CaseResult]:
     from repro.algorithms import Dataset, Sorter
@@ -773,7 +791,12 @@ def _run_ablation_approx(params: Mapping[str, Any]) -> list[CaseResult]:
         cfg = HSSConfig(
             eps=eps, approximate_histograms=approx, seed=params["seed"]
         )
-        run = Sorter("hss", config=cfg, machine=machine).run(inputs)
+        run = Sorter(
+            "hss",
+            config=cfg,
+            machine=machine,
+            backend=_suite_backend(params),
+        ).run(inputs)
         cases.append(
             _case(
                 mode,
@@ -830,6 +853,7 @@ def _render_ablation_approx(
                   "workload_seed": 7, "seed": 5, "machine": "laptop"},
     },
     render=lambda cases, params: _render_ablation_duplicates(cases, params),
+    runtime_params={"backend": "simulated"},
 )
 def _run_ablation_duplicates(params: Mapping[str, Any]) -> list[CaseResult]:
     from repro.algorithms import Dataset, Sorter
@@ -854,7 +878,12 @@ def _run_ablation_duplicates(params: Mapping[str, Any]) -> list[CaseResult]:
             cfg = HSSConfig(eps=eps, tag_duplicates=tagged, seed=params["seed"])
             strict_failed = False
             try:
-                run = Sorter("hss", config=cfg, machine=machine).run(dataset)
+                run = Sorter(
+                    "hss",
+                    config=cfg,
+                    machine=machine,
+                    backend=_suite_backend(params),
+                ).run(dataset)
                 imbalance = run.imbalance
             except VerificationError:
                 # Without tagging the hot key cannot be split across
@@ -867,7 +896,11 @@ def _run_ablation_duplicates(params: Mapping[str, Any]) -> list[CaseResult]:
                     strict=False,
                 )
                 raw = Sorter(
-                    "hss", config=relaxed, machine=machine, verify=False
+                    "hss",
+                    config=relaxed,
+                    machine=machine,
+                    backend=_suite_backend(params),
+                    verify=False,
                 ).run(dataset)
                 imbalance = load_imbalance(raw.shards)
             label = "tagged" if tagged else "untagged"

@@ -34,8 +34,8 @@ pure function of its inputs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Generator, Iterator, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterator, Mapping, Sequence
 
 from repro.bsp import collectives as coll
 from repro.bsp.cost_model import CommStats, CostModel
@@ -44,7 +44,16 @@ from repro.bsp.node import NodeLayout
 from repro.bsp.trace import SuperstepRecord, Trace
 from repro.errors import BSPError, CollectiveMismatchError, DeadlockError
 
-__all__ = ["Context", "NodeContext", "BSPEngine", "RunResult", "Program"]
+__all__ = [
+    "Context",
+    "NodeContext",
+    "BSPEngine",
+    "RunResult",
+    "Program",
+    "RankYield",
+    "SuperstepResolver",
+    "default_node_layout",
+]
 
 #: Type of an SPMD program: a generator function taking (ctx, *args).
 Program = Callable[..., Generator[Any, Any, Any]]
@@ -276,16 +285,272 @@ class NodeContext(Context):
 
 @dataclass
 class RunResult:
-    """Outcome of one :meth:`BSPEngine.run`."""
+    """Outcome of one :meth:`BSPEngine.run` (or any runtime backend)."""
 
     returns: list[Any]
     trace: Trace
     stats: CommStats
     makespan: float
+    #: Real wall-clock measurements attached by the runtime layer
+    #: (:class:`repro.runtime.Measured`), or None for a bare engine run.
+    #: Modeled fields above are bit-identical across backends; this block
+    #: is the only backend-dependent part of a result.
+    measured: Any = None
 
     def breakdown(self):
         """Phase breakdown of the modeled execution time."""
         return self.trace.breakdown()
+
+
+def default_node_layout(
+    machine: MachineModel, nprocs: int, node_layout: NodeLayout | None = None
+) -> NodeLayout | None:
+    """The engine's node-layout rule, shared by every execution backend.
+
+    An explicit layout wins; otherwise a multicore machine gets the
+    block-wise :class:`NodeLayout` and a single-core machine gets none.
+    """
+    if node_layout is None and machine.cores_per_node > 1:
+        return NodeLayout(nprocs, machine.cores_per_node)
+    return node_layout
+
+
+@dataclass
+class RankYield:
+    """One rank's contribution to a scheduling sweep.
+
+    Captured at the moment the rank's generator yields: the collective
+    request itself, the phase label active at the yield, and the compute
+    charged since the previous rendezvous.  :class:`SuperstepResolver`
+    consumes these — the in-process engine builds them from its
+    :class:`Context` objects, the process backend's broker from worker
+    messages, and the resolution is bit-identical either way.
+    """
+
+    call: _Call
+    phase: str = _DEFAULT_PHASE
+    compute: float = 0.0
+    by_phase: dict[str, float] = field(default_factory=dict)
+
+
+class SuperstepResolver:
+    """The rendezvous core shared by every execution backend.
+
+    Given one :class:`RankYield` per waiting rank, the resolver groups the
+    requests, enforces the SPMD matching rules (raising
+    :class:`CollectiveMismatchError` / :class:`DeadlockError` with the
+    same messages regardless of backend), resolves the data movement,
+    prices the superstep, and accumulates the trace and comm stats.
+    :class:`BSPEngine` drives it in-process; the process backend's broker
+    drives it from worker messages — modeled accounting cannot drift
+    between the two because there is only one implementation.
+    """
+
+    def __init__(
+        self,
+        cost_model: CostModel,
+        node_layout: NodeLayout | None,
+        nprocs: int,
+    ) -> None:
+        self.cost_model = cost_model
+        self.node_layout = node_layout
+        self.nprocs = nprocs
+        self.trace = Trace()
+        self.stats = CommStats()
+        self.step = 0
+
+    # ------------------------------------------------------------------ #
+    def resolve_sweep(
+        self,
+        yields: Mapping[int, RankYield],
+        finished: Sequence[int],
+    ) -> dict[int, Any]:
+        """Resolve one scheduling sweep; returns each rank's resume value.
+
+        ``yields`` maps every *waiting* rank to its request (iterated in
+        ascending rank order); ``finished`` lists ranks whose programs
+        have already returned (they participate only in the deadlock
+        check).
+        """
+        active = sorted(yields)
+        step = self.step
+
+        # --- group the rendezvous ----------------------------------
+        groups: dict[tuple, list[int]] = {}
+        for r in active:
+            groups.setdefault(yields[r].call.group, []).append(r)
+        if ("global",) in groups:
+            if len(groups) > 1:
+                other = next(g for g in groups if g != ("global",))
+                raise CollectiveMismatchError(
+                    f"superstep {step}: ranks {groups[('global',)][:4]} "
+                    f"issued a global collective while ranks "
+                    f"{groups[other][:4]} issued a {other} collective"
+                )
+            if finished:
+                stalled = groups[("global",)]
+                raise DeadlockError(
+                    f"ranks {sorted(finished)[:8]} finished while ranks "
+                    f"{stalled[:8]} wait on "
+                    f"'{yields[stalled[0]].call.op}' — program is not SPMD"
+                )
+        else:
+            # All node-scoped: every node group must be complete.
+            layout = self.node_layout
+            for gkey, members in groups.items():
+                expected = list(layout.ranks_on_node(gkey[1]))
+                if members != expected:
+                    raise DeadlockError(
+                        f"superstep {step}: node {gkey[1]} collective has "
+                        f"participants {members} but the node hosts ranks "
+                        f"{expected}"
+                    )
+
+        # --- resolve each group independently -----------------------
+        # Node groups on different nodes run concurrently: a sweep of
+        # node collectives contributes the MAX group cost to the
+        # makespan (one aggregated record), while the (single) global
+        # group is recorded as-is.
+        sweep_comm = 0.0
+        sweep_compute = 0.0
+        sweep_phases: dict[str, float] = {}
+        sweep_op = ""
+        sweep_phase = _DEFAULT_PHASE
+        sweep_endpoints = 0
+        results: dict[int, Any] = {}
+        for gkey in sorted(groups):
+            members = groups[gkey]
+            first = yields[members[0]].call
+            for r in members:
+                call = yields[r].call
+                if call.op != first.op or call.root != first.root or (
+                    call.reduce_op != first.reduce_op
+                ):
+                    raise CollectiveMismatchError(
+                        f"superstep {step} {gkey}: rank {members[0]} "
+                        f"called '{first.op}' (root={first.root}) but "
+                        f"rank {r} called '{call.op}' (root={call.root})"
+                    )
+            if first.op == "exchange" and gkey != ("global",):
+                raise CollectiveMismatchError(
+                    "pairwise exchange is only supported on the global "
+                    "communicator"
+                )
+            partners = (
+                [yields[r].call.partner for r in members]
+                if first.op == "exchange"
+                else None
+            )
+            resolved = coll.resolve(
+                first.op,
+                [yields[r].call.payload for r in members],
+                first.root,
+                reduce_op=first.reduce_op,
+                partners=partners,
+            )
+            scope = "global" if gkey == ("global",) else "node"
+            cost = self.cost_model.price(
+                first.op,
+                max_bytes=resolved.max_bytes,
+                total_bytes=resolved.total_bytes,
+                node_combining=first.node_combining,
+                scope=scope,
+                group_size=len(members),
+            )
+            self.stats.record(first.op, cost)
+
+            # Critical-path compute over this group's members.
+            max_compute = 0.0
+            max_phases: dict[str, float] = {}
+            for r in members:
+                if yields[r].compute > max_compute:
+                    max_compute = yields[r].compute
+                    max_phases = yields[r].by_phase
+
+            group_comm = cost.comm_seconds + cost.compute_seconds
+            if scope == "global":
+                self.trace.append(
+                    SuperstepRecord(
+                        index=step,
+                        op=first.op,
+                        phase=yields[members[0]].phase,
+                        compute_by_phase=max_phases,
+                        comm_seconds=group_comm,
+                        nbytes=cost.nbytes,
+                        messages=cost.messages,
+                        endpoints=cost.endpoints,
+                    )
+                )
+            elif group_comm + max_compute > sweep_comm + sweep_compute:
+                sweep_comm = group_comm
+                sweep_compute = max_compute
+                sweep_phases = max_phases
+                sweep_op = f"node:{first.op}"
+                sweep_phase = yields[members[0]].phase
+                sweep_endpoints = cost.endpoints
+
+            for i, r in enumerate(members):
+                results[r] = resolved.results[i]
+
+        if sweep_op:
+            self.trace.append(
+                SuperstepRecord(
+                    index=step,
+                    op=sweep_op,
+                    phase=sweep_phase,
+                    compute_by_phase=sweep_phases,
+                    comm_seconds=sweep_comm,
+                    nbytes=0,
+                    messages=0,
+                    endpoints=sweep_endpoints,
+                )
+            )
+        self.step += 1
+        return results
+
+    # ------------------------------------------------------------------ #
+    def record_final(
+        self,
+        drains: Sequence[tuple[float, dict[str, float]]],
+        fallback_phase: str = _DEFAULT_PHASE,
+    ) -> None:
+        """Record trailing computation after the last collective.
+
+        ``drains`` holds every rank's final ``(compute, by_phase)`` drain
+        in rank order; ``fallback_phase`` labels the record when no
+        compute was charged anywhere (rank 0's final phase).
+        """
+        max_compute = 0.0
+        max_phases: dict[str, float] = {}
+        for pending, by_phase in drains:
+            if pending > max_compute:
+                max_compute, max_phases = pending, by_phase
+        if max_compute > 0.0:
+            if max_phases:
+                phase = max(max_phases.items(), key=lambda kv: kv[1])[0]
+            else:
+                phase = fallback_phase
+            self.trace.append(
+                SuperstepRecord(
+                    index=self.step,
+                    op="__final__",
+                    phase=phase,
+                    compute_by_phase=max_phases,
+                    comm_seconds=0.0,
+                    nbytes=0,
+                    messages=0,
+                    endpoints=self.nprocs,
+                )
+            )
+
+    def result(self, returns: list[Any]) -> RunResult:
+        """Package the accumulated trace/stats into a :class:`RunResult`."""
+        return RunResult(
+            returns=returns,
+            trace=self.trace,
+            stats=self.stats,
+            makespan=self.trace.makespan,
+        )
 
 
 class BSPEngine:
@@ -306,10 +571,8 @@ class BSPEngine:
 
             machine = get_machine("laptop")
         self.machine = machine
-        if node_layout is None and self.machine.cores_per_node > 1:
-            node_layout = NodeLayout(nprocs, self.machine.cores_per_node)
-        self.node_layout = node_layout
-        self.cost_model = CostModel(self.machine, nprocs, node_layout)
+        self.node_layout = default_node_layout(self.machine, nprocs, node_layout)
+        self.cost_model = CostModel(self.machine, nprocs, self.node_layout)
 
     # ------------------------------------------------------------------ #
     def run(
@@ -350,9 +613,7 @@ class BSPEngine:
 
         returns: list[Any] = [None] * p
         resume: list[Any] = [None] * p
-        trace = Trace()
-        stats = CommStats()
-        step = 0
+        resolver = SuperstepResolver(self.cost_model, self.node_layout, p)
 
         # Ranks whose generators are still running.  The scheduling sweep
         # walks only this list, so ranks that returned early are never
@@ -362,7 +623,7 @@ class BSPEngine:
         finished: list[int] = []
 
         while active:
-            calls: list[_Call | None] = [None] * p
+            yields: dict[int, RankYield] = {}
             waiting: list[int] = []
             for r in active:
                 try:
@@ -377,7 +638,9 @@ class BSPEngine:
                         f"rank {r} yielded {type(request).__name__}; programs "
                         "must only 'yield from' Context collectives"
                     )
-                calls[r] = request
+                ctx = contexts[r]
+                pending, by_phase = ctx._drain_compute()
+                yields[r] = RankYield(request, ctx._phase, pending, by_phase)
                 waiting.append(r)
                 resume[r] = None
             active = waiting
@@ -385,174 +648,12 @@ class BSPEngine:
             if not active:
                 break
 
-            # --- group the rendezvous ----------------------------------
-            groups: dict[tuple, list[int]] = {}
-            for r in active:
-                groups.setdefault(calls[r].group, []).append(r)
-            if ("global",) in groups:
-                if len(groups) > 1:
-                    other = next(g for g in groups if g != ("global",))
-                    raise CollectiveMismatchError(
-                        f"superstep {step}: ranks {groups[('global',)][:4]} "
-                        f"issued a global collective while ranks "
-                        f"{groups[other][:4]} issued a {other} collective"
-                    )
-                if finished:
-                    stalled = groups[("global",)]
-                    raise DeadlockError(
-                        f"ranks {sorted(finished)[:8]} finished while ranks "
-                        f"{stalled[:8]} wait on "
-                        f"'{calls[stalled[0]].op}' — program is not SPMD"
-                    )
-            else:
-                # All node-scoped: every node group must be complete.
-                layout = self.node_layout
-                for gkey, members in groups.items():
-                    expected = list(layout.ranks_on_node(gkey[1]))
-                    if members != expected:
-                        raise DeadlockError(
-                            f"superstep {step}: node {gkey[1]} collective has "
-                            f"participants {members} but the node hosts ranks "
-                            f"{expected}"
-                        )
-
-            # --- per-rank compute drained once per sweep ----------------
-            drained = {r: contexts[r]._drain_compute() for r in active}
-
-            # --- resolve each group independently -----------------------
-            # Node groups on different nodes run concurrently: a sweep of
-            # node collectives contributes the MAX group cost to the
-            # makespan (one aggregated record), while the (single) global
-            # group is recorded as-is.
-            sweep_comm = 0.0
-            sweep_compute = 0.0
-            sweep_phases: dict[str, float] = {}
-            sweep_op = ""
-            sweep_phase = _DEFAULT_PHASE
-            sweep_endpoints = 0
-            for gkey in sorted(groups):
-                members = groups[gkey]
-                first = calls[members[0]]
-                for r in members:
-                    call = calls[r]
-                    if call.op != first.op or call.root != first.root or (
-                        call.reduce_op != first.reduce_op
-                    ):
-                        raise CollectiveMismatchError(
-                            f"superstep {step} {gkey}: rank {members[0]} "
-                            f"called '{first.op}' (root={first.root}) but "
-                            f"rank {r} called '{call.op}' (root={call.root})"
-                        )
-                if first.op == "exchange" and gkey != ("global",):
-                    raise CollectiveMismatchError(
-                        "pairwise exchange is only supported on the global "
-                        "communicator"
-                    )
-                partners = (
-                    [calls[r].partner for r in members]
-                    if first.op == "exchange"
-                    else None
-                )
-                resolved = coll.resolve(
-                    first.op,
-                    [calls[r].payload for r in members],
-                    first.root,
-                    reduce_op=first.reduce_op,
-                    partners=partners,
-                )
-                scope = "global" if gkey == ("global",) else "node"
-                cost = self.cost_model.price(
-                    first.op,
-                    max_bytes=resolved.max_bytes,
-                    total_bytes=resolved.total_bytes,
-                    node_combining=first.node_combining,
-                    scope=scope,
-                    group_size=len(members),
-                )
-                stats.record(first.op, cost)
-
-                # Critical-path compute over this group's members.
-                max_compute = 0.0
-                max_phases: dict[str, float] = {}
-                for r in members:
-                    pending, by_phase = drained[r]
-                    if pending > max_compute:
-                        max_compute, max_phases = pending, by_phase
-
-                group_comm = cost.comm_seconds + cost.compute_seconds
-                if scope == "global":
-                    trace.append(
-                        SuperstepRecord(
-                            index=step,
-                            op=first.op,
-                            phase=contexts[members[0]]._phase,
-                            compute_by_phase=max_phases,
-                            comm_seconds=group_comm,
-                            nbytes=cost.nbytes,
-                            messages=cost.messages,
-                            endpoints=cost.endpoints,
-                        )
-                    )
-                elif group_comm + max_compute > sweep_comm + sweep_compute:
-                    sweep_comm = group_comm
-                    sweep_compute = max_compute
-                    sweep_phases = max_phases
-                    sweep_op = f"node:{first.op}"
-                    sweep_phase = contexts[members[0]]._phase
-                    sweep_endpoints = cost.endpoints
-
-                for i, r in enumerate(members):
-                    resume[r] = resolved.results[i]
-
-            if sweep_op:
-                trace.append(
-                    SuperstepRecord(
-                        index=step,
-                        op=sweep_op,
-                        phase=sweep_phase,
-                        compute_by_phase=sweep_phases,
-                        comm_seconds=sweep_comm,
-                        nbytes=0,
-                        messages=0,
-                        endpoints=sweep_endpoints,
-                    )
-                )
-            step += 1
+            for r, value in resolver.resolve_sweep(yields, finished).items():
+                resume[r] = value
 
         # Trailing computation after the last collective.
-        max_compute = 0.0
-        max_phases = {}
-        for ctx in contexts:
-            pending, by_phase = ctx._drain_compute()
-            if pending > max_compute:
-                max_compute, max_phases = pending, by_phase
-        if max_compute > 0.0:
-            trace.append(
-                SuperstepRecord(
-                    index=step,
-                    op="__final__",
-                    phase=self._dominant_phase(max_phases, contexts),
-                    compute_by_phase=max_phases,
-                    comm_seconds=0.0,
-                    nbytes=0,
-                    messages=0,
-                    endpoints=p,
-                )
-            )
-
-        return RunResult(
-            returns=returns,
-            trace=trace,
-            stats=stats,
-            makespan=trace.makespan,
+        resolver.record_final(
+            [ctx._drain_compute() for ctx in contexts],
+            fallback_phase=contexts[0]._phase if contexts else _DEFAULT_PHASE,
         )
-
-    @staticmethod
-    def _dominant_phase(
-        phase_seconds: dict[str, float], contexts: list[Context]
-    ) -> str:
-        """Label a superstep by where its critical-path time was spent."""
-        if phase_seconds:
-            return max(phase_seconds.items(), key=lambda kv: kv[1])[0]
-        # No compute charged: use rank 0's current phase label.
-        return contexts[0]._phase if contexts else _DEFAULT_PHASE
+        return resolver.result(returns)

@@ -1,11 +1,13 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Seven subcommands:
+Eight subcommands:
 
 ``sort``
     Generate a workload, sort it with any registered algorithm on any
-    registered machine, and report rounds/samples/imbalance/phase
-    breakdown (a :class:`~repro.algorithms.SortRun` summary).
+    registered machine — on any registered execution backend
+    (``--backend process`` runs ranks on real cores) — and report
+    rounds/samples/imbalance/phase breakdown (a
+    :class:`~repro.algorithms.SortRun` summary).
 
 ``algorithms``
     List every algorithm in the plugin registry with its typed-config
@@ -14,6 +16,10 @@ Seven subcommands:
 ``machines``
     List every machine in the plugin registry with its topology,
     alpha/beta/gamma constants and provenance note.
+
+``backends``
+    List every execution backend in the plugin registry
+    (:mod:`repro.runtime`).
 
 ``sweep``
     Expand an algorithm x workload x machine x layout grid, run every
@@ -41,8 +47,10 @@ Examples
     python -m repro sort --algorithm hss -p 16 -n 50000 \
         --workload lognormal --eps 0.05 --machine cloud-ethernet
     python -m repro sort --algorithm histogram --workload staircase --payloads
+    python -m repro sort -p 8 -n 500000 --backend process --workers 4
     python -m repro algorithms
     python -m repro machines
+    python -m repro backends
     python -m repro sweep --algorithms hss,sample-regular \
         --workloads uniform,staircase --machines laptop,mira-like-bgq \
         --jobs 2 --json experiment.json
@@ -106,6 +114,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="attach tracer payloads and report the round-trip (only "
         "payload-capable algorithms; see 'repro algorithms')",
     )
+    sort.add_argument(
+        "--backend",
+        default="simulated",
+        help="execution backend (see 'repro backends'); 'process' runs "
+        "ranks on real cores and reports measured wall-clock next to "
+        "the modeled makespan",
+    )
+    sort.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the process backend "
+        "(default: min(p, cpu count))",
+    )
 
     sub.add_parser(
         "algorithms",
@@ -115,6 +138,11 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "machines",
         help="list registered machines, topologies and constants",
+    )
+
+    sub.add_parser(
+        "backends",
+        help="list registered execution backends",
     )
 
     sweep = sub.add_parser(
@@ -152,6 +180,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--eps", type=float, default=0.05)
     sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument(
+        "--backend",
+        default="simulated",
+        help="execution backend for every cell (see 'repro backends'); "
+        "modeled metrics are identical on any backend",
+    )
     sweep.add_argument(
         "--jobs",
         type=int,
@@ -211,7 +245,17 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         dest="suites",
         metavar="NAME",
-        help="suite to run (repeatable; default: all registered suites)",
+        help="suite to run — an exact name or a glob pattern like "
+        "'fig_*' or 'ablation_*' (repeatable; default: all registered "
+        "suites; a pattern matching nothing is an error)",
+    )
+    bench.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="execution backend override for suites declaring the "
+        "'backend' runtime param (see 'repro backends'); gated modeled "
+        "metrics are identical on any backend",
     )
     bench.add_argument(
         "--json",
@@ -295,11 +339,15 @@ def _cmd_sort(args: argparse.Namespace) -> int:
     # capability violations (CapabilityError subclasses it): usage
     # errors, exit 2 with the message — never a traceback.
     try:
+        from repro.runtime import get_backend
+
+        backend = get_backend(args.backend, workers=args.workers)
         config = spec.legacy_config(eps=args.eps, seed=args.seed, **kwargs)
         sorter = Sorter(
             args.algorithm,
             machine=args.machine,
             config=config,
+            backend=backend,
             verify=False,
         )
         run = sorter.run(dataset)
@@ -346,6 +394,14 @@ def _cmd_sort(args: argparse.Namespace) -> int:
             f"with their keys"
         )
     print(f"modeled makespan  : {run.makespan:.3e} s")
+    measured = run.measured
+    if measured is not None and run.backend != "simulated":
+        print(
+            f"measured wall     : {measured.wall_s:.3f} s on backend "
+            f"{run.backend!r} ({measured.workers} workers; compute "
+            f"{measured.compute_s:.3f} s, collective wait "
+            f"{measured.comm_wait_s:.3f} s)"
+        )
     print(
         f"network           : {run.engine_result.stats.messages:,} messages, "
         f"{run.engine_result.stats.bytes:,} bytes"
@@ -402,6 +458,16 @@ def _cmd_machines(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_backends(args: argparse.Namespace) -> int:
+    from repro.runtime import BACKENDS
+
+    del args
+    for name in sorted(BACKENDS):
+        default = "(default)" if name == "simulated" else ""
+        print(f"{name:12s} {default:10s} {BACKENDS[name].description}")
+    return 0
+
+
 def _split_csv(text: str) -> list[str]:
     return [item.strip() for item in text.split(",") if item.strip()]
 
@@ -430,6 +496,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             keys_per_rank=keys,
             eps=args.eps,
             seed=args.seed,
+            backend=args.backend,
             progress=stderr_progress,
         )
     except ConfigError as exc:
@@ -571,6 +638,31 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(str(exc), file=sys.stderr)
         return 2
 
+    overrides = None
+    if args.backend is not None and args.candidate is None:
+        from repro.runtime import BACKENDS
+
+        if args.backend not in BACKENDS:
+            print(
+                f"unknown backend {args.backend!r}; "
+                f"choose from {sorted(BACKENDS)}",
+                file=sys.stderr,
+            )
+            return 2
+        supporting = [
+            n for n in selected
+            if "backend" in get_suite(n).runtime_params
+        ]
+        if not supporting:
+            print(
+                "--backend applies to none of the selected suites (no "
+                "'backend' runtime param); Sorter-driven suites such as "
+                "'shootout' support it",
+                file=sys.stderr,
+            )
+            return 2
+        overrides = {n: {"backend": args.backend} for n in supporting}
+
     # Reject an unreadable baseline up front — never *after* a (possibly
     # minutes-long, full-tier) measurement run.
     baseline = None
@@ -610,10 +702,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             return 2
         # File-vs-file mode runs nothing, so run-only flags are mistakes,
         # not no-ops.
-        if args.json_path is not None or args.tier is not None or args.jobs != 1:
+        if (
+            args.json_path is not None
+            or args.tier is not None
+            or args.jobs != 1
+            or args.backend is not None
+        ):
             print(
-                "--json/--tier/--jobs have no effect with --candidate "
-                "(nothing is run)",
+                "--json/--tier/--jobs/--backend have no effect with "
+                "--candidate (nothing is run)",
                 file=sys.stderr,
             )
             return 2
@@ -639,7 +736,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     else:
         tier = args.tier if args.tier is not None else "quick"
         doc = run_suites(
-            selected, tier=tier, progress=stderr_progress, jobs=args.jobs
+            selected,
+            tier=tier,
+            overrides=overrides,
+            progress=stderr_progress,
+            jobs=args.jobs,
         )
         if args.json_path:
             try:
@@ -669,6 +770,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_algorithms(args)
     if args.command == "machines":
         return _cmd_machines(args)
+    if args.command == "backends":
+        return _cmd_backends(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
     if args.command == "table":

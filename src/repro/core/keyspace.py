@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.core.splitters import SplitterState
 from repro.sampling.bernoulli import bernoulli_sample_in_intervals
+from repro.utils.arrays import sorted_unique
 
 __all__ = ["PlainKeySpace", "TaggedKeySpace", "make_keyspace"]
 
@@ -78,7 +79,7 @@ class PlainKeySpace:
         nonempty = [x for x in pieces if len(x)]
         if not nonempty:
             return np.empty(0, dtype=self.key_dtype)
-        return np.unique(np.concatenate(nonempty))
+        return sorted_unique(np.concatenate(nonempty))
 
     # -- histograms & buckets -------------------------------------------
     def local_counts(
@@ -199,7 +200,7 @@ class TaggedKeySpace:
         nonempty = [x for x in pieces if len(x)]
         if not nonempty:
             return np.empty(0, dtype=self.key_dtype)
-        return np.unique(np.concatenate(nonempty))
+        return sorted_unique(np.concatenate(nonempty))
 
     # -- histograms & buckets -------------------------------------------
     def local_counts(

@@ -167,8 +167,8 @@ class SplitterState:
             probe_keys[1:] < probe_keys[:-1]
         ):
             # (Structured/void probe dtypes — tagged keys — don't support
-            # ufunc comparison; they arrive pre-sorted from np.unique and the
-            # rank monotonicity check below still guards ordering.)
+            # ufunc comparison; they arrive pre-sorted from sorted_unique
+            # and the rank monotonicity check below still guards ordering.)
             raise ConfigError("probe_keys must be sorted ascending")
         if np.any(probe_ranks[1:] < probe_ranks[:-1]):
             raise ConfigError(

@@ -55,16 +55,20 @@ def expand_grid(
     layouts: Sequence[str] | str = ("flat",),
     eps: float = 0.05,
     seed: int = 0,
+    backend: str = "simulated",
 ) -> list[Scenario]:
     """Cross-product the axes into validated scenarios, in axis order.
 
     Validation is eager: one bad name anywhere fails the whole expansion
-    with the canonical registry error before anything runs.
+    with the canonical registry error before anything runs.  ``backend``
+    is a scalar knob, not an axis — one sweep executes on one backend
+    (modeled metrics are backend-independent anyway).
     """
     cells = [
         Scenario(
             algorithm=a, workload=w, machine=m, procs=p,
             keys_per_rank=n, eps=eps, seed=seed, layout=layout,
+            backend=backend,
         )
         for m in _as_list(machines)
         for w in _as_list(workloads)
@@ -168,6 +172,7 @@ class ExperimentRunner:
         layouts: Sequence[str] | str = ("flat",),
         eps: float = 0.05,
         seed: int = 0,
+        backend: str = "simulated",
         progress: Callable[[str], None] | None = None,
     ) -> ExperimentDocument:
         """Expand the grid and run every cell; the ``repro sweep`` core."""
@@ -180,11 +185,12 @@ class ExperimentRunner:
             "layouts": _as_list(layouts),
             "eps": eps,
             "seed": seed,
+            "backend": backend,
         }
         cells = expand_grid(
             algorithms=algorithms, workloads=workloads, machines=machines,
             procs=procs, keys_per_rank=keys_per_rank, layouts=layouts,
-            eps=eps, seed=seed,
+            eps=eps, seed=seed, backend=backend,
         )
         return self.run(cells, grid=grid, progress=progress)
 

@@ -50,10 +50,15 @@ class Scenario:
     eps: float = 0.05
     seed: int = 0
     layout: str = "flat"
+    #: Execution backend (:mod:`repro.runtime` registry name).  Modeled
+    #: metrics are bit-identical across backends; sweeping a non-default
+    #: backend changes only the measured wall-clock provenance.
+    backend: str = "simulated"
 
     def __post_init__(self) -> None:
         from repro.algorithms import REGISTRY
         from repro.machines import get_machine_spec
+        from repro.runtime import BACKENDS
         from repro.workloads import WORKLOADS
 
         if self.algorithm not in REGISTRY:
@@ -71,6 +76,11 @@ class Scenario:
             raise ConfigError(
                 f"unknown layout {self.layout!r}; choose from {list(LAYOUTS)}"
             )
+        if self.backend not in BACKENDS:
+            raise ConfigError(
+                f"unknown backend {self.backend!r}; "
+                f"choose from {sorted(BACKENDS)}"
+            )
         if self.procs < 1:
             raise ConfigError(f"procs must be >= 1, got {self.procs}")
         if self.keys_per_rank < 1:
@@ -81,11 +91,19 @@ class Scenario:
     # ------------------------------------------------------------------ #
     @property
     def name(self) -> str:
-        """Stable cell key: ``workload/algorithm@machine/layout/pN``."""
-        return (
+        """Stable cell key: ``workload/algorithm@machine/layout/pN``.
+
+        A non-default backend is appended (``.../pN/process``) so mixed
+        sweeps stay unambiguous; default-backend names are unchanged from
+        pre-runtime documents.
+        """
+        base = (
             f"{self.workload}/{self.algorithm}@{self.machine}/"
             f"{self.layout}/p{self.procs}"
         )
+        if self.backend != "simulated":
+            return f"{base}/{self.backend}"
+        return base
 
     def resolved_machine(self):
         """The executable machine model this cell prices against."""
@@ -113,7 +131,11 @@ class Scenario:
             eps=self.eps, seed=self.seed
         )
         run = Sorter(
-            self.algorithm, machine=machine, config=config, verify=False
+            self.algorithm,
+            machine=machine,
+            config=config,
+            backend=self.backend,
+            verify=False,
         ).run(dataset)
         metrics: dict[str, Any] = {
             "makespan_s": run.makespan,

@@ -1,0 +1,52 @@
+"""repro.runtime — pluggable execution backends for SPMD rank programs.
+
+*How* a rank program executes is a strategy, not a fact of the system:
+the lockstep single-process simulator (:class:`SimulatedBackend`, the
+default — and byte-for-byte the historical execution path) and the
+real-core :class:`ProcessBackend` both implement the :class:`Backend`
+contract, resolve every collective through the one shared
+:class:`~repro.bsp.engine.SuperstepResolver`, and therefore agree
+bit-for-bit on sorted outputs, ``CommStats`` and modeled times.  What
+differs is the wall-clock: the process backend runs the compute between
+collectives concurrently on real cores and reports it in the
+:class:`Measured` block (``result.measured``).
+
+Select a backend anywhere the system runs programs::
+
+    Sorter("hss", backend="process").run(dataset)
+    ExperimentRunner().sweep(..., backend="process")
+    repro sort --backend process --workers 4
+    repro backends                      # list this registry
+
+Examples
+--------
+>>> from repro.runtime import BACKENDS, resolve_backend
+>>> sorted(BACKENDS)
+['process', 'simulated']
+>>> resolve_backend(None).name          # the default
+'simulated'
+"""
+
+from repro.runtime.base import (
+    BACKENDS,
+    Backend,
+    Measured,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
+from repro.runtime.process import ProcessBackend
+from repro.runtime.simulated import SimulatedBackend
+
+__all__ = [
+    "BACKENDS",
+    "Backend",
+    "Measured",
+    "SimulatedBackend",
+    "ProcessBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+]

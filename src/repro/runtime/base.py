@@ -1,0 +1,211 @@
+"""The execution-backend abstraction and its plugin registry.
+
+A :class:`Backend` answers one question the rest of the system never has
+to ask again: *how* does an SPMD rank program execute?  The lockstep
+single-process simulator (:class:`~repro.runtime.SimulatedBackend`, the
+default) and the real-core process backend
+(:class:`~repro.runtime.ProcessBackend`) both implement the same
+``run(program, rank_args, ...) -> RunResult`` contract, and both resolve
+every collective through the one shared
+:class:`~repro.bsp.engine.SuperstepResolver` — so sorted outputs, comm
+stats and modeled times are bit-identical across backends while wall-clock
+behaviour differs.
+
+The registry mirrors :mod:`repro.algorithms.registry` and
+:mod:`repro.machines.registry`: backends self-register at import via
+:func:`register_backend`, and ``Sorter``, ``repro sort --backend``, the
+experiment sweeps and the bench suites resolve them through this one
+mapping.
+
+Examples
+--------
+>>> from repro.runtime import available_backends, get_backend
+>>> available_backends()
+['process', 'simulated']
+>>> get_backend("simulated").name
+'simulated'
+>>> get_backend("process", workers=2).workers
+2
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.bsp.engine import Program, RunResult
+from repro.bsp.machine import MachineModel
+from repro.bsp.node import NodeLayout
+from repro.errors import ConfigError
+
+__all__ = [
+    "Measured",
+    "Backend",
+    "BACKENDS",
+    "register_backend",
+    "get_backend",
+    "resolve_backend",
+    "available_backends",
+]
+
+
+@dataclass(frozen=True)
+class Measured:
+    """Real wall-clock measurements of one backend run.
+
+    The *modeled* timing (:class:`~repro.bsp.trace.Trace`,
+    ``RunResult.makespan``) is a deterministic function of the simulated
+    machine and is bit-identical across backends; this block records what
+    the host actually did — the measured side of the measured-vs-modeled
+    calibration story (see ``examples/measured_vs_modeled.py``).
+
+    Phase attribution follows the programs' own ``ctx.phase(...)`` labels,
+    so measured entries line up with the modeled phase breakdown.  Times
+    spent blocked at collectives are kept separate (``rank_comm_wait_s``)
+    rather than smeared into compute phases.
+    """
+
+    #: Which backend produced the run (registry name).
+    backend: str
+    #: Worker processes that actually executed ranks (1 for the simulator).
+    workers: int
+    #: End-to-end wall-clock of the run, including worker startup.
+    wall_s: float
+    #: Per-rank wall-clock spent advancing the rank program (sum of its
+    #: compute segments, excluding collective waits).  Empty when the
+    #: backend does not instrument ranks (the simulator).
+    rank_compute_s: tuple[float, ...] = ()
+    #: Per-rank wall-clock spent blocked waiting on collective resolution.
+    rank_comm_wait_s: tuple[float, ...] = ()
+    #: Per-phase compute wall-clock, max over ranks (the BSP critical-path
+    #: convention, matching the modeled breakdown's aggregation).
+    phase_wall_s: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def compute_s(self) -> float:
+        """Critical-path compute wall-clock (max over ranks)."""
+        return max(self.rank_compute_s, default=0.0)
+
+    @property
+    def comm_wait_s(self) -> float:
+        """Critical-path collective-wait wall-clock (max over ranks)."""
+        return max(self.rank_comm_wait_s, default=0.0)
+
+
+class Backend(ABC):
+    """One strategy for executing an SPMD rank program.
+
+    Subclasses set :attr:`name`/:attr:`description` class attributes and
+    implement :meth:`run`.  All backends accept a ``workers`` option — the
+    number of OS processes the backend may use (the simulator always uses
+    one and ignores higher requests; the process backend multiplexes
+    ranks over that many workers).
+    """
+
+    #: Registry key (``Sorter(backend=...)``, ``repro sort --backend``).
+    name: str = ""
+    #: One-line human description (shown by ``repro backends``).
+    description: str = ""
+
+    def __init__(self, workers: int | None = None) -> None:
+        if workers is not None and workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+
+    @abstractmethod
+    def run(
+        self,
+        program: Program,
+        rank_args: Sequence[tuple],
+        *,
+        machine: MachineModel | None = None,
+        node_layout: NodeLayout | None = None,
+        **shared_kwargs: Any,
+    ) -> RunResult:
+        """Execute ``program`` on ``len(rank_args)`` ranks.
+
+        Parameters mirror :meth:`repro.bsp.engine.BSPEngine.run` with the
+        rank count implied by ``rank_args`` (one positional-argument tuple
+        per rank).  Returns a :class:`~repro.bsp.engine.RunResult` whose
+        modeled fields (returns, trace, stats, makespan) are bit-identical
+        across backends and whose :attr:`~repro.bsp.engine.RunResult.measured`
+        block carries this backend's wall-clock observations.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+#: name -> :class:`Backend` subclass, populated at import time by the
+#: built-in backends (plus any third-party plugins).
+BACKENDS: dict[str, type[Backend]] = {}
+
+
+def register_backend(cls: type[Backend]) -> type[Backend]:
+    """Class decorator registering an execution backend.
+
+    ::
+
+        @register_backend
+        class MPIBackend(Backend):
+            name = "mpi"
+            description = "one MPI rank per program rank"
+            ...
+    """
+    if not (isinstance(cls, type) and issubclass(cls, Backend)):
+        raise ConfigError(
+            f"register_backend needs a Backend subclass, got {cls!r}"
+        )
+    if not cls.name:
+        raise ConfigError(f"backend class {cls.__name__} must set a name")
+    if not cls.description:
+        raise ConfigError(f"backend {cls.name!r} must set a description")
+    existing = BACKENDS.get(cls.name)
+    if existing is not None and existing is not cls:
+        raise ConfigError(f"backend {cls.name!r} is already registered")
+    BACKENDS[cls.name] = cls
+    return cls
+
+
+def get_backend(name: str, **options: Any) -> Backend:
+    """Instantiate a registered backend by name (e.g. ``workers=4``)."""
+    try:
+        cls = BACKENDS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown backend {name!r}; choose from {available_backends()}"
+        ) from None
+    return cls(**options)
+
+
+def resolve_backend(
+    backend: str | Backend | None, **options: Any
+) -> Backend:
+    """Coerce any backend reference to a :class:`Backend` instance.
+
+    The uniform front door used by ``Sorter``, the CLI and the sweep
+    runner: a registry name, an already-built instance, or ``None`` for
+    the default (simulated) backend.  ``options`` apply to names only —
+    passing them with a pre-built instance is an error.
+    """
+    if backend is None:
+        backend = "simulated"
+    if isinstance(backend, str):
+        return get_backend(backend, **options)
+    if isinstance(backend, Backend):
+        if options:
+            raise ConfigError(
+                "backend options apply to registry names; configure a "
+                "pre-built Backend instance at construction instead"
+            )
+        return backend
+    raise ConfigError(
+        f"cannot resolve a backend from {type(backend).__name__}; pass a "
+        f"registered name or a Backend instance"
+    )
+
+
+def available_backends() -> list[str]:
+    """Registered backend names, sorted."""
+    return sorted(BACKENDS)

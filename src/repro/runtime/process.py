@@ -1,0 +1,458 @@
+"""Real-core execution: one worker process per rank, a deterministic broker.
+
+``ProcessBackend`` launches OS worker processes (one per rank, or fewer
+with rank multiplexing when ``workers`` is below the rank count), ships
+the per-rank input arrays through one shared-memory segment
+(:mod:`repro.runtime.shm`), and services the programs' yielded collective
+requests through a broker loop in the parent process.
+
+The broker is deliberately thin: it collects one
+:class:`~repro.bsp.engine.RankYield` per active rank each sweep and hands
+them to the same :class:`~repro.bsp.engine.SuperstepResolver` the lockstep
+simulator drives.  Sorted outputs, ``CommStats`` byte/message counts,
+modeled makespans and SPMD-violation errors are therefore bit-identical to
+:class:`~repro.runtime.SimulatedBackend` — only *wall-clock* changes,
+because the compute between collectives now runs concurrently on real
+cores.  Workers time their compute segments per program phase and their
+collective waits; the aggregated :class:`~repro.runtime.Measured` block
+lands on the returned result.
+
+Determinism: collective resolution happens only in the broker, from a
+complete sweep, in rank order — worker scheduling can reorder nothing
+observable.  A run is the same pure function of its inputs as under the
+simulator.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import time
+import traceback
+from multiprocessing import shared_memory
+from typing import Any, Sequence
+
+from repro.bsp.cost_model import CostModel
+from repro.bsp.engine import (
+    Context,
+    Program,
+    RankYield,
+    RunResult,
+    SuperstepResolver,
+    _Call,
+    _PhaseScope,
+    default_node_layout,
+)
+from repro.bsp.machine import MachineModel
+from repro.bsp.node import NodeLayout
+from repro.errors import BSPError
+from repro.runtime.base import Backend, Measured, register_backend
+from repro.runtime.shm import pack_rank_args, unpack_rank_args
+
+__all__ = ["ProcessBackend"]
+
+_NOT_A_GENERATOR = (
+    "program must be a generator function (use 'yield from' "
+    "for collectives); got a plain function"
+)
+
+
+def _mp_context():
+    """Fork when the platform has it (cheap startup), spawn otherwise."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def _assign_ranks(nprocs: int, workers: int) -> list[list[int]]:
+    """Contiguous balanced rank blocks, one per worker.
+
+    Contiguity keeps a node's ranks on one worker under the block-wise
+    :class:`~repro.bsp.node.NodeLayout`, so node-scoped collectives of
+    co-located ranks need no cross-worker traffic beyond the broker
+    round-trip every collective already pays.
+    """
+    base, extra = divmod(nprocs, workers)
+    blocks: list[list[int]] = []
+    start = 0
+    for i in range(workers):
+        size = base + (1 if i < extra else 0)
+        if size:
+            blocks.append(list(range(start, start + size)))
+        start += size
+    return blocks
+
+
+class _WorkerEngineStub:
+    """Quacks like ``BSPEngine`` for :class:`Context` (no run loop)."""
+
+    __slots__ = ("nprocs", "machine", "node_layout")
+
+    def __init__(
+        self,
+        nprocs: int,
+        machine: MachineModel,
+        node_layout: NodeLayout | None,
+    ) -> None:
+        self.nprocs = nprocs
+        self.machine = machine
+        self.node_layout = node_layout
+
+
+class _TimedPhaseScope(_PhaseScope):
+    """Phase scope that also splits the running wall-clock segment.
+
+    Phase bookkeeping is inherited from the engine's scope — the modeled
+    and measured attribution can never disagree about *which* phase is
+    active; this subclass only closes the timing segment at each
+    transition.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_PhaseScope":
+        self._ctx._seg_mark()
+        return super().__enter__()
+
+    def __exit__(self, *exc: object) -> None:
+        self._ctx._seg_mark()
+        super().__exit__(*exc)
+
+
+class _TimedContext(Context):
+    """A :class:`Context` that also measures real per-phase compute time.
+
+    Cost *charging* (the modeled clock) is inherited unchanged — modeled
+    results stay bit-identical to the simulator.  On top of it, the worker
+    loop opens a wall-clock segment before resuming the rank's generator
+    and closes it at the next yield; phase scopes split the segment, so
+    measured time lands on the same phase labels as the modeled breakdown.
+    """
+
+    def __init__(self, stub: _WorkerEngineStub, rank: int) -> None:
+        super().__init__(stub, rank)  # type: ignore[arg-type]
+        self.wall_by_phase: dict[str, float] = {}
+        self.comm_wait_s = 0.0
+        self._seg_start: float | None = None
+
+    def _seg_open(self) -> None:
+        self._seg_start = time.perf_counter()
+
+    def _seg_mark(self) -> None:
+        now = time.perf_counter()
+        if self._seg_start is not None:
+            self.wall_by_phase[self._phase] = (
+                self.wall_by_phase.get(self._phase, 0.0)
+                + (now - self._seg_start)
+            )
+        self._seg_start = now
+
+    def _seg_close(self) -> None:
+        self._seg_mark()
+        self._seg_start = None
+
+    def phase(self, name: str) -> _TimedPhaseScope:
+        return _TimedPhaseScope(self, name)
+
+
+def _raise_message(rank: int, exc: BaseException) -> tuple:
+    """Package an exception for the broker, surviving unpicklable ones."""
+    payload: BaseException | None
+    try:
+        pickle.dumps(exc)
+        payload = exc
+    except Exception:
+        payload = None
+    text = "".join(
+        traceback.format_exception_only(type(exc), exc)
+    ).strip()
+    return ("raise", rank, payload, text)
+
+
+def _worker_main(
+    conn,
+    shm_name: str | None,
+    ranks: Sequence[int],
+    packed_args: Sequence[tuple],
+    program: Program,
+    shared_kwargs: dict[str, Any],
+    nprocs: int,
+    machine: MachineModel,
+    node_layout: NodeLayout | None,
+    unregister_shm: bool = False,
+) -> None:
+    """Run this worker's ranks, forwarding every collective to the broker."""
+    try:
+        shm = None
+        if shm_name is not None:
+            shm = shared_memory.SharedMemory(name=shm_name)
+            if unregister_shm:
+                # Spawned workers run their own resource tracker, which
+                # would unlink the parent-owned segment when this process
+                # exits; drop the attach-time registration.  (Forked
+                # workers share the parent's tracker, whose registry is a
+                # set — the parent's own unlink handles it.)
+                try:
+                    from multiprocessing import resource_tracker
+
+                    resource_tracker.unregister(shm._name, "shared_memory")
+                except Exception:
+                    pass
+        try:
+            args = unpack_rank_args(shm, packed_args)
+        finally:
+            if shm is not None:
+                shm.close()
+
+        stub = _WorkerEngineStub(nprocs, machine, node_layout)
+        ctxs: dict[int, _TimedContext] = {}
+        gens: dict[int, Any] = {}
+        for rank, rank_args in zip(ranks, args):
+            ctx = _TimedContext(stub, rank)
+            gen = program(ctx, *rank_args, **shared_kwargs)
+            if not hasattr(gen, "send"):
+                conn.send([_raise_message(rank, BSPError(_NOT_A_GENERATOR))])
+                return
+            ctxs[rank] = ctx
+            gens[rank] = gen
+
+        resume: dict[int, Any] = {r: None for r in ranks}
+        active = list(ranks)
+        while active:
+            batch: list[tuple] = []
+            waiting: list[int] = []
+            for r in active:
+                ctx = ctxs[r]
+                ctx._seg_open()
+                try:
+                    request = gens[r].send(resume[r])
+                except StopIteration as stop:
+                    ctx._seg_close()
+                    pending, by_phase = ctx._drain_compute()
+                    batch.append(
+                        (
+                            "done",
+                            r,
+                            stop.value,
+                            ctx._phase,
+                            pending,
+                            by_phase,
+                            ctx.wall_by_phase,
+                            ctx.comm_wait_s,
+                        )
+                    )
+                    continue
+                except BaseException as exc:
+                    ctx._seg_close()
+                    batch.append(_raise_message(r, exc))
+                    conn.send(batch)
+                    return
+                ctx._seg_close()
+                if not isinstance(request, _Call):
+                    batch.append(
+                        _raise_message(
+                            r,
+                            BSPError(
+                                f"rank {r} yielded "
+                                f"{type(request).__name__}; programs must "
+                                "only 'yield from' Context collectives"
+                            ),
+                        )
+                    )
+                    conn.send(batch)
+                    return
+                pending, by_phase = ctx._drain_compute()
+                batch.append(("call", r, request, ctx._phase, pending, by_phase))
+                waiting.append(r)
+                resume[r] = None
+            conn.send(batch)
+            if not waiting:
+                return
+            wait_start = time.perf_counter()
+            results = conn.recv()  # {rank: resume value}; EOF = shutdown
+            waited = time.perf_counter() - wait_start
+            for r in waiting:
+                ctxs[r].comm_wait_s += waited
+            for r, value in results.items():
+                resume[r] = value
+            active = waiting
+    except (EOFError, BrokenPipeError, KeyboardInterrupt):
+        # Broker went away (error elsewhere): exit quietly.
+        pass
+    finally:
+        conn.close()
+
+
+@register_backend
+class ProcessBackend(Backend):
+    """Execute ranks in real worker processes; measure real wall-clock.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes to multiplex ranks over; defaults to
+        ``min(nprocs, os.cpu_count())``.  Each worker advances its ranks'
+        generators between collective rendezvous concurrently with every
+        other worker, which is where the wall-clock speedup over the
+        lockstep simulator comes from.
+    """
+
+    name = "process"
+    description = (
+        "one worker process per rank (multiplexed over N workers); "
+        "real cores, measured wall-clock, bit-identical modeled results"
+    )
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        program: Program,
+        rank_args: Sequence[tuple],
+        *,
+        machine: MachineModel | None = None,
+        node_layout: NodeLayout | None = None,
+        **shared_kwargs: Any,
+    ) -> RunResult:
+        p = len(rank_args)
+        if p < 1:
+            raise BSPError(f"need at least one rank, got {p}")
+        if machine is None:
+            from repro.machines import get_machine
+
+            machine = get_machine("laptop")
+        layout = default_node_layout(machine, p, node_layout)
+        nworkers = min(self.workers or os.cpu_count() or 1, p)
+        start = time.perf_counter()
+
+        assignment = _assign_ranks(p, nworkers)
+        shm, packed = pack_rank_args(rank_args)
+        mp = _mp_context()
+        resolver = SuperstepResolver(CostModel(machine, p, layout), layout, p)
+        returns: list[Any] = [None] * p
+        #: rank -> (final phase, pending, by_phase, wall_by_phase, comm_wait)
+        final: dict[int, tuple] = {}
+        finished: list[int] = []
+        procs: list[Any] = []
+        conns: list[Any] = []
+        try:
+            for ranks in assignment:
+                parent_conn, child_conn = mp.Pipe()
+                proc = mp.Process(
+                    target=_worker_main,
+                    args=(
+                        child_conn,
+                        shm.name if shm is not None else None,
+                        ranks,
+                        [packed[r] for r in ranks],
+                        program,
+                        shared_kwargs,
+                        p,
+                        machine,
+                        layout,
+                        mp.get_start_method() != "fork",
+                    ),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                procs.append(proc)
+                conns.append(parent_conn)
+
+            live: dict[int, set[int]] = {
+                i: set(ranks) for i, ranks in enumerate(assignment)
+            }
+            while any(live.values()):
+                yields: dict[int, RankYield] = {}
+                for i in sorted(live):
+                    if not live[i]:
+                        continue
+                    try:
+                        batch = conns[i].recv()
+                    except EOFError:
+                        raise BSPError(
+                            f"worker {i} exited unexpectedly while ranks "
+                            f"{sorted(live[i])[:4]} were still running"
+                        ) from None
+                    for msg in batch:
+                        kind = msg[0]
+                        if kind == "call":
+                            _, r, call, phase, pending, by_phase = msg
+                            yields[r] = RankYield(call, phase, pending, by_phase)
+                        elif kind == "done":
+                            (
+                                _,
+                                r,
+                                value,
+                                phase,
+                                pending,
+                                by_phase,
+                                wall_by_phase,
+                                comm_wait,
+                            ) = msg
+                            returns[r] = value
+                            finished.append(r)
+                            final[r] = (
+                                phase,
+                                pending,
+                                by_phase,
+                                wall_by_phase,
+                                comm_wait,
+                            )
+                            live[i].discard(r)
+                        else:  # "raise": a rank program failed in a worker
+                            _, r, exc, text = msg
+                            if exc is None:
+                                exc = BSPError(f"rank {r} raised: {text}")
+                            raise exc
+                if not yields:
+                    break
+                results = resolver.resolve_sweep(yields, finished)
+                for i in sorted(live):
+                    mine = {r: results[r] for r in live[i]}
+                    if mine:
+                        conns[i].send(mine)
+
+            resolver.record_final(
+                [(final[r][1], final[r][2]) for r in range(p)],
+                fallback_phase=final[0][0],
+            )
+            result = resolver.result(returns)
+            result.measured = self._measured(final, p, nworkers, start)
+            return result
+        finally:
+            for conn in conns:
+                conn.close()
+            for proc in procs:
+                proc.join(timeout=5)
+                if proc.is_alive():  # pragma: no cover - defensive
+                    proc.terminate()
+                    proc.join()
+            if shm is not None:
+                shm.close()
+                try:
+                    shm.unlink()
+                except FileNotFoundError:  # pragma: no cover - defensive
+                    pass
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _measured(
+        final: dict[int, tuple], p: int, workers: int, start: float
+    ) -> Measured:
+        phase_wall: dict[str, float] = {}
+        for r in range(p):
+            for phase, seconds in final[r][3].items():
+                if seconds > phase_wall.get(phase, 0.0):
+                    phase_wall[phase] = seconds
+        return Measured(
+            backend=ProcessBackend.name,
+            workers=workers,
+            wall_s=time.perf_counter() - start,
+            rank_compute_s=tuple(
+                sum(final[r][3].values()) for r in range(p)
+            ),
+            rank_comm_wait_s=tuple(final[r][4] for r in range(p)),
+            phase_wall_s=phase_wall,
+        )

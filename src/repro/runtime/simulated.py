@@ -1,0 +1,52 @@
+"""The lockstep simulator as a registered backend (the default).
+
+A thin adapter over :class:`repro.bsp.engine.BSPEngine`: every rank runs
+as a generator in the calling process, collectives rendezvous in lockstep,
+and time is *modeled* against the simulated machine.  This is byte-for-byte
+the execution path the codebase has always used — ``Sorter`` without a
+``backend=`` argument, every bench suite, and every committed baseline go
+through it unchanged.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Sequence
+
+from repro.bsp.engine import BSPEngine, Program, RunResult
+from repro.bsp.machine import MachineModel
+from repro.bsp.node import NodeLayout
+from repro.runtime.base import Backend, Measured, register_backend
+
+__all__ = ["SimulatedBackend"]
+
+
+@register_backend
+class SimulatedBackend(Backend):
+    """Run every rank in-process on the lockstep BSP simulator."""
+
+    name = "simulated"
+    description = (
+        "lockstep single-process BSP simulator; time is modeled (default)"
+    )
+
+    def run(
+        self,
+        program: Program,
+        rank_args: Sequence[tuple],
+        *,
+        machine: MachineModel | None = None,
+        node_layout: NodeLayout | None = None,
+        **shared_kwargs: Any,
+    ) -> RunResult:
+        engine = BSPEngine(
+            len(rank_args), machine=machine, node_layout=node_layout
+        )
+        start = time.perf_counter()
+        result = engine.run(program, rank_args=rank_args, **shared_kwargs)
+        result.measured = Measured(
+            backend=self.name,
+            workers=1,
+            wall_s=time.perf_counter() - start,
+        )
+        return result

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["sorted_unique"]
+__all__ = ["sorted_unique", "sorted_unique_pairs"]
 
 
 def sorted_unique(values: np.ndarray) -> np.ndarray:
@@ -14,11 +14,44 @@ def sorted_unique(values: np.ndarray) -> np.ndarray:
     sort for the million-element integer draws the sampling hot paths
     produce (~50x measured on numpy 2.4); callers only ever need the
     sorted-set semantics, so use the cheap construction.
+
+    Handles structured dtypes too (the §4.3 tagged probe arrays): the
+    sort is lexicographic by field, matching ``np.unique``; only the
+    adjacent comparison needs the operator form (the ``not_equal`` ufunc
+    rejects void dtypes).
     """
     if len(values) <= 1:
         return values.copy()
     ordered = np.sort(values)
     mask = np.empty(len(ordered), dtype=bool)
     mask[0] = True
-    np.not_equal(ordered[1:], ordered[:-1], out=mask[1:])
+    if ordered.dtype.names is not None:
+        mask[1:] = ordered[1:] != ordered[:-1]
+    else:
+        np.not_equal(ordered[1:], ordered[:-1], out=mask[1:])
     return ordered[mask]
+
+
+def sorted_unique_pairs(
+    lo: np.ndarray, hi: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Unique ``(lo, hi)`` pairs with multiplicities, sorted lexicographically.
+
+    Equivalent to ``np.unique(np.column_stack((lo, hi)), axis=0,
+    return_counts=True)`` — which stacks, void-views and hash-buckets —
+    but built from one ``lexsort`` plus an adjacent-diff scan, the same
+    construction as :func:`sorted_unique`.  Returns ``(lo_u, hi_u,
+    counts)`` as three aligned arrays.
+    """
+    if len(lo) == 0:
+        return lo.copy(), hi.copy(), np.zeros(0, dtype=np.int64)
+    order = np.lexsort((hi, lo))  # last key is primary: lo, then hi
+    lo_s, hi_s = lo[order], hi[order]
+    new = np.empty(len(lo_s), dtype=bool)
+    new[0] = True
+    np.logical_or(
+        lo_s[1:] != lo_s[:-1], hi_s[1:] != hi_s[:-1], out=new[1:]
+    )
+    starts = np.flatnonzero(new)
+    counts = np.diff(np.append(starts, len(lo_s))).astype(np.int64)
+    return lo_s[starts], hi_s[starts], counts

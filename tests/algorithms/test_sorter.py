@@ -140,3 +140,36 @@ class TestUniformStatsExtraction:
         # Histogram sort has stats — just not SplitterStats.
         assert histogram.splitter_stats is None
         assert histogram.stats is not None
+
+
+class TestBackendSelection:
+    def test_default_backend_is_simulated(self):
+        run = Sorter("hss", eps=0.2).run(
+            Dataset.from_workload("uniform", p=4, n_per=200, seed=0)
+        )
+        assert run.backend == "simulated"
+        assert run.measured is not None
+        assert run.measured.backend == "simulated"
+
+    def test_backend_by_name_and_instance(self):
+        from repro.runtime import ProcessBackend
+
+        ds = Dataset.from_workload("uniform", p=4, n_per=200, seed=0)
+        by_name = Sorter("hss", eps=0.2, backend="process").run(ds)
+        by_instance = Sorter(
+            "hss", eps=0.2, backend=ProcessBackend(workers=2)
+        ).run(ds)
+        assert by_name.backend == by_instance.backend == "process"
+        for a, b in zip(by_name.shards, by_instance.shards):
+            np.testing.assert_array_equal(a, b)
+
+    def test_unknown_backend_is_config_error(self):
+        with pytest.raises(ConfigError, match="unknown backend"):
+            Sorter("hss", backend="quantum")
+
+    def test_verification_applies_on_process_backend(self):
+        # verify=True runs the standard output checks regardless of the
+        # executing backend.
+        ds = Dataset.from_workload("uniform", p=4, n_per=200, seed=1)
+        run = Sorter("hss", eps=0.2, backend="process", verify=True).run(ds)
+        verify_sorted_output(ds.shards, run.shards, 0.2)

@@ -96,3 +96,22 @@ class TestResolution:
     def test_override_applies(self):
         params = get_suite("table_5_1").params_for("quick", {"procs": 1000})
         assert params["procs"] == 1000
+
+    def test_runtime_param_absent_unless_overridden(self):
+        # The backend knob must not leak into default params — committed
+        # baselines are byte-identical to a registry that never heard of
+        # runtime params.
+        suite = get_suite("shootout")
+        assert "backend" in suite.runtime_params
+        assert "backend" not in suite.params_for("quick")
+
+    def test_runtime_param_override_accepted(self):
+        params = get_suite("shootout").params_for(
+            "quick", {"backend": "process"}
+        )
+        assert params["backend"] == "process"
+
+    def test_runtime_param_unknown_elsewhere(self):
+        # Suites that never declared the knob still reject it.
+        with pytest.raises(ConfigError, match="unknown parameter"):
+            get_suite("table_5_1").params_for("quick", {"backend": "process"})

@@ -94,6 +94,48 @@ class TestResolution:
         assert resolve_suites(None, "quick") == resolve_suites(None)
 
 
+class TestGlobResolution:
+    def test_glob_selects_matching_suites(self):
+        assert resolve_suites(["fig_*"]) == [
+            "fig_3_1",
+            "fig_4_1",
+            "fig_6_1",
+            "fig_6_2",
+        ]
+
+    def test_glob_and_exact_names_combine(self):
+        assert resolve_suites(["table_*", "shootout"]) == [
+            "shootout",
+            "table_5_1",
+            "table_6_1",
+        ]
+
+    def test_question_mark_and_charset_patterns(self):
+        assert resolve_suites(["table_?_1"]) == ["table_5_1", "table_6_1"]
+        assert resolve_suites(["fig_[34]_1"]) == ["fig_3_1", "fig_4_1"]
+
+    def test_pattern_matching_nothing_is_an_error(self):
+        with pytest.raises(ConfigError, match="matches no registered"):
+            resolve_suites(["nope_*"])
+
+    def test_glob_narrows_to_tier_defining_matches(self):
+        # 'ablation_*' matches five suites; only some define stress.
+        stress = resolve_suites(["ablation_*"], "stress")
+        assert stress
+        assert all(s.startswith("ablation_") for s in stress)
+        assert set(stress) < set(resolve_suites(["ablation_*"]))
+
+    def test_glob_with_no_tier_matches_is_an_error(self):
+        # fig_6_* matches fig_6_1/fig_6_2, neither of which defines stress.
+        with pytest.raises(ConfigError, match="none define tier 'stress'"):
+            resolve_suites(["fig_6_*"], "stress")
+
+    def test_exact_name_still_rejected_when_tier_missing(self):
+        # Globs narrow silently, but an explicit name stays a hard error.
+        with pytest.raises(ConfigError, match="do not define tier 'stress'"):
+            resolve_suites(["fig_*", "table_5_1"], "stress")
+
+
 class TestParallelRunner:
     def test_invalid_jobs_rejected(self):
         with pytest.raises(ConfigError, match="jobs"):

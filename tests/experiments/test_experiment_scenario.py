@@ -19,6 +19,27 @@ class TestValidation:
         with pytest.raises(ConfigError, match="unknown machine"):
             Scenario(algorithm="hss", workload="uniform", machine="cray-1")
 
+    def test_unknown_backend(self):
+        with pytest.raises(ConfigError, match="unknown backend"):
+            Scenario(algorithm="hss", workload="uniform", backend="quantum")
+
+    def test_backend_default_keeps_historical_name(self):
+        cell = Scenario(algorithm="hss", workload="uniform", procs=4)
+        assert cell.name == "uniform/hss@laptop/flat/p4"
+        assert cell.backend == "simulated"
+
+    def test_non_default_backend_lands_in_name_and_dict(self):
+        cell = Scenario(
+            algorithm="hss", workload="uniform", procs=4, backend="process"
+        )
+        assert cell.name == "uniform/hss@laptop/flat/p4/process"
+        assert Scenario.from_dict(cell.to_dict()) == cell
+
+    def test_old_documents_without_backend_still_load(self):
+        data = Scenario(algorithm="hss", workload="uniform").to_dict()
+        del data["backend"]
+        assert Scenario.from_dict(data).backend == "simulated"
+
     def test_unknown_layout(self):
         with pytest.raises(ConfigError, match="layout"):
             Scenario(algorithm="hss", workload="uniform", layout="spiral")

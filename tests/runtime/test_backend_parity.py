@@ -1,0 +1,193 @@
+"""Backend parity: the process backend must be bit-identical to the simulator.
+
+The backend contract (see :mod:`repro.runtime`) is that *how* ranks execute
+changes nothing observable except wall-clock: sorted shards, payloads,
+splitter choices, per-algorithm stats, ``CommStats`` byte/message counts and
+the modeled makespan all match exactly.  These tests run every registered
+algorithm on a small grid through both backends and compare everything.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.algorithms import REGISTRY, Dataset, Sorter, get_spec
+from repro.bsp.engine import RunResult
+from repro.errors import BSPError, CollectiveMismatchError, DeadlockError
+from repro.runtime import ProcessBackend, SimulatedBackend
+
+P = 4
+N_PER = 300
+WORKLOADS = ("uniform", "staircase")
+
+GRID = [
+    (algorithm, workload)
+    for algorithm in sorted(REGISTRY)
+    for workload in WORKLOADS
+]
+
+
+def _run(algorithm: str, workload: str, backend) -> object:
+    dataset = Dataset.from_workload(workload, p=P, n_per=N_PER, seed=11)
+    # Fixed-round HSS variants guarantee balance only w.h.p.; at this tiny
+    # scale run them best-effort, as the shootout suite does.
+    kwargs = {"strict": False} if algorithm.startswith("hss-") else {}
+    config = get_spec(algorithm).legacy_config(eps=0.2, seed=3, **kwargs)
+    return Sorter(
+        algorithm, config=config, backend=backend, verify=False
+    ).run(dataset)
+
+
+def _assert_stats_equal(a, b) -> None:
+    """Field-wise stats comparison (ndarray fields need array_equal)."""
+    assert type(a) is type(b)
+    if a is None:
+        return
+    assert dataclasses.is_dataclass(a), a
+    for field in dataclasses.fields(a):
+        lhs = getattr(a, field.name)
+        rhs = getattr(b, field.name)
+        if isinstance(lhs, np.ndarray):
+            # Splitter choices, bucket maps, ... must match exactly.
+            np.testing.assert_array_equal(lhs, rhs, err_msg=field.name)
+        else:
+            assert lhs == rhs, f"{field.name}: {lhs!r} != {rhs!r}"
+
+
+@pytest.mark.parametrize(
+    "algorithm,workload", GRID, ids=[f"{a}-{w}" for a, w in GRID]
+)
+def test_process_backend_bit_identical(algorithm, workload):
+    sim = _run(algorithm, workload, SimulatedBackend())
+    proc = _run(algorithm, workload, ProcessBackend(workers=2))
+
+    for rank, (a, b) in enumerate(zip(sim.shards, proc.shards)):
+        np.testing.assert_array_equal(a, b, err_msg=f"rank {rank} shard")
+    assert sim.engine_result.stats == proc.engine_result.stats
+    assert sim.makespan == proc.makespan
+    for a, b in zip(sim.rank_stats, proc.rank_stats):
+        _assert_stats_equal(a, b)
+    assert sim.backend == "simulated" and proc.backend == "process"
+    # Measured blocks differ by design: the process backend instruments
+    # ranks, the simulator reports only the total wall.
+    assert proc.measured.workers == 2
+    assert proc.measured.wall_s > 0.0
+    assert len(proc.measured.rank_compute_s) == P
+
+
+def test_payload_round_trip_identical():
+    dataset = Dataset.from_workload(
+        "uniform", p=P, n_per=N_PER, seed=1
+    ).with_index_payloads()
+    runs = [
+        Sorter(
+            "hss", eps=0.2, seed=3, backend=backend, verify=False
+        ).run(dataset)
+        for backend in (SimulatedBackend(), ProcessBackend(workers=2))
+    ]
+    flat = np.concatenate(dataset.shards)
+    for sim_keys, sim_pay, proc_pay in zip(
+        runs[0].shards, runs[0].payloads, runs[1].payloads
+    ):
+        np.testing.assert_array_equal(sim_pay, proc_pay)
+        np.testing.assert_array_equal(flat[proc_pay], sim_keys)
+
+
+@pytest.mark.parametrize("workers", [1, 3, 4])
+def test_worker_multiplexing_is_invisible(workers):
+    baseline = _run("hss", "uniform", SimulatedBackend())
+    run = _run("hss", "uniform", ProcessBackend(workers=workers))
+    for a, b in zip(baseline.shards, run.shards):
+        np.testing.assert_array_equal(a, b)
+    assert baseline.engine_result.stats == run.engine_result.stats
+    assert run.measured.workers == min(workers, P)
+
+
+# --------------------------------------------------------------------- #
+# Error parity: SPMD violations surface identically from both backends. #
+# --------------------------------------------------------------------- #
+def _mismatch_program(ctx, keys):
+    if ctx.rank == 0:
+        yield from ctx.bcast(1, root=0)
+    else:
+        yield from ctx.gather(1, root=0)
+    return keys
+
+
+def _early_return_program(ctx, keys):
+    if ctx.rank == 0:
+        return keys
+    yield from ctx.barrier()
+    yield from ctx.barrier()
+    return keys
+
+
+def _bad_yield_program(ctx, keys):
+    yield "not a collective"
+    return keys
+
+
+def _plain_function(ctx, keys):
+    return keys
+
+
+def _rank_args():
+    return [(np.arange(10),) for _ in range(P)]
+
+
+def _both_raise(program, exc_type):
+    """Run on both backends; return the two exception messages."""
+    messages = []
+    for backend in (SimulatedBackend(), ProcessBackend(workers=2)):
+        with pytest.raises(exc_type) as info:
+            backend.run(program, _rank_args())
+        messages.append(str(info.value))
+    return messages
+
+
+def test_collective_mismatch_identical():
+    sim_msg, proc_msg = _both_raise(
+        _mismatch_program, CollectiveMismatchError
+    )
+    assert sim_msg == proc_msg
+    assert "bcast" in sim_msg and "gather" in sim_msg
+
+
+def test_deadlock_identical():
+    sim_msg, proc_msg = _both_raise(_early_return_program, DeadlockError)
+    assert sim_msg == proc_msg
+    assert "not SPMD" in sim_msg
+
+
+def test_bad_yield_identical():
+    sim_msg, proc_msg = _both_raise(_bad_yield_program, BSPError)
+    assert sim_msg == proc_msg
+    assert "yield from" in sim_msg
+
+
+def test_plain_function_identical():
+    sim_msg, proc_msg = _both_raise(_plain_function, BSPError)
+    assert sim_msg == proc_msg
+    assert "generator function" in sim_msg
+
+
+def test_program_exception_propagates():
+    def _raises(ctx, keys):
+        yield from ctx.barrier()
+        raise ValueError("rank blew up")
+
+    for backend in (SimulatedBackend(), ProcessBackend(workers=2)):
+        with pytest.raises(ValueError, match="rank blew up"):
+            backend.run(_raises, _rank_args())
+
+
+def test_process_backend_returns_runresult_with_measured():
+    def _noop(ctx, keys):
+        yield from ctx.barrier()
+        return int(keys.sum())
+
+    result = ProcessBackend(workers=2).run(_noop, _rank_args())
+    assert isinstance(result, RunResult)
+    assert result.returns == [int(np.arange(10).sum())] * P
+    assert result.measured.backend == "process"

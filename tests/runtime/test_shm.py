@@ -1,0 +1,73 @@
+"""Tests for the shared-memory rank-args transport."""
+
+import numpy as np
+
+from repro.runtime.shm import ArrayRef, pack_rank_args, unpack_rank_args
+
+TAGGED = np.dtype([("key", "<i8"), ("pe", "<i8")])
+
+
+class TestPackUnpack:
+    def test_round_trip_plain_arrays(self):
+        rng = np.random.default_rng(0)
+        rank_args = [(rng.integers(0, 100, 50),) for _ in range(4)]
+        shm, packed = pack_rank_args(rank_args)
+        try:
+            assert all(
+                isinstance(args[0], ArrayRef) for args in packed
+            )
+            out = unpack_rank_args(shm, packed)
+            for (orig,), (copy,) in zip(rank_args, out):
+                np.testing.assert_array_equal(orig, copy)
+                assert copy.base is None  # owns its data, not a view
+        finally:
+            if shm is not None:
+                shm.close()
+                shm.unlink()
+
+    def test_mixed_leaves_pass_through(self):
+        keys = np.arange(10)
+        payload = np.arange(10, dtype=np.float64)
+        rank_args = [(keys, payload, "label", 7)]
+        shm, packed = pack_rank_args(rank_args)
+        try:
+            out = unpack_rank_args(shm, packed)
+            np.testing.assert_array_equal(out[0][0], keys)
+            np.testing.assert_array_equal(out[0][1], payload)
+            assert out[0][2] == "label" and out[0][3] == 7
+        finally:
+            if shm is not None:
+                shm.close()
+                shm.unlink()
+
+    def test_no_arrays_means_no_segment(self):
+        shm, packed = pack_rank_args([(1,), (2,)])
+        assert shm is None
+        assert unpack_rank_args(None, packed) == [(1,), (2,)]
+
+    def test_structured_and_empty_arrays(self):
+        tagged = np.zeros(3, dtype=TAGGED)
+        tagged["key"] = [3, 1, 2]
+        empty = np.empty(0, dtype=np.int64)
+        shm, packed = pack_rank_args([(tagged,), (empty,)])
+        try:
+            out = unpack_rank_args(shm, packed)
+            np.testing.assert_array_equal(out[0][0], tagged)
+            assert out[0][0].dtype == TAGGED
+            assert len(out[1][0]) == 0 and out[1][0].dtype == np.int64
+        finally:
+            if shm is not None:
+                shm.close()
+                shm.unlink()
+
+    def test_non_contiguous_input(self):
+        base = np.arange(20)
+        strided = base[::2]
+        shm, packed = pack_rank_args([(strided,)])
+        try:
+            out = unpack_rank_args(shm, packed)
+            np.testing.assert_array_equal(out[0][0], strided)
+        finally:
+            if shm is not None:
+                shm.close()
+                shm.unlink()

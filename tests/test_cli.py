@@ -562,3 +562,132 @@ class TestSweepCommand:
         )
         assert code == 2
         assert "--jobs" in capsys.readouterr().err
+
+
+class TestBackendsCommand:
+    def test_lists_registered_backends(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        assert "simulated" in out and "process" in out
+        assert "(default)" in out
+
+
+class TestBackendFlag:
+    def test_sort_on_process_backend_reports_measured_wall(self, capsys):
+        code = main(
+            ["sort", "-p", "4", "-n", "400", "--backend", "process",
+             "--workers", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "measured wall" in out
+        assert "'process' (2 workers" in out
+        assert "modeled makespan" in out  # both sides of the story
+
+    def test_sort_simulated_prints_no_measured_line(self, capsys):
+        code = main(["sort", "-p", "4", "-n", "400"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "measured wall" not in out
+
+    def test_unknown_backend_exits_2(self, capsys):
+        assert main(["sort", "--backend", "quantum"]) == 2
+        assert "unknown backend" in capsys.readouterr().err
+
+    def test_invalid_workers_exits_2(self, capsys):
+        code = main(["sort", "--backend", "process", "--workers", "0"])
+        assert code == 2
+        assert "workers" in capsys.readouterr().err
+
+    def test_sweep_backend_lands_in_document(self, tmp_path):
+        import json
+
+        out = tmp_path / "experiment.json"
+        code = main(
+            ["sweep", "--algorithms", "hss", "--workloads", "uniform",
+             "-p", "4", "-n", "300", "--backend", "process",
+             "--json", str(out)]
+        )
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert data["grid"]["backend"] == "process"
+        assert all(
+            c["scenario"]["backend"] == "process" for c in data["cells"]
+        )
+
+    def test_sweep_unknown_backend_exits_2(self, capsys):
+        code = main(
+            ["sweep", "--algorithms", "hss", "--workloads", "uniform",
+             "--backend", "quantum"]
+        )
+        assert code == 2
+        assert "unknown backend" in capsys.readouterr().err
+
+
+class TestBenchBackendFlag:
+    def test_backend_override_recorded_in_params(self, tmp_path):
+        import json
+
+        out = tmp_path / "bench.json"
+        code = main(
+            ["bench", "--tier", "quick", "--suite", "ablation_approx",
+             "--backend", "process", "--json", str(out)]
+        )
+        assert code == 0
+        data = json.loads(out.read_text())
+        (suite,) = data["suites"]
+        assert suite["params"]["backend"] == "process"
+
+    def test_unknown_backend_exits_2(self, capsys):
+        code = main(
+            ["bench", "--tier", "quick", "--suite", "shootout",
+             "--backend", "quantum"]
+        )
+        assert code == 2
+        assert "unknown backend" in capsys.readouterr().err
+
+    def test_backend_without_supporting_suite_exits_2(self, capsys):
+        code = main(
+            ["bench", "--tier", "quick", "--suite", "fig_3_1",
+             "--backend", "process"]
+        )
+        assert code == 2
+        assert "runtime param" in capsys.readouterr().err
+
+    def test_backend_rejected_with_candidate(self, tmp_path, capsys):
+        # A real (tiny) document, so rejection is about the flag, not the
+        # file.
+        doc = tmp_path / "doc.json"
+        assert main(
+            ["bench", "--tier", "quick", "--suite", "table_5_1",
+             "--json", str(doc)]
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            ["bench", "--baseline", str(doc),
+             "--candidate", str(doc), "--backend", "process"]
+        )
+        assert code == 2
+        assert "--backend have no effect" in capsys.readouterr().err
+
+
+class TestBenchSuiteGlobs:
+    def test_glob_runs_matching_suites(self, tmp_path):
+        import json
+
+        out = tmp_path / "bench.json"
+        code = main(
+            ["bench", "--tier", "quick", "--suite", "table_*",
+             "--json", str(out)]
+        )
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert [run["suite"] for run in data["suites"]] == [
+            "table_5_1",
+            "table_6_1",
+        ]
+
+    def test_glob_matching_nothing_exits_2(self, capsys):
+        code = main(["bench", "--tier", "quick", "--suite", "nope_*"])
+        assert code == 2
+        assert "matches no registered suite" in capsys.readouterr().err

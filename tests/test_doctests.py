@@ -17,6 +17,8 @@ import repro.machines
 import repro.machines.registry
 import repro.machines.spec
 import repro.machines.topologies
+import repro.runtime
+import repro.runtime.base
 import repro.utils.rng
 
 MODULES = [
@@ -33,6 +35,8 @@ MODULES = [
     repro.machines.registry,
     repro.machines.spec,
     repro.machines.topologies,
+    repro.runtime,
+    repro.runtime.base,
     repro.utils.rng,
 ]
 
