@@ -1,0 +1,34 @@
+"""Record-carrying shootout: payload-capable algorithms on 32-byte records.
+
+The §6.3 ChaNGa use case sorts particles, not bare keys — each row carries
+a 24-byte payload (mass, velocity, id) next to its 8-byte Morton key.
+This suite runs every payload-capable algorithm over the same workloads as
+the key-only shootout, with the full record flowing through the collective
+byte accounting, and pins the record-path invariants: byte counts scale
+with real record width, and the balance contract is unchanged by payload
+weight (splitters are chosen on keys alone).
+"""
+
+from repro.bench.report import render_suite
+
+
+def test_shootout_records(bench_run, emit):
+    run = bench_run("shootout_records")
+    emit("shootout_records", render_suite(run))
+
+    p = run.params["procs"]
+    n_per = run.params["keys_per_rank"]
+    eps = run.params["eps"]
+    record_bytes = run.metric("uniform/hss", "record_bytes")
+    assert record_bytes == 32  # 8-byte key + 24 payload bytes
+    total_record_bytes = p * n_per * record_bytes
+
+    for w in run.params["workloads"]:
+        for name in run.params["algorithms"]:
+            # One-pass algorithms ship the dataset about once as records:
+            # well above the key-only volume, below a multi-pass blowup.
+            moved = run.metric(f"{w}/{name}", "net_bytes")
+            assert moved > total_record_bytes / 2
+            assert moved < 4 * total_record_bytes
+        # Payload weight must not perturb the splitter guarantee.
+        assert run.metric(f"{w}/hss", "imbalance") <= 1 + eps + 1e-9

@@ -27,7 +27,24 @@ from repro.errors import CapabilityError, ConfigError
 from repro.machines import MachineSpec, machine_summary, resolve_machine
 from repro.runtime import Backend, resolve_backend
 
-__all__ = ["Sorter"]
+__all__ = ["Sorter", "payload_capability_message"]
+
+
+def payload_capability_message(name: str) -> str:
+    """The canonical error text for a payload run on a key-only algorithm.
+
+    Shared by :class:`Sorter` and the CLI pre-check so both fail with the
+    same message, naming the algorithms that *do* carry payloads.
+    """
+    from repro.algorithms.registry import REGISTRY
+
+    capable = sorted(n for n, s in REGISTRY.items() if s.supports_payloads)
+    return (
+        f"algorithm {name!r} does not support payloads "
+        f"(AlgorithmSpec.supports_payloads is False); use a "
+        f"payload-capable algorithm ({', '.join(capable)}) or drop "
+        f"the payloads"
+    )
 
 
 class Sorter:
@@ -94,11 +111,7 @@ class Sorter:
     def _check_capabilities(self, dataset: Dataset) -> None:
         spec = self.spec
         if dataset.has_payloads and not spec.supports_payloads:
-            raise CapabilityError(
-                f"algorithm {spec.name!r} does not support payloads "
-                f"(AlgorithmSpec.supports_payloads is False); use one of "
-                f"the payload-capable algorithms or drop the payloads"
-            )
+            raise CapabilityError(payload_capability_message(spec.name))
         if spec.needs_multicore and self.machine.cores_per_node < 2:
             raise CapabilityError(
                 f"{spec.name} needs a multicore machine "
@@ -120,7 +133,7 @@ class Sorter:
         """
         if isinstance(data, Dataset):
             if payloads is not None:
-                data = data.with_payloads(payloads)
+                data = data._with_payload_arrays(payloads)
             dataset = data
         else:
             dataset = Dataset.from_arrays(data, payloads=payloads)
@@ -151,6 +164,7 @@ class Sorter:
             rank_stats=rank_stats,
             machine=machine_summary(self.machine),
             backend=self.backend.name,
+            schema=dataset.record_schema if dataset.has_payloads else None,
         )
 
     @staticmethod

@@ -220,6 +220,135 @@ def _render_shootout(cases: Sequence[CaseResult], params: Mapping[str, Any]) -> 
 
 
 # ===================================================================== #
+# Shootout (records) — payload-capable algorithms carrying 32-byte records.
+# ===================================================================== #
+_RECORD_ALGORITHMS = [
+    "hss",
+    "hss-1round",
+    "hss-2round",
+    "sample-regular",
+    "sample-random",
+    "histogram",
+]
+
+#: 8-byte key + 24 payload bytes = the 32-byte particle record the §6.3
+#: ChaNGa workloads declare.
+_RECORD_SCHEMA = "mass:f8,vx:f4,vy:f4,vz:f4,id:u4"
+
+
+@register(
+    "shootout_records",
+    description="Payload-capable algorithms carrying 32-byte records: "
+    "makespan, bytes, imbalance",
+    kind="shootout",
+    tiers={
+        "full": {
+            "procs": 16,
+            "keys_per_rank": 2_000,
+            "eps": 0.1,
+            "workloads": ["uniform", "staircase"],
+            "algorithms": list(_RECORD_ALGORITHMS),
+            "schema": _RECORD_SCHEMA,
+            "machine": "mira-like-bgq",
+            "machine_overrides": {"cores_per_node": 1},
+            "workload_seed": 42,
+            "sort_seed": 13,
+        },
+        "quick": {
+            "procs": 8,
+            "keys_per_rank": 500,
+            "eps": 0.1,
+            "workloads": ["uniform", "staircase"],
+            "algorithms": list(_RECORD_ALGORITHMS),
+            "schema": _RECORD_SCHEMA,
+            "machine": "mira-like-bgq",
+            "machine_overrides": {"cores_per_node": 1},
+            "workload_seed": 42,
+            "sort_seed": 13,
+        },
+    },
+    render=lambda cases, params: _render_shootout_records(cases, params),
+    runtime_params={"backend": "simulated"},
+)
+def _run_shootout_records(params: Mapping[str, Any]) -> list[CaseResult]:
+    from repro.algorithms import Dataset, Sorter, get_spec
+    from repro.records import parse_schema
+
+    p = params["procs"]
+    n_per = params["keys_per_rank"]
+    eps = params["eps"]
+    machine = _suite_machine(params)
+    schema = parse_schema(params["schema"])
+    cases = []
+    for workload in params["workloads"]:
+        dataset = Dataset.from_workload(
+            workload, p=p, n_per=n_per, seed=params["workload_seed"],
+            payloads=schema,
+        )
+        for name in params["algorithms"]:
+            kwargs = {"strict": False} if name.startswith("hss-") else {}
+            config = get_spec(name).legacy_config(
+                eps=eps, seed=params["sort_seed"], **kwargs
+            )
+            run = Sorter(
+                name,
+                machine=machine,
+                config=config,
+                backend=_suite_backend(params),
+                verify=False,
+            ).run(dataset)
+            metrics: dict[str, Any] = {
+                "makespan_s": run.makespan,
+                "net_bytes": run.engine_result.stats.bytes,
+                "net_messages": run.engine_result.stats.messages,
+                "imbalance": run.imbalance,
+                "record_bytes": dataset.record_nbytes(),
+            }
+            if run.splitter_stats is not None:
+                metrics["rounds"] = run.splitter_stats.num_rounds
+                metrics["total_sample"] = run.splitter_stats.total_sample
+            cases.append(
+                _case(
+                    f"{workload}/{name}",
+                    {"workload": workload, "algorithm": name, "procs": p,
+                     "keys_per_rank": n_per, "schema": params["schema"]},
+                    metrics,
+                )
+            )
+    return cases
+
+
+def _render_shootout_records(
+    cases: Sequence[CaseResult], params: Mapping[str, Any]
+) -> str:
+    by = _by_name(cases)
+    names = params["algorithms"]
+    blocks = []
+    for w in params["workloads"]:
+        rows = {
+            "makespan (ms)": [
+                round(by[f"{w}/{n}"].metrics["makespan_s"] * 1e3, 3) for n in names
+            ],
+            "net bytes (MB)": [
+                round(by[f"{w}/{n}"].metrics["net_bytes"] / 1e6, 2) for n in names
+            ],
+            "imbalance": [
+                round(by[f"{w}/{n}"].metrics["imbalance"], 3) for n in names
+            ],
+        }
+        blocks.append(
+            format_series_table("algorithm", names, rows, title=f"workload: {w}")
+        )
+    record_bytes = next(iter(by.values())).metrics["record_bytes"]
+    head = (
+        f"Shootout (records) — p={params['procs']}, "
+        f"N/p={params['keys_per_rank']}, eps={params['eps']}, "
+        f"{record_bytes}-byte records ({params['schema']}), Mira-like (flat)"
+    )
+    return head + "\n\n" + "\n\n".join(blocks)
+
+
+# ===================================================================== #
 # Figure 3.1 — splitter intervals shrink geometrically round over round.
 # ===================================================================== #
 @register(

@@ -63,6 +63,10 @@ def sizeof_reference(obj: Any) -> int:
         return 0
     if isinstance(obj, np.ndarray):
         return int(obj.nbytes)
+    if isinstance(obj, np.void):
+        # Structured scalar (one record row): exact record bytes, not the
+        # generic 8-byte scalar word.
+        return int(obj.nbytes)
     if isinstance(obj, (bool, int, float, complex, np.generic)):
         return 8
     if isinstance(obj, (bytes, bytearray, memoryview)):
@@ -97,6 +101,10 @@ def _sizeof_scalar(obj: Any) -> int:
     return 8
 
 
+def _sizeof_void(obj: np.void) -> int:
+    return int(obj.nbytes)
+
+
 def _sizeof_buffer(obj: Any) -> int:
     return len(obj)
 
@@ -128,6 +136,8 @@ def _sizeof_flat_sequence(obj: Any) -> int:
             return 8 * len(obj)
         if kind is np.ndarray:
             return int(sum(x.nbytes for x in obj))
+        if issubclass(kind, np.void):
+            return int(sum(x.nbytes for x in obj))
         if issubclass(kind, np.generic):
             return 8 * len(obj)
     return sum(sizeof(x) for x in obj)
@@ -140,6 +150,7 @@ def _sizeof_flat_sequence(obj: Any) -> int:
 _SIZEOF_DISPATCH: dict[type, Callable[[Any], int]] = {
     type(None): _sizeof_none,
     np.ndarray: _sizeof_ndarray,
+    np.void: _sizeof_void,
     bool: _sizeof_scalar,
     int: _sizeof_scalar,
     float: _sizeof_scalar,
@@ -160,6 +171,8 @@ def _resolve_handler(kind: type) -> Callable[[Any], int]:
     """Mirror ``sizeof_reference``'s isinstance ladder, once per type."""
     if issubclass(kind, np.ndarray):
         return _sizeof_ndarray
+    if issubclass(kind, np.void):
+        return _sizeof_void
     if issubclass(kind, (bool, int, float, complex, np.generic)):
         return _sizeof_scalar
     if issubclass(kind, (bytes, bytearray, memoryview)):

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Eight subcommands:
+Nine subcommands:
 
 ``sort``
     Generate a workload, sort it with any registered algorithm on any
@@ -20,6 +20,11 @@ Eight subcommands:
 ``backends``
     List every execution backend in the plugin registry
     (:mod:`repro.runtime`).
+
+``workloads``
+    List every workload in the plugin registry
+    (:mod:`repro.workloads`) with its paper section and, for
+    record-carrying workloads, its declared record schema.
 
 ``sweep``
     Expand an algorithm x workload x machine x layout grid, run every
@@ -51,9 +56,12 @@ Examples
     python -m repro algorithms
     python -m repro machines
     python -m repro backends
+    python -m repro workloads
     python -m repro sweep --algorithms hss,sample-regular \
         --workloads uniform,staircase --machines laptop,mira-like-bgq \
         --jobs 2 --json experiment.json
+    python -m repro sweep --algorithms hss --workloads changa-dwarf \
+        --payloads none --payloads workload
     python -m repro table 5.1
     python -m repro simulate --procs 32768 --keys-per-proc 100000 --eps 0.02
     python -m repro bench --tier quick --json bench.json \
@@ -145,6 +153,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="list registered execution backends",
     )
 
+    sub.add_parser(
+        "workloads",
+        help="list registered workloads, paper sections and record schemas",
+    )
+
     sweep = sub.add_parser(
         "sweep",
         help="run an algorithm x workload x machine x layout grid",
@@ -180,6 +193,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--eps", type=float, default=0.05)
     sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument(
+        "--payloads",
+        action="append",
+        dest="payloads",
+        metavar="SCHEMA",
+        help="record-column schema grid value: a compact schema like "
+        "'mass:f8,id:u4', 'workload' (the workload's declared schema), or "
+        "'none' (key-only; the default).  Repeatable — each occurrence "
+        "adds one grid axis value, so cells can compare key-only against "
+        "record-carrying runs",
+    )
     sweep.add_argument(
         "--backend",
         default="simulated",
@@ -326,12 +350,20 @@ def _cmd_sort(args: argparse.Namespace) -> int:
         )
         return 2
 
+    spec = REGISTRY[args.algorithm]
+    if args.payloads and not spec.supports_payloads:
+        # Same pre-check (and message) the Sorter applies — fail before
+        # generating a workload whose payloads could never be carried.
+        from repro.algorithms.sorter import payload_capability_message
+
+        print(payload_capability_message(spec.name), file=sys.stderr)
+        return 2
+
     dataset = Dataset.from_workload(
         args.distribution, p=args.procs, n_per=args.keys, seed=args.seed
     )
     if args.payloads:
         dataset = dataset.with_index_payloads()
-    spec = REGISTRY[args.algorithm]
     kwargs = {}
     if args.tag_duplicates:
         kwargs["tag_duplicates"] = True
@@ -458,6 +490,23 @@ def _cmd_machines(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    from repro.workloads import WORKLOAD_SPECS
+
+    del args
+    for name in sorted(WORKLOAD_SPECS):
+        spec = WORKLOAD_SPECS[name]
+        section = f"§{spec.paper_section}" if spec.paper_section else ""
+        schema = (
+            f"records: {spec.record_schema.compact()}"
+            if spec.record_schema is not None
+            else "keys only"
+        )
+        print(f"{name:18s} {section:6s} {schema}")
+        print(f"{'':18s} {spec.description}")
+    return 0
+
+
 def _cmd_backends(args: argparse.Namespace) -> int:
     from repro.runtime import BACKENDS
 
@@ -497,6 +546,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             eps=args.eps,
             seed=args.seed,
             backend=args.backend,
+            payloads=args.payloads,
             progress=stderr_progress,
         )
     except ConfigError as exc:
@@ -772,6 +822,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_machines(args)
     if args.command == "backends":
         return _cmd_backends(args)
+    if args.command == "workloads":
+        return _cmd_workloads(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
     if args.command == "table":

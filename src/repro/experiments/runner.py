@@ -45,6 +45,18 @@ def _as_list(value: Any) -> list[Any]:
     return out
 
 
+def _payload_axis(payloads: Sequence[str] | str | None) -> list[str]:
+    """Normalize the payloads axis; ``none`` spells the key-only cell."""
+    if payloads is None:
+        return [""]
+    values = ["" if v in ("", "none") else v for v in _as_list(payloads)]
+    out: list[str] = []
+    for v in values:
+        if v not in out:
+            out.append(v)
+    return out
+
+
 def expand_grid(
     *,
     algorithms: Sequence[str] | str,
@@ -56,25 +68,29 @@ def expand_grid(
     eps: float = 0.05,
     seed: int = 0,
     backend: str = "simulated",
+    payloads: Sequence[str] | str | None = None,
 ) -> list[Scenario]:
     """Cross-product the axes into validated scenarios, in axis order.
 
     Validation is eager: one bad name anywhere fails the whole expansion
     with the canonical registry error before anything runs.  ``backend``
     is a scalar knob, not an axis — one sweep executes on one backend
-    (modeled metrics are backend-independent anyway).
+    (modeled metrics are backend-independent anyway).  ``payloads`` is an
+    axis of record-column schemas: ``""``/``"none"`` (key-only), a
+    compact schema like ``"mass:f8,id:u4"``, or ``"workload"``.
     """
     cells = [
         Scenario(
             algorithm=a, workload=w, machine=m, procs=p,
             keys_per_rank=n, eps=eps, seed=seed, layout=layout,
-            backend=backend,
+            backend=backend, payloads=rec,
         )
         for m in _as_list(machines)
         for w in _as_list(workloads)
         for layout in _as_list(layouts)
         for p in _as_list(procs)
         for n in _as_list(keys_per_rank)
+        for rec in _payload_axis(payloads)
         for a in _as_list(algorithms)
     ]
     if not cells:
@@ -173,6 +189,7 @@ class ExperimentRunner:
         eps: float = 0.05,
         seed: int = 0,
         backend: str = "simulated",
+        payloads: Sequence[str] | str | None = None,
         progress: Callable[[str], None] | None = None,
     ) -> ExperimentDocument:
         """Expand the grid and run every cell; the ``repro sweep`` core."""
@@ -187,10 +204,15 @@ class ExperimentRunner:
             "seed": seed,
             "backend": backend,
         }
+        payload_axis = _payload_axis(payloads)
+        if payload_axis != [""]:
+            # Only record the axis when used, so pre-record documents
+            # (and their grids) stay byte-identical.
+            grid["payloads"] = payload_axis
         cells = expand_grid(
             algorithms=algorithms, workloads=workloads, machines=machines,
             procs=procs, keys_per_rank=keys_per_rank, layouts=layouts,
-            eps=eps, seed=seed, backend=backend,
+            eps=eps, seed=seed, backend=backend, payloads=payloads,
         )
         return self.run(cells, grid=grid, progress=progress)
 

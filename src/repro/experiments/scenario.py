@@ -54,6 +54,12 @@ class Scenario:
     #: metrics are bit-identical across backends; sweeping a non-default
     #: backend changes only the measured wall-clock provenance.
     backend: str = "simulated"
+    #: Record payload columns for the cell: ``""`` (key-only, the
+    #: default), a compact schema like ``"mass:f8,id:u4"`` (see
+    #: :func:`repro.records.parse_schema`), or ``"workload"`` to use the
+    #: workload's declared record schema.  Payload bytes flow into the
+    #: cost model, so record-carrying cells price real record traffic.
+    payloads: str = ""
 
     def __post_init__(self) -> None:
         from repro.algorithms import REGISTRY
@@ -87,6 +93,15 @@ class Scenario:
             raise ConfigError(
                 f"keys_per_rank must be >= 1, got {self.keys_per_rank}"
             )
+        if self.payloads and self.payloads != "workload":
+            # Syntax-eager: a malformed compact schema fails the whole
+            # grid expansion.  Feasibility (does the workload declare a
+            # schema, does the algorithm carry payloads) is checked at
+            # run() time as CapabilityError so mixed grids skip those
+            # cells instead of dying.
+            from repro.records import parse_schema
+
+            parse_schema(self.payloads).payload_dtype()
 
     # ------------------------------------------------------------------ #
     @property
@@ -101,6 +116,8 @@ class Scenario:
             f"{self.workload}/{self.algorithm}@{self.machine}/"
             f"{self.layout}/p{self.procs}"
         )
+        if self.payloads:
+            base = f"{base}/rec[{self.payloads}]"
         if self.backend != "simulated":
             return f"{base}/{self.backend}"
         return base
@@ -123,9 +140,27 @@ class Scenario:
         from repro.machines import machine_summary
 
         machine = self.resolved_machine()
+        payloads: Any = None
+        if self.payloads == "workload":
+            from repro.errors import CapabilityError
+            from repro.workloads import get_workload
+
+            if get_workload(self.workload).record_schema is None:
+                # CapabilityError so grid sweeps record the cell as
+                # skipped rather than aborting on an infeasible corner.
+                raise CapabilityError(
+                    f"payloads='workload' but workload {self.workload!r} "
+                    f"declares no record schema; use an explicit compact "
+                    f"schema like 'mass:f8,id:u4'"
+                )
+            payloads = True
+        elif self.payloads:
+            from repro.records import parse_schema
+
+            payloads = parse_schema(self.payloads)
         dataset = Dataset.from_workload(
             self.workload, p=self.procs, n_per=self.keys_per_rank,
-            seed=self.seed,
+            seed=self.seed, payloads=payloads,
         )
         config = get_spec(self.algorithm).legacy_config(
             eps=self.eps, seed=self.seed
@@ -143,6 +178,8 @@ class Scenario:
             "net_messages": run.engine_result.stats.messages,
             "imbalance": run.imbalance,
         }
+        if dataset.has_payloads and dataset.record_nbytes() is not None:
+            metrics["record_bytes"] = dataset.record_nbytes()
         if run.splitter_stats is not None:
             metrics["rounds"] = run.splitter_stats.num_rounds
             metrics["total_sample"] = run.splitter_stats.total_sample

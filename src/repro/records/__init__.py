@@ -1,0 +1,25 @@
+"""The columnar record layer: typed keys-plus-payload-columns batches.
+
+The paper analyzes sorting over *keys*, but every deployment it targets
+(ChaNGa particle exchange, HPC shuffle phases) moves *records* — keys plus
+typed payload columns.  This package is the data plane for that:
+
+* :class:`RecordSchema` / :class:`ColumnSpec` — named, typed column
+  layouts (fixed-width NumPy dtypes now; ``bytes``/``str`` variable-width
+  columns via offsets arrays), with a compact ``"mass:f8,id:u4"`` string
+  form used by ``repro sweep --payloads`` grids.
+* :class:`RecordBatch` — an immutable columnar batch with
+  ``take``/``slice``/``concat``/``sort_by_key``, exact per-row byte
+  accounting, and a pickle-free ``to_bytes``/``from_bytes`` wire form.
+
+:class:`~repro.algorithms.Dataset` builds per-rank batches from workload
+generators, ships fixed-width schemas through the sort programs as one
+structured payload array per rank (so the BSP byte accounting prices real
+record bytes), and :class:`~repro.algorithms.SortRun` hands sorted batches
+back via ``record_batches()``.
+"""
+
+from repro.records.batch import RecordBatch
+from repro.records.schema import ColumnSpec, RecordSchema, parse_schema
+
+__all__ = ["ColumnSpec", "RecordBatch", "RecordSchema", "parse_schema"]

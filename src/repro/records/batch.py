@@ -1,0 +1,479 @@
+"""Columnar record batches: a key column plus typed payload columns.
+
+A :class:`RecordBatch` is the unit of record data in the repo: one 1-D key
+array (any fixed-width dtype, including the §4.3 structured tagged keys)
+plus N payload columns aligned row-for-row with the keys.  Fixed-width
+columns are plain NumPy arrays; variable-width columns (``bytes`` /
+``str``) are an ``int64`` offsets array of length ``n + 1`` over a
+``uint8`` data buffer — the classic Arrow-style layout.
+
+Batches are immutable values with exact byte accounting:
+
+* :meth:`take` / :meth:`slice` / :meth:`concat` / :meth:`sort_by_key`
+  reorder or combine rows without ever touching Python objects;
+* :meth:`row_nbytes` prices every row exactly (key + fixed widths + var
+  lengths + one offsets entry per var column) — the same contract the
+  cost model charges for record alltoalls;
+* :meth:`to_bytes` / :meth:`from_bytes` give a self-describing, aligned,
+  pickle-free wire format (used by tests and external checkpoints).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.records.schema import ColumnSpec, RecordSchema
+
+__all__ = ["RecordBatch"]
+
+_MAGIC = b"RPRB"
+_VERSION = 1
+_ALIGN = 64
+
+
+def _aligned(nbytes: int) -> int:
+    return (nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _encode_var(values: Sequence, kind: str) -> tuple[np.ndarray, np.ndarray]:
+    """Encode a sequence of bytes/str values as (offsets, data)."""
+    blobs = []
+    for v in values:
+        if kind == "str":
+            if not isinstance(v, str):
+                raise ConfigError(
+                    f"str column got {type(v).__name__} value {v!r}"
+                )
+            blobs.append(v.encode())
+        else:
+            if not isinstance(v, (bytes, bytearray, memoryview)):
+                raise ConfigError(
+                    f"bytes column got {type(v).__name__} value {v!r}"
+                )
+            blobs.append(bytes(v))
+    offsets = np.zeros(len(blobs) + 1, dtype=np.int64)
+    if blobs:
+        np.cumsum([len(b) for b in blobs], out=offsets[1:])
+    data = np.frombuffer(b"".join(blobs), dtype=np.uint8).copy()
+    return offsets, data
+
+
+def _check_var(offsets: np.ndarray, data: np.ndarray, n: int, name: str):
+    offsets = np.ascontiguousarray(offsets, dtype=np.int64)
+    data = np.ascontiguousarray(data, dtype=np.uint8)
+    if offsets.ndim != 1 or len(offsets) != n + 1:
+        raise ConfigError(
+            f"column {name!r}: offsets must have length n+1={n + 1}, "
+            f"got {offsets.shape}"
+        )
+    if offsets[0] != 0 or np.any(np.diff(offsets) < 0):
+        raise ConfigError(
+            f"column {name!r}: offsets must start at 0 and be "
+            f"non-decreasing"
+        )
+    if int(offsets[-1]) != len(data):
+        raise ConfigError(
+            f"column {name!r}: offsets end at {int(offsets[-1])} but data "
+            f"buffer holds {len(data)} bytes"
+        )
+    return offsets, data
+
+
+class RecordBatch:
+    """Immutable columnar rows: ``keys`` plus aligned payload columns.
+
+    Build one with :meth:`from_columns` (values per column) or
+    :meth:`from_payload_array` (a structured per-row payload array, the
+    sort path's wire shape); the raw constructor takes already-validated
+    storage.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> b = RecordBatch.from_columns(
+    ...     np.array([30, 10, 20]),
+    ...     {"mass": np.array([0.3, 0.1, 0.2]), "tag": [b"c", b"a", b"bb"]},
+    ... )
+    >>> s = b.sort_by_key()
+    >>> s.keys.tolist(), s.column("tag")
+    ([10, 20, 30], [b'a', b'bb', b'c'])
+    """
+
+    __slots__ = ("keys", "schema", "_fixed", "_var")
+
+    def __init__(
+        self,
+        keys: np.ndarray,
+        schema: RecordSchema,
+        fixed: Mapping[str, np.ndarray],
+        var: Mapping[str, tuple[np.ndarray, np.ndarray]],
+    ) -> None:
+        keys = np.asarray(keys)
+        if keys.ndim != 1:
+            raise ConfigError(f"keys must be 1-D, got shape {keys.shape}")
+        if keys.dtype.hasobject:
+            raise ConfigError("keys must have a fixed-width dtype")
+        n = len(keys)
+        fixed_cols: dict[str, np.ndarray] = {}
+        var_cols: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        for spec in schema.columns:
+            if spec.is_var_width:
+                offsets, data = var[spec.name]
+                var_cols[spec.name] = _check_var(offsets, data, n, spec.name)
+            else:
+                col = np.ascontiguousarray(fixed[spec.name], dtype=spec.dtype)
+                if col.ndim != 1 or len(col) != n:
+                    raise ConfigError(
+                        f"column {spec.name!r} must be 1-D with {n} rows, "
+                        f"got shape {col.shape}"
+                    )
+                fixed_cols[spec.name] = col
+        self.keys = keys
+        self.schema = schema
+        self._fixed = fixed_cols
+        self._var = var_cols
+
+    # ------------------------------------------------------------- build #
+    @classmethod
+    def from_columns(
+        cls,
+        keys: np.ndarray,
+        columns: Mapping[str, Any] | None = None,
+        *,
+        schema: RecordSchema | None = None,
+    ) -> "RecordBatch":
+        """Build from per-column values, inferring the schema if absent.
+
+        Fixed-width columns come in as array-likes; variable-width columns
+        as sequences of ``bytes`` or ``str`` (or pre-encoded
+        ``(offsets, data)`` pairs when ``schema`` declares them).
+        """
+        keys = np.asarray(keys)
+        columns = dict(columns or {})
+        if schema is None:
+            specs = []
+            for name, values in columns.items():
+                if isinstance(values, np.ndarray) and not values.dtype.hasobject:
+                    specs.append(ColumnSpec(name, values.dtype.str))
+                else:
+                    sample = next(iter(values), b"")
+                    specs.append(
+                        ColumnSpec(name, "str" if isinstance(sample, str) else "bytes")
+                    )
+            schema = RecordSchema(
+                columns=tuple(specs), key_dtype=keys.dtype
+            )
+        if set(columns) != set(schema.column_names):
+            raise ConfigError(
+                f"columns {sorted(columns)} do not match schema columns "
+                f"{sorted(schema.column_names)}"
+            )
+        fixed: dict[str, np.ndarray] = {}
+        var: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        for spec in schema.columns:
+            values = columns[spec.name]
+            if spec.is_var_width:
+                if (
+                    isinstance(values, tuple)
+                    and len(values) == 2
+                    and isinstance(values[0], np.ndarray)
+                ):
+                    var[spec.name] = values
+                else:
+                    var[spec.name] = _encode_var(list(values), spec.spec)
+            else:
+                fixed[spec.name] = np.asarray(values, dtype=spec.dtype)
+        return cls(keys, schema, fixed, var)
+
+    @classmethod
+    def from_payload_array(
+        cls, keys: np.ndarray, payload: np.ndarray
+    ) -> "RecordBatch":
+        """Build from the sort path's wire shape: a structured payload array.
+
+        A plain (non-structured) payload becomes a single column named
+        ``"payload"`` — the legacy list-of-payloads shim.
+        """
+        keys = np.asarray(keys)
+        payload = np.asarray(payload)
+        if payload.dtype.hasobject:
+            raise ConfigError(
+                "object-dtype payloads have no record schema; use typed "
+                "columns (Dataset.from_workload(payloads={...}))"
+            )
+        if len(payload) != len(keys):
+            raise ConfigError(
+                f"payload length {len(payload)} != keys length {len(keys)}"
+            )
+        if payload.dtype.names is None:
+            return cls.from_columns(keys, {"payload": payload})
+        columns = {name: payload[name] for name in payload.dtype.names}
+        schema = RecordSchema(
+            columns=tuple(
+                ColumnSpec(name, payload.dtype[name].str)
+                for name in payload.dtype.names
+            ),
+            key_dtype=keys.dtype,
+        )
+        return cls.from_columns(keys, columns, schema=schema)
+
+    def payload_array(self) -> np.ndarray:
+        """The structured per-row payload array (fixed-width schemas only)."""
+        dtype = self.schema.payload_dtype()
+        out = np.empty(len(self), dtype=dtype)
+        for name in self.schema.column_names:
+            out[name] = self._fixed[name]
+        return out
+
+    # -------------------------------------------------------------- view #
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.keys)
+
+    @property
+    def num_columns(self) -> int:
+        return len(self.schema.columns)
+
+    def column(self, name: str):
+        """Column values: an ndarray (fixed) or list of bytes/str (var)."""
+        spec = self.schema.column(name)
+        if not spec.is_var_width:
+            return self._fixed[name]
+        offsets, data = self._var[name]
+        raw = data.tobytes()
+        blobs = [
+            raw[offsets[i]:offsets[i + 1]] for i in range(len(self))
+        ]
+        if spec.spec == "str":
+            return [b.decode() for b in blobs]
+        return blobs
+
+    def var_buffers(self, name: str) -> tuple[np.ndarray, np.ndarray]:
+        """Raw ``(offsets, data)`` storage of a variable-width column."""
+        spec = self.schema.column(name)
+        if not spec.is_var_width:
+            raise ConfigError(f"column {name!r} is fixed-width")
+        return self._var[name]
+
+    # ---------------------------------------------------- byte accounting #
+    def row_nbytes(self) -> np.ndarray:
+        """Exact per-row bytes: key + fixed widths + var lengths + offsets.
+
+        Each variable-width column charges its row's payload bytes plus one
+        ``int64`` offsets entry; summed over rows this equals
+        :attr:`nbytes` minus the single extra offsets entry per var column.
+        """
+        n = len(self)
+        per_row = self.keys.dtype.itemsize + sum(
+            c.dtype.itemsize
+            for c in self.schema.columns
+            if not c.is_var_width
+        )
+        out = np.full(n, per_row, dtype=np.int64)
+        for offsets, _ in self._var.values():
+            out += np.diff(offsets)
+            out += np.dtype(np.int64).itemsize
+        return out
+
+    @property
+    def nbytes(self) -> int:
+        """Exact total buffer bytes (keys + columns + offsets arrays)."""
+        total = self.keys.nbytes
+        total += sum(col.nbytes for col in self._fixed.values())
+        total += sum(
+            offsets.nbytes + data.nbytes
+            for offsets, data in self._var.values()
+        )
+        return int(total)
+
+    # --------------------------------------------------------------- ops #
+    def take(self, indices: np.ndarray) -> "RecordBatch":
+        """Rows at ``indices``, in that order (fancy-index gather)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        keys = self.keys[indices]
+        fixed = {n: col[indices] for n, col in self._fixed.items()}
+        var = {}
+        for name, (offsets, data) in self._var.items():
+            lengths = np.diff(offsets)[indices]
+            new_off = np.zeros(len(indices) + 1, dtype=np.int64)
+            np.cumsum(lengths, out=new_off[1:])
+            if len(indices) and int(new_off[-1]):
+                starts = offsets[:-1][indices]
+                # Gather each row's byte range with one flat fancy index.
+                gather = np.repeat(
+                    starts - new_off[:-1], lengths
+                ) + np.arange(int(new_off[-1]), dtype=np.int64)
+                new_data = data[gather]
+            else:
+                new_data = np.empty(0, dtype=np.uint8)
+            var[name] = (new_off, new_data)
+        return RecordBatch(keys, self.schema, fixed, var)
+
+    def slice(self, start: int, stop: int) -> "RecordBatch":
+        """Rows ``[start, stop)`` (contiguous; buffers are views/offsets)."""
+        start, stop, _ = slice(start, stop).indices(len(self))
+        stop = max(start, stop)
+        keys = self.keys[start:stop]
+        fixed = {n: col[start:stop] for n, col in self._fixed.items()}
+        var = {}
+        for name, (offsets, data) in self._var.items():
+            new_off = offsets[start:stop + 1] - offsets[start]
+            var[name] = (new_off, data[offsets[start]:offsets[stop]])
+        return RecordBatch(keys, self.schema, fixed, var)
+
+    def sort_by_key(self) -> "RecordBatch":
+        """Rows reordered into stable ascending key order."""
+        if self.keys.dtype.names is not None:
+            order = np.argsort(
+                self.keys, kind="stable", order=self.keys.dtype.names
+            )
+        else:
+            order = np.argsort(self.keys, kind="stable")
+        return self.take(order)
+
+    @classmethod
+    def concat(cls, batches: Iterable["RecordBatch"]) -> "RecordBatch":
+        """Row-wise concatenation of same-schema batches."""
+        batches = list(batches)
+        if not batches:
+            raise ConfigError("concat needs at least one batch")
+        schema = batches[0].schema
+        for b in batches[1:]:
+            if b.schema != schema:
+                raise ConfigError(
+                    f"cannot concat mismatched schemas "
+                    f"{b.schema.compact()!r} != {schema.compact()!r}"
+                )
+        keys = np.concatenate([b.keys for b in batches])
+        fixed = {
+            n: np.concatenate([b._fixed[n] for b in batches])
+            for n in batches[0]._fixed
+        }
+        var = {}
+        for name in batches[0]._var:
+            datas = [b._var[name][1] for b in batches]
+            data = np.concatenate(datas) if datas else np.empty(0, np.uint8)
+            offsets = np.zeros(len(keys) + 1, dtype=np.int64)
+            pos, base = 1, 0
+            for b in batches:
+                off = b._var[name][0]
+                offsets[pos:pos + len(off) - 1] = off[1:] + base
+                base += int(off[-1])
+                pos += len(off) - 1
+            var[name] = (offsets, data)
+        return cls(keys, schema, fixed, var)
+
+    def equals(self, other: "RecordBatch") -> bool:
+        """Exact value equality: schema, keys and every column."""
+        if not isinstance(other, RecordBatch):
+            return False
+        if self.schema != other.schema or len(self) != len(other):
+            return False
+        if not np.array_equal(self.keys, other.keys):
+            return False
+        for name, col in self._fixed.items():
+            if not np.array_equal(col, other._fixed[name]):
+                return False
+        for name, (offsets, data) in self._var.items():
+            o2, d2 = other._var[name]
+            if not (np.array_equal(offsets, o2) and np.array_equal(data, d2)):
+                return False
+        return True
+
+    # --------------------------------------------------------- serialize #
+    def to_bytes(self) -> bytes:
+        """Self-describing pickle-free wire form (64-byte aligned buffers).
+
+        Layout: ``RPRB`` magic, version ``u2``, header length ``u4``, a
+        UTF-8 JSON header (row count, schema, buffer table), then the raw
+        buffers at 64-byte-aligned offsets from the end of the header
+        padding.  Dtypes travel as ``descr`` lists, so structured tagged
+        keys round trip exactly.
+        """
+        buffers: list[np.ndarray] = [np.ascontiguousarray(self.keys)]
+        for spec in self.schema.columns:
+            if spec.is_var_width:
+                offsets, data = self._var[spec.name]
+                buffers.append(offsets)
+                buffers.append(data)
+            else:
+                buffers.append(self._fixed[spec.name])
+        table = []
+        pos = 0
+        for arr in buffers:
+            pos = _aligned(pos)
+            dt = arr.dtype
+            table.append({
+                "offset": pos,
+                "nbytes": int(arr.nbytes),
+                "dtype": dt.descr if dt.names is not None else dt.str,
+                "rows": len(arr),
+            })
+            pos += arr.nbytes
+        header = json.dumps({
+            "rows": len(self),
+            "schema": self.schema.to_dict(),
+            "buffers": table,
+        }).encode()
+        head = bytearray()
+        head += _MAGIC
+        head += int(_VERSION).to_bytes(2, "little")
+        head += len(header).to_bytes(4, "little")
+        head += header
+        body_start = _aligned(len(head))
+        out = bytearray(body_start + pos)
+        out[:len(head)] = head
+        for arr, entry in zip(buffers, table):
+            start = body_start + entry["offset"]
+            out[start:start + arr.nbytes] = arr.tobytes()
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "RecordBatch":
+        """Inverse of :meth:`to_bytes` (copies out of ``blob``)."""
+        if blob[:4] != _MAGIC:
+            raise ConfigError("not a RecordBatch byte stream (bad magic)")
+        version = int.from_bytes(blob[4:6], "little")
+        if version != _VERSION:
+            raise ConfigError(f"unsupported RecordBatch version {version}")
+        header_len = int.from_bytes(blob[6:10], "little")
+        header = json.loads(blob[10:10 + header_len].decode())
+        schema = RecordSchema.from_dict(header["schema"])
+        body_start = _aligned(10 + header_len)
+        table = header["buffers"]
+
+        def _read(entry) -> np.ndarray:
+            dt = entry["dtype"]
+            dtype = np.dtype([tuple(f) for f in dt] if isinstance(dt, list) else dt)
+            start = body_start + entry["offset"]
+            return np.frombuffer(
+                blob, dtype=dtype, count=entry["rows"], offset=start
+            ).copy()
+
+        keys = _read(table[0])
+        fixed: dict[str, np.ndarray] = {}
+        var: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        idx = 1
+        for spec in schema.columns:
+            if spec.is_var_width:
+                offsets = _read(table[idx])
+                data = _read(table[idx + 1])
+                var[spec.name] = (offsets, data)
+                idx += 2
+            else:
+                fixed[spec.name] = _read(table[idx])
+                idx += 1
+        return cls(keys, schema, fixed, var)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RecordBatch(rows={len(self)}, "
+            f"schema='{self.schema.compact()}', nbytes={self.nbytes})"
+        )

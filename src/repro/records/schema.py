@@ -1,0 +1,220 @@
+"""Typed record schemas: the contract between keys and payload columns.
+
+A :class:`RecordSchema` names the key dtype plus N typed payload columns.
+Fixed-width columns are plain NumPy dtypes (``"f8"``, ``"u4"``, a
+structured dtype string, ...); variable-width columns are declared with
+the sentinel specs ``"bytes"`` or ``"str"`` and are stored in a
+:class:`~repro.records.RecordBatch` as an ``int64`` offsets column over a
+``uint8`` data buffer.
+
+Schemas are value objects: dtype strings are normalized through
+``np.dtype(...).str`` at construction, so ``"f8"`` and ``"<f8"`` build
+equal schemas, and the compact one-line form (``"mass:f8,id:u4"``) round
+trips through :func:`parse_schema` / :meth:`RecordSchema.compact` — the
+form ``repro sweep --payloads`` grids use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["ColumnSpec", "RecordSchema", "parse_schema"]
+
+#: Variable-width column kinds (offsets + byte-buffer storage).
+VAR_WIDTH_SPECS = ("bytes", "str")
+
+#: Bytes charged per row for a variable-width column's offsets entry.
+OFFSET_ENTRY_BYTES = 8
+
+
+def _normalize_dtype(spec: str, *, allow_structured: bool = False):
+    try:
+        dt = np.dtype(spec)
+    except TypeError as exc:
+        raise ConfigError(f"bad column dtype {spec!r}: {exc}") from None
+    if dt.hasobject:
+        raise ConfigError(
+            f"column dtype {spec!r} contains Python objects; record "
+            f"columns must be fixed-width (or the 'bytes'/'str' "
+            f"variable-width kinds)"
+        )
+    if dt.names is not None:
+        if not allow_structured:
+            raise ConfigError(
+                f"column dtype {spec!r} is structured; a record column "
+                f"holds one scalar per row (the schema itself is the "
+                f"structure)"
+            )
+        return dt
+    return dt.str
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """One named, typed payload column.
+
+    ``spec`` is a NumPy dtype string for fixed-width columns, or one of
+    the variable-width kinds ``"bytes"`` / ``"str"``.
+    """
+
+    name: str
+    spec: Any
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "a").isalnum():
+            raise ConfigError(
+                f"bad column name {self.name!r}: use letters, digits and "
+                f"underscores"
+            )
+        if self.name == "key":
+            raise ConfigError(
+                "column name 'key' is reserved for the key column"
+            )
+        if self.spec not in VAR_WIDTH_SPECS:
+            object.__setattr__(self, "spec", _normalize_dtype(self.spec))
+
+    @property
+    def is_var_width(self) -> bool:
+        return self.spec in VAR_WIDTH_SPECS
+
+    @property
+    def dtype(self) -> np.dtype:
+        """NumPy dtype of a fixed-width column (ConfigError if var-width)."""
+        if self.is_var_width:
+            raise ConfigError(
+                f"column {self.name!r} is variable-width ({self.spec}); "
+                f"it has no fixed NumPy dtype"
+            )
+        return np.dtype(self.spec)
+
+    def spec_str(self) -> str:
+        """The compact spec token (dtype string or var-width kind)."""
+        return self.spec if self.is_var_width else np.dtype(self.spec).str
+
+
+@dataclass(frozen=True)
+class RecordSchema:
+    """Key dtype plus an ordered tuple of payload columns."""
+
+    columns: tuple[ColumnSpec, ...] = ()
+    key_dtype: str = "<i8"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "key_dtype",
+            _normalize_dtype(self.key_dtype, allow_structured=True),
+        )
+        object.__setattr__(self, "columns", tuple(self.columns))
+        names = [c.name for c in self.columns]
+        dupes = sorted({n for n in names if names.count(n) > 1})
+        if dupes:
+            raise ConfigError(f"duplicate column name(s) {dupes}")
+
+    # ------------------------------------------------------------- build #
+    @classmethod
+    def from_mapping(
+        cls, columns: Mapping[str, str], *, key_dtype: str = "<i8"
+    ) -> "RecordSchema":
+        """Build from ``{"mass": "f8", "id": "u4"}``-style mappings."""
+        specs = tuple(ColumnSpec(n, s) for n, s in columns.items())
+        return cls(columns=specs, key_dtype=key_dtype)
+
+    # -------------------------------------------------------------- view #
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    def column(self, name: str) -> ColumnSpec:
+        for c in self.columns:
+            if c.name == name:
+                return c
+        raise ConfigError(
+            f"no column {name!r}; schema has {list(self.column_names)}"
+        )
+
+    @property
+    def np_key_dtype(self) -> np.dtype:
+        return np.dtype(self.key_dtype)
+
+    @property
+    def fixed_width(self) -> bool:
+        """True when every column is fixed-width (shippable on the sort path)."""
+        return all(not c.is_var_width for c in self.columns)
+
+    def payload_dtype(self) -> np.dtype:
+        """Structured dtype packing all payload columns into one record.
+
+        This is the dtype :class:`~repro.algorithms.Dataset` ships per-rank
+        payloads as, so the existing argsort/concat/alltoall machinery (and
+        the cost model's ``itemsize`` accounting) sees full record widths.
+        Variable-width columns cannot be packed: :class:`ConfigError`.
+        """
+        if not self.fixed_width:
+            var = [c.name for c in self.columns if c.is_var_width]
+            raise ConfigError(
+                f"variable-width column(s) {var} cannot ship on the sort "
+                f"path yet; RecordBatch operations support them, the "
+                f"Dataset/Sorter plumbing is fixed-width only"
+            )
+        return np.dtype([(c.name, c.dtype) for c in self.columns])
+
+    def record_nbytes(self) -> int:
+        """Exact bytes per row for fixed-width schemas (key + columns)."""
+        return self.np_key_dtype.itemsize + sum(
+            c.dtype.itemsize for c in self.columns if not c.is_var_width
+        ) + OFFSET_ENTRY_BYTES * sum(c.is_var_width for c in self.columns)
+
+    # --------------------------------------------------------- serialize #
+    def compact(self) -> str:
+        """One-line form ``name:spec,name:spec`` (CLI / sweep grids)."""
+        return ",".join(f"{c.name}:{c.spec_str()}" for c in self.columns)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "key_dtype": np.dtype(self.key_dtype).str
+            if np.dtype(self.key_dtype).names is None
+            else np.dtype(self.key_dtype).descr,
+            "columns": [
+                {"name": c.name, "spec": c.spec_str()} for c in self.columns
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RecordSchema":
+        key = data.get("key_dtype", "<i8")
+        if isinstance(key, list):  # structured key dtype descr
+            key = np.dtype([tuple(f) for f in key])
+        return cls(
+            columns=tuple(
+                ColumnSpec(c["name"], c["spec"]) for c in data["columns"]
+            ),
+            key_dtype=key,
+        )
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+
+def parse_schema(text: str, *, key_dtype: str = "<i8") -> RecordSchema:
+    """Parse the compact ``"mass:f8,id:u4"`` form into a schema."""
+    columns = []
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        name, sep, spec = token.partition(":")
+        if not sep or not spec.strip():
+            raise ConfigError(
+                f"bad column token {token!r}; expected 'name:dtype' "
+                f"(e.g. 'mass:f8') or 'name:bytes' / 'name:str'"
+            )
+        columns.append(ColumnSpec(name.strip(), spec.strip()))
+    if not columns:
+        raise ConfigError(f"payload schema {text!r} names no columns")
+    return RecordSchema(columns=tuple(columns), key_dtype=key_dtype)

@@ -25,6 +25,7 @@ simulator.
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
 import os
 import pickle
@@ -48,7 +49,17 @@ from repro.bsp.machine import MachineModel
 from repro.bsp.node import NodeLayout
 from repro.errors import BSPError
 from repro.runtime.base import Backend, Measured, register_backend
-from repro.runtime.shm import pack_rank_args, unpack_rank_args
+from repro.runtime.shm import (
+    attach_segment,
+    create_segment,
+    fill_segment,
+    pack_message,
+    pack_rank_args,
+    unlink_segment,
+    unpack_message,
+    unpack_rank_args,
+    untrack_segment,
+)
 
 __all__ = ["ProcessBackend"]
 
@@ -56,6 +67,86 @@ _NOT_A_GENERATOR = (
     "program must be a generator function (use 'yield from' "
     "for collectives); got a plain function"
 )
+
+#: Distinguishes concurrent runs' segment namespaces within one process.
+_RUN_COUNTER = itertools.count()
+
+
+class _ShmChannel:
+    """One direction of array traffic over named shared-memory segments.
+
+    Every message is an envelope ``("inline", packed)`` when it carries no
+    arrays, or ``("shm", segment_name, packed)`` when its ndarray leaves
+    were lifted into a fresh segment named ``{base}-{seq}`` (``seq``
+    strictly monotonic, so a peer can probe for in-flight segments after a
+    crash).  The sender creates, fills, closes and *untracks* each
+    segment; the receiver attaches, copies out, and — depending on
+    ``receiver_unlinks`` — either unlinks immediately (worker→broker) or
+    leaves the unlink to the sender's bookkeeping (broker→worker result
+    segments, reclaimed once the worker's next batch proves them
+    consumed).
+    """
+
+    __slots__ = ("base", "seq", "last_recv_seq")
+
+    def __init__(self, base: str) -> None:
+        self.base = base
+        self.seq = 0
+        self.last_recv_seq = 0
+
+    def send(self, conn, message: Any) -> str | None:
+        """Send one message, lifting array leaves into a new segment.
+
+        Returns the segment name (for sender-side reclamation) or None
+        for inline messages.
+        """
+        packed, arrays, total = pack_message(message)
+        if not total:
+            conn.send(("inline", packed))
+            return None
+        self.seq += 1
+        name = f"{self.base}-{self.seq}"
+        seg = create_segment(name, total)
+        try:
+            fill_segment(seg, arrays)
+        finally:
+            untrack_segment(seg)
+            seg.close()
+        conn.send(("shm", name, packed))
+        return name
+
+    def recv(self, conn, *, unlink: bool) -> Any:
+        """Receive one message, copying array leaves out of its segment."""
+        envelope = conn.recv()
+        if envelope[0] == "inline":
+            return unpack_message(envelope[1], None)
+        _, name, packed = envelope
+        self.last_recv_seq = int(name.rsplit("-", 1)[1])
+        seg = attach_segment(name)
+        try:
+            return unpack_message(packed, seg.buf)
+        finally:
+            if unlink:
+                unlink_segment(seg)
+            else:
+                untrack_segment(seg)
+                seg.close()
+
+    def probe_unlink_in_flight(self, extra: int = 2) -> None:
+        """Reclaim segments the peer created but we never received.
+
+        After a worker crash, at most one segment is in flight (workers
+        block on ``recv`` between sends), but probing a couple of
+        sequence numbers past the last received one costs nothing.
+        """
+        for seq in range(
+            self.last_recv_seq + 1, self.last_recv_seq + 1 + extra
+        ):
+            try:
+                seg = attach_segment(f"{self.base}-{seq}")
+            except FileNotFoundError:
+                continue
+            unlink_segment(seg)
 
 
 def _mp_context():
@@ -157,6 +248,15 @@ class _TimedContext(Context):
         return _TimedPhaseScope(self, name)
 
 
+def _unlink_by_name(name: str) -> None:
+    """Unlink a segment by name, tolerating it being gone already."""
+    try:
+        seg = attach_segment(name)
+    except FileNotFoundError:
+        return
+    unlink_segment(seg)
+
+
 def _raise_message(rank: int, exc: BaseException) -> tuple:
     """Package an exception for the broker, surviving unpicklable ones."""
     payload: BaseException | None
@@ -182,8 +282,11 @@ def _worker_main(
     machine: MachineModel,
     node_layout: NodeLayout | None,
     unregister_shm: bool = False,
+    chan_base: str = "",
 ) -> None:
     """Run this worker's ranks, forwarding every collective to the broker."""
+    tx = _ShmChannel(f"{chan_base}t")  # worker -> broker
+    rx = _ShmChannel(f"{chan_base}r")  # broker -> worker
     try:
         shm = None
         if shm_name is not None:
@@ -213,7 +316,9 @@ def _worker_main(
             ctx = _TimedContext(stub, rank)
             gen = program(ctx, *rank_args, **shared_kwargs)
             if not hasattr(gen, "send"):
-                conn.send([_raise_message(rank, BSPError(_NOT_A_GENERATOR))])
+                tx.send(
+                    conn, [_raise_message(rank, BSPError(_NOT_A_GENERATOR))]
+                )
                 return
             ctxs[rank] = ctx
             gens[rank] = gen
@@ -247,7 +352,7 @@ def _worker_main(
                 except BaseException as exc:
                     ctx._seg_close()
                     batch.append(_raise_message(r, exc))
-                    conn.send(batch)
+                    tx.send(conn, batch)
                     return
                 ctx._seg_close()
                 if not isinstance(request, _Call):
@@ -261,17 +366,19 @@ def _worker_main(
                             ),
                         )
                     )
-                    conn.send(batch)
+                    tx.send(conn, batch)
                     return
                 pending, by_phase = ctx._drain_compute()
                 batch.append(("call", r, request, ctx._phase, pending, by_phase))
                 waiting.append(r)
                 resume[r] = None
-            conn.send(batch)
+            tx.send(conn, batch)
             if not waiting:
                 return
             wait_start = time.perf_counter()
-            results = conn.recv()  # {rank: resume value}; EOF = shutdown
+            # {rank: resume value}; EOF = shutdown.  The broker owns the
+            # segment and unlinks it after our next send proves it read.
+            results = rx.recv(conn, unlink=False)
             waited = time.perf_counter() - wait_start
             for r in waiting:
                 ctxs[r].comm_wait_s += waited
@@ -336,8 +443,20 @@ class ProcessBackend(Backend):
         finished: list[int] = []
         procs: list[Any] = []
         conns: list[Any] = []
+        chan_base = f"rpr{os.getpid():x}x{next(_RUN_COUNTER):x}w"
+        # Broker-side channel pair per worker; bases mirror the workers'.
+        worker_rx = [
+            _ShmChannel(f"{chan_base}{i}t") for i in range(len(assignment))
+        ]
+        worker_tx = [
+            _ShmChannel(f"{chan_base}{i}r") for i in range(len(assignment))
+        ]
+        #: Result segments sent to worker i, not yet proven consumed.
+        sent_results: dict[int, list[str]] = {
+            i: [] for i in range(len(assignment))
+        }
         try:
-            for ranks in assignment:
+            for i, ranks in enumerate(assignment):
                 parent_conn, child_conn = mp.Pipe()
                 proc = mp.Process(
                     target=_worker_main,
@@ -352,6 +471,7 @@ class ProcessBackend(Backend):
                         machine,
                         layout,
                         mp.get_start_method() != "fork",
+                        f"{chan_base}{i}",
                     ),
                     daemon=True,
                 )
@@ -369,12 +489,17 @@ class ProcessBackend(Backend):
                     if not live[i]:
                         continue
                     try:
-                        batch = conns[i].recv()
+                        batch = worker_rx[i].recv(conns[i], unlink=True)
                     except EOFError:
                         raise BSPError(
                             f"worker {i} exited unexpectedly while ranks "
                             f"{sorted(live[i])[:4]} were still running"
                         ) from None
+                    # A new batch proves the worker copied the previous
+                    # sweep's results out: reclaim those segments.
+                    for name in sent_results[i]:
+                        _unlink_by_name(name)
+                    sent_results[i].clear()
                     for msg in batch:
                         kind = msg[0]
                         if kind == "call":
@@ -412,7 +537,9 @@ class ProcessBackend(Backend):
                 for i in sorted(live):
                     mine = {r: results[r] for r in live[i]}
                     if mine:
-                        conns[i].send(mine)
+                        name = worker_tx[i].send(conns[i], mine)
+                        if name is not None:
+                            sent_results[i].append(name)
 
             resolver.record_final(
                 [(final[r][1], final[r][2]) for r in range(p)],
@@ -429,6 +556,14 @@ class ProcessBackend(Backend):
                 if proc.is_alive():  # pragma: no cover - defensive
                     proc.terminate()
                     proc.join()
+            # Reclaim collective-channel segments stranded by an error or
+            # worker crash: results we sent but never saw consumed, and
+            # batches a worker created that we never received.
+            for i, names in sent_results.items():
+                for name in names:
+                    _unlink_by_name(name)
+            for rx in worker_rx:
+                rx.probe_unlink_in_flight()
             if shm is not None:
                 shm.close()
                 try:

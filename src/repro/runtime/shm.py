@@ -1,25 +1,52 @@
-"""Shared-memory transport for per-rank input arrays.
+"""Shared-memory transport for the process backend's array traffic.
 
-The process backend ships each rank's input arrays (keys, payloads) to its
-worker through one :class:`multiprocessing.shared_memory.SharedMemory`
-segment instead of pickling them down a pipe: the parent packs every
-ndarray leaf of ``rank_args`` into the segment once, workers map the
-segment and copy out only their own ranks' slices.  Non-array leaves pass
-through untouched (they ride along with the ordinary worker-spec pickle).
+Two layers:
+
+* **Input shipping** (:func:`pack_rank_args` / :func:`unpack_rank_args`) —
+  the parent packs every ndarray leaf of ``rank_args`` into one segment;
+  workers map it and copy out their own ranks' slices.
+
+* **Message shipping** (:func:`pack_message` / :func:`unpack_message` +
+  the segment helpers) — the broker loop's collective traffic.  Worker
+  batches and broker resume values are arbitrary trees (tuples, lists,
+  dicts, dataclasses like ``_Call`` and ``Shard``); the packer walks the
+  tree, lifts every non-object ndarray leaf into a shared segment and
+  replaces it with an :class:`ArrayRef`, so key and payload column buffers
+  never pass through pickle — the pipe carries only the array-free
+  skeleton.  This is what keeps record payload shipping zero-copy(-ish)
+  and zero-pickle on the column hot path.
 
 Offsets are 64-byte aligned so reconstructed views are always aligned for
-any dtype, including the structured dtypes the §4.3 tagged key space uses.
+any dtype, including the structured dtypes the record schemas and the
+§4.3 tagged key space use.
+
+Segment hygiene (CPython 3.11 POSIX): ``SharedMemory`` registers with the
+``resource_tracker`` on *both* create and attach, and ``unlink()``
+unregisters.  The protocol therefore is: whichever process will *not*
+unlink a segment calls :func:`untrack_segment` right after creating or
+attaching it, and exactly one process unlinks.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields, is_dataclass, replace
 from multiprocessing import shared_memory
 from typing import Any, Sequence
 
 import numpy as np
 
-__all__ = ["ArrayRef", "pack_rank_args", "unpack_rank_args"]
+__all__ = [
+    "ArrayRef",
+    "pack_rank_args",
+    "unpack_rank_args",
+    "pack_message",
+    "unpack_message",
+    "fill_segment",
+    "create_segment",
+    "attach_segment",
+    "untrack_segment",
+    "unlink_segment",
+]
 
 _ALIGN = 64
 
@@ -31,6 +58,14 @@ class ArrayRef:
     offset: int
     shape: tuple[int, ...]
     dtype: np.dtype
+
+    def __len__(self) -> int:
+        # Mirror ndarray length semantics so dataclasses that validate
+        # lengths in __post_init__ (e.g. Shard) rebuild cleanly with
+        # refs substituted for their arrays.
+        if not self.shape:
+            raise TypeError("len() of unsized ArrayRef")
+        return self.shape[0]
 
 
 def _aligned(nbytes: int) -> int:
@@ -98,3 +133,134 @@ def unpack_rank_args(
                 row.append(item)
         out.append(tuple(row))
     return out
+
+
+# ------------------------------------------------------------------ #
+# Generic message trees: broker/worker collective traffic.
+# ------------------------------------------------------------------ #
+class _TreePacker:
+    """Walk a message tree, lifting ndarray leaves into ArrayRefs."""
+
+    __slots__ = ("arrays", "total")
+
+    def __init__(self) -> None:
+        self.arrays: list[tuple[int, np.ndarray]] = []
+        self.total = 0
+
+    def walk(self, obj: Any) -> Any:
+        if isinstance(obj, np.ndarray):
+            if obj.dtype.hasobject:
+                return obj  # object arrays must pickle: no flat buffer
+            arr = np.ascontiguousarray(obj)
+            ref = ArrayRef(self.total, arr.shape, arr.dtype)
+            self.arrays.append((self.total, arr))
+            self.total += _aligned(arr.nbytes)
+            return ref
+        if isinstance(obj, tuple):
+            return tuple(self.walk(x) for x in obj)
+        if isinstance(obj, list):
+            return [self.walk(x) for x in obj]
+        if isinstance(obj, dict):
+            return {k: self.walk(v) for k, v in obj.items()}
+        if is_dataclass(obj) and not isinstance(obj, type):
+            mark_arrays, mark_total = len(self.arrays), self.total
+            changes = {
+                f.name: self.walk(getattr(obj, f.name))
+                for f in fields(obj)
+                if f.init
+            }
+            try:
+                return replace(obj, **changes)
+            except Exception:
+                # Non-replaceable dataclass pickles as-is; roll back the
+                # array slots its leaves claimed in the segment.
+                del self.arrays[mark_arrays:]
+                self.total = mark_total
+                return obj
+        return obj
+
+
+def pack_message(obj: Any) -> tuple[Any, list[tuple[int, np.ndarray]], int]:
+    """Split a message tree into an array-free skeleton plus array leaves.
+
+    Returns ``(packed, arrays, total)``: the skeleton with every non-object
+    ndarray replaced by an :class:`ArrayRef`, the ``(offset, array)`` pairs
+    to write into a segment, and the segment size in bytes (0 when the
+    message carries no arrays and can travel inline).
+    """
+    packer = _TreePacker()
+    packed = packer.walk(obj)
+    return packed, packer.arrays, packer.total
+
+
+def fill_segment(
+    shm: shared_memory.SharedMemory, arrays: Sequence[tuple[int, np.ndarray]]
+) -> None:
+    """Write packed array leaves at their assigned offsets."""
+    for offset, arr in arrays:
+        dest = np.ndarray(
+            arr.shape, dtype=arr.dtype, buffer=shm.buf, offset=offset
+        )
+        dest[...] = arr
+
+
+def unpack_message(packed: Any, buf: memoryview | None) -> Any:
+    """Rebuild a message tree, copying each ArrayRef out of the buffer."""
+    if isinstance(packed, ArrayRef):
+        view = np.ndarray(
+            packed.shape, dtype=packed.dtype, buffer=buf, offset=packed.offset
+        )
+        return view.copy()
+    if isinstance(packed, tuple):
+        return tuple(unpack_message(x, buf) for x in packed)
+    if isinstance(packed, list):
+        return [unpack_message(x, buf) for x in packed]
+    if isinstance(packed, dict):
+        return {k: unpack_message(v, buf) for k, v in packed.items()}
+    if is_dataclass(packed) and not isinstance(packed, type):
+        changes = {
+            f.name: unpack_message(getattr(packed, f.name), buf)
+            for f in fields(packed)
+            if f.init
+        }
+        try:
+            return replace(packed, **changes)
+        except Exception:
+            return packed
+    return packed
+
+
+# ------------------------------------------------------------------ #
+# Segment lifecycle helpers.
+# ------------------------------------------------------------------ #
+def create_segment(name: str, nbytes: int) -> shared_memory.SharedMemory:
+    return shared_memory.SharedMemory(
+        name=name, create=True, size=max(1, nbytes)
+    )
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    return shared_memory.SharedMemory(name=name)
+
+
+def untrack_segment(shm: shared_memory.SharedMemory) -> None:
+    """Drop this process's resource-tracker registration for a segment.
+
+    Called by whichever side will NOT unlink: the tracker would otherwise
+    unlink (or warn about) a segment another process still owns.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals are defensive
+        pass
+
+
+def unlink_segment(shm: shared_memory.SharedMemory) -> None:
+    """Close and unlink, tolerating a segment already gone."""
+    try:
+        shm.close()
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - already cleaned up
+        pass

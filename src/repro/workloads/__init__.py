@@ -1,4 +1,4 @@
-"""Input generators for experiments and tests.
+"""Input generators for experiments and tests — the workload registry.
 
 * :mod:`repro.workloads.distributions` — parametric key distributions from
   benign (uniform) to adversarial (staircase skew, nearly-sorted), each
@@ -8,8 +8,24 @@
   matter mapped to Morton space-filling-curve keys.
 * :mod:`repro.workloads.duplicates` — heavy-duplicate inputs for the §4.3
   tagging machinery.
+
+Every generator self-registers through
+:func:`~repro.workloads.registry.register_workload`, which couples it with
+a description, a paper-section tag and (for record-carrying workloads like
+the particle sets) its natural record schema — the same plugin-registry
+treatment algorithms, machines and backends already get.  ``repro
+workloads`` lists the catalog; :data:`WORKLOADS` remains the
+``name -> generator`` mapping all existing call sites resolve against.
 """
 
+from repro.workloads.registry import (
+    WORKLOAD_SPECS,
+    WORKLOADS,
+    WorkloadSpec,
+    available_workloads,
+    get_workload,
+    register_workload,
+)
 from repro.workloads.distributions import (
     DISTRIBUTIONS,
     make_distributed,
@@ -22,6 +38,7 @@ from repro.workloads.distributions import (
     reversed_shards,
 )
 from repro.workloads.changa import (
+    PARTICLE_SCHEMA,
     dwarf_like_shards,
     lambb_like_shards,
     plummer_positions,
@@ -36,38 +53,21 @@ from repro.workloads.duplicates import (
     zipf_duplicate_shards,
 )
 
-#: Unified catalog of every named workload — the parametric distributions
-#: plus the ChaNGa-like particle sets and the duplicate-heavy generators.
-#: Every entry has the same call shape ``fn(p, n_per, rng, **kwargs)`` and
-#: returns ``p`` per-rank key arrays; this is what
-#: :meth:`repro.algorithms.Dataset.from_workload` resolves names against.
-WORKLOADS = {
-    **DISTRIBUTIONS,
-    "changa-dwarf": dwarf_like_shards,
-    "changa-lambb": lambb_like_shards,
-    "fractal-dwarf": fractal_dwarf_shards,
-    "fractal-lambb": fractal_lambb_shards,
-    "constant": constant_shards,
-    "few-distinct": few_distinct_shards,
-    "hotspot": hotspot_shards,
-    "zipf-duplicates": zipf_duplicate_shards,
-}
-
 
 def make_workload(name, p, n_per, rng=0, **kwargs):
-    """Generate per-rank shards for any catalogued workload by name."""
-    from repro.errors import WorkloadError
-
-    if name not in WORKLOADS:
-        raise WorkloadError(
-            f"unknown workload {name!r}; choose from {sorted(WORKLOADS)}"
-        )
-    return WORKLOADS[name](p, n_per, rng, **kwargs)
+    """Generate per-rank shards for any registered workload by name."""
+    return get_workload(name).generate(p, n_per, rng, **kwargs)
 
 
 __all__ = [
     "DISTRIBUTIONS",
+    "PARTICLE_SCHEMA",
     "WORKLOADS",
+    "WORKLOAD_SPECS",
+    "WorkloadSpec",
+    "available_workloads",
+    "get_workload",
+    "register_workload",
     "make_distributed",
     "make_workload",
     "uniform_shards",

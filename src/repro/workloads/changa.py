@@ -25,8 +25,17 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import WorkloadError
+from repro.records import RecordSchema
 from repro.utils.bits import morton_encode_3d
 from repro.utils.rng import rng_or_default
+from repro.workloads.registry import register_workload
+
+#: The record layout a ChaNGa particle exchange actually moves: the Morton
+#: key routes the particle, the payload columns ride along (24 payload
+#: bytes; 32-byte records with the 8-byte key).
+PARTICLE_SCHEMA = RecordSchema.from_mapping(
+    {"mass": "f8", "vx": "f4", "vy": "f4", "vz": "f4", "id": "u4"}
+)
 
 __all__ = [
     "plummer_positions",
@@ -148,6 +157,12 @@ def _deal_keys(
     return [chunk.copy() for chunk in np.array_split(keys, p)]
 
 
+@register_workload(
+    "changa-dwarf",
+    description="Single-halo particle Morton keys (extreme central concentration)",
+    paper_section="6.3",
+    record_schema=PARTICLE_SCHEMA,
+)
 def dwarf_like_shards(
     p: int,
     n_per: int,
@@ -171,6 +186,12 @@ def dwarf_like_shards(
     return _deal_keys(keys, p, rng)
 
 
+@register_workload(
+    "changa-lambb",
+    description="Cosmological-web particle Morton keys (multi-scale clustering)",
+    paper_section="6.3",
+    record_schema=PARTICLE_SCHEMA,
+)
 def lambb_like_shards(
     p: int,
     n_per: int,
@@ -235,6 +256,12 @@ def lambb_like_shards(
     return _deal_keys(keys, p, rng)
 
 
+@register_workload(
+    "fractal-dwarf",
+    description="Fig 6.2 Dwarf analog: one deep Soneira-Peebles hierarchy",
+    paper_section="6.2",
+    record_schema=PARTICLE_SCHEMA,
+)
 def fractal_dwarf_shards(
     p: int,
     n_per: int,
@@ -259,6 +286,12 @@ def fractal_dwarf_shards(
     return _deal_keys(keys, p, rng)
 
 
+@register_workload(
+    "fractal-lambb",
+    description="Fig 6.2 Lambb analog: shallow hierarchies plus filaments",
+    paper_section="6.2",
+    record_schema=PARTICLE_SCHEMA,
+)
 def fractal_lambb_shards(
     p: int,
     n_per: int,

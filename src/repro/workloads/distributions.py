@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.errors import WorkloadError
 from repro.utils.rng import rng_or_default
+from repro.workloads.registry import register_workload
 
 __all__ = [
     "DISTRIBUTIONS",
@@ -59,6 +60,11 @@ def _to_int_keys(values: np.ndarray) -> np.ndarray:
     return scaled.astype(np.int64)
 
 
+@register_workload(
+    "uniform",
+    description="Uniform 62-bit integer keys — the benign baseline",
+    paper_section="6.2",
+)
 def uniform_shards(
     p: int, n_per: int, rng: np.random.Generator | int | None = 0
 ) -> list[np.ndarray]:
@@ -68,6 +74,11 @@ def uniform_shards(
     return _deal(keys, p, rng)
 
 
+@register_workload(
+    "normal",
+    description="Gaussian-density keys (mild central concentration)",
+    paper_section="6.2",
+)
 def normal_shards(
     p: int,
     n_per: int,
@@ -80,6 +91,11 @@ def normal_shards(
     return _deal(keys, p, rng)
 
 
+@register_workload(
+    "exponential",
+    description="Exponential-density keys (one-sided skew)",
+    paper_section="6.2",
+)
 def exponential_shards(
     p: int,
     n_per: int,
@@ -92,6 +108,11 @@ def exponential_shards(
     return _deal(keys, p, rng)
 
 
+@register_workload(
+    "lognormal",
+    description="Log-normal keys — heavy tail, strong density concentration",
+    paper_section="6.2",
+)
 def lognormal_shards(
     p: int,
     n_per: int,
@@ -104,6 +125,11 @@ def lognormal_shards(
     return _deal(keys, p, rng)
 
 
+@register_workload(
+    "staircase",
+    description="Adversarial staircase: mass clusters at exponentially spread scales",
+    paper_section="6.2",
+)
 def staircase_shards(
     p: int,
     n_per: int,
@@ -129,6 +155,11 @@ def staircase_shards(
     return _deal(keys.astype(np.int64), p, rng)
 
 
+@register_workload(
+    "nearly-sorted",
+    description="Already-sorted placement with a sprinkling of out-of-place keys",
+    paper_section="6.2",
+)
 def nearly_sorted_shards(
     p: int,
     n_per: int,
@@ -152,6 +183,11 @@ def nearly_sorted_shards(
     return [chunk.copy() for chunk in np.array_split(keys, p)]
 
 
+@register_workload(
+    "reversed",
+    description="Globally descending placement — every key crosses the machine",
+    paper_section="6.2",
+)
 def reversed_shards(
     p: int, n_per: int, rng: np.random.Generator | int | None = 0
 ) -> list[np.ndarray]:

@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.errors import WorkloadError
 from repro.utils.rng import rng_or_default
+from repro.workloads.registry import register_workload
 
 __all__ = [
     "constant_shards",
@@ -22,6 +23,11 @@ __all__ = [
 ]
 
 
+@register_workload(
+    "constant",
+    description="Every key identical — the degenerate worst case for untagged sorters",
+    paper_section="4.3",
+)
 def constant_shards(
     p: int, n_per: int, rng: np.random.Generator | int | None = 0, value: int = 42
 ) -> list[np.ndarray]:
@@ -30,6 +36,11 @@ def constant_shards(
     return [np.full(n_per, value, dtype=np.int64) for _ in range(p)]
 
 
+@register_workload(
+    "few-distinct",
+    description="Uniform draws from a tiny alphabet (fewer values than processors)",
+    paper_section="4.3",
+)
 def few_distinct_shards(
     p: int,
     n_per: int,
@@ -44,6 +55,11 @@ def few_distinct_shards(
     return [values[rng.integers(0, distinct, size=n_per)] for _ in range(p)]
 
 
+@register_workload(
+    "hotspot",
+    description="One hot key holding most of the mass, unique keys elsewhere",
+    paper_section="4.3",
+)
 def hotspot_shards(
     p: int,
     n_per: int,
@@ -63,6 +79,11 @@ def hotspot_shards(
     return [chunk.copy() for chunk in np.array_split(keys, p)]
 
 
+@register_workload(
+    "zipf-duplicates",
+    description="Zipf-distributed draws from a small alphabet (realistic duplicates)",
+    paper_section="4.3",
+)
 def zipf_duplicate_shards(
     p: int,
     n_per: int,

@@ -82,6 +82,100 @@ class TestFromWorkload:
         assert len(np.unique(np.concatenate(ds.shards))) <= 2
 
 
+class TestRecordPayloads:
+    def test_from_workload_with_columns(self):
+        ds = Dataset.from_workload(
+            "uniform", p=4, n_per=50, seed=0,
+            payloads={"mass": "f8", "id": "u4"},
+        )
+        assert ds.has_payloads
+        assert ds.record_schema.column_names == ("mass", "id")
+        assert ds.payloads[0].dtype.names == ("mass", "id")
+        assert ds.record_nbytes() == 8 + 8 + 4
+
+    def test_payload_generation_deterministic(self):
+        a, b = (
+            Dataset.from_workload(
+                "uniform", p=3, n_per=40, seed=5,
+                payloads={"mass": "f8", "id": "u4"},
+            )
+            for _ in range(2)
+        )
+        for pa, pb in zip(a.payloads, b.payloads):
+            np.testing.assert_array_equal(pa, pb)
+
+    def test_payload_columns_independent(self):
+        """Adding a column never perturbs the values of existing ones."""
+        narrow = Dataset.from_workload(
+            "uniform", p=2, n_per=30, seed=4, payloads={"mass": "f8"}
+        )
+        wide = Dataset.from_workload(
+            "uniform", p=2, n_per=30, seed=4,
+            payloads={"id": "u4", "mass": "f8"},
+        )
+        for a, b in zip(narrow.payloads, wide.payloads):
+            np.testing.assert_array_equal(a["mass"], b["mass"])
+
+    def test_payloads_true_uses_declared_schema(self):
+        ds = Dataset.from_workload(
+            "changa-dwarf", p=2, n_per=25, seed=1, payloads=True
+        )
+        assert ds.record_schema.column_names == ("mass", "vx", "vy", "vz", "id")
+        assert ds.record_nbytes() == 32
+
+    def test_payloads_true_rejected_for_keyonly_workload(self):
+        with pytest.raises(ConfigError, match="declares no record schema"):
+            Dataset.from_workload("uniform", p=2, n_per=10, payloads=True)
+
+    def test_object_payload_column_rejected(self):
+        with pytest.raises(ConfigError):
+            Dataset.from_workload(
+                "uniform", p=2, n_per=10, payloads={"blob": "O"}
+            )
+
+    def test_from_records_round_trip(self):
+        ds = Dataset.from_workload(
+            "uniform", p=3, n_per=20, seed=2,
+            payloads={"mass": "f8", "id": "u4"},
+        )
+        again = Dataset.from_records(ds.batches(), workload=ds.workload)
+        assert again.record_schema == ds.record_schema
+        for a, b in zip(ds.shards, again.shards):
+            np.testing.assert_array_equal(a, b)
+        for a, b in zip(ds.payloads, again.payloads):
+            np.testing.assert_array_equal(a, b)
+
+    def test_from_records_key_only(self):
+        ds = Dataset.from_workload("uniform", p=2, n_per=15, seed=0)
+        again = Dataset.from_records(ds.batches())
+        assert not again.has_payloads
+        for a, b in zip(ds.shards, again.shards):
+            np.testing.assert_array_equal(a, b)
+
+    def test_schema_derived_from_legacy_payload(self, small_shards):
+        ds = Dataset.from_arrays(small_shards).with_index_payloads()
+        assert ds.record_schema.column_names == ("payload",)
+        assert ds.record_nbytes() == 16
+
+    def test_schema_without_payloads_rejected(self, small_shards):
+        from repro.records import RecordSchema
+
+        with pytest.raises(ConfigError, match="without payloads"):
+            Dataset.from_arrays(
+                small_shards,
+                schema=RecordSchema.from_mapping({"mass": "f8"}),
+            )
+
+    def test_with_payloads_deprecated_but_identical(self, small_shards):
+        base = Dataset.from_arrays(small_shards)
+        payloads = [np.arange(len(s)) for s in small_shards]
+        with pytest.warns(DeprecationWarning, match="with_payloads"):
+            via_shim = base.with_payloads(payloads)
+        via_index = Dataset.from_arrays(small_shards, payloads)
+        for a, b in zip(via_shim.payloads, via_index.payloads):
+            np.testing.assert_array_equal(a, b)
+
+
 class TestPayloadHelpers:
     def test_with_index_payloads_globally_unique(self, small_shards):
         ds = Dataset.from_arrays(small_shards).with_index_payloads()

@@ -7,6 +7,7 @@ from repro.errors import ConfigError
 
 EXPECTED_SUITES = {
     "shootout",
+    "shootout_records",
     "fig_3_1",
     "fig_4_1",
     "fig_6_1",

@@ -38,6 +38,8 @@ class ListSubclass(list):
     pass
 
 
+RECORD_DTYPE = np.dtype([("mass", "<f8"), ("id", "<u4")])
+
 PAYLOADS = [
     None,
     0,
@@ -60,6 +62,12 @@ PAYLOADS = [
     np.zeros(10, dtype=np.int64),
     np.zeros((3, 4), dtype=np.float32),
     np.arange(6, dtype=np.uint8).reshape(2, 3),
+    np.zeros(5, dtype=RECORD_DTYPE),
+    np.zeros(0, dtype=RECORD_DTYPE),
+    np.zeros(3, dtype=RECORD_DTYPE)[0],  # np.void structured scalar
+    [np.zeros(3, dtype=RECORD_DTYPE)[i] for i in range(3)],  # flat void seq
+    [np.zeros(2, dtype=RECORD_DTYPE), np.zeros(4, dtype=RECORD_DTYPE)],
+    np.void(b"\x00\x01\x02"),  # raw void, no fields
     [],
     [1, 2, 3],
     [1.0, 2.0],
@@ -116,6 +124,14 @@ class TestKnownSizes:
 
     def test_dict_counts_keys_and_values(self):
         assert sizeof({"a": 1}) == 9
+
+    def test_structured_array_counts_record_bytes(self):
+        # 12-byte records (f8 + u4): the cost model must price real record
+        # bytes, not 8 bytes per element.
+        recs = np.zeros(10, dtype=RECORD_DTYPE)
+        assert sizeof(recs) == 120
+        assert sizeof(recs[0]) == 12  # np.void scalar row
+        assert sizeof([recs[0], recs[1]]) == 24
 
     def test_dispatch_cache_handles_new_types(self):
         class Fresh:

@@ -1,0 +1,232 @@
+"""RecordBatch: ops, byte accounting, and wire-format round trips."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.records import RecordBatch, RecordSchema
+
+FIXED_DTYPES = ["?", "i1", "i2", "i4", "i8", "u1", "u2", "u4", "u8", "f4", "f8"]
+
+
+def _column(dtype: str, n: int, rng: np.random.Generator) -> np.ndarray:
+    dt = np.dtype(dtype)
+    if dt.kind == "b":
+        return rng.integers(0, 2, size=n).astype(dt)
+    if dt.kind in "iu":
+        info = np.iinfo(dt)
+        return rng.integers(info.min, info.max, size=n, dtype=dt)
+    return rng.standard_normal(n).astype(dt)
+
+
+def _sample_batch(n: int = 7, seed: int = 0) -> RecordBatch:
+    rng = np.random.default_rng(seed)
+    keys = rng.permutation(n).astype(np.int64)
+    return RecordBatch.from_columns(
+        keys,
+        {
+            "mass": rng.standard_normal(n),
+            "id": np.arange(n, dtype=np.uint32),
+            "tag": [b"x" * int(i % 3) for i in range(n)],
+        },
+    )
+
+
+class TestBuild:
+    def test_from_columns_infers_schema(self):
+        b = _sample_batch()
+        assert b.schema.column_names == ("mass", "id", "tag")
+        assert b.schema.column("tag").is_var_width
+        assert b.num_rows == 7
+        assert b.num_columns == 3
+
+    def test_from_payload_array_structured(self):
+        dt = np.dtype([("mass", "<f8"), ("id", "<u4")])
+        payload = np.zeros(3, dtype=dt)
+        payload["mass"] = [0.1, 0.2, 0.3]
+        b = RecordBatch.from_payload_array(np.arange(3), payload)
+        assert b.schema.column_names == ("mass", "id")
+        assert np.array_equal(b.payload_array(), payload)
+
+    def test_from_payload_array_plain_becomes_payload_column(self):
+        b = RecordBatch.from_payload_array(
+            np.arange(3), np.array([5.0, 6.0, 7.0])
+        )
+        assert b.schema.column_names == ("payload",)
+
+    def test_from_payload_array_rejects_object_dtype(self):
+        with pytest.raises(ConfigError, match="object-dtype"):
+            RecordBatch.from_payload_array(
+                np.arange(2), np.array([{"a": 1}, {"b": 2}], dtype=object)
+            )
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            RecordBatch.from_columns(
+                np.arange(3), {"mass": np.zeros(2)}
+            )
+
+
+class TestOps:
+    def test_take_reorders_all_columns(self):
+        b = _sample_batch()
+        idx = np.array([3, 0, 5])
+        t = b.take(idx)
+        assert np.array_equal(t.keys, b.keys[idx])
+        assert np.array_equal(t.column("mass"), b.column("mass")[idx])
+        tags = b.column("tag")
+        assert t.column("tag") == [tags[i] for i in idx]
+
+    def test_take_empty(self):
+        t = _sample_batch().take(np.array([], dtype=np.int64))
+        assert len(t) == 0
+        assert t.column("tag") == []
+
+    def test_slice(self):
+        b = _sample_batch()
+        s = b.slice(2, 5)
+        assert np.array_equal(s.keys, b.keys[2:5])
+        assert s.column("tag") == b.column("tag")[2:5]
+
+    def test_sort_by_key_is_stable_and_aligned(self):
+        b = _sample_batch()
+        s = b.sort_by_key()
+        assert np.array_equal(s.keys, np.sort(b.keys))
+        # Each row's columns still travel with its key.
+        order = np.argsort(b.keys, kind="stable")
+        assert np.array_equal(s.column("id"), b.column("id")[order])
+        assert s.column("tag") == [b.column("tag")[i] for i in order]
+
+    def test_sort_by_structured_key(self):
+        key_dtype = np.dtype([("k", "<i8"), ("pe", "<i4")])
+        keys = np.zeros(4, dtype=key_dtype)
+        keys["k"] = [2, 1, 2, 1]
+        keys["pe"] = [0, 1, 1, 0]
+        b = RecordBatch.from_columns(
+            keys, {"id": np.arange(4, dtype=np.uint32)}
+        )
+        s = b.sort_by_key()
+        assert s.keys["k"].tolist() == [1, 1, 2, 2]
+        assert s.keys["pe"].tolist() == [0, 1, 0, 1]
+        assert s.column("id").tolist() == [3, 1, 0, 2]
+
+    def test_concat_round_trips_slices(self):
+        b = _sample_batch()
+        again = RecordBatch.concat([b.slice(0, 3), b.slice(3, 7)])
+        assert again.equals(b)
+
+    def test_concat_rejects_schema_mismatch(self):
+        a = RecordBatch.from_columns(np.arange(2), {"x": np.zeros(2)})
+        b = RecordBatch.from_columns(np.arange(2), {"y": np.zeros(2)})
+        with pytest.raises(ConfigError, match="mismatched schemas"):
+            RecordBatch.concat([a, b])
+
+    def test_equals_detects_value_change(self):
+        a = _sample_batch()
+        b = _sample_batch()
+        assert a.equals(b)
+        c = b.take(np.arange(len(b))[::-1])
+        assert not a.equals(c)
+
+
+class TestByteAccounting:
+    def test_row_nbytes_fixed_width(self):
+        b = RecordBatch.from_columns(
+            np.arange(4, dtype=np.int64),
+            {"mass": np.zeros(4), "id": np.zeros(4, dtype=np.uint32)},
+        )
+        assert b.row_nbytes().tolist() == [20, 20, 20, 20]
+        assert b.nbytes == 4 * 20
+
+    def test_row_nbytes_var_width_prices_lengths(self):
+        b = RecordBatch.from_columns(
+            np.arange(3, dtype=np.int64), {"tag": [b"", b"ab", b"abcd"]}
+        )
+        # key (8) + offsets entry (8) + actual blob bytes per row.
+        assert b.row_nbytes().tolist() == [16, 18, 20]
+        # Total buffers carry one extra offsets entry over the row sum.
+        assert b.nbytes == sum(b.row_nbytes()) + 8
+
+
+class TestWireFormat:
+    @pytest.mark.parametrize("dtype", FIXED_DTYPES)
+    def test_round_trip_every_fixed_dtype(self, dtype):
+        rng = np.random.default_rng(hash(dtype) % 2**32)
+        n = 11
+        b = RecordBatch.from_columns(
+            _column("i8", n, rng), {"col": _column(dtype, n, rng)}
+        )
+        again = RecordBatch.from_bytes(b.to_bytes())
+        assert again.equals(b)
+        assert again.column("col").dtype == np.dtype(dtype)
+
+    @pytest.mark.parametrize("dtype", FIXED_DTYPES)
+    def test_round_trip_zero_rows(self, dtype):
+        b = RecordBatch.from_columns(
+            np.empty(0, dtype=np.int64),
+            {"col": np.empty(0, dtype=dtype)},
+        )
+        again = RecordBatch.from_bytes(b.to_bytes())
+        assert again.equals(b)
+        assert len(again) == 0
+
+    def test_round_trip_var_width_and_unicode(self):
+        b = RecordBatch.from_columns(
+            np.arange(4),
+            {
+                "raw": [b"", b"\x00\xff", b"abc", b"d"],
+                "label": ["", "héllo", "wörld", "x"],
+            },
+        )
+        again = RecordBatch.from_bytes(b.to_bytes())
+        assert again.equals(b)
+        assert again.column("label") == ["", "héllo", "wörld", "x"]
+
+    def test_round_trip_zero_row_var_width(self):
+        b = RecordBatch.from_columns(
+            np.empty(0, dtype=np.int64), {"tag": []}
+        )
+        again = RecordBatch.from_bytes(b.to_bytes())
+        assert again.equals(b)
+
+    def test_round_trip_structured_key(self):
+        key_dtype = np.dtype([("k", "<i8"), ("pe", "<i4"), ("idx", "<i4")])
+        keys = np.zeros(5, dtype=key_dtype)
+        keys["k"] = np.arange(5)
+        keys["pe"] = 7
+        b = RecordBatch.from_columns(keys, {"mass": np.linspace(0, 1, 5)})
+        again = RecordBatch.from_bytes(b.to_bytes())
+        assert again.equals(b)
+        assert again.keys.dtype == key_dtype
+
+    def test_round_trip_key_only(self):
+        b = RecordBatch.from_columns(np.arange(6, dtype=np.uint64))
+        again = RecordBatch.from_bytes(b.to_bytes())
+        assert again.equals(b)
+        assert again.num_columns == 0
+
+    def test_round_trip_mixed_many_columns(self):
+        rng = np.random.default_rng(42)
+        n = 33
+        cols = {f"c_{dt.replace('?', 'b')}": _column(dt, n, rng)
+                for dt in FIXED_DTYPES}
+        cols["blob"] = [
+            bytes(rng.integers(0, 256, size=int(rng.integers(0, 9)), dtype=np.uint8))
+            for _ in range(n)
+        ]
+        b = RecordBatch.from_columns(_column("i8", n, rng), cols)
+        again = RecordBatch.from_bytes(b.to_bytes())
+        assert again.equals(b)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ConfigError, match="magic"):
+            RecordBatch.from_bytes(b"XXXX" + b"\x00" * 16)
+
+    def test_buffers_are_aligned(self):
+        blob = _sample_batch().to_bytes()
+        import json
+
+        header_len = int.from_bytes(blob[6:10], "little")
+        header = json.loads(blob[10:10 + header_len].decode())
+        for entry in header["buffers"]:
+            assert entry["offset"] % 64 == 0

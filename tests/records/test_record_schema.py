@@ -1,0 +1,103 @@
+"""RecordSchema: normalization, validation, serialization round trips."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.records import ColumnSpec, RecordSchema, parse_schema
+
+
+class TestColumnSpec:
+    def test_normalizes_dtype(self):
+        spec = ColumnSpec("mass", "f8")
+        assert spec.dtype == np.dtype("<f8")
+        assert not spec.is_var_width
+
+    def test_var_width_specs(self):
+        assert ColumnSpec("tag", "bytes").is_var_width
+        assert ColumnSpec("label", "str").is_var_width
+
+    def test_rejects_key_name(self):
+        with pytest.raises(ConfigError, match="key"):
+            ColumnSpec("key", "f8")
+
+    def test_rejects_bad_name(self):
+        with pytest.raises(ConfigError):
+            ColumnSpec("has space", "f8")
+
+    def test_rejects_object_dtype(self):
+        with pytest.raises(ConfigError):
+            ColumnSpec("bad", "O")
+
+    def test_rejects_structured_column(self):
+        with pytest.raises(ConfigError, match="one scalar per row"):
+            ColumnSpec("nested", np.dtype([("a", "f8")]))
+
+
+class TestRecordSchema:
+    def test_from_mapping_preserves_order(self):
+        schema = RecordSchema.from_mapping({"mass": "f8", "id": "u4"})
+        assert schema.column_names == ("mass", "id")
+
+    def test_rejects_duplicate_columns(self):
+        with pytest.raises(ConfigError, match="duplicate"):
+            RecordSchema(
+                columns=(ColumnSpec("a", "f8"), ColumnSpec("a", "u4"))
+            )
+
+    def test_payload_dtype_structured(self):
+        schema = RecordSchema.from_mapping({"mass": "f8", "id": "u4"})
+        dt = schema.payload_dtype()
+        assert dt.names == ("mass", "id")
+        assert dt.itemsize == 12
+
+    def test_payload_dtype_rejects_var_width(self):
+        schema = RecordSchema(columns=(ColumnSpec("tag", "bytes"),))
+        with pytest.raises(ConfigError, match="sort path"):
+            schema.payload_dtype()
+
+    def test_record_nbytes(self):
+        schema = RecordSchema.from_mapping({"mass": "f8", "id": "u4"})
+        assert schema.record_nbytes() == 8 + 8 + 4  # i8 key + columns
+
+    def test_record_nbytes_var_width_counts_offsets(self):
+        schema = RecordSchema(columns=(ColumnSpec("tag", "bytes"),))
+        assert schema.record_nbytes() == 8 + 8  # key + offset entry
+
+    def test_compact_round_trip(self):
+        schema = RecordSchema.from_mapping({"mass": "f8", "id": "u4"})
+        assert parse_schema(schema.compact()) == schema
+
+    def test_to_dict_round_trip(self):
+        schema = RecordSchema.from_mapping(
+            {"mass": "f8", "id": "u4", "tag": "bytes"}
+        )
+        assert RecordSchema.from_dict(schema.to_dict()) == schema
+
+    def test_to_dict_round_trip_structured_key(self):
+        key_dtype = np.dtype([("k", "<i8"), ("pe", "<i4"), ("idx", "<i4")])
+        schema = RecordSchema.from_mapping({"mass": "f8"}, key_dtype=key_dtype)
+        restored = RecordSchema.from_dict(schema.to_dict())
+        assert restored == schema
+        assert restored.np_key_dtype == key_dtype
+
+    def test_fixed_width_flag(self):
+        assert RecordSchema.from_mapping({"a": "f8"}).fixed_width
+        assert not RecordSchema(
+            columns=(ColumnSpec("t", "str"),)
+        ).fixed_width
+
+
+class TestParseSchema:
+    def test_parse(self):
+        schema = parse_schema("mass:f8,id:u4")
+        assert schema.column_names == ("mass", "id")
+        assert schema.column("id").dtype == np.dtype("<u4")
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ConfigError):
+            parse_schema("no-colon-here")
+
+    def test_parse_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            parse_schema("")

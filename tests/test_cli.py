@@ -123,7 +123,10 @@ class TestSortCommand:
              "--payloads"]
         )
         assert code == 2
-        assert "does not support payloads" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "does not support payloads" in err
+        # The pre-check names the payload-capable alternatives.
+        assert "hss" in err and "sample-regular" in err
 
     def test_catalog_workload_beyond_distributions(self, capsys):
         code = main(
@@ -480,6 +483,20 @@ class TestMachinesCommand:
         assert "torus" in out and "alpha=" in out
 
 
+class TestWorkloadsCommand:
+    def test_lists_registry_with_record_schemas(self, capsys):
+        from repro.workloads import available_workloads
+
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in available_workloads():
+            assert name in out
+        # Record-carrying workloads show their columns, the rest say so.
+        assert "records: mass:<f8" in out
+        assert "keys only" in out
+        assert "§6.3" in out
+
+
 class TestSweepCommand:
     def test_two_by_two_grid_with_json(self, capsys, tmp_path):
         path = tmp_path / "experiment.json"
@@ -539,6 +556,40 @@ class TestSweepCommand:
         out = capsys.readouterr().out
         assert code == 0
         assert report.read_text().strip() == out.strip()
+
+    def test_payloads_axis(self, capsys, tmp_path):
+        path = tmp_path / "records.json"
+        code = main(
+            [
+                "sweep", "--algorithms", "hss,bitonic",
+                "--workloads", "uniform", "-p", "4", "-n", "200",
+                "--payloads", "none", "--payloads", "mass:f8,id:u4",
+                "--json", str(path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        # bitonic's record cell is infeasible: skipped, not fatal.
+        assert "4 cells (3 ok, 1 skipped)" in out
+
+        import json
+
+        doc = json.loads(path.read_text())
+        assert doc["grid"]["payloads"] == ["", "mass:f8,id:u4"]
+        by_name = {
+            c["scenario"]["payloads"]: c
+            for c in doc["cells"]
+            if c["scenario"]["algorithm"] == "hss"
+        }
+        assert by_name["mass:f8,id:u4"]["metrics"]["record_bytes"] == 20
+        assert (
+            by_name["mass:f8,id:u4"]["metrics"]["net_bytes"]
+            > by_name[""]["metrics"]["net_bytes"]
+        )
+        skipped = [c for c in doc["cells"] if c["status"] == "skipped"]
+        assert len(skipped) == 1
+        assert skipped[0]["scenario"]["algorithm"] == "bitonic"
+        assert "does not support payloads" in skipped[0]["reason"]
 
     def test_bad_algorithm_exits_2(self, capsys):
         code = main(
