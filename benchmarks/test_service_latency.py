@@ -1,0 +1,57 @@
+"""Sort-as-a-service latency: warm starts must beat their cold twins.
+
+The ``service_latency`` suite replays a deterministic JSONL job stream
+through :class:`repro.service.SortService` — ``repeats`` interleaved
+passes over the workload list, every pass resubmitting identical
+scenarios.  Pass 0 runs cold; later passes find their workload
+fingerprint in the splitter cache and warm-start the histogram phase
+(cached shard boundaries become round-1 probes).  This pins the PR's
+headline claim: a warm-started job performs *strictly fewer* histogram
+rounds — and strictly lower modeled makespan — than its cold twin, and
+the stream's p50 reflects warm steady state rather than cold starts.
+"""
+
+from repro.bench.report import render_suite
+
+
+def test_service_latency(bench_run, emit):
+    run = bench_run("service_latency")
+    emit("service_latency", render_suite(run))
+
+    workloads = run.params["workloads"]
+    repeats = run.params["repeats"]
+    for w in workloads:
+        cold_rounds = run.metric(f"cold/{w}", "rounds")
+        warm_rounds = run.metric(f"warm/{w}", "rounds")
+        # The tentpole pin: strictly fewer histogram rounds when warm.
+        assert warm_rounds < cold_rounds, w
+        assert run.metric(f"warm/{w}", "cache_hit") == 1
+        assert run.metric(f"cold/{w}", "cache_hit") == 0
+        # Fewer rounds must surface as lower modeled latency and a
+        # smaller total sample (the round-1 probes replace cold
+        # oversampling), never as a balance violation.
+        assert (
+            run.metric(f"warm/{w}", "makespan_s")
+            < run.metric(f"cold/{w}", "makespan_s")
+        ), w
+        assert (
+            run.metric(f"warm/{w}", "total_sample")
+            < run.metric(f"cold/{w}", "total_sample")
+        ), w
+        eps = run.params["eps"]
+        assert run.metric(f"warm/{w}", "imbalance") <= 1 + eps + 1e-9, w
+
+    # Every repeat pass of every workload hit the cache exactly once.
+    hits = run.metric("stream/p50", "cache_hits")
+    misses = run.metric("stream/p50", "cache_misses")
+    assert hits == len(workloads) * (repeats - 1)
+    assert misses == len(workloads)
+
+    # With repeats >= 2 passes, warm jobs are the majority: the stream
+    # median sits at warm latency, strictly below the cold-dominated p99.
+    p50 = run.metric("stream/p50", "makespan_s")
+    p99 = run.metric("stream/p99", "makespan_s")
+    assert p50 < p99
+    warm_max = max(run.metric(f"warm/{w}", "makespan_s") for w in workloads)
+    cold_min = min(run.metric(f"cold/{w}", "makespan_s") for w in workloads)
+    assert p50 <= warm_max < cold_min <= p99

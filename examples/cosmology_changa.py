@@ -17,7 +17,8 @@ Run:  python examples/cosmology_changa.py
 
 import numpy as np
 
-from repro.algorithms import Dataset, Sorter
+import repro
+from repro.algorithms import Dataset
 from repro.metrics import verify_sorted_output
 
 P = 16
@@ -41,9 +42,10 @@ def old_histogram_rounds(dataset: Dataset) -> int:
     as_float = Dataset.from_arrays(
         [s.astype(np.float64) for s in dataset.shards]
     )
-    run = Sorter(
-        "histogram", eps=EPS, max_rounds=300, verify=False
-    ).run(as_float)
+    run = repro.sort(
+        as_float, algorithm="histogram", eps=EPS, max_rounds=300,
+        verify=False,
+    )
     return run.stats.rounds
 
 
@@ -59,9 +61,10 @@ def main() -> None:
         print(f"== {name}: {P * PARTICLES_PER_PROC:,} particles ==")
         print(f"   90% of keys occupy {conc:.2%} of the key-space span")
 
-        run = Sorter(
-            "hss", eps=EPS, seed=3, oversample=5.0, tag_duplicates=True
-        ).run(dataset)
+        run = repro.sort(
+            dataset, algorithm="hss", eps=EPS, seed=3, oversample=5.0,
+            tag_duplicates=True,
+        )
         verify_sorted_output(dataset.shards, run.shards, EPS)
         hss_rounds = run.splitter_stats.num_rounds
 

@@ -17,7 +17,8 @@ Run:  python examples/duplicate_keys.py
 
 import numpy as np
 
-from repro.algorithms import Dataset, Sorter
+import repro
+from repro.algorithms import Dataset
 from repro.errors import LoadBalanceError, VerificationError
 from repro.metrics import load_imbalance
 
@@ -33,17 +34,20 @@ def demo(dataset: Dataset, label: str) -> None:
           f"hottest key holds {counts.max() / (P * N_PER):.1%}")
 
     try:
-        Sorter("hss", eps=EPS, seed=1).run(dataset)
+        repro.sort(dataset, algorithm="hss", eps=EPS, seed=1)
         print("   untagged: met the balance contract (duplicates mild)")
     except (LoadBalanceError, VerificationError):
         # Re-run in best-effort mode to measure how badly it degrades.
-        raw = Sorter("hss", eps=EPS, seed=1, strict=False, verify=False).run(
-            dataset
+        raw = repro.sort(
+            dataset, algorithm="hss", eps=EPS, seed=1, strict=False,
+            verify=False,
         )
         print(f"   untagged: FAILS — imbalance {load_imbalance(raw.shards):.2f} "
               f"(budget {1 + EPS})")
 
-    run = Sorter("hss", eps=EPS, seed=1, tag_duplicates=True).run(dataset)
+    run = repro.sort(
+        dataset, algorithm="hss", eps=EPS, seed=1, tag_duplicates=True
+    )
     print(f"   tagged  : imbalance {run.imbalance:.4f} in "
           f"{run.splitter_stats.num_rounds} rounds — contract met")
     print()

@@ -22,7 +22,8 @@ import sys
 
 import numpy as np
 
-from repro.algorithms import Dataset, Sorter
+import repro
+from repro.algorithms import Dataset
 
 P = 8                    # ranks (the process backend maps them to cores)
 KEYS_PER_PROC = 200_000  # bump this to see real-core speedups grow
@@ -35,14 +36,15 @@ def main() -> None:
 
     runs = {}
     for backend in ("simulated", "process"):
-        runs[backend] = Sorter(
-            "hss",
+        runs[backend] = repro.sort(
+            dataset,
+            algorithm="hss",
             machine="mira-like-bgq",
             eps=EPS,
             seed=1,
             backend=backend,
             verify=False,
-        ).run(dataset)
+        )
 
     sim, proc = runs["simulated"], runs["process"]
 

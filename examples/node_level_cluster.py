@@ -10,7 +10,8 @@ histogram, and ~cores²-fold fewer network messages.
 Run:  python examples/node_level_cluster.py
 """
 
-from repro.algorithms import Dataset, Sorter
+import repro
+from repro.algorithms import Dataset
 from repro.machines import get_machine
 
 P = 64               # simulated cores
@@ -31,17 +32,20 @@ def main() -> None:
     # --- two-level: node splitters + shared-memory within-node sort ------
     # The Sorter verifies against the combined (1+eps)(1+within)-1 bound
     # declared by the hss-node spec.
-    node_run = Sorter(
-        "hss-node",
+    node_run = repro.sort(
+        dataset,
+        algorithm="hss-node",
         machine=machine,
         eps=EPS_NODE,
         within_node_eps=EPS_WITHIN,
         seed=9,
-    ).run(dataset)
+    )
     node_stats = node_run.stats
 
     # --- flat core-level HSS for contrast --------------------------------
-    flat_run = Sorter("hss", machine=machine, eps=EPS_NODE, seed=9).run(dataset)
+    flat_run = repro.sort(
+        dataset, algorithm="hss", machine=machine, eps=EPS_NODE, seed=9
+    )
     flat_stats = flat_run.stats
 
     nodes = P // CORES_PER_NODE

@@ -1,16 +1,19 @@
 #!/usr/bin/env python
 """Quickstart: sort a distributed dataset with Histogram Sort with Sampling.
 
-Builds a :class:`repro.Dataset` of one million uniform 64-bit keys spread
-across 16 simulated processors, sorts it with ``Sorter("hss")`` at a 5%
+Sorts one million uniform 64-bit keys spread across 16 simulated
+processors with the one-call façade ``repro.sort(...)`` at a 5%
 load-imbalance budget, and prints what the algorithm did: histogramming
 rounds, sample sizes, interval shrinkage, the modeled phase breakdown and
-the achieved balance.
+the achieved balance.  (``repro.sort`` wraps the layered
+Dataset → Sorter → SortRun API — drop down to it when you need registries
+or pre-built configs.)
 
 Run:  python examples/quickstart.py
 """
 
-from repro.algorithms import Dataset, Sorter
+import repro
+from repro.algorithms import Dataset
 from repro.metrics import verify_sorted_output
 
 P = 16               # simulated processors
@@ -26,10 +29,11 @@ def main() -> None:
         "uniform", p=P, n_per=KEYS_PER_PROC, seed=2019
     )
 
-    # Sorter resolves "hss" through the algorithm registry and builds the
-    # §6.1.2 configuration: expected 5p sample keys per histogramming
+    # repro.sort resolves "hss" through the algorithm registry and builds
+    # the §6.1.2 configuration: expected 5p sample keys per histogramming
     # round, iterate until every splitter is inside its tolerance window.
-    run = Sorter("hss", eps=EPS, seed=1, oversample=5.0).run(dataset)
+    # (A flat array plus p= works too: repro.sort(keys, p=16, eps=0.05).)
+    run = repro.sort(dataset, algorithm="hss", eps=EPS, seed=1, oversample=5.0)
 
     # The output is the same multiset, globally sorted, within the budget —
     # the Sorter already verified this (verify=True); do it again

@@ -2,9 +2,10 @@
 
 Quick tour
 ----------
->>> from repro import Dataset, Sorter
->>> ds = Dataset.from_workload("uniform", p=8, n_per=10_000, seed=0)
->>> run = Sorter("hss", eps=0.05).run(ds)
+>>> import numpy as np
+>>> import repro
+>>> rng = np.random.default_rng(0)
+>>> run = repro.sort(rng.integers(0, 2**40, 80_000), p=8, eps=0.05)
 >>> run.imbalance <= 1.05
 True
 >>> run.splitter_stats.num_rounds  # doctest: +SKIP
@@ -12,6 +13,8 @@ True
 
 Public API highlights
 ---------------------
+- :func:`repro.sort` — the one-call façade: flat array, per-rank arrays
+  or a ``Dataset`` in; :class:`~repro.algorithms.SortRun` out.
 - :class:`repro.Sorter` / :class:`repro.Dataset` — the first-class API:
   capability-checked execution of any registered algorithm on validated
   distributed inputs.
@@ -48,6 +51,7 @@ from repro.algorithms import (
     SortRun,
     Sorter,
     register_algorithm,
+    sort,
 )
 from repro.core.api import ALGORITHMS, hss_sort, parallel_sort
 from repro.core.config import HSSConfig, SamplingSchedule
@@ -55,6 +59,7 @@ from repro.machines import MachineSpec, get_machine, register_machine
 
 __all__ = [
     "__version__",
+    "sort",
     "hss_sort",
     "parallel_sort",
     "ALGORITHMS",

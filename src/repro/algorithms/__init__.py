@@ -56,7 +56,12 @@ import repro.baselines.exact_split  # noqa: E402,F401
 import repro.baselines.bitonic  # noqa: E402,F401
 import repro.baselines.radix  # noqa: E402,F401
 
+# The one-call façade builds on Sorter/Dataset and needs the registry
+# populated, so it loads after the program modules.
+from repro.algorithms.facade import sort  # noqa: E402
+
 __all__ = [
+    "sort",
     "AlgorithmSpec",
     "REGISTRY",
     "register_algorithm",

@@ -27,7 +27,6 @@ or from pre-built record batches via :meth:`from_records`.
 
 from __future__ import annotations
 
-import warnings
 import zlib
 from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
@@ -183,6 +182,13 @@ class Dataset:
                 raise ConfigError(
                     f"all payloads must share a dtype, got {pay_dtypes}"
                 )
+            if checked_payloads[0].dtype.hasobject:
+                raise ConfigError(
+                    "object-dtype payloads are not supported: they have "
+                    "no record schema or wire format; use typed record "
+                    "columns, e.g. Dataset.from_workload(..., "
+                    "payloads={'col': 'f8'})"
+                )
             if schema is not None:
                 expected = schema.payload_dtype()
                 got = checked_payloads[0].dtype
@@ -288,22 +294,20 @@ class Dataset:
         )
 
     def with_payloads(self, payloads: Sequence[np.ndarray]) -> "Dataset":
-        """A copy of this dataset carrying the given per-rank payloads.
+        """Removed — the list-of-arrays payload API is gone.
 
-        .. deprecated::
-            The list-of-arrays payload API is the single-column degenerate
-            case of the record layer; build typed columns with
-            :meth:`from_workload(payloads=...) <from_workload>` or
-            :meth:`from_records` instead.
+        Attach typed record columns instead:
+        ``Dataset.from_workload(..., payloads={"mass": "f8"})``,
+        :meth:`from_records`, or ``Sorter.run(ds, payloads=...)`` for raw
+        aligned arrays.  Always raises :class:`~repro.errors.ConfigError`.
         """
-        warnings.warn(
-            "Dataset.with_payloads is deprecated; use typed record "
-            "columns (Dataset.from_workload(payloads={...}) or "
-            "Dataset.from_records)",
-            DeprecationWarning,
-            stacklevel=2,
+        del payloads
+        raise ConfigError(
+            "Dataset.with_payloads(list-of-arrays) was removed; attach "
+            "typed record columns with Dataset.from_workload(..., "
+            "payloads={'col': 'f8'}) or Dataset.from_records(batches), "
+            "or pass raw aligned arrays via Sorter.run(ds, payloads=...)"
         )
-        return self._with_payload_arrays(payloads)
 
     def _with_payload_arrays(
         self, payloads: Sequence[np.ndarray]
@@ -350,12 +354,12 @@ class Dataset:
 
         A structured payload dtype yields one column per field; a plain
         fixed-width payload dtype yields the single legacy ``"payload"``
-        column; object-dtype payloads (and key-only datasets) have no
-        schema.
+        column; key-only datasets have no schema (object-dtype payloads
+        are rejected at construction).
         """
         if self.schema is not None:
             return self.schema
-        if self.payloads is None or self.payloads[0].dtype.hasobject:
+        if self.payloads is None:
             return None
         return RecordBatch.from_payload_array(
             self.shards[0][: len(self.payloads[0])], self.payloads[0]
@@ -369,8 +373,7 @@ class Dataset:
     def batches(self) -> list[RecordBatch]:
         """Per-rank :class:`~repro.records.RecordBatch` views.
 
-        Key-only datasets yield zero-column batches; object-dtype payloads
-        have no columnar form (:class:`~repro.errors.ConfigError`).
+        Key-only datasets yield zero-column batches.
         """
         if self.payloads is None:
             return [RecordBatch.from_columns(k, {}) for k in self.shards]

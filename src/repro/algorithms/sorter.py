@@ -124,12 +124,19 @@ class Sorter:
         data: Dataset | Sequence[np.ndarray],
         *,
         payloads: Sequence[np.ndarray] | None = None,
+        initial_intervals: Sequence[tuple] | None = None,
     ) -> SortRun:
         """Sort a dataset; returns a :class:`SortRun`.
 
         ``data`` may be a :class:`Dataset` or a plain sequence of per-rank
         key arrays (wrapped via :meth:`Dataset.from_arrays`, optionally
         with ``payloads``).
+
+        ``initial_intervals`` warm-starts the histogram phase with cached
+        ``(lo, hi)`` splitter-interval hints from a previous run on similar
+        data (see :attr:`~repro.core.config.HSSConfig.initial_intervals`);
+        only histogram-refining algorithms accept it
+        (``AlgorithmSpec.supports_warm_start``).
         """
         if isinstance(data, Dataset):
             if payloads is not None:
@@ -139,11 +146,34 @@ class Sorter:
             dataset = Dataset.from_arrays(data, payloads=payloads)
         self._check_capabilities(dataset)
 
+        config = self.config
+        if initial_intervals is not None:
+            if not self.spec.supports_warm_start:
+                from repro.algorithms.registry import REGISTRY
+
+                capable = sorted(
+                    n for n, s in REGISTRY.items() if s.supports_warm_start
+                )
+                raise CapabilityError(
+                    f"algorithm {self.spec.name!r} does not support "
+                    f"initial_intervals warm starts "
+                    f"(AlgorithmSpec.supports_warm_start is False); "
+                    f"warm-capable algorithms: {', '.join(capable)}"
+                )
+            import dataclasses
+
+            config = dataclasses.replace(
+                config,
+                initial_intervals=tuple(
+                    (pair[0], pair[1]) for pair in initial_intervals
+                ),
+            )
+
         result = self.backend.run(
             self.spec.program,
             dataset.rank_args(),
             machine=self.machine,
-            **self.spec.program_kwargs(self.config),
+            **self.spec.program_kwargs(config),
         )
 
         shards, out_payloads, rank_stats = self._extract(result.returns)

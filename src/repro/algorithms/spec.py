@@ -59,6 +59,11 @@ class AlgorithmSpec:
     #: Meets its balance contract on duplicate-heavy inputs (natively or
     #: via a tagging option).
     duplicate_tolerant: bool = False
+    #: Accepts ``initial_intervals=`` warm-start hints (cached splitter
+    #: intervals from a previous run) through ``Sorter.run()``.  Not part
+    #: of :meth:`capabilities` — warm starts are an execution-time hint,
+    #: not a correctness-relevant capability flag.
+    supports_warm_start: bool = False
     #: Paper section implemented (e.g. ``"6.1.2"``).
     paper_section: str = ""
     #: One-line human description (shown by ``repro algorithms``).

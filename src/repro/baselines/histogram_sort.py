@@ -48,6 +48,28 @@ class HistogramSortConfig:
     probes_per_splitter: int = 3
     #: Round budget before the run fails with VerificationError.
     max_rounds: int = 128
+    #: Warm-start hints: ``((lo, hi), ...)`` key pairs from a previous run
+    #: (see :class:`~repro.core.config.HSSConfig.initial_intervals`).  The
+    #: first round probes the pair endpoints instead of spreading probes
+    #: across the whole key range; ``None`` is a cold start, bit-identical
+    #: to the historical path.
+    initial_intervals: tuple | None = None
+
+    def __post_init__(self) -> None:
+        if self.initial_intervals is not None:
+            pairs = tuple(
+                (pair[0], pair[1]) for pair in self.initial_intervals
+            )
+            if not pairs:
+                raise ConfigError(
+                    "initial_intervals must contain at least one (lo, hi) "
+                    "pair (pass None for a cold start)"
+                )
+            if any(hi < lo for lo, hi in pairs):
+                raise ConfigError(
+                    "initial_intervals pairs must satisfy lo <= hi"
+                )
+            object.__setattr__(self, "initial_intervals", pairs)
 
 
 @dataclass
@@ -152,6 +174,8 @@ def keyspace_probes(
     config_cls=HistogramSortConfig,
     supports_payloads=True,
     balanced=True,
+    supports_warm_start=True,
+    excluded_config_keys=("initial_intervals",),
     paper_section="2.3",
     description="classic histogram sort, key-space bisection (no sampling)",
 )
@@ -164,6 +188,7 @@ def histogram_sort_program(
     seed: int = 0,
     probes_per_splitter: int = 3,
     max_rounds: int = 128,
+    initial_intervals: tuple | None = None,
 ) -> Generator:
     """SPMD classic histogram sort; returns ``(Shard, HistogramSortStats)``.
 
@@ -192,7 +217,13 @@ def histogram_sort_program(
         key_max = yield from ctx.allreduce(local_max, op="max")
 
         state = (
-            SplitterState(total_keys, p, eps, key_dtype=keys.dtype)
+            SplitterState(
+                total_keys,
+                p,
+                eps,
+                key_dtype=keys.dtype,
+                initial_intervals=initial_intervals,
+            )
             if ctx.rank == root
             else None
         )
@@ -203,6 +234,12 @@ def histogram_sort_program(
             if ctx.rank == root:
                 if state.all_finalized() or rounds >= max_rounds:
                     command = {"done": True, "splitters": state.final_splitters()}
+                elif rounds == 0 and state.initial_intervals is not None:
+                    # Warm probe round: cached interval endpoints replace
+                    # the first whole-range probe spread.  Their exact
+                    # ranks flow through state.update() like any probe, so
+                    # a stale cache costs one round but never correctness.
+                    command = {"done": False, "probes": state.hint_probes()}
                 else:
                     probes = keyspace_probes(
                         state, probes_per_splitter, key_min, key_max

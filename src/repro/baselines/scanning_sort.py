@@ -73,6 +73,6 @@ register_algorithm(
         duplicate_tolerant=True,
         paper_section="3.2",
         description="one-round sample + Axtmann scanning splitters",
-        excluded_config_keys=("schedule",),
+        excluded_config_keys=("schedule", "initial_intervals"),
     )
 )

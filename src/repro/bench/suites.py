@@ -1352,3 +1352,162 @@ def _render_ablation_rounds(
             f"eps={params['eps']}; optimal k* = {exact:.2f} (Lemma 3.3.2)"
         ),
     )
+
+
+# ===================================================================== #
+# Service latency — the sort-as-a-service job stream, cold vs warm.
+# ===================================================================== #
+@register(
+    "service_latency",
+    description="Sort service job stream: cold vs warm-start modeled "
+    "latency per workload, stream p50/p99",
+    kind="service",
+    tiers={
+        "full": {
+            "procs": 16,
+            "keys_per_rank": 2_000,
+            "eps": 0.1,
+            "workloads": ["uniform", "lognormal", "staircase"],
+            "repeats": 8,
+            "algorithm": "hss",
+            "machine": "mira-like-bgq",
+            "machine_overrides": {"cores_per_node": 1},
+            "seed": 42,
+        },
+        "quick": {
+            "procs": 8,
+            "keys_per_rank": 600,
+            "eps": 0.1,
+            "workloads": ["uniform", "lognormal", "staircase"],
+            "repeats": 4,
+            "algorithm": "hss",
+            "machine": "mira-like-bgq",
+            "machine_overrides": {"cores_per_node": 1},
+            "seed": 42,
+        },
+    },
+    render=lambda cases, params: _render_service_latency(cases, params),
+    runtime_params={"backend": "simulated"},
+)
+def _run_service_latency(params: Mapping[str, Any]) -> list[CaseResult]:
+    """Replay a deterministic job stream through the sort service.
+
+    ``repeats`` passes over the workload list, every pass submitting the
+    *same* scenarios (same seed — identical data, identical fingerprint),
+    interleaved so repeat jobs exercise the LRU splitter cache rather
+    than intra-batch warm chaining.  Pass 0 is the cold baseline; later
+    passes must warm-start.  Per-job latency is the modeled makespan —
+    deterministic, so the stream's p50/p99 gate under the standard
+    tolerances.
+    """
+    import json
+
+    from repro.service import SortService
+
+    service = SortService()
+    replies: dict[tuple[str, int], Mapping[str, Any]] = {}
+    for rep in range(params["repeats"]):
+        for workload in params["workloads"]:
+            job = {
+                "id": f"{workload}-{rep}",
+                "scenario": {
+                    "algorithm": params["algorithm"],
+                    "workload": workload,
+                    "machine": params["machine"],
+                    "procs": params["procs"],
+                    "keys_per_rank": params["keys_per_rank"],
+                    "eps": params["eps"],
+                    "seed": params["seed"],
+                    "backend": _suite_backend(params),
+                },
+            }
+            reply = service.handle_line(json.dumps(job))
+            if reply["status"] != "ok":
+                raise RuntimeError(
+                    f"service job {reply['id']} failed: {reply['error']}"
+                )
+            replies[(workload, rep)] = reply
+
+    last = params["repeats"] - 1
+    cases = []
+    for workload in params["workloads"]:
+        for label, rep in (("cold", 0), ("warm", last)):
+            reply = replies[(workload, rep)]
+            metrics = dict(reply["metrics"])
+            metrics["cache_hit"] = int(reply["cache"]["hit"])
+            cases.append(
+                _case(
+                    f"{label}/{workload}",
+                    {"workload": workload, "pass": rep,
+                     "procs": params["procs"],
+                     "keys_per_rank": params["keys_per_rank"]},
+                    metrics,
+                )
+            )
+
+    latencies = sorted(
+        reply["metrics"]["makespan_s"] for reply in replies.values()
+    )
+    stats = service.stats()
+    for label, q in (("p50", 50.0), ("p99", 99.0)):
+        cases.append(
+            _case(
+                f"stream/{label}",
+                {"jobs": len(latencies), "quantile": q},
+                {
+                    "makespan_s": float(np.percentile(latencies, q)),
+                    "cache_hits": stats["cache"]["hits"],
+                    "cache_misses": stats["cache"]["misses"],
+                },
+            )
+        )
+    return cases
+
+
+def _render_service_latency(
+    cases: Sequence[CaseResult], params: Mapping[str, Any]
+) -> str:
+    by = _by_name(cases)
+    workloads = params["workloads"]
+    rows = {
+        "cold makespan (ms)": [
+            round(by[f"cold/{w}"].metrics["makespan_s"] * 1e3, 3)
+            for w in workloads
+        ],
+        "warm makespan (ms)": [
+            round(by[f"warm/{w}"].metrics["makespan_s"] * 1e3, 3)
+            for w in workloads
+        ],
+        "cold rounds": [
+            by[f"cold/{w}"].metrics.get("rounds") for w in workloads
+        ],
+        "warm rounds": [
+            by[f"warm/{w}"].metrics.get("rounds") for w in workloads
+        ],
+        "warm cache hit": [
+            bool(by[f"warm/{w}"].metrics["cache_hit"]) for w in workloads
+        ],
+    }
+    p50 = by["stream/p50"].metrics
+    p99 = by["stream/p99"].metrics
+    jobs = by["stream/p50"].params["jobs"]
+    head = (
+        f"Service latency — p={params['procs']}, "
+        f"N/p={params['keys_per_rank']}, eps={params['eps']}, "
+        f"{params['algorithm']}, {jobs} jobs "
+        f"({len(workloads)} workloads x {params['repeats']} passes), "
+        f"Mira-like (flat)"
+    )
+    tail = (
+        f"stream p50 = {p50['makespan_s'] * 1e3:.3f} ms, "
+        f"p99 = {p99['makespan_s'] * 1e3:.3f} ms; "
+        f"splitter cache {p50['cache_hits']} hits / "
+        f"{p50['cache_misses']} misses"
+    )
+    return (
+        head
+        + "\n\n"
+        + format_series_table("workload", workloads, rows)
+        + "\n\n"
+        + tail
+    )

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Nine subcommands:
+Ten subcommands:
 
 ``sort``
     Generate a workload, sort it with any registered algorithm on any
@@ -45,13 +45,26 @@ Nine subcommands:
     and optionally gate against a baseline document (non-zero exit on
     regression) — the CI entry point.
 
+``serve``
+    Run the resident sort service (see :mod:`repro.service`): JSONL sort
+    jobs on stdin, one JSONL reply per job on stdout, with a splitter
+    cache that warm-starts repeat workloads.  ``--http PORT`` serves the
+    same jobs over localhost HTTP instead.
+
+The execution options shared by ``sort``/``sweep``/``bench``/``serve``
+(``--machine``, ``--backend``, ``--workers``, ``--payloads``) are defined
+once in :data:`_EXECUTION_OPTIONS` and attached through one argparse
+parent parser (:func:`execution_options`), so their spelling and help
+text cannot drift between subcommands.
+
 Examples
 --------
 ::
 
     python -m repro sort --algorithm hss -p 16 -n 50000 \
         --workload lognormal --eps 0.05 --machine cloud-ethernet
-    python -m repro sort --algorithm histogram --workload staircase --payloads
+    python -m repro sort --algorithm histogram --workload staircase \
+        --payloads index
     python -m repro sort -p 8 -n 500000 --backend process --workers 4
     python -m repro algorithms
     python -m repro machines
@@ -67,6 +80,10 @@ Examples
     python -m repro bench --tier quick --json bench.json \
         --baseline benchmarks/results/bench.json
     python -m repro bench --baseline old.json --candidate new.json
+    printf '%s\n' '{"id": "j1", "scenario": {"algorithm": "hss", \
+        "workload": "uniform", "procs": 8, "keys_per_rank": 20000}}' \
+        | python -m repro serve
+    python -m repro serve --http 8642 --machine cloud-ethernet
 """
 
 from __future__ import annotations
@@ -75,7 +92,86 @@ import argparse
 import sys
 from typing import Sequence
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "execution_options"]
+
+#: Sentinel: "this subcommand does not take the option at all" (``None``
+#: is a meaningful default — e.g. ``repro serve`` injecting no machine).
+_OMIT = object()
+
+#: The canonical definitions of the execution options shared by
+#: ``repro sort``/``sweep``/``bench``/``serve``.  Exactly one spelling,
+#: metavar and help string per flag — subcommands pick a subset (and a
+#: per-command *default*) through :func:`execution_options`, never their
+#: own ``add_argument`` call.  Pinned by the CLI agreement test.
+_EXECUTION_OPTIONS: dict[str, dict] = {
+    "machine": {
+        "flags": ("--machine",),
+        "metavar": "NAME",
+        "help": "registered machine name (see 'repro machines'; the "
+                "legacy 'mira'/'cluster' aliases still resolve)",
+    },
+    "backend": {
+        "flags": ("--backend",),
+        "metavar": "NAME",
+        "help": "execution backend (see 'repro backends'); 'process' "
+                "runs ranks on real cores, and modeled metrics are "
+                "identical on any backend",
+    },
+    "workers": {
+        "flags": ("--workers",),
+        "type": int,
+        "metavar": "N",
+        "help": "worker processes for the process backend "
+                "(default: min(p, cpu count))",
+    },
+    "payloads": {
+        "flags": ("--payloads",),
+        "metavar": "SCHEMA",
+        "help": "record payload columns: 'none' (key-only), 'workload' "
+                "(the workload's declared record schema), a compact "
+                "schema like 'mass:f8,id:u4', or 'index' (tracer input "
+                "positions; 'repro sort' only); repeatable in "
+                "'repro sweep' to add grid-axis values",
+    },
+}
+
+
+def execution_options(
+    *,
+    machine: object = _OMIT,
+    backend: object = _OMIT,
+    workers: object = _OMIT,
+    payloads: object = _OMIT,
+    payloads_repeatable: bool = False,
+) -> argparse.ArgumentParser:
+    """An argparse *parent parser* carrying the shared execution options.
+
+    Each keyword both selects its option and supplies the subcommand's
+    default value; spelling, metavar, value type and help text always
+    come from :data:`_EXECUTION_OPTIONS`, so the four subcommands that
+    share these flags cannot drift apart.  ``payloads_repeatable`` turns
+    ``--payloads`` into an appending grid axis (``repro sweep``).
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+
+    def add(name: str, default: object, **extra: object) -> None:
+        spec = _EXECUTION_OPTIONS[name]
+        kwargs = {k: v for k, v in spec.items() if k != "flags"}
+        kwargs.update(extra)
+        parent.add_argument(*spec["flags"], default=default, **kwargs)
+
+    if machine is not _OMIT:
+        add("machine", machine)
+    if backend is not _OMIT:
+        add("backend", backend)
+    if workers is not _OMIT:
+        add("workers", workers)
+    if payloads is not _OMIT:
+        if payloads_repeatable:
+            add("payloads", payloads, action="append", dest="payloads")
+        else:
+            add("payloads", payloads)
+    return parent
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -85,7 +181,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sort = sub.add_parser("sort", help="sort a generated workload")
+    sort = sub.add_parser(
+        "sort",
+        help="sort a generated workload",
+        parents=[execution_options(
+            machine="laptop", backend="simulated",
+            workers=None, payloads="none",
+        )],
+    )
     sort.add_argument(
         "--algorithm",
         default="hss",
@@ -106,36 +209,9 @@ def build_parser() -> argparse.ArgumentParser:
     sort.add_argument("--eps", type=float, default=0.05)
     sort.add_argument("--seed", type=int, default=0)
     sort.add_argument(
-        "--machine",
-        default="laptop",
-        help="registered machine name (see 'repro machines'; the legacy "
-        "'mira'/'cluster' aliases still resolve)",
-    )
-    sort.add_argument(
         "--tag-duplicates",
         action="store_true",
         help="apply §4.3 implicit tagging (HSS variants only)",
-    )
-    sort.add_argument(
-        "--payloads",
-        action="store_true",
-        help="attach tracer payloads and report the round-trip (only "
-        "payload-capable algorithms; see 'repro algorithms')",
-    )
-    sort.add_argument(
-        "--backend",
-        default="simulated",
-        help="execution backend (see 'repro backends'); 'process' runs "
-        "ranks on real cores and reports measured wall-clock next to "
-        "the modeled makespan",
-    )
-    sort.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        metavar="N",
-        help="worker processes for the process backend "
-        "(default: min(p, cpu count))",
     )
 
     sub.add_parser(
@@ -161,6 +237,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = sub.add_parser(
         "sweep",
         help="run an algorithm x workload x machine x layout grid",
+        parents=[execution_options(
+            backend="simulated", payloads=None, payloads_repeatable=True,
+        )],
     )
     sweep.add_argument(
         "--algorithms",
@@ -193,23 +272,6 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--eps", type=float, default=0.05)
     sweep.add_argument("--seed", type=int, default=0)
-    sweep.add_argument(
-        "--payloads",
-        action="append",
-        dest="payloads",
-        metavar="SCHEMA",
-        help="record-column schema grid value: a compact schema like "
-        "'mass:f8,id:u4', 'workload' (the workload's declared schema), or "
-        "'none' (key-only; the default).  Repeatable — each occurrence "
-        "adds one grid axis value, so cells can compare key-only against "
-        "record-carrying runs",
-    )
-    sweep.add_argument(
-        "--backend",
-        default="simulated",
-        help="execution backend for every cell (see 'repro backends'); "
-        "modeled metrics are identical on any backend",
-    )
     sweep.add_argument(
         "--jobs",
         type=int,
@@ -246,7 +308,9 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--seed", type=int, default=0)
 
     bench = sub.add_parser(
-        "bench", help="run registered benchmark suites / gate regressions"
+        "bench",
+        help="run registered benchmark suites / gate regressions",
+        parents=[execution_options(backend=None)],
     )
     bench.add_argument(
         "--tier",
@@ -272,14 +336,6 @@ def build_parser() -> argparse.ArgumentParser:
         help="suite to run — an exact name or a glob pattern like "
         "'fig_*' or 'ablation_*' (repeatable; default: all registered "
         "suites; a pattern matching nothing is an error)",
-    )
-    bench.add_argument(
-        "--backend",
-        default=None,
-        metavar="NAME",
-        help="execution backend override for suites declaring the "
-        "'backend' runtime param (see 'repro backends'); gated modeled "
-        "metrics are identical on any backend",
     )
     bench.add_argument(
         "--json",
@@ -325,6 +381,37 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--verbose", action="store_true", help="print every gated delta"
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the resident sort service (JSONL in, JSONL replies out)",
+        parents=[execution_options(machine=None, backend=None)],
+    )
+    serve.add_argument(
+        "--http",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve localhost HTTP on 127.0.0.1:PORT instead of "
+        "stdin/stdout (POST /sort, GET /healthz, GET /stats); "
+        "PORT 0 binds an ephemeral port (printed to stderr)",
+    )
+    serve.add_argument(
+        "--cache-capacity",
+        type=int,
+        default=64,
+        metavar="N",
+        help="splitter-cache LRU bound: remembered workload fingerprints "
+        "(default 64)",
+    )
+    serve.add_argument(
+        "--batch-max",
+        type=int,
+        default=8,
+        metavar="N",
+        help="maximum consecutive same-fingerprint jobs grouped into one "
+        "warm-chained batch (default 8)",
+    )
     return parser
 
 
@@ -351,7 +438,8 @@ def _cmd_sort(args: argparse.Namespace) -> int:
         return 2
 
     spec = REGISTRY[args.algorithm]
-    if args.payloads and not spec.supports_payloads:
+    wants_payloads = args.payloads not in (None, "none")
+    if wants_payloads and not spec.supports_payloads:
         # Same pre-check (and message) the Sorter applies — fail before
         # generating a workload whose payloads could never be carried.
         from repro.algorithms.sorter import payload_capability_message
@@ -359,10 +447,36 @@ def _cmd_sort(args: argparse.Namespace) -> int:
         print(payload_capability_message(spec.name), file=sys.stderr)
         return 2
 
+    # The shared --payloads vocabulary (see _EXECUTION_OPTIONS): 'none',
+    # 'workload', a compact schema, or the sort-only 'index' tracer mode.
+    payload_arg = None
+    if args.payloads == "workload":
+        from repro.workloads import get_workload
+
+        if get_workload(args.distribution).record_schema is None:
+            print(
+                f"--payloads workload: workload {args.distribution!r} "
+                f"declares no record schema; pass a compact schema like "
+                f"'mass:f8,id:u4'",
+                file=sys.stderr,
+            )
+            return 2
+        payload_arg = True
+    elif wants_payloads and args.payloads != "index":
+        from repro.records import parse_schema
+
+        try:
+            payload_arg = parse_schema(args.payloads)
+            payload_arg.payload_dtype()
+        except ConfigError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+
     dataset = Dataset.from_workload(
-        args.distribution, p=args.procs, n_per=args.keys, seed=args.seed
+        args.distribution, p=args.procs, n_per=args.keys, seed=args.seed,
+        payloads=payload_arg,
     )
-    if args.payloads:
+    if args.payloads == "index":
         dataset = dataset.with_index_payloads()
     kwargs = {}
     if args.tag_duplicates:
@@ -389,7 +503,7 @@ def _cmd_sort(args: argparse.Namespace) -> int:
     from repro.metrics import verify_sorted_output
 
     verify_sorted_output(dataset.shards, run.shards)
-    if args.payloads:
+    if args.payloads == "index":
         # Tracer payloads are global input positions: output key i must
         # equal the input key its payload points at, on every rank.
         flat_input = np.concatenate(dataset.shards)
@@ -421,10 +535,17 @@ def _cmd_sort(args: argparse.Namespace) -> int:
         )
     if run.payloads is not None:
         carried = sum(len(v) for v in run.payloads if v is not None)
-        print(
-            f"payloads          : {carried:,} values verified aligned "
-            f"with their keys"
-        )
+        if args.payloads == "index":
+            print(
+                f"payloads          : {carried:,} values verified aligned "
+                f"with their keys"
+            )
+        else:
+            schema = dataset.record_schema
+            print(
+                f"payloads          : {carried:,} records carried "
+                f"({schema.compact() if schema is not None else '?'})"
+            )
     print(f"modeled makespan  : {run.makespan:.3e} s")
     measured = run.measured
     if measured is not None and run.backend != "simulated":
@@ -811,6 +932,73 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigError
+    from repro.service import SortService
+
+    # Validate the service-wide defaults eagerly — a typo'd machine name
+    # is a usage error (exit 2), not one structured error reply per job.
+    try:
+        if args.machine is not None:
+            from repro.machines import get_machine_spec
+
+            get_machine_spec(args.machine)
+        if args.backend is not None:
+            from repro.runtime import BACKENDS
+
+            if args.backend not in BACKENDS:
+                raise ConfigError(
+                    f"unknown backend {args.backend!r}; "
+                    f"choose from {sorted(BACKENDS)}"
+                )
+        service = SortService(
+            machine=args.machine,
+            backend=args.backend,
+            cache_capacity=args.cache_capacity,
+            batch_max=args.batch_max,
+        )
+    except ConfigError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    if args.http is not None:
+        from repro.service.http import make_server
+
+        try:
+            server = make_server(service, port=args.http)
+        except (ConfigError, OSError) as exc:
+            print(f"cannot serve HTTP: {exc}", file=sys.stderr)
+            return 2
+        host, port = server.server_address[:2]
+        print(
+            f"repro serve: listening on http://{host}:{port} "
+            f"(POST /sort, GET /healthz, GET /stats; Ctrl-C to stop)",
+            file=sys.stderr,
+        )
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.server_close()
+        return 0
+
+    # Stream mode: JSONL jobs on stdin, one JSONL reply per job on
+    # stdout.  Malformed jobs yield structured error replies and the
+    # stream keeps going, so the exit code reflects only daemon health.
+    summary = service.process_stream(sys.stdin, sys.stdout)
+    cache = summary["cache"]
+    print(
+        f"repro serve: {summary['jobs_total']} jobs "
+        f"({summary['errors_total']} errors); splitter cache "
+        f"{cache['hits']} hits / {cache['misses']} misses "
+        f"({cache['size']}/{cache['capacity']} entries, "
+        f"{cache['evictions']} evictions)",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -832,6 +1020,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_simulate(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     raise AssertionError("unreachable")
 
 

@@ -141,11 +141,33 @@ class HSSConfig:
     #: sorted, only the load-balance contract may be missed (useful for
     #: measuring *how badly* a configuration degrades).
     strict: bool = True
+    #: Warm-start hints: ``((lo, hi), ...)`` key-space interval pairs from a
+    #: previous run on similar data (a splitter cache stores the previous
+    #: final splitters as degenerate ``(s, s)`` pairs).  The first
+    #: histogramming round probes the pair endpoints instead of sampling,
+    #: so a repeat workload finalizes in one cheap probe round; stale hints
+    #: only cost that round — correctness never depends on them.  ``None``
+    #: (the default) is a cold start, bit-identical to the historical path.
+    initial_intervals: tuple | None = None
 
     def __post_init__(self) -> None:
         check_epsilon(self.eps, "eps")
         check_epsilon(self.within_node_eps, "within_node_eps")
         check_positive_int(self.max_rounds_cap, "max_rounds_cap")
+        if self.initial_intervals is not None:
+            pairs = tuple(
+                (pair[0], pair[1]) for pair in self.initial_intervals
+            )
+            if not pairs:
+                raise ConfigError(
+                    "initial_intervals must contain at least one (lo, hi) "
+                    "pair (pass None for a cold start)"
+                )
+            if any(hi < lo for lo, hi in pairs):
+                raise ConfigError(
+                    "initial_intervals pairs must satisfy lo <= hi"
+                )
+            object.__setattr__(self, "initial_intervals", pairs)
 
     def max_rounds(self, p: int) -> int:
         """Effective round cap for ``p`` processors."""

@@ -106,6 +106,7 @@ def hss_splitter_program(
     method: str = "hss",
     target_fractions: np.ndarray | None = None,
     tolerance_fraction: float | None = None,
+    initial_intervals=None,
 ) -> Generator:
     """Determine ``nparts − 1`` splitters collectively (``yield from`` this).
 
@@ -121,9 +122,23 @@ def hss_splitter_program(
     partitioning — e.g. ragged node layouts where node ``b`` must receive
     ``N·cores_b/p`` keys.  ``tolerance_fraction`` likewise overrides the
     acceptance half-window as a fraction of ``N`` (default ``eps/(2·nparts)``).
+
+    ``initial_intervals`` (``((lo, hi), ...)`` key pairs, see
+    :class:`~repro.core.splitters.SplitterState`) warm-starts round 1:
+    instead of Bernoulli-sampling the whole input, the round broadcasts the
+    pair endpoints as probes and histogram them exactly.  When the hints
+    come from a previous run on similar data (a splitter cache) most
+    splitters finalize immediately; when they are stale the bounds simply
+    tighten less and the normal sampling rounds continue — warm starts can
+    never produce an output a cold run would reject.
     """
     if method not in ("hss", "scanning"):
         raise ConfigError(f"unknown splitter method {method!r}")
+    if initial_intervals is not None and method != "hss":
+        raise ConfigError(
+            "initial_intervals warm starts apply to the multi-round 'hss' "
+            "method only (scanning is single-round by construction)"
+        )
     root = 0
     rank = ctx.rank
     n_local = len(local_sorted)
@@ -148,6 +163,8 @@ def hss_splitter_program(
             ).astype(np.int64)
         if tolerance_fraction is not None:
             state_kwargs["tolerances"] = float(tolerance_fraction) * total_keys
+        if initial_intervals is not None:
+            state_kwargs["initial_intervals"] = initial_intervals
         state = keyspace.make_state(total_keys, nparts, cfg.eps, **state_kwargs)
     else:
         state = None
@@ -167,6 +184,15 @@ def hss_splitter_program(
         if rank == root:
             if state.all_finalized() or round_index > max_rounds:
                 command = {"done": True, "splitters": state.final_splitters()}
+            elif round_index == 1 and state.initial_intervals is not None:
+                # Warm start: probe the cached interval endpoints directly —
+                # no sampling, no gather; one broadcast + one reduction.
+                command = {
+                    "done": False,
+                    "warm": True,
+                    "probes": state.hint_probes(),
+                    "mass": total_keys,
+                }
             else:
                 if round_index == 1:
                     intervals = None  # whole input
@@ -198,25 +224,30 @@ def hss_splitter_program(
             splitters = command["splitters"]
             break
 
-        # -- step 2: sample inside intervals
-        sample = keyspace.sample(
-            local_sorted, rank, command["intervals"], command["prob"], rng
-        )
-        ctx.charge_binary_searches(
-            2 * (len(command["intervals"]) if command["intervals"] else 1),
-            max(1, n_local),
-        )
-
-        # -- step 3: gather at root, sort, broadcast probes
-        gathered = yield from ctx.gather(sample, root=root)
-        if rank == root:
-            probes = keyspace.sort_unique_probes(gathered)
-            m = len(probes)
-            if m > 1:
-                ctx.charge_sort(m, key_bytes=probes.dtype.itemsize)
+        if command.get("warm"):
+            # Warm round: the probes arrived with the command; steps 2–3
+            # (sampling + gather) are skipped entirely.
+            probes = command["probes"]
         else:
-            probes = None
-        probes = yield from ctx.bcast(probes, root=root)
+            # -- step 2: sample inside intervals
+            sample = keyspace.sample(
+                local_sorted, rank, command["intervals"], command["prob"], rng
+            )
+            ctx.charge_binary_searches(
+                2 * (len(command["intervals"]) if command["intervals"] else 1),
+                max(1, n_local),
+            )
+
+            # -- step 3: gather at root, sort, broadcast probes
+            gathered = yield from ctx.gather(sample, root=root)
+            if rank == root:
+                probes = keyspace.sort_unique_probes(gathered)
+                m = len(probes)
+                if m > 1:
+                    ctx.charge_sort(m, key_bytes=probes.dtype.itemsize)
+            else:
+                probes = None
+            probes = yield from ctx.bcast(probes, root=root)
 
         # -- step 4: local histogram + reduction
         counts = keyspace.local_counts(local_sorted, rank, probes)
@@ -262,7 +293,8 @@ def hss_splitter_program(
             stats.rounds.append(
                 RoundStats(
                     round_index=round_index,
-                    probability=command["prob"],
+                    # A warm probe round draws no sample (probability 0).
+                    probability=command.get("prob", 0.0),
                     sample_size=len(probes),
                     candidate_mass_before=command["mass"],
                     finalized_after=state.num_finalized(),
@@ -298,6 +330,12 @@ def hss_sort_program(
     """
     p = ctx.nprocs
     rng = RngTree(cfg.seed).generator("hss-sample", ctx.rank)
+    if cfg.initial_intervals is not None and cfg.tag_duplicates:
+        raise ConfigError(
+            "initial_intervals warm starts and duplicate tagging (§4.3) "
+            "cannot be combined: tagged probes carry (PE, index) tags that "
+            "cached plain-key intervals do not have"
+        )
     if cfg.approximate_histograms:
         if cfg.tag_duplicates:
             raise ConfigError(
@@ -323,6 +361,7 @@ def hss_sort_program(
             cfg=cfg,
             keyspace=keyspace,
             rng=rng,
+            initial_intervals=cfg.initial_intervals,
         )
         positions = keyspace.bucket_positions(keys, ctx.rank, splitters)
 
@@ -357,7 +396,8 @@ def _register_hss_variants() -> None:
         supports_payloads=True,
         balanced=True,
         duplicate_tolerant=True,  # via HSSConfig(tag_duplicates=True), §4.3
-        excluded_config_keys=("schedule", "node_level"),
+        supports_warm_start=True,
+        excluded_config_keys=("schedule", "node_level", "initial_intervals"),
     )
     register_algorithm(
         AlgorithmSpec(

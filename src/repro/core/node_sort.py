@@ -185,7 +185,7 @@ register_algorithm(
         duplicate_tolerant=True,
         paper_section="6.1",
         description="two-level node-partitioned HSS (multicore machines)",
-        excluded_config_keys=("schedule", "node_level"),
+        excluded_config_keys=("schedule", "node_level", "initial_intervals"),
         pinned_config=(("node_level", True),),
         verify_eps_fn=lambda cfg: combined_eps(cfg.eps, cfg.within_node_eps),
     )

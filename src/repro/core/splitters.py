@@ -21,6 +21,7 @@ rank-space simulator at ``p`` up to hundreds of thousands.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -74,6 +75,7 @@ class SplitterState:
         hi_sentinel: object | None = None,
         targets: np.ndarray | None = None,
         tolerances: np.ndarray | float | None = None,
+        initial_intervals: Sequence[tuple] | None = None,
     ) -> None:
         if nparts < 1:
             raise ConfigError(f"nparts must be >= 1, got {nparts}")
@@ -128,6 +130,45 @@ class SplitterState:
         self.lo_key[:] = lo_sentinel
         self.hi_key[:] = hi_sentinel
         self.rounds_completed = 0
+
+        #: Warm-start hints: key-space intervals carried over from a prior
+        #: run on similar data (e.g. a splitter cache).  Hints never touch
+        #: the ``L``/``U`` bounds directly — their ranks on *this* input
+        #: are unknown, and seeding bounds without exact ranks would break
+        #: the Theorem 3.3.1 monotonicity invariant.  Instead the driver
+        #: probes :meth:`hint_probes` in its first histogramming round, so
+        #: every tightening still flows through :meth:`update` with exact
+        #: ranks and a stale hint degrades to a wasted probe, never a
+        #: wrong answer.
+        self.initial_intervals = None
+        if initial_intervals is not None:
+            pairs = list(initial_intervals)
+            if len(pairs) == 0:
+                raise ConfigError(
+                    "initial_intervals must contain at least one "
+                    "(lo, hi) key pair (pass None for a cold start)"
+                )
+            lo = np.array([pair[0] for pair in pairs], dtype=self.key_dtype)
+            hi = np.array([pair[1] for pair in pairs], dtype=self.key_dtype)
+            if np.any(hi < lo):
+                raise ConfigError(
+                    "initial_intervals pairs must satisfy lo <= hi"
+                )
+            self.initial_intervals = list(zip(lo.tolist(), hi.tolist()))
+            self._hint_endpoints = np.concatenate([lo, hi])
+
+    def hint_probes(self) -> np.ndarray:
+        """Sorted, deduplicated warm-start probe keys (empty when cold).
+
+        The endpoints of every :attr:`initial_intervals` pair — for a
+        cache of previous final splitters these are the splitter keys
+        themselves (degenerate ``(s, s)`` pairs work fine).
+        """
+        if self.initial_intervals is None:
+            return np.empty(0, dtype=self.key_dtype)
+        from repro.utils.arrays import sorted_unique
+
+        return sorted_unique(self._hint_endpoints)
 
     # ------------------------------------------------------------------ #
     @property

@@ -136,10 +136,17 @@ class Scenario:
         benchmark suites' plumbing — with verification off (imbalance is a
         *measured* metric here, not an assertion).
         """
-        from repro.algorithms import Dataset, Sorter, get_spec
-        from repro.machines import machine_summary
+        return self.execute()[1]
 
-        machine = self.resolved_machine()
+    def build_dataset(self) -> Any:
+        """The cell's input :class:`~repro.algorithms.Dataset`.
+
+        Exposed separately from :meth:`execute` so callers that need the
+        input before running — e.g. the service layer's workload
+        fingerprinting — generate it exactly once.
+        """
+        from repro.algorithms import Dataset
+
         payloads: Any = None
         if self.payloads == "workload":
             from repro.errors import CapabilityError
@@ -158,10 +165,29 @@ class Scenario:
             from repro.records import parse_schema
 
             payloads = parse_schema(self.payloads)
-        dataset = Dataset.from_workload(
+        return Dataset.from_workload(
             self.workload, p=self.procs, n_per=self.keys_per_rank,
             seed=self.seed, payloads=payloads,
         )
+
+    def execute(
+        self, *, initial_intervals: Any = None, dataset: Any = None
+    ) -> tuple[Any, dict[str, Any]]:
+        """Like :meth:`run`, but also return the underlying ``SortRun``.
+
+        The service layer uses this to extract warm-start material (final
+        shard boundaries) and measured latency from the run;
+        ``initial_intervals`` forwards splitter-interval hints to
+        :meth:`Sorter.run <repro.algorithms.Sorter.run>`; ``dataset``
+        supplies a pre-built input (must come from
+        :meth:`build_dataset`).
+        """
+        from repro.algorithms import Sorter, get_spec
+        from repro.machines import machine_summary
+
+        machine = self.resolved_machine()
+        if dataset is None:
+            dataset = self.build_dataset()
         config = get_spec(self.algorithm).legacy_config(
             eps=self.eps, seed=self.seed
         )
@@ -171,7 +197,7 @@ class Scenario:
             config=config,
             backend=self.backend,
             verify=False,
-        ).run(dataset)
+        ).run(dataset, initial_intervals=initial_intervals)
         metrics: dict[str, Any] = {
             "makespan_s": run.makespan,
             "net_bytes": run.engine_result.stats.bytes,
@@ -183,7 +209,7 @@ class Scenario:
         if run.splitter_stats is not None:
             metrics["rounds"] = run.splitter_stats.num_rounds
             metrics["total_sample"] = run.splitter_stats.total_sample
-        return {
+        return run, {
             "scenario": self.to_dict(),
             "machine": machine_summary(machine),
             "metrics": metrics,

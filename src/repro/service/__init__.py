@@ -1,0 +1,55 @@
+"""Sort-as-a-service: a resident daemon over the one-call API.
+
+The ROADMAP's north star is a sort *service* — millions of users
+submitting streams of sort jobs — and HSS's headline property makes one
+worth building: splitter intervals learned on one batch of data are a
+natural warm start for the next batch drawn from a similar distribution.
+This package is that service layer:
+
+- :mod:`repro.service.jobs` — the JSONL job/reply schema (versioned,
+  validated, volatile-stripped like the ``experiments`` documents it
+  reuses).
+- :mod:`repro.service.fingerprint` — workload fingerprints: algorithm +
+  record schema + a quantized key-distribution sketch.  Two jobs with the
+  same fingerprint are "the same workload" to the cache.
+- :mod:`repro.service.cache` — the LRU :class:`SplitterCache` mapping
+  fingerprints to the previous run's splitter intervals.
+- :mod:`repro.service.daemon` — :class:`SortService`: batches compatible
+  jobs, warm-starts repeat fingerprints via
+  ``Sorter.run(initial_intervals=...)``, replies with per-job modeled +
+  measured latency.
+- :mod:`repro.service.http` — the optional localhost HTTP front end on
+  stdlib ``http.server`` (``repro serve --http PORT``).
+
+Driven by the ``repro serve`` CLI subcommand; see the README's
+"sort as a service" quickstart and DESIGN.md's service-layer section.
+"""
+
+from repro.service.cache import SplitterCache
+from repro.service.daemon import SortService
+from repro.service.fingerprint import key_sketch, workload_fingerprint
+from repro.service.jobs import (
+    JOB_SCHEMA_VERSION,
+    JobError,
+    SortJob,
+    error_reply,
+    parse_job_line,
+    strip_volatile_reply,
+    validate_job,
+    validate_reply,
+)
+
+__all__ = [
+    "JOB_SCHEMA_VERSION",
+    "JobError",
+    "SortJob",
+    "SortService",
+    "SplitterCache",
+    "error_reply",
+    "key_sketch",
+    "parse_job_line",
+    "strip_volatile_reply",
+    "validate_job",
+    "validate_reply",
+    "workload_fingerprint",
+]

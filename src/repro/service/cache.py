@@ -1,0 +1,89 @@
+"""The splitter cache: workload fingerprint → previous splitter intervals.
+
+A bounded LRU mapping.  Values are ``((lo, hi), ...)`` key pairs in the
+:class:`~repro.core.splitters.SplitterState` ``initial_intervals`` form —
+the service stores each finished run's final shard boundaries as
+degenerate ``(s, s)`` pairs, and a later job with the same fingerprint
+probes them instead of sampling cold.
+
+The cache is a pure performance hint: entries are never consulted for
+correctness, so eviction policy and capacity only trade warm-start hit
+rate against memory.  Hits, misses and evictions are counted for the
+``/stats`` endpoint and the service-latency benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Sequence
+
+from repro.errors import ConfigError
+
+__all__ = ["SplitterCache"]
+
+
+class SplitterCache:
+    """Bounded LRU of splitter-interval hints keyed by fingerprint.
+
+    Examples
+    --------
+    >>> cache = SplitterCache(capacity=2)
+    >>> cache.put("a", ((1, 1),)); cache.put("b", ((2, 2),))
+    >>> cache.get("a")
+    ((1, 1),)
+    >>> cache.put("c", ((3, 3),))   # evicts "b" (LRU after the "a" hit)
+    >>> cache.get("b") is None, cache.stats()["evictions"]
+    (True, 1)
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ConfigError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._entries: OrderedDict[str, tuple] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------ #
+    def get(self, fingerprint: str) -> tuple | None:
+        """The cached intervals for ``fingerprint``, or None (counted)."""
+        entry = self._entries.get(fingerprint)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(fingerprint)
+        self.hits += 1
+        return entry
+
+    def put(self, fingerprint: str, intervals: Sequence[tuple]) -> None:
+        """Store ``intervals`` under ``fingerprint``, evicting LRU entries."""
+        pairs = tuple((pair[0], pair[1]) for pair in intervals)
+        if not pairs:
+            raise ConfigError(
+                "refusing to cache an empty interval list (a p=1 run has "
+                "no splitters to reuse; skip the put instead)"
+            )
+        self._entries[fingerprint] = pairs
+        self._entries.move_to_end(fingerprint)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        # Pure membership probe: no LRU touch, no hit/miss accounting.
+        return fingerprint in self._entries
+
+    def stats(self) -> dict:
+        """Counters for ``/stats`` and the latency benchmarks."""
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

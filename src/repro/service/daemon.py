@@ -1,0 +1,286 @@
+"""The resident sort service: job streams, batching, warm starts.
+
+:class:`SortService` is the engine behind ``repro serve``.  It consumes
+sort jobs (parsed by :mod:`repro.service.jobs`), runs each through the
+standard :class:`~repro.experiments.Scenario` plumbing, and exploits the
+paper's headline property across jobs: splitter intervals learned on one
+run warm-start the histogram phase of the next run on similar data.
+
+Batching
+--------
+Consecutive jobs with the same workload fingerprint form a **batch** (up
+to ``batch_max``): the head consults the :class:`SplitterCache`, and every
+follower warm-starts directly from its predecessor's freshly computed
+shard boundaries — one cache lookup per batch, warm chaining inside it.
+A job with a different fingerprint (or a malformed line) flushes the
+current batch, so replies always come back in input order.
+
+Warm starts are hints, never truth: they enter
+``Sorter.run(initial_intervals=...)`` as probe keys whose exact ranks are
+measured by the normal histogram round, so a stale cache costs one probe
+round and can never corrupt an output (see
+:class:`~repro.core.splitters.SplitterState`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from typing import Any, Iterable, TextIO
+
+from repro.service.cache import SplitterCache
+from repro.service.fingerprint import workload_fingerprint
+from repro.service.jobs import (
+    JOB_SCHEMA_VERSION,
+    JobError,
+    SortJob,
+    error_reply,
+)
+
+__all__ = ["SortService", "shard_boundary_intervals"]
+
+
+def shard_boundary_intervals(shards) -> tuple | None:
+    """A finished run's shard boundaries as degenerate ``(s, s)`` hints.
+
+    The first key of shard ``r`` (r >= 1) *is* the splitter the run
+    settled on, so probing it on a repeat workload finalizes that splitter
+    in one round.  Empty shards contribute no boundary; structured
+    (tagged) keys yield no plain-key hints (None).
+    """
+    pairs = []
+    for shard in shards[1:]:
+        if len(shard) == 0:
+            continue
+        first = shard[0]
+        if getattr(first, "dtype", None) is not None and first.dtype.names:
+            return None
+        key = first.item() if hasattr(first, "item") else first
+        pairs.append((key, key))
+    return tuple(pairs) if pairs else None
+
+
+class SortService:
+    """A long-lived sort-job processor with a splitter cache.
+
+    Parameters
+    ----------
+    machine, backend:
+        Service-wide defaults injected into jobs whose scenario omits
+        them (a job's own explicit values always win).
+    cache_capacity:
+        LRU bound on remembered workload fingerprints.
+    batch_max:
+        Maximum consecutive same-fingerprint jobs grouped into one batch.
+    """
+
+    def __init__(
+        self,
+        *,
+        machine: str | None = None,
+        backend: str | None = None,
+        cache_capacity: int = 64,
+        batch_max: int = 8,
+    ) -> None:
+        from repro.errors import ConfigError
+
+        if batch_max < 1:
+            raise ConfigError(f"batch_max must be >= 1, got {batch_max}")
+        self.default_machine = machine
+        self.default_backend = backend
+        self.cache = SplitterCache(cache_capacity)
+        self.batch_max = int(batch_max)
+        self.jobs_total = 0
+        self.errors_total = 0
+
+    # ----------------------------------------------------------- parsing #
+    def parse_line(self, line: str) -> SortJob:
+        """Parse one JSONL job line, applying the service defaults."""
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise JobError(f"not valid JSON: {exc}") from exc
+        if isinstance(data, dict) and isinstance(data.get("scenario"), dict):
+            scenario = dict(data["scenario"])
+            if self.default_machine is not None:
+                scenario.setdefault("machine", self.default_machine)
+            if self.default_backend is not None:
+                scenario.setdefault("backend", self.default_backend)
+            data = {**data, "scenario": scenario}
+        return SortJob.from_dict(data)
+
+    # ----------------------------------------------------------- running #
+    def _run_job(
+        self,
+        job: SortJob,
+        dataset: Any,
+        fingerprint: str,
+        *,
+        batch: dict[str, int],
+        carry: tuple | None,
+    ) -> tuple[dict[str, Any], tuple | None]:
+        """Run one job; returns ``(reply, boundary_intervals)``."""
+        from repro.algorithms import get_spec
+
+        warm_capable = get_spec(job.scenario.algorithm).supports_warm_start
+        hints = None
+        source = None
+        if warm_capable:
+            if carry is not None:
+                hints, source = carry, "batch"
+            else:
+                cached = self.cache.get(fingerprint)
+                if cached is not None:
+                    hints, source = cached, "cache"
+        start = time.perf_counter()
+        try:
+            run, cell = job.scenario.execute(
+                dataset=dataset, initial_intervals=hints
+            )
+        except Exception as exc:
+            self.errors_total += 1
+            return error_reply(job.id, exc), None
+        wall = time.perf_counter() - start
+
+        boundaries = None
+        if warm_capable:
+            boundaries = shard_boundary_intervals(run.shards)
+            if boundaries:
+                self.cache.put(fingerprint, boundaries)
+        reply = {
+            "schema_version": JOB_SCHEMA_VERSION,
+            "id": job.id,
+            "status": "ok",
+            "scenario": cell["scenario"],
+            "machine": cell["machine"],
+            "metrics": cell["metrics"],
+            "fingerprint": fingerprint,
+            "cache": {
+                "hit": hints is not None,
+                "source": source,
+                "warm_capable": warm_capable,
+                "intervals": len(hints) if hints is not None else 0,
+            },
+            "batch": dict(batch),
+            "wall_s": wall,
+            "measured": (
+                dataclasses.asdict(run.measured)
+                if run.measured is not None
+                else None
+            ),
+        }
+        return reply, boundaries
+
+    def run_batch(
+        self, items: list[tuple[SortJob, Any, str]]
+    ) -> list[dict[str, Any]]:
+        """Run one batch of same-fingerprint ``(job, dataset, fp)`` items."""
+        replies = []
+        carry: tuple | None = None
+        for position, (job, dataset, fingerprint) in enumerate(items):
+            self.jobs_total += 1
+            reply, boundaries = self._run_job(
+                job,
+                dataset,
+                fingerprint,
+                batch={"size": len(items), "position": position},
+                carry=carry,
+            )
+            if boundaries is not None:
+                carry = boundaries
+            replies.append(reply)
+        return replies
+
+    def handle_job(self, job: SortJob) -> dict[str, Any]:
+        """Run a single pre-parsed job (a batch of one)."""
+        try:
+            dataset = job.scenario.build_dataset()
+            fingerprint = workload_fingerprint(
+                job.scenario.algorithm, dataset
+            )
+        except Exception as exc:
+            self.jobs_total += 1
+            self.errors_total += 1
+            return error_reply(job.id, exc)
+        return self.run_batch([(job, dataset, fingerprint)])[0]
+
+    def handle_line(self, line: str) -> dict[str, Any]:
+        """Parse + run one job line (the HTTP front end's unit of work)."""
+        try:
+            job = self.parse_line(line)
+        except JobError as exc:
+            self.jobs_total += 1
+            self.errors_total += 1
+            return error_reply(_best_effort_id(line), exc)
+        return self.handle_job(job)
+
+    # ---------------------------------------------------------- streaming #
+    def process_stream(
+        self, lines: Iterable[str], out: TextIO
+    ) -> dict[str, Any]:
+        """Consume a JSONL job stream; write one JSONL reply per job.
+
+        Replies are emitted in input order.  Malformed jobs produce
+        ``status: "error"`` replies and never abort the stream; the
+        returned summary counts them.
+        """
+        batch: list[tuple[SortJob, Any, str]] = []
+
+        def flush() -> None:
+            if not batch:
+                return
+            for reply in self.run_batch(batch):
+                self._emit(out, reply)
+            batch.clear()
+
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                job = self.parse_line(line)
+                dataset = job.scenario.build_dataset()
+                fingerprint = workload_fingerprint(
+                    job.scenario.algorithm, dataset
+                )
+            except Exception as exc:
+                flush()
+                self.jobs_total += 1
+                self.errors_total += 1
+                self._emit(out, error_reply(_best_effort_id(line), exc))
+                continue
+            if batch and (
+                fingerprint != batch[-1][2] or len(batch) >= self.batch_max
+            ):
+                flush()
+            batch.append((job, dataset, fingerprint))
+        flush()
+        return self.stats()
+
+    @staticmethod
+    def _emit(out: TextIO, reply: dict[str, Any]) -> None:
+        out.write(json.dumps(reply, sort_keys=True) + "\n")
+        out.flush()
+
+    # ------------------------------------------------------------- stats #
+    def stats(self) -> dict[str, Any]:
+        """Service counters plus cache counters (the ``/stats`` body)."""
+        return {
+            "jobs_total": self.jobs_total,
+            "errors_total": self.errors_total,
+            "cache": self.cache.stats(),
+        }
+
+
+def _best_effort_id(line: str) -> str | None:
+    """Recover a job id from a line that failed validation, if any."""
+    try:
+        data = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    if isinstance(data, dict):
+        job_id = data.get("id")
+        if isinstance(job_id, str):
+            return job_id
+    return None

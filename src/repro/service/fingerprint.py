@@ -1,0 +1,87 @@
+"""Workload fingerprints: what makes two sort jobs "the same workload".
+
+The splitter cache must only warm-start a job from intervals learned on
+*similar data for the same partitioning problem* — hints from a different
+algorithm family, record layout or key distribution would just waste the
+probe round.  A fingerprint therefore hashes:
+
+- the **algorithm** name (splitter semantics differ across families),
+- the **partitioning shape**: rank count and key dtype,
+- the **record schema** (compact form, ``""`` for key-only jobs),
+- a **key-distribution sketch**: interior quantiles of the pooled keys,
+  quantized onto a coarse grid over the observed key span.
+
+The quantization is the point: two same-distribution inputs (e.g. the
+next timestep of a simulation) land on the same grid cells with high
+probability and share a fingerprint, while differently-shaped inputs do
+not.  A wrong collision is harmless — warm starts degrade to one wasted
+probe round, never to a wrong sort (see
+:class:`~repro.core.splitters.SplitterState`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["key_sketch", "workload_fingerprint"]
+
+#: Interior quantiles per sketch (deciles by default).
+SKETCH_QUANTILES = 9
+#: Quantization grid cells across the observed key span.
+SKETCH_CELLS = 64
+
+
+def key_sketch(
+    shards: Sequence[np.ndarray],
+    *,
+    quantiles: int = SKETCH_QUANTILES,
+    cells: int = SKETCH_CELLS,
+) -> tuple[int, ...]:
+    """Quantized quantile sketch of a distributed key sample.
+
+    Returns ``quantiles`` grid positions in ``[0, cells)``: where each
+    interior quantile of the pooled keys falls across the observed
+    ``[min, max]`` span.  Deterministic for a given input; stable across
+    same-distribution inputs at this grid coarseness.
+    """
+    flat = np.concatenate([np.asarray(s).ravel() for s in shards])
+    if flat.size == 0:
+        return ()
+    if flat.dtype.names is not None:
+        # Structured (tagged) keys sketch on their first field — the
+        # physical key; the tag fields are tie-breakers, not distribution.
+        flat = flat[flat.dtype.names[0]]
+    values = flat.astype(np.float64)
+    lo = float(values.min())
+    hi = float(values.max())
+    span = hi - lo
+    if span <= 0.0:
+        return (0,) * quantiles
+    qs = np.quantile(values, np.linspace(0.0, 1.0, quantiles + 2)[1:-1])
+    grid = np.floor((qs - lo) / span * cells)
+    return tuple(int(g) for g in np.clip(grid, 0, cells - 1))
+
+
+def workload_fingerprint(algorithm: str, dataset) -> str:
+    """Stable hex fingerprint of (algorithm, schema, key sketch).
+
+    ``dataset`` is a :class:`~repro.algorithms.Dataset`; the fingerprint
+    is a pure function of its contents (not of workload *names* — two
+    generators producing the same keys share a fingerprint).
+    """
+    schema = dataset.record_schema
+    payload = {
+        "algorithm": str(algorithm),
+        "p": dataset.nprocs,
+        "key_dtype": np.dtype(dataset.key_dtype).str,
+        "schema": schema.compact() if schema is not None else "",
+        "sketch": list(key_sketch(dataset.shards)),
+    }
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()
+    )
+    return digest.hexdigest()[:16]

@@ -1,0 +1,90 @@
+"""Optional localhost HTTP front end for the sort service.
+
+Pure stdlib (:mod:`http.server`) — the service stays dependency-free.
+The daemon binds loopback only; this is a research harness, not an
+internet-facing product, and the handler enforces that.
+
+Endpoints:
+
+- ``POST /sort`` — body is one job JSON object (same schema as a stdin
+  JSONL line); the response body is the job's reply.  HTTP 200 for
+  ``status: "ok"`` replies, 400 for structured error replies.
+- ``GET /healthz`` — liveness: ``{"status": "ok"}``.
+- ``GET /stats`` — service + splitter-cache counters.
+
+Requests are serialized through one lock: the service's cache and
+counters are plain Python state, and sort jobs are CPU-bound anyway, so
+concurrent sorts would only fight over cores the simulator already uses.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.errors import ConfigError
+from repro.service.daemon import SortService
+
+__all__ = ["make_server"]
+
+_LOOPBACK_HOSTS = ("127.0.0.1", "localhost", "::1")
+
+
+def make_server(
+    service: SortService,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> ThreadingHTTPServer:
+    """An HTTP server wired to ``service`` (not yet serving).
+
+    ``port=0`` binds an ephemeral port — read ``server.server_address``.
+    Call ``serve_forever()`` to run, ``shutdown()`` to stop.  Non-loopback
+    hosts are refused.
+    """
+    if host not in _LOOPBACK_HOSTS:
+        raise ConfigError(
+            f"the sort service only binds loopback hosts "
+            f"{list(_LOOPBACK_HOSTS)}, got {host!r}"
+        )
+    lock = threading.Lock()
+
+    class Handler(BaseHTTPRequestHandler):
+        # Quiet by default: the JSONL replies are the product, not the
+        # access log.
+        def log_message(self, format: str, *args: object) -> None:
+            del format, args
+
+        def _send(self, code: int, body: dict) -> None:
+            payload = (json.dumps(body, sort_keys=True) + "\n").encode()
+            self.send_response(code)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+
+        def do_GET(self) -> None:  # noqa: N802  (http.server API)
+            if self.path == "/healthz":
+                self._send(200, {"status": "ok"})
+            elif self.path == "/stats":
+                with lock:
+                    self._send(200, service.stats())
+            else:
+                self._send(
+                    404,
+                    {"error": f"unknown path {self.path!r}; "
+                              f"try POST /sort, GET /healthz, GET /stats"},
+                )
+
+        def do_POST(self) -> None:  # noqa: N802  (http.server API)
+            if self.path != "/sort":
+                self._send(404, {"error": f"unknown path {self.path!r}"})
+                return
+            length = int(self.headers.get("Content-Length") or 0)
+            body = self.rfile.read(length).decode("utf-8", errors="replace")
+            with lock:
+                reply = service.handle_line(body)
+            self._send(200 if reply.get("status") == "ok" else 400, reply)
+
+    return ThreadingHTTPServer((host, port), Handler)

@@ -166,14 +166,19 @@ class TestRecordPayloads:
                 schema=RecordSchema.from_mapping({"mass": "f8"}),
             )
 
-    def test_with_payloads_deprecated_but_identical(self, small_shards):
+    def test_with_payloads_removed(self, small_shards):
         base = Dataset.from_arrays(small_shards)
         payloads = [np.arange(len(s)) for s in small_shards]
-        with pytest.warns(DeprecationWarning, match="with_payloads"):
-            via_shim = base.with_payloads(payloads)
-        via_index = Dataset.from_arrays(small_shards, payloads)
-        for a, b in zip(via_shim.payloads, via_index.payloads):
-            np.testing.assert_array_equal(a, b)
+        with pytest.raises(ConfigError, match=r"payloads=\{'col': 'f8'\}"):
+            base.with_payloads(payloads)
+
+    def test_object_dtype_payloads_rejected(self, small_shards):
+        payloads = [
+            np.array([{"k": i} for i in range(len(s))], dtype=object)
+            for s in small_shards
+        ]
+        with pytest.raises(ConfigError, match="object-dtype payloads"):
+            Dataset.from_arrays(small_shards, payloads)
 
 
 class TestPayloadHelpers:

@@ -1,0 +1,106 @@
+"""The one-call ``repro.sort()`` façade."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.algorithms import Dataset, Sorter
+from repro.errors import ConfigError
+
+
+def _sorted_all(run):
+    return np.concatenate(run.shards)
+
+
+class TestFlatArrayMode:
+    def test_sorts_and_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 2**40, 8_000)
+        run = repro.sort(keys, p=8, eps=0.1)
+        np.testing.assert_array_equal(_sorted_all(run), np.sort(keys))
+        assert run.imbalance <= 1.1 + 1e-9
+
+    def test_requires_p(self):
+        with pytest.raises(ConfigError, match="p="):
+            repro.sort(np.arange(100))
+
+    def test_p_larger_than_input_rejected(self):
+        with pytest.raises(ConfigError):
+            repro.sort(np.arange(3), p=8)
+
+    def test_python_list_accepted(self):
+        run = repro.sort([5, 3, 1, 4], p=2)
+        np.testing.assert_array_equal(_sorted_all(run), [1, 3, 4, 5])
+
+
+class TestShardAndDatasetModes:
+    def test_per_rank_sequence(self):
+        shards = [np.array([9, 1]), np.array([5, 3])]
+        run = repro.sort(shards)
+        np.testing.assert_array_equal(_sorted_all(run), [1, 3, 5, 9])
+
+    def test_dataset_passthrough(self):
+        ds = Dataset.from_workload("uniform", p=4, n_per=500)
+        run = repro.sort(ds, algorithm="sample-regular")
+        np.testing.assert_array_equal(
+            _sorted_all(run), np.sort(np.concatenate(ds.shards))
+        )
+
+    def test_dataset_with_conflicting_p_rejected(self):
+        ds = Dataset.from_workload("uniform", p=4, n_per=100)
+        with pytest.raises(ConfigError, match="p="):
+            repro.sort(ds, p=8)
+
+
+class TestKnobs:
+    def test_matches_layered_api(self):
+        ds = Dataset.from_workload("lognormal", p=8, n_per=1_000, seed=2)
+        via_facade = repro.sort(ds, eps=0.05, seed=7)
+        via_sorter = Sorter("hss", eps=0.05, seed=7).run(ds)
+        assert via_facade.makespan == via_sorter.makespan
+        for a, b in zip(via_facade.shards, via_sorter.shards):
+            np.testing.assert_array_equal(a, b)
+
+    def test_algorithm_and_machine_by_name(self):
+        run = repro.sort(
+            np.arange(1_000)[::-1].copy(),
+            p=4,
+            algorithm="histogram",
+            machine="cloud-ethernet",
+            eps=0.2,
+        )
+        assert run.machine["name"] == "cloud-ethernet"
+
+    def test_unknown_algorithm_is_config_error(self):
+        with pytest.raises(ConfigError, match="quicksort"):
+            repro.sort(np.arange(100), p=4, algorithm="quicksort")
+
+    def test_payload_columns_ride_along(self):
+        rng = np.random.default_rng(1)
+        keys = rng.integers(0, 2**30, 2_000)
+        mass = rng.random(2_000)
+        run = repro.sort(keys, p=4, payloads={"mass": mass})
+        carried = np.concatenate(
+            [p["mass"] for p in run.payloads if p is not None]
+        )
+        np.testing.assert_allclose(
+            np.sort(carried), np.sort(mass), rtol=0, atol=0
+        )
+
+    def test_warm_start_hint_threads_through(self):
+        ds = Dataset.from_workload("uniform", p=8, n_per=1_500, seed=4)
+        cold = repro.sort(ds, eps=0.1)
+        hints = tuple(
+            (s[0], s[0]) for s in cold.shards[1:] if len(s)
+        )
+        warm = repro.sort(ds, eps=0.1, initial_intervals=hints)
+        assert (
+            warm.splitter_stats.num_rounds
+            < cold.splitter_stats.num_rounds
+        )
+
+    def test_exported_from_package_root(self):
+        assert "sort" in repro.__all__
+        from repro.algorithms import sort as algorithms_sort
+
+        assert repro.sort is algorithms_sort

@@ -19,6 +19,7 @@ EXPECTED_SUITES = {
     "ablation_node",
     "ablation_refinement",
     "ablation_rounds",
+    "service_latency",
 }
 
 
@@ -69,7 +70,7 @@ class TestContents:
             assert scale(bench.tiers["stress"]) > scale(bench.tiers["full"])
 
     def test_descriptions_and_kinds(self):
-        kinds = {"shootout", "figure", "table", "ablation"}
+        kinds = {"shootout", "figure", "table", "ablation", "service"}
         for name in suite_names():
             bench = get_suite(name)
             assert bench.description

@@ -1,0 +1,124 @@
+"""Warm-started splitter determination: ``initial_intervals`` hints.
+
+The service layer feeds a finished run's shard boundaries back into the
+next run as ``Sorter.run(initial_intervals=...)``.  These tests pin the
+contract at the core level:
+
+- a warm-started run performs *strictly fewer* histogram rounds than its
+  cold twin and produces the identical sorted output;
+- hints are hints — arbitrarily wrong intervals cost at most the probe
+  round and never break the eps guarantee (Theorem 3.3.1 monotonicity);
+- the cold path is bit-identical to the pre-warm-start code (hints off
+  by default), so committed bench baselines cannot move;
+- algorithms that never learned the entry point reject it loudly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import REGISTRY, Dataset, Sorter
+from repro.errors import CapabilityError, ConfigError
+
+EPS = 0.1
+
+
+def _dataset(p=8, n=2_000, seed=3, workload="lognormal"):
+    return Dataset.from_workload(workload, p=p, n_per=n, seed=seed)
+
+
+def _boundaries(run):
+    """Final shard boundaries as degenerate (s, s) hint pairs."""
+    return tuple(
+        (shard[0], shard[0]) for shard in run.shards[1:] if len(shard)
+    )
+
+
+class TestWarmStart:
+    def test_strictly_fewer_rounds_and_identical_output(self):
+        ds = _dataset()
+        sorter = Sorter("hss", eps=EPS, seed=5)
+        cold = sorter.run(ds)
+        warm = sorter.run(ds, initial_intervals=_boundaries(cold))
+        assert (
+            warm.splitter_stats.num_rounds < cold.splitter_stats.num_rounds
+        )
+        assert warm.splitter_stats.num_rounds == 1
+        for a, b in zip(cold.shards, warm.shards):
+            np.testing.assert_array_equal(a, b)
+        assert warm.imbalance <= 1 + EPS + 1e-9
+
+    def test_histogram_baseline_warm_start(self):
+        # The histogram baseline exposes no SplitterStats through the
+        # Sorter, so the saved rounds are pinned via the modeled
+        # makespan: fewer histogramming rounds -> strictly cheaper run.
+        ds = _dataset()
+        sorter = Sorter("histogram", eps=EPS)
+        cold = sorter.run(ds)
+        warm = sorter.run(ds, initial_intervals=_boundaries(cold))
+        assert warm.makespan < cold.makespan
+        for a, b in zip(cold.shards, warm.shards):
+            np.testing.assert_array_equal(a, b)
+        assert warm.imbalance <= 1 + EPS + 1e-9
+
+    def test_warm_probe_round_samples_less(self):
+        ds = _dataset()
+        sorter = Sorter("hss", eps=EPS, seed=5)
+        cold = sorter.run(ds)
+        warm = sorter.run(ds, initial_intervals=_boundaries(cold))
+        assert (
+            warm.splitter_stats.total_sample
+            < cold.splitter_stats.total_sample
+        )
+
+    def test_stale_hints_cost_rounds_not_correctness(self):
+        # Hints from a completely different key range: the probe round
+        # finalizes nothing, then normal refinement takes over.
+        ds = _dataset()
+        bogus = tuple((int(1e17) + i, int(1e17) + i) for i in range(7))
+        run = Sorter("hss", eps=EPS, seed=5).run(
+            ds, initial_intervals=bogus
+        )
+        assert run.imbalance <= 1 + EPS + 1e-9
+        flat = np.sort(np.concatenate(ds.shards))
+        np.testing.assert_array_equal(np.concatenate(run.shards), flat)
+
+    def test_cold_path_unchanged_by_feature(self):
+        # initial_intervals=None must be byte-identical to never having
+        # passed the argument (the bench-baseline invariant).
+        ds = _dataset()
+        sorter = Sorter("hss", eps=EPS, seed=5)
+        a = sorter.run(ds)
+        b = sorter.run(ds, initial_intervals=None)
+        assert a.splitter_stats.num_rounds == b.splitter_stats.num_rounds
+        assert a.makespan == b.makespan
+        for x, y in zip(a.shards, b.shards):
+            np.testing.assert_array_equal(x, y)
+
+    def test_incapable_algorithm_rejects_hints(self):
+        ds = _dataset(p=4, n=200)
+        with pytest.raises(CapabilityError) as exc:
+            Sorter("sample-regular", eps=EPS).run(
+                ds, initial_intervals=((1, 2),)
+            )
+        # The message routes users to the warm-capable algorithms.
+        assert "hss" in str(exc.value)
+
+    def test_registry_capability_flags(self):
+        warm = {n for n, s in REGISTRY.items() if s.supports_warm_start}
+        assert warm == {"hss", "hss-1round", "hss-2round", "histogram"}
+
+    def test_config_validation(self):
+        from repro.core.config import HSSConfig
+
+        with pytest.raises(ConfigError):
+            HSSConfig(initial_intervals=())
+        with pytest.raises(ConfigError):
+            HSSConfig(initial_intervals=((5, 1),))  # lo > hi
+        cfg = HSSConfig(initial_intervals=[[1, 2], (3, 3)])
+        assert cfg.initial_intervals == ((1, 2), (3, 3))
+
+    def test_not_a_cli_config_knob(self):
+        # Warm starts are an execution-time hint threaded by the service,
+        # not a user-facing config key.
+        for name in ("hss", "histogram", "scanning", "hss-node"):
+            assert "initial_intervals" not in REGISTRY[name].config_keys()

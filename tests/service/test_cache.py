@@ -1,0 +1,62 @@
+"""SplitterCache: LRU semantics, eviction bounds, counter accounting."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.service import SplitterCache
+
+
+class TestSplitterCache:
+    def test_miss_then_hit(self):
+        cache = SplitterCache(capacity=4)
+        assert cache.get("a") is None
+        cache.put("a", [(1, 2)])
+        assert cache.get("a") == ((1, 2),)
+        assert cache.stats() == {
+            "size": 1, "capacity": 4, "hits": 1, "misses": 1, "evictions": 0,
+        }
+
+    def test_put_normalizes_to_tuple_pairs(self):
+        cache = SplitterCache()
+        cache.put("k", [[3, 4], (5, 5)])
+        assert cache.get("k") == ((3, 4), (5, 5))
+
+    def test_size_never_exceeds_capacity(self):
+        cache = SplitterCache(capacity=3)
+        for i in range(50):
+            cache.put(f"fp{i}", [(i, i)])
+            assert len(cache) <= 3
+        assert cache.stats()["size"] == 3
+        assert cache.stats()["evictions"] == 47
+
+    def test_lru_eviction_order(self):
+        cache = SplitterCache(capacity=2)
+        cache.put("a", [(1, 1)])
+        cache.put("b", [(2, 2)])
+        cache.get("a")  # refresh "a": "b" becomes LRU
+        cache.put("c", [(3, 3)])
+        assert "a" in cache and "c" in cache and "b" not in cache
+
+    def test_overwrite_same_key_does_not_evict(self):
+        cache = SplitterCache(capacity=2)
+        cache.put("a", [(1, 1)])
+        cache.put("b", [(2, 2)])
+        cache.put("a", [(9, 9)])
+        assert len(cache) == 2
+        assert cache.stats()["evictions"] == 0
+        assert cache.get("a") == ((9, 9),)
+
+    def test_contains_is_accounting_free(self):
+        cache = SplitterCache()
+        cache.put("a", [(1, 1)])
+        assert "a" in cache and "zz" not in cache
+        assert cache.stats()["hits"] == 0
+        assert cache.stats()["misses"] == 0
+
+    def test_empty_intervals_rejected(self):
+        with pytest.raises(ConfigError, match="empty interval"):
+            SplitterCache().put("a", [])
+
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigError, match="capacity"):
+            SplitterCache(capacity=0)

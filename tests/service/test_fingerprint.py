@@ -1,0 +1,65 @@
+"""Workload fingerprints: stability where it matters, sensitivity too."""
+
+import numpy as np
+
+from repro.algorithms import Dataset
+from repro.service import key_sketch, workload_fingerprint
+from repro.service.fingerprint import SKETCH_CELLS, SKETCH_QUANTILES
+
+
+def _ds(workload="uniform", p=4, n=1_000, seed=0, **kw):
+    return Dataset.from_workload(workload, p=p, n_per=n, seed=seed, **kw)
+
+
+class TestKeySketch:
+    def test_deterministic(self):
+        ds = _ds()
+        assert key_sketch(ds.shards) == key_sketch(ds.shards)
+
+    def test_shape_and_range(self):
+        sketch = key_sketch(_ds().shards)
+        assert len(sketch) == SKETCH_QUANTILES
+        assert all(0 <= cell < SKETCH_CELLS for cell in sketch)
+
+    def test_empty_input(self):
+        assert key_sketch([np.array([], dtype=np.int64)]) == ()
+
+    def test_constant_keys_zero_span(self):
+        shards = [np.full(100, 7, dtype=np.int64)]
+        assert key_sketch(shards) == (0,) * SKETCH_QUANTILES
+
+    def test_distribution_shape_separates(self):
+        uniform = key_sketch(_ds("uniform").shards)
+        skewed = key_sketch(_ds("lognormal").shards)
+        assert uniform != skewed
+
+
+class TestWorkloadFingerprint:
+    def test_identical_datasets_share_fingerprint(self):
+        a = workload_fingerprint("hss", _ds())
+        b = workload_fingerprint("hss", _ds())
+        assert a == b
+        assert len(a) == 16 and int(a, 16) >= 0
+
+    def test_algorithm_is_part_of_the_key(self):
+        ds = _ds()
+        assert workload_fingerprint("hss", ds) != workload_fingerprint(
+            "histogram", ds
+        )
+
+    def test_rank_count_is_part_of_the_key(self):
+        assert workload_fingerprint("hss", _ds(p=4)) != workload_fingerprint(
+            "hss", _ds(p=8)
+        )
+
+    def test_distribution_is_part_of_the_key(self):
+        assert workload_fingerprint(
+            "hss", _ds("uniform")
+        ) != workload_fingerprint("hss", _ds("lognormal"))
+
+    def test_record_schema_is_part_of_the_key(self):
+        bare = _ds()
+        records = _ds(payloads={"mass": "f8"})
+        assert workload_fingerprint("hss", bare) != workload_fingerprint(
+            "hss", records
+        )

@@ -1,0 +1,91 @@
+"""The localhost HTTP front end: endpoints, status codes, loopback-only."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.service import SortService
+from repro.service.http import make_server
+
+JOB = {
+    "id": "h1",
+    "scenario": {
+        "algorithm": "hss",
+        "workload": "uniform",
+        "procs": 4,
+        "keys_per_rank": 800,
+    },
+}
+
+
+@pytest.fixture()
+def server():
+    srv = make_server(SortService(), port=0)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+    thread.join(timeout=5)
+
+
+def _get(server, path):
+    host, port = server.server_address[:2]
+    try:
+        with urllib.request.urlopen(f"http://{host}:{port}{path}") as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read())
+
+
+def _post(server, path, body: bytes):
+    host, port = server.server_address[:2]
+    request = urllib.request.Request(
+        f"http://{host}:{port}{path}", data=body, method="POST"
+    )
+    try:
+        with urllib.request.urlopen(request) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read())
+
+
+class TestEndpoints:
+    def test_healthz(self, server):
+        assert _get(server, "/healthz") == (200, {"status": "ok"})
+
+    def test_sort_then_stats(self, server):
+        code, reply = _post(server, "/sort", json.dumps(JOB).encode())
+        assert code == 200
+        assert reply["status"] == "ok"
+        assert reply["cache"]["hit"] is False
+
+        code, repeat = _post(server, "/sort", json.dumps(JOB).encode())
+        assert code == 200
+        assert repeat["cache"]["hit"] is True
+        assert repeat["metrics"]["rounds"] < reply["metrics"]["rounds"]
+
+        code, stats = _get(server, "/stats")
+        assert code == 200
+        assert stats["jobs_total"] == 2
+        assert stats["cache"]["hits"] == 1
+
+    def test_malformed_job_is_400_with_structured_error(self, server):
+        code, reply = _post(server, "/sort", b"{not json")
+        assert code == 400
+        assert reply["status"] == "error"
+        assert reply["error"]["type"] == "JobError"
+
+    def test_unknown_paths_404(self, server):
+        assert _get(server, "/nope")[0] == 404
+        assert _post(server, "/nope", b"{}")[0] == 404
+
+
+class TestLoopbackOnly:
+    def test_non_loopback_host_refused(self):
+        with pytest.raises(ConfigError, match="loopback"):
+            make_server(SortService(), host="0.0.0.0")

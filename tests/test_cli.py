@@ -103,7 +103,7 @@ class TestSortCommand:
     def test_payload_roundtrip_flag(self, capsys):
         code = main(
             ["sort", "--algorithm", "sample-regular", "-p", "4", "-n", "300",
-             "--payloads"]
+             "--payloads", "index"]
         )
         out = capsys.readouterr().out
         assert code == 0
@@ -120,7 +120,7 @@ class TestSortCommand:
     def test_payloads_with_incapable_algorithm_exits_2(self, capsys):
         code = main(
             ["sort", "--algorithm", "bitonic", "-p", "4", "-n", "100",
-             "--payloads"]
+             "--payloads", "index"]
         )
         assert code == 2
         err = capsys.readouterr().err
@@ -742,3 +742,142 @@ class TestBenchSuiteGlobs:
         code = main(["bench", "--tier", "quick", "--suite", "nope_*"])
         assert code == 2
         assert "matches no registered suite" in capsys.readouterr().err
+
+
+class TestExecutionOptionAgreement:
+    """The shared --machine/--backend/--workers/--payloads flags.
+
+    Satellite pin: the execution options are defined once
+    (cli._EXECUTION_OPTIONS) and attached through one parent parser, so
+    every subcommand exposing a flag must show the *same* spelling,
+    metavar, value type and help text.  If this test fails, someone
+    re-declared a shared flag locally instead of extending the table.
+    """
+
+    COMMANDS = ("sort", "sweep", "bench", "serve")
+    FLAGS = ("--machine", "--backend", "--workers", "--payloads")
+
+    @staticmethod
+    def _subparsers():
+        import argparse
+
+        parser = build_parser()
+        action = next(
+            a for a in parser._actions
+            if isinstance(a, argparse._SubParsersAction)
+        )
+        return action.choices
+
+    def _actions_for(self, flag):
+        found = {}
+        for command, sub in self._subparsers().items():
+            if command not in self.COMMANDS:
+                continue
+            for action in sub._actions:
+                if flag in action.option_strings:
+                    found[command] = action
+        return found
+
+    @pytest.mark.parametrize("flag", FLAGS)
+    def test_help_text_agrees(self, flag):
+        found = self._actions_for(flag)
+        assert found, f"{flag} defined by no subcommand"
+        for attr in ("help", "metavar", "type"):
+            values = {getattr(a, attr) for a in found.values()}
+            assert len(values) == 1, (
+                f"{flag} {attr} drifted across {sorted(found)}: {values}"
+            )
+
+    def test_expected_subcommand_coverage(self):
+        coverage = {
+            flag: set(self._actions_for(flag)) for flag in self.FLAGS
+        }
+        assert coverage["--backend"] == {"sort", "sweep", "bench", "serve"}
+        assert coverage["--machine"] == {"sort", "serve"}
+        assert coverage["--payloads"] == {"sort", "sweep"}
+        assert coverage["--workers"] == {"sort"}
+
+    def test_defaults_are_per_command(self):
+        # Defaults intentionally differ (sort runs on 'laptop'; serve
+        # injects nothing so each job's own scenario wins).
+        machine = self._actions_for("--machine")
+        assert machine["sort"].default == "laptop"
+        assert machine["serve"].default is None
+        backend = self._actions_for("--backend")
+        assert backend["sort"].default == "simulated"
+        assert backend["bench"].default is None
+
+
+class TestServeCommand:
+    def _serve(self, lines, argv=(), monkeypatch=None):
+        import io
+        import json
+        import sys as _sys
+
+        monkeypatch.setattr(
+            _sys, "stdin", io.StringIO("".join(line + "\n" for line in lines))
+        )
+        code = main(["serve", *argv])
+        return code
+
+    def test_stream_repeat_job_hits_cache(self, capsys, monkeypatch):
+        import json
+
+        job = json.dumps({
+            "id": "a", "scenario": {
+                "algorithm": "hss", "workload": "uniform",
+                "procs": 4, "keys_per_rank": 1500,
+            },
+        })
+        code = self._serve([job, job], monkeypatch=monkeypatch)
+        out, err = capsys.readouterr().out, capsys.readouterr().err
+        assert code == 0
+        replies = [json.loads(line) for line in out.splitlines()]
+        assert [r["status"] for r in replies] == ["ok", "ok"]
+        assert replies[0]["cache"]["hit"] is False
+        # Adjacent same-fingerprint jobs batch: the repeat warm-chains.
+        assert replies[1]["cache"]["hit"] is True
+        assert replies[1]["cache"]["source"] == "batch"
+        assert (
+            replies[1]["metrics"]["rounds"] < replies[0]["metrics"]["rounds"]
+        )
+
+    def test_malformed_job_replies_error_and_exit_0(self, capsys, monkeypatch):
+        import json
+
+        code = self._serve(["not json at all"], monkeypatch=monkeypatch)
+        assert code == 0
+        reply = json.loads(capsys.readouterr().out)
+        assert reply["status"] == "error"
+        assert reply["error"]["type"] == "JobError"
+
+    def test_service_defaults_injected(self, capsys, monkeypatch):
+        import json
+
+        job = json.dumps({
+            "id": "m", "scenario": {
+                "algorithm": "hss", "workload": "uniform",
+                "procs": 4, "keys_per_rank": 800,
+            },
+        })
+        code = self._serve(
+            [job], argv=["--machine", "cloud-ethernet"],
+            monkeypatch=monkeypatch,
+        )
+        assert code == 0
+        reply = json.loads(capsys.readouterr().out)
+        assert reply["scenario"]["machine"] == "cloud-ethernet"
+
+    def test_unknown_machine_exits_2(self, capsys, monkeypatch):
+        code = self._serve(
+            [], argv=["--machine", "nope"], monkeypatch=monkeypatch
+        )
+        assert code == 2
+        assert "nope" in capsys.readouterr().err
+
+    def test_bad_cache_capacity_exits_2(self, capsys, monkeypatch):
+        code = self._serve(
+            [], argv=["--cache-capacity", "0"], monkeypatch=monkeypatch
+        )
+        assert code == 2
+        assert "capacity" in capsys.readouterr().err
