@@ -1,0 +1,67 @@
+"""Chaos resilience: seeded faults degrade runs predictably, never silently.
+
+The ``chaos_resilience`` suite runs the adversarial workloads through the
+chaos backend under each built-in fault plan and compares against the
+fault-free twin on the same cell.  The pins are the subsystem's contract:
+injected stragglers surface as a strictly >1 modeled slowdown, dropped
+collectives surface as retries (and only as retries — no time injected),
+a killed rank is *detected* by the engine's deadlock check rather than
+hanging, and the whole picture is a pure function of the plan seed, so a
+second run reproduces it bit for bit.
+"""
+
+from repro.bench.report import render_suite
+
+
+def test_chaos_resilience(bench_run, emit):
+    run = bench_run("chaos_resilience")
+    emit("chaos_resilience", render_suite(run))
+
+    workloads = run.params["workloads"]
+    for w in workloads:
+        faultfree = run.metric(f"faultfree/{w}", "makespan_s")
+        assert faultfree > 0, w
+
+        # Stragglers: pure time injection — a strict slowdown, no retries.
+        assert run.metric(f"stragglers/{w}", "slowdown") > 1.0, w
+        assert run.metric(f"stragglers/{w}", "stragglers") > 0, w
+        assert run.metric(f"stragglers/{w}", "retries") == 0, w
+        # delay_injected_s sums over ranks; the makespan only absorbs
+        # each superstep's slowest straggler, so the increase is bounded
+        # above by the total injection (and below by zero).
+        assert (
+            run.metric(f"stragglers/{w}", "makespan_s") - faultfree
+            <= run.metric(f"stragglers/{w}", "delay_injected_s") + 1e-12
+        ), w
+
+        # Dropped collectives: pure retransmission — retries and the
+        # extra traffic they price, but zero injected wall time.
+        assert run.metric(f"dropped-collectives/{w}", "retries") > 0, w
+        assert (
+            run.metric(f"dropped-collectives/{w}", "delay_injected_s") == 0.0
+        ), w
+        assert run.metric(f"dropped-collectives/{w}", "slowdown") > 1.0, w
+
+        # Mayhem composes both fault kinds and must cost at least as much
+        # as the worst single-fault plan on the same cell.
+        assert run.metric(f"mayhem/{w}", "slowdown") >= max(
+            run.metric(f"stragglers/{w}", "slowdown"),
+            run.metric(f"dropped-collectives/{w}", "slowdown"),
+        ), w
+
+        # A killed rank is caught by deadlock *detection*, not a timeout:
+        # the engine names the superstep, and detection is immediate
+        # (the kill superstep itself) for a deterministic kill.
+        assert run.metric(f"kill-rank/{w}", "detected") == 1, w
+        assert run.metric(f"kill-rank/{w}", "detected_superstep") >= 0, w
+        assert run.metric(f"kill-rank/{w}", "supersteps_to_detection") == 0, w
+
+    # Same seeds, same plans: a re-run is bit-identical (determinism is
+    # what makes the baseline gate on this suite meaningful at all).
+    # bench_run caches per session, so rerun through run_suite directly.
+    from repro.bench.runner import run_suite
+
+    rerun = run_suite("chaos_resilience", "full")
+    for case in run.cases:
+        twin = next(c for c in rerun.cases if c.name == case.name)
+        assert twin.metrics == case.metrics, case.name

@@ -1511,3 +1511,172 @@ def _render_service_latency(
         + "\n\n"
         + tail
     )
+
+
+# ===================================================================== #
+# Chaos resilience — straggler tolerance under seeded fault plans.
+# ===================================================================== #
+_CHAOS_PLANS = ["stragglers", "dropped-collectives", "mayhem"]
+
+
+@register(
+    "chaos_resilience",
+    description="Straggler tolerance under seeded fault plans: slowdown "
+    "vs fault-free, retries, supersteps to kill detection",
+    kind="chaos",
+    tiers={
+        "full": {
+            "procs": 16,
+            "keys_per_rank": 2_000,
+            "eps": 0.1,
+            "workloads": ["drifting-mixture", "changa-drift"],
+            "plans": list(_CHAOS_PLANS),
+            "algorithm": "hss",
+            "machine": "mira-like-bgq",
+            "machine_overrides": {"cores_per_node": 1},
+            "seed": 42,
+        },
+        "quick": {
+            "procs": 8,
+            "keys_per_rank": 600,
+            "eps": 0.1,
+            "workloads": ["drifting-mixture", "changa-drift"],
+            "plans": list(_CHAOS_PLANS),
+            "algorithm": "hss",
+            "machine": "mira-like-bgq",
+            "machine_overrides": {"cores_per_node": 1},
+            "seed": 42,
+        },
+    },
+    render=lambda cases, params: _render_chaos_resilience(cases, params),
+    runtime_params={"backend": "simulated"},
+)
+def _run_chaos_resilience(params: Mapping[str, Any]) -> list[CaseResult]:
+    """Every fault plan against every adversarial workload, plus a kill.
+
+    Each (workload, plan) cell runs the standard ``Scenario`` plumbing
+    wrapped in the chaos backend; the plan's faults are seeded, so the
+    injected delays, retry counts and the resulting slowdown are exact
+    reproducible numbers the baseline gate can hold.  The final cases run
+    the deterministic ``kill-rank`` plan and record how many supersteps
+    the engine's deadlock detection needed to catch the dead rank — the
+    failure-*detection* latency, as opposed to the degradation metrics.
+    """
+    from repro.errors import DeadlockError
+    from repro.experiments import Scenario
+
+    def scenario(workload: str, plan: str) -> Scenario:
+        return Scenario(
+            algorithm=params["algorithm"],
+            workload=workload,
+            machine=params["machine"],
+            procs=params["procs"],
+            keys_per_rank=params["keys_per_rank"],
+            eps=params["eps"],
+            seed=params["seed"],
+            backend=_suite_backend(params),
+            chaos=plan,
+        )
+
+    cases = []
+    for workload in params["workloads"]:
+        baseline = scenario(workload, "").run()["metrics"]
+        cases.append(
+            _case(
+                f"faultfree/{workload}",
+                {"workload": workload, "plan": "none",
+                 "procs": params["procs"],
+                 "keys_per_rank": params["keys_per_rank"]},
+                {"makespan_s": baseline["makespan_s"],
+                 "rounds": baseline.get("rounds")},
+            )
+        )
+        for plan in params["plans"]:
+            metrics = scenario(workload, plan).run()["metrics"]
+            cases.append(
+                _case(
+                    f"{plan}/{workload}",
+                    {"workload": workload, "plan": plan,
+                     "procs": params["procs"],
+                     "keys_per_rank": params["keys_per_rank"]},
+                    {
+                        "makespan_s": metrics["makespan_s"],
+                        "slowdown": metrics["chaos_slowdown"],
+                        "stragglers": metrics["chaos_stragglers"],
+                        "retries": metrics["chaos_retries"],
+                        "delay_injected_s": metrics["chaos_delay_s"],
+                    },
+                )
+            )
+        try:
+            scenario(workload, "kill-rank").run()
+        except DeadlockError as exc:
+            detail = getattr(exc, "chaos", {}) or {}
+            cases.append(
+                _case(
+                    f"kill-rank/{workload}",
+                    {"workload": workload, "plan": "kill-rank",
+                     "procs": params["procs"],
+                     "keys_per_rank": params["keys_per_rank"]},
+                    {
+                        "detected": 1,
+                        "detected_superstep": detail.get(
+                            "detected_superstep", -1
+                        ),
+                        "supersteps_to_detection": detail.get(
+                            "supersteps_to_detection", -1
+                        ),
+                    },
+                )
+            )
+        else:  # pragma: no cover - a kill must trip deadlock detection
+            raise RuntimeError(
+                "kill-rank plan completed without tripping deadlock "
+                "detection"
+            )
+    return cases
+
+
+def _render_chaos_resilience(
+    cases: Sequence[CaseResult], params: Mapping[str, Any]
+) -> str:
+    by = _by_name(cases)
+    workloads = params["workloads"]
+    rows: dict[str, list[Any]] = {
+        "fault-free makespan (ms)": [
+            round(by[f"faultfree/{w}"].metrics["makespan_s"] * 1e3, 3)
+            for w in workloads
+        ],
+    }
+    for plan in params["plans"]:
+        rows[f"{plan} slowdown"] = [
+            round(by[f"{plan}/{w}"].metrics["slowdown"], 2)
+            for w in workloads
+        ]
+    rows["stragglers (mayhem)"] = [
+        by[f"mayhem/{w}"].metrics["stragglers"] for w in workloads
+    ]
+    rows["retries (dropped)"] = [
+        by[f"dropped-collectives/{w}"].metrics["retries"] for w in workloads
+    ]
+    rows["kill detected at superstep"] = [
+        by[f"kill-rank/{w}"].metrics["detected_superstep"] for w in workloads
+    ]
+    head = (
+        f"Chaos resilience — p={params['procs']}, "
+        f"N/p={params['keys_per_rank']}, eps={params['eps']}, "
+        f"{params['algorithm']}, plans {', '.join(params['plans'])} "
+        f"+ kill-rank, Mira-like (flat)"
+    )
+    tail = (
+        "slowdown = chaos makespan / fault-free makespan on the same "
+        "cell; kill detection is the engine's deadlock check, not a "
+        "timeout"
+    )
+    return (
+        head
+        + "\n\n"
+        + format_series_table("workload", workloads, rows)
+        + "\n\n"
+        + tail
+    )

@@ -382,29 +382,39 @@ class SuperstepResolver:
         if ("global",) in groups:
             if len(groups) > 1:
                 other = next(g for g in groups if g != ("global",))
-                raise CollectiveMismatchError(
+                err = CollectiveMismatchError(
                     f"superstep {step}: ranks {groups[('global',)][:4]} "
                     f"issued a global collective while ranks "
                     f"{groups[other][:4]} issued a {other} collective"
                 )
+                err.superstep = step
+                err.ranks = tuple(sorted(groups[("global",)] + groups[other]))
+                raise err
             if finished:
                 stalled = groups[("global",)]
-                raise DeadlockError(
-                    f"ranks {sorted(finished)[:8]} finished while ranks "
-                    f"{stalled[:8]} wait on "
+                err = DeadlockError(
+                    f"superstep {step}: ranks {sorted(finished)[:8]} "
+                    f"finished while ranks {stalled[:8]} wait on "
                     f"'{yields[stalled[0]].call.op}' — program is not SPMD"
                 )
+                err.superstep = step
+                err.finished_ranks = tuple(sorted(finished))
+                err.stuck_ranks = tuple(stalled)
+                raise err
         else:
             # All node-scoped: every node group must be complete.
             layout = self.node_layout
             for gkey, members in groups.items():
                 expected = list(layout.ranks_on_node(gkey[1]))
                 if members != expected:
-                    raise DeadlockError(
+                    err = DeadlockError(
                         f"superstep {step}: node {gkey[1]} collective has "
                         f"participants {members} but the node hosts ranks "
                         f"{expected}"
                     )
+                    err.superstep = step
+                    err.stuck_ranks = tuple(members)
+                    raise err
 
         # --- resolve each group independently -----------------------
         # Node groups on different nodes run concurrently: a sweep of
@@ -426,11 +436,21 @@ class SuperstepResolver:
                 if call.op != first.op or call.root != first.root or (
                     call.reduce_op != first.reduce_op
                 ):
-                    raise CollectiveMismatchError(
+                    disagreeing = sorted(
+                        m for m in members
+                        if yields[m].call.op != first.op
+                        or yields[m].call.root != first.root
+                        or yields[m].call.reduce_op != first.reduce_op
+                    )
+                    err = CollectiveMismatchError(
                         f"superstep {step} {gkey}: rank {members[0]} "
                         f"called '{first.op}' (root={first.root}) but "
-                        f"rank {r} called '{call.op}' (root={call.root})"
+                        f"rank {r} called '{call.op}' (root={call.root}); "
+                        f"disagreeing ranks {disagreeing[:8]}"
                     )
+                    err.superstep = step
+                    err.ranks = tuple(disagreeing)
+                    raise err
             if first.op == "exchange" and gkey != ("global",):
                 raise CollectiveMismatchError(
                     "pairwise exchange is only supported on the global "

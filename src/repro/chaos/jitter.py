@@ -1,0 +1,147 @@
+"""Jittered interconnect topologies: α–β links that are never ideal.
+
+The built-in fat-tree and dragonfly presets are deterministic *best
+cases*: every link delivers exactly its nominal bandwidth and hop count.
+Real fabrics do not — adaptive routing collisions, cable quality, and
+background traffic smear both the α (latency) and β (bandwidth) terms.
+The jittered variants registered here degrade both by a stochastic but
+**seeded** per-link factor, so a jittered machine is exactly as
+reproducible as an ideal one while no longer being a best case:
+
+* ``alltoall_contention(n)`` is multiplied by ``1 + jitter * u``
+  (β side: effective bisection bandwidth lost to link-level jitter);
+* ``diameter(n)`` is inflated by an independent ``1 + jitter * u`` draw
+  (α side: extra hops from adaptive re-routing).
+
+Each ``u`` is drawn from ``default_rng((jitter_seed, salt, n))`` — a
+pure function of the seed and the endpoint count, never of wall-clock or
+global RNG state, matching the determinism contract of
+:mod:`repro.chaos.plan`.  Jitter only ever *degrades* the network
+(``u ∈ [0, 1)``), so jittered runs bound ideal runs from above.
+
+Importing this module (done by :mod:`repro.machines`) registers the
+topologies and one machine preset, ``jittery-cloud`` — the
+``cloud-ethernet`` profile on a jittered fat tree, the configuration
+where TCP-stack jitter is actually the daily weather.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bsp.network import Dragonfly, FatTree
+from repro.machines.registry import register_machine
+from repro.machines.spec import MachineSpec
+from repro.machines.topologies import register_topology
+
+__all__ = ["JitteredFatTree", "JitteredDragonfly"]
+
+_BETA_SALT = 1
+_ALPHA_SALT = 2
+
+
+def _jitter_factor(seed: int, salt: int, n: int, jitter: float) -> float:
+    """Deterministic degradation factor in ``[1, 1 + jitter)``."""
+    u = float(np.random.default_rng((seed, salt, n)).random())
+    return 1.0 + jitter * u
+
+
+def _validate_jitter(jitter: float, jitter_seed: int) -> None:
+    if not 0.0 <= jitter <= 1.0:
+        raise ValueError(f"jitter must be in [0, 1], got {jitter}")
+    if jitter_seed < 0:
+        raise ValueError(f"jitter_seed must be >= 0, got {jitter_seed}")
+
+
+@register_topology
+@dataclass(frozen=True)
+class JitteredFatTree(FatTree):
+    """Fat tree whose effective bisection and hop count carry seeded jitter."""
+
+    name: str = "jittered-fat-tree"
+    jitter: float = 0.2
+    jitter_seed: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _validate_jitter(self.jitter, self.jitter_seed)
+
+    def alltoall_contention(self, n: int) -> float:
+        ideal = super().alltoall_contention(n)
+        return ideal * _jitter_factor(
+            self.jitter_seed, _BETA_SALT, n, self.jitter
+        )
+
+    def diameter(self, n: int) -> int:
+        ideal = super().diameter(n)
+        return max(
+            ideal,
+            math.ceil(
+                ideal
+                * _jitter_factor(self.jitter_seed, _ALPHA_SALT, n, self.jitter)
+            ),
+        )
+
+    def describe(self) -> str:
+        return f"jittered fat-tree (jitter={self.jitter:g})"
+
+
+@register_topology
+@dataclass(frozen=True)
+class JitteredDragonfly(Dragonfly):
+    """Dragonfly whose global links carry seeded per-link jitter."""
+
+    name: str = "jittered-dragonfly"
+    jitter: float = 0.2
+    jitter_seed: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _validate_jitter(self.jitter, self.jitter_seed)
+
+    def alltoall_contention(self, n: int) -> float:
+        ideal = super().alltoall_contention(n)
+        return ideal * _jitter_factor(
+            self.jitter_seed, _BETA_SALT, n, self.jitter
+        )
+
+    def diameter(self, n: int) -> int:
+        ideal = super().diameter(n)
+        return max(
+            ideal,
+            math.ceil(
+                ideal
+                * _jitter_factor(self.jitter_seed, _ALPHA_SALT, n, self.jitter)
+            ),
+        )
+
+    def describe(self) -> str:
+        return f"jittered dragonfly (jitter={self.jitter:g})"
+
+
+#: The cloud-ethernet α–β constants on a *jittered* 4:1 fat tree — the
+#: seventh machine preset, and the only one that is not a deterministic
+#: best case.  Same cores and γ terms as ``cloud-ethernet`` so any
+#: makespan delta against it is purely network weather.
+register_machine(
+    MachineSpec(
+        name="jittery-cloud",
+        alpha=4.0e-5,
+        beta=1.0 / 3.0e9,
+        node_alpha=5.0e-7,
+        gamma_compare=1.2e-9,
+        gamma_byte=1.0 / 1.5e10,
+        topology="jittered-fat-tree",
+        topology_params={"bisection": 0.25, "jitter": 0.3, "jitter_seed": 8},
+        cores_per_node=16,
+        round_sync_per_level=2.0e-3,
+        note=(
+            "cloud-ethernet constants on a jittered 4:1 fat tree: seeded "
+            "per-link alpha-beta jitter, never a best case"
+        ),
+        paper_section="1",
+    )
+)

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Ten subcommands:
+Eleven subcommands:
 
 ``sort``
     Generate a workload, sort it with any registered algorithm on any
@@ -25,6 +25,11 @@ Ten subcommands:
     List every workload in the plugin registry
     (:mod:`repro.workloads`) with its paper section and, for
     record-carrying workloads, its declared record schema.
+
+``chaos``
+    List every registered fault plan (:mod:`repro.chaos`) with its
+    straggler/drop/kill knobs.  Plans apply through ``--chaos PLAN`` on
+    ``sort``/``sweep`` or the ``chaos:<inner>`` backend spelling.
 
 ``sweep``
     Expand an algorithm x workload x machine x layout grid, run every
@@ -52,10 +57,11 @@ Ten subcommands:
     same jobs over localhost HTTP instead.
 
 The execution options shared by ``sort``/``sweep``/``bench``/``serve``
-(``--machine``, ``--backend``, ``--workers``, ``--payloads``) are defined
-once in :data:`_EXECUTION_OPTIONS` and attached through one argparse
-parent parser (:func:`execution_options`), so their spelling and help
-text cannot drift between subcommands.
+(``--machine``, ``--backend``, ``--workers``, ``--payloads``, and the
+``sort``/``sweep``-only ``--chaos``) are defined once in
+:data:`_EXECUTION_OPTIONS` and attached through one argparse parent
+parser (:func:`execution_options`), so their spelling and help text
+cannot drift between subcommands.
 
 Examples
 --------
@@ -66,6 +72,8 @@ Examples
     python -m repro sort --algorithm histogram --workload staircase \
         --payloads index
     python -m repro sort -p 8 -n 500000 --backend process --workers 4
+    python -m repro sort --workload drifting-mixture --chaos stragglers
+    python -m repro chaos
     python -m repro algorithms
     python -m repro machines
     python -m repro backends
@@ -133,6 +141,14 @@ _EXECUTION_OPTIONS: dict[str, dict] = {
                 "positions; 'repro sort' only); repeatable in "
                 "'repro sweep' to add grid-axis values",
     },
+    "chaos": {
+        "flags": ("--chaos",),
+        "metavar": "PLAN",
+        "help": "registered fault plan applied through the chaos backend "
+                "(see 'repro chaos'); fault metrics join the modeled "
+                "metrics, and faults the plan injects are reported, not "
+                "fatal",
+    },
 }
 
 
@@ -142,6 +158,7 @@ def execution_options(
     backend: object = _OMIT,
     workers: object = _OMIT,
     payloads: object = _OMIT,
+    chaos: object = _OMIT,
     payloads_repeatable: bool = False,
 ) -> argparse.ArgumentParser:
     """An argparse *parent parser* carrying the shared execution options.
@@ -171,6 +188,8 @@ def execution_options(
             add("payloads", payloads, action="append", dest="payloads")
         else:
             add("payloads", payloads)
+    if chaos is not _OMIT:
+        add("chaos", chaos)
     return parent
 
 
@@ -186,7 +205,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="sort a generated workload",
         parents=[execution_options(
             machine="laptop", backend="simulated",
-            workers=None, payloads="none",
+            workers=None, payloads="none", chaos="",
         )],
     )
     sort.add_argument(
@@ -234,11 +253,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="list registered workloads, paper sections and record schemas",
     )
 
+    sub.add_parser(
+        "chaos",
+        help="list registered fault plans (chaos backend)",
+    )
+
     sweep = sub.add_parser(
         "sweep",
         help="run an algorithm x workload x machine x layout grid",
         parents=[execution_options(
             backend="simulated", payloads=None, payloads_repeatable=True,
+            chaos="",
         )],
     )
     sweep.add_argument(
@@ -419,7 +444,7 @@ def _cmd_sort(args: argparse.Namespace) -> int:
     import numpy as np
 
     from repro.algorithms import REGISTRY, Dataset, Sorter
-    from repro.errors import ConfigError
+    from repro.errors import BSPError, ConfigError
     from repro.workloads import WORKLOADS
 
     if args.algorithm not in REGISTRY:
@@ -488,6 +513,13 @@ def _cmd_sort(args: argparse.Namespace) -> int:
         from repro.runtime import get_backend
 
         backend = get_backend(args.backend, workers=args.workers)
+        if args.chaos:
+            from repro.runtime import ChaosBackend
+
+            if isinstance(backend, ChaosBackend):
+                backend = ChaosBackend(inner=backend.inner, plan=args.chaos)
+            else:
+                backend = ChaosBackend(inner=backend, plan=args.chaos)
         config = spec.legacy_config(eps=args.eps, seed=args.seed, **kwargs)
         sorter = Sorter(
             args.algorithm,
@@ -500,6 +532,16 @@ def _cmd_sort(args: argparse.Namespace) -> int:
     except ConfigError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    except BSPError as exc:
+        if not args.chaos:
+            raise
+        # The fault plan did its job: report the detection, exit cleanly
+        # with a non-zero code (the fault is the run's result).
+        detail = getattr(exc, "chaos", None)
+        print(f"injected fault detected: {exc}", file=sys.stderr)
+        if detail is not None:
+            print(f"fault provenance   : {detail}", file=sys.stderr)
+        return 1
     from repro.metrics import verify_sorted_output
 
     verify_sorted_output(dataset.shards, run.shards)
@@ -547,6 +589,15 @@ def _cmd_sort(args: argparse.Namespace) -> int:
                 f"({schema.compact() if schema is not None else '?'})"
             )
     print(f"modeled makespan  : {run.makespan:.3e} s")
+    chaos_info = getattr(run.measured, "chaos", None)
+    if chaos_info is not None:
+        print(
+            f"chaos             : plan {chaos_info['plan']!r} "
+            f"(seed {chaos_info['seed']}): {chaos_info['stragglers']} "
+            f"stragglers (+{chaos_info['delay_injected_s']:.2e} s), "
+            f"{chaos_info['retries']} retries, "
+            f"slowdown {chaos_info['slowdown']:.2f}x vs fault-free"
+        )
     measured = run.measured
     if measured is not None and run.backend != "simulated":
         print(
@@ -638,6 +689,23 @@ def _cmd_backends(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos import FAULT_PLANS
+
+    del args
+    for name in sorted(FAULT_PLANS):
+        plan = FAULT_PLANS[name]
+        default = "(default)" if name == "none" else ""
+        knobs = (
+            f"straggler_prob={plan.straggler_prob:g} "
+            f"delay={plan.straggler_delay_s:g}s "
+            f"drop_prob={plan.drop_prob:g} kill_rank={plan.kill_rank}"
+        )
+        print(f"{name:20s} {default:10s} {plan.description}")
+        print(f"{'':20s} {knobs}")
+    return 0
+
+
 def _split_csv(text: str) -> list[str]:
     return [item.strip() for item in text.split(",") if item.strip()]
 
@@ -668,6 +736,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             seed=args.seed,
             backend=args.backend,
             payloads=args.payloads,
+            chaos=args.chaos,
             progress=stderr_progress,
         )
     except ConfigError as exc:
@@ -813,7 +882,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.backend is not None and args.candidate is None:
         from repro.runtime import BACKENDS
 
-        if args.backend not in BACKENDS:
+        # 'chaos:process'-style spellings validate on the base name.
+        if args.backend.partition(":")[0] not in BACKENDS:
             print(
                 f"unknown backend {args.backend!r}; "
                 f"choose from {sorted(BACKENDS)}",
@@ -946,7 +1016,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if args.backend is not None:
             from repro.runtime import BACKENDS
 
-            if args.backend not in BACKENDS:
+            # 'chaos:process'-style spellings validate on the base name.
+            if args.backend.partition(":")[0] not in BACKENDS:
                 raise ConfigError(
                     f"unknown backend {args.backend!r}; "
                     f"choose from {sorted(BACKENDS)}"
@@ -1010,6 +1081,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_machines(args)
     if args.command == "backends":
         return _cmd_backends(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     if args.command == "workloads":
         return _cmd_workloads(args)
     if args.command == "sweep":

@@ -36,11 +36,32 @@ class CollectiveMismatchError(BSPError):
     (same operation name, same root) at each rendezvous.  A mismatch means
     the user program is not SPMD-consistent — the simulated analogue of an
     MPI program deadlocking because ranks called different collectives.
+
+    Structured fields (``None``/empty when not applicable) mirror the
+    message so chaos tooling and tests need not parse text:
+
+    * ``superstep`` — rendezvous index at which the mismatch was detected.
+    * ``ranks`` — the full set of mismatched ranks (not the truncated
+      preview the message shows).
     """
+
+    superstep: int | None = None
+    ranks: tuple[int, ...] = ()
 
 
 class DeadlockError(BSPError):
-    """Raised when some ranks finished while others still wait on a collective."""
+    """Raised when some ranks finished while others still wait on a collective.
+
+    Structured fields (``None``/empty when not applicable):
+
+    * ``superstep`` — rendezvous index at which the deadlock was detected.
+    * ``finished_ranks`` — ranks whose programs already returned.
+    * ``stuck_ranks`` — ranks still waiting on a collective.
+    """
+
+    superstep: int | None = None
+    finished_ranks: tuple[int, ...] = ()
+    stuck_ranks: tuple[int, ...] = ()
 
 
 class ConfigError(ReproError):

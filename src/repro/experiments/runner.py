@@ -22,7 +22,7 @@ import time
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.bench.runner import ParallelRunner
-from repro.errors import CapabilityError, ConfigError
+from repro.errors import BSPError, CapabilityError, ConfigError
 from repro.experiments.scenario import Scenario
 from repro.experiments.schema import CellResult, ExperimentDocument
 
@@ -69,6 +69,7 @@ def expand_grid(
     seed: int = 0,
     backend: str = "simulated",
     payloads: Sequence[str] | str | None = None,
+    chaos: str = "",
 ) -> list[Scenario]:
     """Cross-product the axes into validated scenarios, in axis order.
 
@@ -78,12 +79,14 @@ def expand_grid(
     (modeled metrics are backend-independent anyway).  ``payloads`` is an
     axis of record-column schemas: ``""``/``"none"`` (key-only), a
     compact schema like ``"mass:f8,id:u4"``, or ``"workload"``.
+    ``chaos`` is a scalar knob like ``backend``: a registered fault-plan
+    name applied to every cell (``""`` = fault-free).
     """
     cells = [
         Scenario(
             algorithm=a, workload=w, machine=m, procs=p,
             keys_per_rank=n, eps=eps, seed=seed, layout=layout,
-            backend=backend, payloads=rec,
+            backend=backend, payloads=rec, chaos=chaos,
         )
         for m in _as_list(machines)
         for w in _as_list(workloads)
@@ -111,6 +114,18 @@ def _run_cell_task(scenario: Scenario) -> CellResult:
             scenario=scenario.to_dict(),
             status="skipped",
             reason=str(exc),
+            wall_s=time.perf_counter() - start,
+            worker={"pid": os.getpid()},
+        )
+    except BSPError as exc:
+        if not scenario.chaos:
+            raise
+        # A fault the cell's own plan injected (e.g. a rank kill tripping
+        # deadlock detection) is a *result*, not a sweep failure.
+        return CellResult(
+            scenario=scenario.to_dict(),
+            status="skipped",
+            reason=f"injected fault: {exc}",
             wall_s=time.perf_counter() - start,
             worker={"pid": os.getpid()},
         )
@@ -190,6 +205,7 @@ class ExperimentRunner:
         seed: int = 0,
         backend: str = "simulated",
         payloads: Sequence[str] | str | None = None,
+        chaos: str = "",
         progress: Callable[[str], None] | None = None,
     ) -> ExperimentDocument:
         """Expand the grid and run every cell; the ``repro sweep`` core."""
@@ -209,10 +225,15 @@ class ExperimentRunner:
             # Only record the axis when used, so pre-record documents
             # (and their grids) stay byte-identical.
             grid["payloads"] = payload_axis
+        if chaos:
+            # Same rule as payloads: fault-free documents stay
+            # byte-identical to their pre-chaos form.
+            grid["chaos"] = chaos
         cells = expand_grid(
             algorithms=algorithms, workloads=workloads, machines=machines,
             procs=procs, keys_per_rank=keys_per_rank, layouts=layouts,
             eps=eps, seed=seed, backend=backend, payloads=payloads,
+            chaos=chaos,
         )
         return self.run(cells, grid=grid, progress=progress)
 

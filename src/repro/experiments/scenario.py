@@ -60,6 +60,11 @@ class Scenario:
     #: workload's declared record schema.  Payload bytes flow into the
     #: cost model, so record-carrying cells price real record traffic.
     payloads: str = ""
+    #: Fault plan for the cell: ``""`` (fault-free, the default) or a
+    #: registered :mod:`repro.chaos` plan name — the run is then wrapped
+    #: in the chaos backend and fault metrics (``chaos_slowdown``,
+    #: ``chaos_retries``, ...) join the cell's modeled metrics.
+    chaos: str = ""
 
     def __post_init__(self) -> None:
         from repro.algorithms import REGISTRY
@@ -82,11 +87,17 @@ class Scenario:
             raise ConfigError(
                 f"unknown layout {self.layout!r}; choose from {list(LAYOUTS)}"
             )
-        if self.backend not in BACKENDS:
+        # 'chaos:process'-style variant spellings validate on the base
+        # name; the variant itself is checked when the backend is built.
+        if self.backend.partition(":")[0] not in BACKENDS:
             raise ConfigError(
                 f"unknown backend {self.backend!r}; "
                 f"choose from {sorted(BACKENDS)}"
             )
+        if self.chaos:
+            from repro.chaos import get_fault_plan
+
+            get_fault_plan(self.chaos)  # raises ConfigError when unknown
         if self.procs < 1:
             raise ConfigError(f"procs must be >= 1, got {self.procs}")
         if self.keys_per_rank < 1:
@@ -118,6 +129,8 @@ class Scenario:
         )
         if self.payloads:
             base = f"{base}/rec[{self.payloads}]"
+        if self.chaos:
+            base = f"{base}/chaos[{self.chaos}]"
         if self.backend != "simulated":
             return f"{base}/{self.backend}"
         return base
@@ -191,11 +204,18 @@ class Scenario:
         config = get_spec(self.algorithm).legacy_config(
             eps=self.eps, seed=self.seed
         )
+        backend: Any = self.backend
+        if self.chaos:
+            from repro.runtime import ChaosBackend
+
+            base, _, variant = self.backend.partition(":")
+            inner = (variant or "simulated") if base == "chaos" else self.backend
+            backend = ChaosBackend(inner=inner, plan=self.chaos)
         run = Sorter(
             self.algorithm,
             machine=machine,
             config=config,
-            backend=self.backend,
+            backend=backend,
             verify=False,
         ).run(dataset, initial_intervals=initial_intervals)
         metrics: dict[str, Any] = {
@@ -204,6 +224,12 @@ class Scenario:
             "net_messages": run.engine_result.stats.messages,
             "imbalance": run.imbalance,
         }
+        chaos_info = getattr(run.engine_result.measured, "chaos", None)
+        if chaos_info is not None:
+            metrics["chaos_slowdown"] = chaos_info["slowdown"]
+            metrics["chaos_stragglers"] = chaos_info["stragglers"]
+            metrics["chaos_retries"] = chaos_info["retries"]
+            metrics["chaos_delay_s"] = chaos_info["delay_injected_s"]
         if dataset.has_payloads and dataset.record_nbytes() is not None:
             metrics["record_bytes"] = dataset.record_nbytes()
         if run.splitter_stats is not None:

@@ -1,7 +1,9 @@
 """The built-in machine catalog.
 
-Six presets spanning the regimes the paper's Chapter 6 analysis cares
-about.  The absolute constants matter less than their *ratios* — alpha/beta
+Six deterministic presets spanning the regimes the paper's Chapter 6
+analysis cares about (the chaos subsystem registers a seventh, jittered
+``jittery-cloud``, in :mod:`repro.chaos.jitter`).  The absolute
+constants matter less than their *ratios* — alpha/beta
 sets the message-size crossover, beta/gamma the communication-vs-compute
 crossover, and the topology's contention factor is what separates torus
 from fat-tree behaviour at scale (Fig 6.1/6.2, Table 6.1).

@@ -11,18 +11,23 @@ differs is the wall-clock: the process backend runs the compute between
 collectives concurrently on real cores and reports it in the
 :class:`Measured` block (``result.measured``).
 
+The third registered backend is adversarial: ``chaos`` (from
+:mod:`repro.chaos`) wraps either of the above — spelled
+``chaos:<inner>`` — and injects a seeded, deterministic fault plan.
+
 Select a backend anywhere the system runs programs::
 
     Sorter("hss", backend="process").run(dataset)
     ExperimentRunner().sweep(..., backend="process")
     repro sort --backend process --workers 4
+    repro sort --backend chaos:process --chaos stragglers
     repro backends                      # list this registry
 
 Examples
 --------
 >>> from repro.runtime import BACKENDS, resolve_backend
 >>> sorted(BACKENDS)
-['process', 'simulated']
+['chaos', 'process', 'simulated']
 >>> resolve_backend(None).name          # the default
 'simulated'
 """
@@ -39,9 +44,27 @@ from repro.runtime.base import (
 from repro.runtime.process import ProcessBackend
 from repro.runtime.simulated import SimulatedBackend
 
+# Registers the 'chaos' backend.  Imported last (module, not symbol): it
+# wraps the built-ins above and reaches back into repro.runtime.base, so
+# when repro.chaos.backend is what triggered this package's import the
+# module object here is still mid-execution — binding the module works,
+# grabbing the class would not.  ChaosBackend is re-exported lazily via
+# the PEP 562 __getattr__ below.
+import repro.chaos.backend as _chaos_backend  # noqa: E402,F401
+
+
+def __getattr__(name: str):
+    if name == "ChaosBackend":
+        return _chaos_backend.ChaosBackend
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
+
+
 __all__ = [
     "BACKENDS",
     "Backend",
+    "ChaosBackend",
     "Measured",
     "SimulatedBackend",
     "ProcessBackend",

@@ -21,11 +21,17 @@ Examples
 --------
 >>> from repro.runtime import available_backends, get_backend
 >>> available_backends()
-['process', 'simulated']
+['chaos', 'process', 'simulated']
 >>> get_backend("simulated").name
 'simulated'
 >>> get_backend("process", workers=2).workers
 2
+
+A ``:`` suffix selects a backend *variant* — the chaos backend uses it
+to name the inner backend it wraps:
+
+>>> get_backend("chaos:process").inner.name
+'process'
 """
 
 from __future__ import annotations
@@ -81,6 +87,11 @@ class Measured:
     #: Per-phase compute wall-clock, max over ranks (the BSP critical-path
     #: convention, matching the modeled breakdown's aggregation).
     phase_wall_s: dict[str, float] = field(default_factory=dict)
+    #: Fault-injection metrics when the run went through the chaos
+    #: backend with a non-zero plan (``None`` otherwise): plan name and
+    #: seed, straggler/retry/kill counts, injected delay, and modeled
+    #: slowdown vs the fault-free twin.  JSON-safe by construction.
+    chaos: dict[str, Any] | None = None
 
     @property
     def compute_s(self) -> float:
@@ -133,6 +144,21 @@ class Backend(ABC):
         block carries this backend's wall-clock observations.
         """
 
+    @classmethod
+    def with_variant(
+        cls, variant: str, options: dict[str, Any]
+    ) -> dict[str, Any]:
+        """Fold a ``name:variant`` suffix into constructor ``options``.
+
+        :func:`get_backend` calls this when the requested name contains a
+        ``:`` (e.g. ``chaos:process``).  The base implementation rejects
+        the suffix; backends that support variants override it.
+        """
+        raise ConfigError(
+            f"backend {cls.name!r} takes no ':variant' suffix "
+            f"(got {variant!r})"
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging nicety
         return f"{type(self).__name__}(workers={self.workers})"
 
@@ -169,13 +195,21 @@ def register_backend(cls: type[Backend]) -> type[Backend]:
 
 
 def get_backend(name: str, **options: Any) -> Backend:
-    """Instantiate a registered backend by name (e.g. ``workers=4``)."""
+    """Instantiate a registered backend by name (e.g. ``workers=4``).
+
+    A ``base:variant`` spelling resolves ``base`` in the registry and
+    hands ``variant`` to the class's :meth:`Backend.with_variant` hook —
+    ``chaos:process`` is the chaos backend wrapping the process backend.
+    """
+    base, sep, variant = name.partition(":")
     try:
-        cls = BACKENDS[name]
+        cls = BACKENDS[base]
     except KeyError:
         raise ConfigError(
             f"unknown backend {name!r}; choose from {available_backends()}"
         ) from None
+    if sep:
+        options = cls.with_variant(variant, dict(options))
     return cls(**options)
 
 

@@ -20,6 +20,7 @@ EXPECTED_SUITES = {
     "ablation_refinement",
     "ablation_rounds",
     "service_latency",
+    "chaos_resilience",
 }
 
 
@@ -70,7 +71,7 @@ class TestContents:
             assert scale(bench.tiers["stress"]) > scale(bench.tiers["full"])
 
     def test_descriptions_and_kinds(self):
-        kinds = {"shootout", "figure", "table", "ablation", "service"}
+        kinds = {"shootout", "figure", "table", "ablation", "service", "chaos"}
         for name in suite_names():
             bench = get_suite(name)
             assert bench.description

@@ -181,6 +181,56 @@ class TestSPMDEnforcement:
             run(BSPEngine(2), program)
 
 
+class TestStructuredDiagnostics:
+    """SPMD violations name the superstep and the ranks involved.
+
+    The chaos backend leans on these fields to attribute injected
+    faults; the service layer's structured error replies lean on the
+    message text.  Both the prose and the machine-readable attributes
+    are pinned here.
+    """
+
+    def test_deadlock_names_superstep_and_rank_sets(self):
+        def program(ctx):
+            yield from ctx.barrier()
+            if ctx.rank == 2:
+                return "early"
+            yield from ctx.allreduce(1)
+
+        with pytest.raises(DeadlockError) as info:
+            run(BSPEngine(4), program)
+        message = str(info.value)
+        assert message.startswith("superstep 1: ")
+        assert "ranks [2] finished" in message
+        assert "ranks [0, 1, 3] wait on 'allreduce'" in message
+        assert "not SPMD" in message
+        assert info.value.superstep == 1
+        assert info.value.finished_ranks == (2,)
+        assert info.value.stuck_ranks == (0, 1, 3)
+
+    def test_mismatch_names_superstep_and_disagreeing_ranks(self):
+        def program(ctx):
+            if ctx.rank == 1:
+                yield from ctx.gather(1, root=0)
+            else:
+                yield from ctx.bcast(1, root=0)
+
+        with pytest.raises(CollectiveMismatchError) as info:
+            run(BSPEngine(3), program)
+        assert "disagreeing ranks [1]" in str(info.value)
+        assert info.value.superstep == 0
+        assert 1 in info.value.ranks
+
+    def test_mismatched_roots_report_disagreement(self):
+        def program(ctx):
+            yield from ctx.bcast(1, root=ctx.rank % 2)
+
+        with pytest.raises(CollectiveMismatchError) as info:
+            run(BSPEngine(4), program)
+        assert info.value.superstep == 0
+        assert info.value.ranks  # the minority root holders are named
+
+
 class TestCostAccounting:
     def test_compute_charges_appear_in_makespan(self):
         def program(ctx):

@@ -23,6 +23,7 @@ EXPECTED_PRESETS = [
     "dragonfly-hpc",
     "fat-tree-hpc",
     "generic-cluster",
+    "jittery-cloud",
     "laptop",
     "mira-like-bgq",
 ]

@@ -19,7 +19,8 @@ from repro.machines import (
 class TestRegistry:
     def test_builtins_registered(self):
         assert available_topologies() == [
-            "dragonfly", "fat-tree", "fully-connected", "torus",
+            "dragonfly", "fat-tree", "fully-connected",
+            "jittered-dragonfly", "jittered-fat-tree", "torus",
         ]
 
     def test_get_cls(self):

@@ -173,39 +173,44 @@ def _rank_args():
 
 
 def _both_raise(program, exc_type):
-    """Run on both backends; return the two exception messages."""
-    messages = []
+    """Run on both backends; return the two exception objects."""
+    raised = []
     for backend in (SimulatedBackend(), ProcessBackend(workers=2)):
         with pytest.raises(exc_type) as info:
             backend.run(program, _rank_args())
-        messages.append(str(info.value))
-    return messages
+        raised.append(info.value)
+    return raised
 
 
 def test_collective_mismatch_identical():
-    sim_msg, proc_msg = _both_raise(
-        _mismatch_program, CollectiveMismatchError
-    )
-    assert sim_msg == proc_msg
-    assert "bcast" in sim_msg and "gather" in sim_msg
+    sim, proc = _both_raise(_mismatch_program, CollectiveMismatchError)
+    assert str(sim) == str(proc)
+    assert "bcast" in str(sim) and "gather" in str(sim)
+    # The structured fields survive the process boundary too.
+    assert (sim.superstep, sim.ranks) == (proc.superstep, proc.ranks)
+    assert sim.superstep is not None
+    assert sim.ranks
 
 
 def test_deadlock_identical():
-    sim_msg, proc_msg = _both_raise(_early_return_program, DeadlockError)
-    assert sim_msg == proc_msg
-    assert "not SPMD" in sim_msg
+    sim, proc = _both_raise(_early_return_program, DeadlockError)
+    assert str(sim) == str(proc)
+    assert "not SPMD" in str(sim)
+    assert sim.superstep == proc.superstep is not None
+    assert sim.finished_ranks == proc.finished_ranks != ()
+    assert sim.stuck_ranks == proc.stuck_ranks != ()
 
 
 def test_bad_yield_identical():
-    sim_msg, proc_msg = _both_raise(_bad_yield_program, BSPError)
-    assert sim_msg == proc_msg
-    assert "yield from" in sim_msg
+    sim, proc = _both_raise(_bad_yield_program, BSPError)
+    assert str(sim) == str(proc)
+    assert "yield from" in str(sim)
 
 
 def test_plain_function_identical():
-    sim_msg, proc_msg = _both_raise(_plain_function, BSPError)
-    assert sim_msg == proc_msg
-    assert "generator function" in sim_msg
+    sim, proc = _both_raise(_plain_function, BSPError)
+    assert str(sim) == str(proc)
+    assert "generator function" in str(sim)
 
 
 def test_program_exception_propagates():

@@ -20,9 +20,12 @@ from repro.runtime import (
 
 class TestRegistry:
     def test_builtins_registered(self):
-        assert available_backends() == ["process", "simulated"]
+        assert available_backends() == ["chaos", "process", "simulated"]
         assert BACKENDS["simulated"] is SimulatedBackend
         assert BACKENDS["process"] is ProcessBackend
+        from repro.runtime import ChaosBackend
+
+        assert BACKENDS["chaos"] is ChaosBackend
 
     def test_get_backend_unknown_name(self):
         with pytest.raises(ConfigError, match="unknown backend"):

@@ -497,6 +497,41 @@ class TestWorkloadsCommand:
         assert "§6.3" in out
 
 
+class TestChaosCommand:
+    def test_lists_registered_fault_plans(self, capsys):
+        from repro.chaos import available_fault_plans
+
+        assert main(["chaos"]) == 0
+        out = capsys.readouterr().out
+        for name in available_fault_plans():
+            assert name in out
+        assert "(default)" in out  # the fault-free 'none' plan
+        assert "straggler_prob=" in out
+
+    def test_sort_with_unknown_plan_exits_2(self, capsys):
+        assert main(["sort", "--chaos", "storm"]) == 2
+        assert "unknown fault plan" in capsys.readouterr().err
+
+    def test_sort_reports_chaos_metrics_line(self, capsys):
+        code = main(
+            ["sort", "-p", "4", "-n", "400", "--chaos", "stragglers"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "chaos" in out
+        assert "stragglers" in out and "slowdown" in out
+
+    def test_sort_surfaces_injected_fault_with_provenance(self, capsys):
+        code = main(
+            ["sort", "-p", "4", "-n", "400", "--chaos", "kill-rank"]
+        )
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "injected fault detected" in err
+        assert "fault provenance" in err
+        assert "not SPMD" in err
+
+
 class TestSweepCommand:
     def test_two_by_two_grid_with_json(self, capsys, tmp_path):
         path = tmp_path / "experiment.json"
@@ -755,7 +790,7 @@ class TestExecutionOptionAgreement:
     """
 
     COMMANDS = ("sort", "sweep", "bench", "serve")
-    FLAGS = ("--machine", "--backend", "--workers", "--payloads")
+    FLAGS = ("--machine", "--backend", "--workers", "--payloads", "--chaos")
 
     @staticmethod
     def _subparsers():
@@ -796,6 +831,7 @@ class TestExecutionOptionAgreement:
         assert coverage["--machine"] == {"sort", "serve"}
         assert coverage["--payloads"] == {"sort", "sweep"}
         assert coverage["--workers"] == {"sort"}
+        assert coverage["--chaos"] == {"sort", "sweep"}
 
     def test_defaults_are_per_command(self):
         # Defaults intentionally differ (sort runs on 'laptop'; serve
