@@ -1,0 +1,104 @@
+"""Turn a calibration fit into a registered, shareable machine spec.
+
+The output of ``repro calibrate`` is an ordinary
+:class:`~repro.machines.MachineSpec` named ``local-calibrated`` — it
+registers through the same :func:`~repro.machines.register_machine` door
+as the presets, JSON round-trips bit-identically, and every downstream
+surface (``resolve_machine``, ``repro sweep --machines local-calibrated``,
+bench suites) accepts it with no special casing.  What distinguishes it
+is the ``provenance`` block: DoE seed and profile, measurement backend
+and sample counts, and the fit's residuals/R², so a spec file read months
+later still says exactly where its constants came from.
+
+The emitted spec keeps the *flat* machine shape the measurements ran
+under (fully-connected topology, ``cores_per_node=1``): the constants
+were fit under flat collective pricing, and shipping them inside a
+hierarchical machine would silently re-price collectives the DoE never
+exercised.  ``gamma_key_compare`` and ``node_alpha`` stay 0 — the spec's
+"0 inherits" fallbacks resolve them from ``gamma_compare`` and ``alpha``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.calibrate.fit import FitResult
+from repro.machines.registry import register_machine
+from repro.machines.spec import MachineSpec
+
+__all__ = ["DEFAULT_SPEC_NAME", "build_spec", "emit_spec"]
+
+#: Registry name of the generated machine.
+DEFAULT_SPEC_NAME = "local-calibrated"
+
+
+def build_spec(
+    fit: FitResult,
+    *,
+    name: str = DEFAULT_SPEC_NAME,
+    doe_seed: int = 0,
+    profile: str = "default",
+    backend: str = "thread",
+    workers: int | None = None,
+    warmup: int = 1,
+    repeats: int = 3,
+    trim: int = 0,
+) -> MachineSpec:
+    """A :class:`MachineSpec` carrying fitted constants plus provenance.
+
+    Pure construction — nothing is registered or written.  The keyword
+    arguments mirror the measurement run's controls verbatim; they exist
+    only to be recorded in the provenance block.
+    """
+    provenance: dict[str, Any] = {
+        "tool": "repro calibrate",
+        "doe_seed": doe_seed,
+        "profile": profile,
+        "backend": backend,
+        "workers": workers,
+        "warmup": warmup,
+        "repeats": repeats,
+        "trim": trim,
+        "cells": fit.cells,
+        "fit": {
+            "r2": dict(fit.r2),
+            "residual_s": dict(fit.residual_s),
+            "rows": dict(fit.rows),
+        },
+    }
+    return MachineSpec(
+        name=name,
+        alpha=fit.constants["alpha"],
+        beta=fit.constants["beta"],
+        gamma_compare=fit.constants["gamma_compare"],
+        gamma_byte=fit.constants["gamma_byte"],
+        # 0 = inherit: the DoE cannot separate these from their parents.
+        node_alpha=0.0,
+        gamma_key_compare=0.0,
+        topology="fully-connected",
+        cores_per_node=1,
+        note=(
+            "Fitted from a local design-of-experiments run "
+            "(repro calibrate); see the provenance block."
+        ),
+        provenance=provenance,
+    )
+
+
+def emit_spec(
+    spec: MachineSpec, *, out: str | None = None
+) -> MachineSpec:
+    """Register ``spec`` (replacing any earlier calibration) and optionally
+    write its JSON form to ``out``.
+
+    Registration uses ``replace=True`` so re-calibrating in the same
+    process updates the catalog instead of tripping the duplicate-name
+    guard.  A written file is the cross-process handoff: name it on
+    ``REPRO_MACHINE_PATH`` and any later ``repro`` invocation resolves
+    the spec by name.
+    """
+    register_machine(spec, replace=True)
+    if out is not None:
+        with open(out, "w", encoding="utf-8") as fh:
+            fh.write(spec.to_json() + "\n")
+    return spec

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Eleven subcommands:
+Twelve subcommands:
 
 ``sort``
     Generate a workload, sort it with any registered algorithm on any
@@ -56,7 +56,16 @@ Eleven subcommands:
     cache that warm-starts repeat workloads.  ``--http PORT`` serves the
     same jobs over localhost HTTP instead.
 
-The execution options shared by ``sort``/``sweep``/``bench``/``serve``
+``calibrate``
+    Run the deterministic calibration design of experiments on a real
+    backend (``thread`` by default), fit the cost model's
+    alpha/beta/gamma constants by non-negative least squares, and emit
+    the ``local-calibrated`` machine spec with a provenance block (see
+    :mod:`repro.calibrate`).  ``--dry-run`` prints the DoE table;
+    ``--out spec.json`` writes the spec for ``REPRO_MACHINE_PATH``.
+
+The execution options shared by
+``sort``/``sweep``/``bench``/``serve``/``calibrate``
 (``--machine``, ``--backend``, ``--workers``, ``--payloads``, and the
 ``sort``/``sweep``-only ``--chaos``) are defined once in
 :data:`_EXECUTION_OPTIONS` and attached through one argparse parent
@@ -92,6 +101,9 @@ Examples
         "workload": "uniform", "procs": 8, "keys_per_rank": 20000}}' \
         | python -m repro serve
     python -m repro serve --http 8642 --machine cloud-ethernet
+    python -m repro calibrate --dry-run
+    python -m repro calibrate --backend thread --repeats 5 --trim 1 \
+        --out local.json
 """
 
 from __future__ import annotations
@@ -107,7 +119,8 @@ __all__ = ["main", "build_parser", "execution_options"]
 _OMIT = object()
 
 #: The canonical definitions of the execution options shared by
-#: ``repro sort``/``sweep``/``bench``/``serve``.  Exactly one spelling,
+#: ``repro sort``/``sweep``/``bench``/``serve``/``calibrate``.  Exactly
+#: one spelling,
 #: metavar and help string per flag — subcommands pick a subset (and a
 #: per-command *default*) through :func:`execution_options`, never their
 #: own ``add_argument`` call.  Pinned by the CLI agreement test.
@@ -165,7 +178,7 @@ def execution_options(
 
     Each keyword both selects its option and supplies the subcommand's
     default value; spelling, metavar, value type and help text always
-    come from :data:`_EXECUTION_OPTIONS`, so the four subcommands that
+    come from :data:`_EXECUTION_OPTIONS`, so the five subcommands that
     share these flags cannot drift apart.  ``payloads_repeatable`` turns
     ``--payloads`` into an appending grid axis (``repro sweep``).
     """
@@ -436,6 +449,61 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="maximum consecutive same-fingerprint jobs grouped into one "
         "warm-chained batch (default 8)",
+    )
+
+    calibrate = sub.add_parser(
+        "calibrate",
+        help="fit machine constants from a local DoE run",
+        parents=[execution_options(backend="thread", workers=None)],
+    )
+    calibrate.add_argument(
+        "--profile",
+        default="default",
+        metavar="NAME",
+        help="DoE profile: 'default' (the calibration grid) or 'tiny' "
+        "(the seconds-scale CI smoke grid)",
+    )
+    calibrate.add_argument(
+        "--seed", type=int, default=0,
+        help="DoE seed; same seed => byte-identical cell inputs",
+    )
+    calibrate.add_argument(
+        "--repeats", type=int, default=3, metavar="N",
+        help="timed runs per cell after warmup (default 3)",
+    )
+    calibrate.add_argument(
+        "--warmup", type=int, default=1, metavar="N",
+        help="untimed warmup runs per cell (default 1)",
+    )
+    calibrate.add_argument(
+        "--trim", type=int, default=0, metavar="N",
+        help="outlier samples dropped from each end per phase "
+        "(default 0; requires repeats > 2*N)",
+    )
+    calibrate.add_argument(
+        "--name",
+        default="local-calibrated",
+        metavar="NAME",
+        help="registry name for the emitted machine spec "
+        "(default 'local-calibrated')",
+    )
+    calibrate.add_argument(
+        "--baseline",
+        default="laptop",
+        metavar="NAME",
+        help="preset the report compares fitted constants against "
+        "(default 'laptop')",
+    )
+    calibrate.add_argument(
+        "--out",
+        metavar="PATH",
+        help="write the emitted MachineSpec JSON here (name it on "
+        "REPRO_MACHINE_PATH to resolve the spec in later invocations)",
+    )
+    calibrate.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the DoE cell table and exit without running anything",
     )
     return parser
 
@@ -1070,6 +1138,78 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.calibrate import (
+        build_spec,
+        design_cells,
+        emit_spec,
+        extract_features,
+        fit_constants,
+        measure_cells,
+        render_doe_table,
+        render_report,
+    )
+    from repro.errors import ConfigError
+
+    try:
+        cells = design_cells(seed=args.seed, profile=args.profile)
+    except ConfigError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.dry_run:
+        print(render_doe_table(cells))
+        return 0
+
+    try:
+        print(
+            f"repro calibrate: measuring {len(cells)} cells on "
+            f"{args.backend!r} (warmup={args.warmup}, "
+            f"repeats={args.repeats}, trim={args.trim})...",
+            file=sys.stderr,
+        )
+        measurements = measure_cells(
+            cells,
+            backend=args.backend,
+            workers=args.workers,
+            warmup=args.warmup,
+            repeats=args.repeats,
+            trim=args.trim,
+        )
+        features = extract_features(cells)
+        # CalibrationError subclasses ConfigError, so an unidentifiable
+        # constant lands in the same exit-2 path with its naming message.
+        fit = fit_constants(features, measurements)
+        spec = emit_spec(
+            build_spec(
+                fit,
+                name=args.name,
+                doe_seed=args.seed,
+                profile=args.profile,
+                backend=args.backend,
+                workers=args.workers,
+                warmup=args.warmup,
+                repeats=args.repeats,
+                trim=args.trim,
+            ),
+            out=args.out,
+        )
+        report = render_report(
+            features, measurements, fit, baseline_name=args.baseline
+        )
+    except ConfigError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"cannot write {args.out}: {exc}", file=sys.stderr)
+        return 2
+    print(report)
+    print()
+    print(f"registered machine {spec.name!r}")
+    if args.out:
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -1095,6 +1235,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_bench(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "calibrate":
+        return _cmd_calibrate(args)
     raise AssertionError("unreachable")
 
 

@@ -15,6 +15,7 @@ __all__ = [
     "DeadlockError",
     "ConfigError",
     "CapabilityError",
+    "CalibrationError",
     "VerificationError",
     "LoadBalanceError",
     "WorkloadError",
@@ -77,6 +78,21 @@ class CapabilityError(ConfigError):
     single-core machine.  Subclasses :class:`ConfigError` so existing
     ``except ConfigError`` handlers keep working.
     """
+
+
+class CalibrationError(ConfigError):
+    """A machine-constant fit cannot be trusted.
+
+    Raised by :mod:`repro.calibrate` when the design of experiments does
+    not *identify* a constant (its feature column is all-zero or linearly
+    dependent, so any value fits equally well) or when the solved system
+    is otherwise ill-conditioned.  The message always names the
+    unidentifiable constant(s); ``constants`` carries them structurally.
+    Subclasses :class:`ConfigError` so the CLI's exit-2 usage-error
+    handling applies unchanged.
+    """
+
+    constants: tuple[str, ...] = ()
 
 
 class VerificationError(ReproError):

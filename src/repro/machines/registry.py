@@ -57,6 +57,8 @@ MACHINE_ALIASES: dict[str, str] = {
 
 def register_machine(
     spec: MachineSpec | Callable[[], MachineSpec],
+    *,
+    replace: bool = False,
 ) -> MachineSpec | Callable[[], MachineSpec]:
     """Register a machine spec; usable directly or as a factory decorator.
 
@@ -68,6 +70,10 @@ def register_machine(
 
         @register_machine
         def my_testbed() -> MachineSpec: ...
+
+    Re-registering an *identical* spec is a no-op; a conflicting duplicate
+    is an error unless ``replace=True`` (the calibration emitter uses it —
+    re-calibrating the same host legitimately updates ``local-calibrated``).
     """
     built = spec() if callable(spec) else spec
     if not isinstance(built, MachineSpec):
@@ -76,7 +82,7 @@ def register_machine(
             f"one), got {type(built).__name__}"
         )
     existing = MACHINES.get(built.name)
-    if existing is not None and existing != built:
+    if existing is not None and existing != built and not replace:
         raise ConfigError(f"machine {built.name!r} is already registered")
     if built.name in MACHINE_ALIASES:
         raise ConfigError(
@@ -92,6 +98,8 @@ def get_machine_spec(
 ) -> MachineSpec:
     """Look up a registered machine (aliases allowed), applying overrides."""
     key = MACHINE_ALIASES.get(name, name)
+    if key not in MACHINES:
+        _load_machine_path()
     try:
         spec = MACHINES[key]
     except KeyError:
@@ -101,6 +109,33 @@ def get_machine_spec(
     if overrides:
         spec = spec.override(**overrides)
     return spec
+
+
+def _load_machine_path() -> list[str]:
+    """Load spec JSON files named by ``REPRO_MACHINE_PATH`` (lazy, on miss).
+
+    The env var holds ``os.pathsep``-separated paths to ``MachineSpec``
+    JSON files (``repro calibrate --out spec.json`` output).  It is how a
+    generated spec crosses process boundaries — ``repro sweep --machines
+    local-calibrated`` in a fresh process resolves the name without any
+    code registering it.  Files are (re)loaded with replace semantics, so
+    a re-calibration on disk wins over a stale in-process copy.
+    """
+    import os
+
+    raw = os.environ.get("REPRO_MACHINE_PATH", "")
+    loaded: list[str] = []
+    for path in filter(None, raw.split(os.pathsep)):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                spec = MachineSpec.from_json(fh.read())
+        except OSError as exc:
+            raise ConfigError(
+                f"REPRO_MACHINE_PATH entry {path!r} is unreadable: {exc}"
+            ) from exc
+        register_machine(spec, replace=True)
+        loaded.append(spec.name)
+    return loaded
 
 
 def get_machine(

@@ -87,6 +87,10 @@ class MachineSpec:
     note: str = ""
     #: Paper section whose experiments this machine backs (e.g. ``"6.1"``).
     paper_section: str = ""
+    #: Structured provenance for generated specs (``repro calibrate``):
+    #: DoE seed, backend, sample counts, fit residuals.  Plain JSON data;
+    #: never consulted by the cost model.  Empty for hand-written presets.
+    provenance: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -97,6 +101,7 @@ class MachineSpec:
         # unknown names/params) and pins topology_params to a plain dict
         # so equality and JSON round-trips are representation-independent.
         object.__setattr__(self, "topology_params", dict(self.topology_params))
+        object.__setattr__(self, "provenance", dict(self.provenance))
         try:
             self._build_model()
         except ValueError as exc:
@@ -150,6 +155,9 @@ class MachineSpec:
             },
             "note": self.note,
             "paper_section": self.paper_section,
+            # Presets carry no structured provenance; omit the key so
+            # their serialized form is unchanged by the calibration layer.
+            **({"provenance": dict(self.provenance)} if self.provenance else {}),
         }
 
     @classmethod

@@ -11,8 +11,12 @@ differs is the wall-clock: the process backend runs the compute between
 collectives concurrently on real cores and reports it in the
 :class:`Measured` block (``result.measured``).
 
-The third registered backend is adversarial: ``chaos`` (from
-:mod:`repro.chaos`) wraps either of the above — spelled
+:class:`ThreadBackend` is the in-process middle ground: worker threads
+advance rank blocks concurrently (numpy releases the GIL in the sort/
+partition/merge kernels) with zero IPC — the measurement backend of
+choice on small machines, and what ``repro calibrate`` uses by default.
+The fourth registered backend is adversarial: ``chaos`` (from
+:mod:`repro.chaos`) wraps any of the above — spelled
 ``chaos:<inner>`` — and injects a seeded, deterministic fault plan.
 
 Select a backend anywhere the system runs programs::
@@ -27,7 +31,7 @@ Examples
 --------
 >>> from repro.runtime import BACKENDS, resolve_backend
 >>> sorted(BACKENDS)
-['chaos', 'process', 'simulated']
+['chaos', 'process', 'simulated', 'thread']
 >>> resolve_backend(None).name          # the default
 'simulated'
 """
@@ -43,6 +47,7 @@ from repro.runtime.base import (
 )
 from repro.runtime.process import ProcessBackend
 from repro.runtime.simulated import SimulatedBackend
+from repro.runtime.thread import ThreadBackend
 
 # Registers the 'chaos' backend.  Imported last (module, not symbol): it
 # wraps the built-ins above and reaches back into repro.runtime.base, so
@@ -68,6 +73,7 @@ __all__ = [
     "Measured",
     "SimulatedBackend",
     "ProcessBackend",
+    "ThreadBackend",
     "available_backends",
     "get_backend",
     "register_backend",

@@ -21,7 +21,7 @@ Examples
 --------
 >>> from repro.runtime import available_backends, get_backend
 >>> available_backends()
-['chaos', 'process', 'simulated']
+['chaos', 'process', 'simulated', 'thread']
 >>> get_backend("simulated").name
 'simulated'
 >>> get_backend("process", workers=2).workers

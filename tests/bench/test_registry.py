@@ -21,6 +21,7 @@ EXPECTED_SUITES = {
     "ablation_rounds",
     "service_latency",
     "chaos_resilience",
+    "calibration_quality",
 }
 
 
@@ -71,7 +72,15 @@ class TestContents:
             assert scale(bench.tiers["stress"]) > scale(bench.tiers["full"])
 
     def test_descriptions_and_kinds(self):
-        kinds = {"shootout", "figure", "table", "ablation", "service", "chaos"}
+        kinds = {
+            "shootout",
+            "figure",
+            "table",
+            "ablation",
+            "service",
+            "chaos",
+            "calibration",
+        }
         for name in suite_names():
             bench = get_suite(name)
             assert bench.description

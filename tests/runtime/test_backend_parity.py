@@ -1,10 +1,11 @@
-"""Backend parity: the process backend must be bit-identical to the simulator.
+"""Backend parity: real backends must be bit-identical to the simulator.
 
 The backend contract (see :mod:`repro.runtime`) is that *how* ranks execute
 changes nothing observable except wall-clock: sorted shards, payloads,
 splitter choices, per-algorithm stats, ``CommStats`` byte/message counts and
 the modeled makespan all match exactly.  These tests run every registered
-algorithm on a small grid through both backends and compare everything.
+algorithm on a small grid through the process and thread backends and
+compare everything against the simulator.
 """
 
 import dataclasses
@@ -15,7 +16,7 @@ import pytest
 from repro.algorithms import REGISTRY, Dataset, Sorter, get_spec
 from repro.bsp.engine import RunResult
 from repro.errors import BSPError, CollectiveMismatchError, DeadlockError
-from repro.runtime import ProcessBackend, SimulatedBackend
+from repro.runtime import ProcessBackend, SimulatedBackend, ThreadBackend
 
 P = 4
 N_PER = 300
@@ -76,6 +77,27 @@ def test_process_backend_bit_identical(algorithm, workload):
     assert len(proc.measured.rank_compute_s) == P
 
 
+@pytest.mark.parametrize(
+    "algorithm,workload", GRID, ids=[f"{a}-{w}" for a, w in GRID]
+)
+def test_thread_backend_bit_identical(algorithm, workload):
+    sim = _run(algorithm, workload, SimulatedBackend())
+    thr = _run(algorithm, workload, ThreadBackend(workers=2))
+
+    for rank, (a, b) in enumerate(zip(sim.shards, thr.shards)):
+        np.testing.assert_array_equal(a, b, err_msg=f"rank {rank} shard")
+    assert sim.engine_result.stats == thr.engine_result.stats
+    assert sim.makespan == thr.makespan
+    for a, b in zip(sim.rank_stats, thr.rank_stats):
+        _assert_stats_equal(a, b)
+    assert sim.backend == "simulated" and thr.backend == "thread"
+    # The thread backend instruments ranks exactly like the process one.
+    assert thr.measured.workers == 2
+    assert thr.measured.wall_s > 0.0
+    assert len(thr.measured.rank_compute_s) == P
+    assert thr.measured.phase_wall_s
+
+
 PAYLOAD_ALGORITHMS = sorted(
     name for name, spec in REGISTRY.items() if spec.supports_payloads
 )
@@ -131,9 +153,10 @@ def test_payload_round_trip_identical():
 
 
 @pytest.mark.parametrize("workers", [1, 3, 4])
-def test_worker_multiplexing_is_invisible(workers):
+@pytest.mark.parametrize("backend_cls", [ProcessBackend, ThreadBackend])
+def test_worker_multiplexing_is_invisible(backend_cls, workers):
     baseline = _run("hss", "uniform", SimulatedBackend())
-    run = _run("hss", "uniform", ProcessBackend(workers=workers))
+    run = _run("hss", "uniform", backend_cls(workers=workers))
     for a, b in zip(baseline.shards, run.shards):
         np.testing.assert_array_equal(a, b)
     assert baseline.engine_result.stats == run.engine_result.stats
@@ -173,9 +196,13 @@ def _rank_args():
 
 
 def _both_raise(program, exc_type):
-    """Run on both backends; return the two exception objects."""
+    """Run on every backend; return the exception objects in order."""
     raised = []
-    for backend in (SimulatedBackend(), ProcessBackend(workers=2)):
+    for backend in (
+        SimulatedBackend(),
+        ProcessBackend(workers=2),
+        ThreadBackend(workers=2),
+    ):
         with pytest.raises(exc_type) as info:
             backend.run(program, _rank_args())
         raised.append(info.value)
@@ -183,33 +210,34 @@ def _both_raise(program, exc_type):
 
 
 def test_collective_mismatch_identical():
-    sim, proc = _both_raise(_mismatch_program, CollectiveMismatchError)
-    assert str(sim) == str(proc)
+    sim, proc, thr = _both_raise(_mismatch_program, CollectiveMismatchError)
+    assert str(sim) == str(proc) == str(thr)
     assert "bcast" in str(sim) and "gather" in str(sim)
     # The structured fields survive the process boundary too.
-    assert (sim.superstep, sim.ranks) == (proc.superstep, proc.ranks)
+    for other in (proc, thr):
+        assert (sim.superstep, sim.ranks) == (other.superstep, other.ranks)
     assert sim.superstep is not None
     assert sim.ranks
 
 
 def test_deadlock_identical():
-    sim, proc = _both_raise(_early_return_program, DeadlockError)
-    assert str(sim) == str(proc)
+    sim, proc, thr = _both_raise(_early_return_program, DeadlockError)
+    assert str(sim) == str(proc) == str(thr)
     assert "not SPMD" in str(sim)
-    assert sim.superstep == proc.superstep is not None
-    assert sim.finished_ranks == proc.finished_ranks != ()
-    assert sim.stuck_ranks == proc.stuck_ranks != ()
+    assert sim.superstep == proc.superstep == thr.superstep is not None
+    assert sim.finished_ranks == proc.finished_ranks == thr.finished_ranks != ()
+    assert sim.stuck_ranks == proc.stuck_ranks == thr.stuck_ranks != ()
 
 
 def test_bad_yield_identical():
-    sim, proc = _both_raise(_bad_yield_program, BSPError)
-    assert str(sim) == str(proc)
+    sim, proc, thr = _both_raise(_bad_yield_program, BSPError)
+    assert str(sim) == str(proc) == str(thr)
     assert "yield from" in str(sim)
 
 
 def test_plain_function_identical():
-    sim, proc = _both_raise(_plain_function, BSPError)
-    assert str(sim) == str(proc)
+    sim, proc, thr = _both_raise(_plain_function, BSPError)
+    assert str(sim) == str(proc) == str(thr)
     assert "generator function" in str(sim)
 
 
@@ -218,17 +246,25 @@ def test_program_exception_propagates():
         yield from ctx.barrier()
         raise ValueError("rank blew up")
 
-    for backend in (SimulatedBackend(), ProcessBackend(workers=2)):
+    for backend in (
+        SimulatedBackend(),
+        ProcessBackend(workers=2),
+        ThreadBackend(workers=2),
+    ):
         with pytest.raises(ValueError, match="rank blew up"):
             backend.run(_raises, _rank_args())
 
 
-def test_process_backend_returns_runresult_with_measured():
+@pytest.mark.parametrize(
+    "backend_cls,name",
+    [(ProcessBackend, "process"), (ThreadBackend, "thread")],
+)
+def test_real_backend_returns_runresult_with_measured(backend_cls, name):
     def _noop(ctx, keys):
         yield from ctx.barrier()
         return int(keys.sum())
 
-    result = ProcessBackend(workers=2).run(_noop, _rank_args())
+    result = backend_cls(workers=2).run(_noop, _rank_args())
     assert isinstance(result, RunResult)
     assert result.returns == [int(np.arange(10).sum())] * P
-    assert result.measured.backend == "process"
+    assert result.measured.backend == name

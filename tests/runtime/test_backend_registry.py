@@ -11,6 +11,7 @@ from repro.runtime import (
     Backend,
     ProcessBackend,
     SimulatedBackend,
+    ThreadBackend,
     available_backends,
     get_backend,
     register_backend,
@@ -20,9 +21,12 @@ from repro.runtime import (
 
 class TestRegistry:
     def test_builtins_registered(self):
-        assert available_backends() == ["chaos", "process", "simulated"]
+        assert available_backends() == [
+            "chaos", "process", "simulated", "thread"
+        ]
         assert BACKENDS["simulated"] is SimulatedBackend
         assert BACKENDS["process"] is ProcessBackend
+        assert BACKENDS["thread"] is ThreadBackend
         from repro.runtime import ChaosBackend
 
         assert BACKENDS["chaos"] is ChaosBackend

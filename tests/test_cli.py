@@ -789,7 +789,7 @@ class TestExecutionOptionAgreement:
     re-declared a shared flag locally instead of extending the table.
     """
 
-    COMMANDS = ("sort", "sweep", "bench", "serve")
+    COMMANDS = ("sort", "sweep", "bench", "serve", "calibrate")
     FLAGS = ("--machine", "--backend", "--workers", "--payloads", "--chaos")
 
     @staticmethod
@@ -827,10 +827,12 @@ class TestExecutionOptionAgreement:
         coverage = {
             flag: set(self._actions_for(flag)) for flag in self.FLAGS
         }
-        assert coverage["--backend"] == {"sort", "sweep", "bench", "serve"}
+        assert coverage["--backend"] == {
+            "sort", "sweep", "bench", "serve", "calibrate"
+        }
         assert coverage["--machine"] == {"sort", "serve"}
         assert coverage["--payloads"] == {"sort", "sweep"}
-        assert coverage["--workers"] == {"sort"}
+        assert coverage["--workers"] == {"sort", "calibrate"}
         assert coverage["--chaos"] == {"sort", "sweep"}
 
     def test_defaults_are_per_command(self):
@@ -917,3 +919,71 @@ class TestServeCommand:
         )
         assert code == 2
         assert "capacity" in capsys.readouterr().err
+
+
+class TestCalibrateCommand:
+    @pytest.fixture(autouse=True)
+    def _clean_registry(self):
+        from repro.machines import MACHINES
+
+        before = dict(MACHINES)
+        yield
+        MACHINES.clear()
+        MACHINES.update(before)
+
+    def test_dry_run_prints_doe_table(self, capsys):
+        code = main(["calibrate", "--dry-run", "--profile", "tiny"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "c00/hss/uniform/p4/n1000/key" in out
+        assert "(key-only)" in out
+
+    def test_unknown_profile_exits_2(self, capsys):
+        code = main(["calibrate", "--profile", "nope"])
+        assert code == 2
+        assert "unknown DoE profile" in capsys.readouterr().err
+
+    def test_bad_trim_exits_2(self, capsys):
+        code = main(
+            ["calibrate", "--profile", "tiny", "--repeats", "1",
+             "--trim", "1"]
+        )
+        assert code == 2
+        assert "trim" in capsys.readouterr().err
+
+    def test_simulated_backend_exits_2(self, capsys):
+        code = main(
+            ["calibrate", "--profile", "tiny", "--backend", "simulated",
+             "--repeats", "1", "--warmup", "0"]
+        )
+        assert code == 2
+        assert "measuring backend" in capsys.readouterr().err
+
+    def test_full_run_registers_and_writes_spec(self, capsys, tmp_path):
+        import json
+
+        from repro.machines import MachineSpec, resolve_machine
+
+        out = tmp_path / "local.json"
+        code = main(
+            ["calibrate", "--profile", "tiny", "--repeats", "1",
+             "--warmup", "0", "--out", str(out)]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "fitted constants:" in stdout
+        assert "total |measured - modeled|" in stdout
+        assert "registered machine 'local-calibrated'" in stdout
+        # The spec resolves in-process and round-trips through the file.
+        spec = resolve_machine("local-calibrated")
+        data = json.loads(out.read_text())
+        assert MachineSpec.from_dict(data).name == "local-calibrated"
+        assert data["provenance"]["profile"] == "tiny"
+        assert data["provenance"]["backend"] == "thread"
+        # `repro sweep --machines local-calibrated` accepts the result.
+        code = main(
+            ["sweep", "--algorithms", "hss", "--workloads", "uniform",
+             "--machines", "local-calibrated", "-p", "4", "-n", "200"]
+        )
+        assert code == 0
+        assert spec.gamma_compare >= 0.0
