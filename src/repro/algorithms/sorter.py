@@ -125,6 +125,7 @@ class Sorter:
         *,
         payloads: Sequence[np.ndarray] | None = None,
         initial_intervals: Sequence[tuple] | None = None,
+        trace_sink: Any = None,
     ) -> SortRun:
         """Sort a dataset; returns a :class:`SortRun`.
 
@@ -137,6 +138,12 @@ class Sorter:
         data (see :attr:`~repro.core.config.HSSConfig.initial_intervals`);
         only histogram-refining algorithms accept it
         (``AlgorithmSpec.supports_warm_start``).
+
+        ``trace_sink`` (a :class:`~repro.telemetry.TraceSink`) collects
+        span telemetry from the run: modeled superstep/phase spans on
+        every backend, plus measured per-rank compute/wait spans on the
+        instrumenting backends.  ``None`` — the default — records
+        nothing and adds no overhead.
         """
         if isinstance(data, Dataset):
             if payloads is not None:
@@ -173,6 +180,7 @@ class Sorter:
             self.spec.program,
             dataset.rank_args(),
             machine=self.machine,
+            trace_sink=trace_sink,
             **self.spec.program_kwargs(config),
         )
 

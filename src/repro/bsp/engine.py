@@ -351,6 +351,7 @@ class SuperstepResolver:
         cost_model: CostModel,
         node_layout: NodeLayout | None,
         nprocs: int,
+        trace_sink: Any = None,
     ) -> None:
         self.cost_model = cost_model
         self.node_layout = node_layout
@@ -358,6 +359,22 @@ class SuperstepResolver:
         self.trace = Trace()
         self.stats = CommStats()
         self.step = 0
+        self.trace_sink = trace_sink
+        self._span_clock = 0.0
+        if trace_sink is not None:
+            # Bound once: the per-record emission path must not pay an
+            # import per superstep (and stays entirely off when no sink).
+            from repro.telemetry.adapters import emit_superstep_spans
+
+            self._emit_spans = emit_superstep_spans
+
+    def _record(self, record: SuperstepRecord) -> None:
+        """Append one superstep record, mirroring it to the span sink."""
+        self.trace.append(record)
+        if self.trace_sink is not None:
+            self._span_clock = self._emit_spans(
+                self.trace_sink, record, self._span_clock
+            )
 
     # ------------------------------------------------------------------ #
     def resolve_sweep(
@@ -489,7 +506,7 @@ class SuperstepResolver:
 
             group_comm = cost.comm_seconds + cost.compute_seconds
             if scope == "global":
-                self.trace.append(
+                self._record(
                     SuperstepRecord(
                         index=step,
                         op=first.op,
@@ -513,7 +530,7 @@ class SuperstepResolver:
                 results[r] = resolved.results[i]
 
         if sweep_op:
-            self.trace.append(
+            self._record(
                 SuperstepRecord(
                     index=step,
                     op=sweep_op,
@@ -550,7 +567,7 @@ class SuperstepResolver:
                 phase = max(max_phases.items(), key=lambda kv: kv[1])[0]
             else:
                 phase = fallback_phase
-            self.trace.append(
+            self._record(
                 SuperstepRecord(
                     index=self.step,
                     op="__final__",
@@ -565,6 +582,12 @@ class SuperstepResolver:
 
     def result(self, returns: list[Any]) -> RunResult:
         """Package the accumulated trace/stats into a :class:`RunResult`."""
+        if self.trace_sink is not None:
+            from repro.telemetry.adapters import emit_run_span
+
+            emit_run_span(
+                self.trace_sink, self.trace.makespan, len(self.trace)
+            )
         return RunResult(
             returns=returns,
             trace=self.trace,
@@ -599,6 +622,7 @@ class BSPEngine:
         self,
         program: Program,
         rank_args: Sequence[tuple] | None = None,
+        trace_sink: Any = None,
         **shared_kwargs: Any,
     ) -> RunResult:
         """Execute ``program`` on every rank and return the joint result.
@@ -609,6 +633,10 @@ class BSPEngine:
             Generator function ``program(ctx, *args, **shared_kwargs)``.
         rank_args:
             Optional per-rank positional arguments (length ``nprocs``).
+        trace_sink:
+            Optional :class:`~repro.telemetry.TraceSink` receiving
+            modeled superstep/phase spans as they resolve.  ``None``
+            (the default) records nothing and allocates nothing.
         shared_kwargs:
             Keyword arguments passed identically to every rank.
         """
@@ -633,7 +661,9 @@ class BSPEngine:
 
         returns: list[Any] = [None] * p
         resume: list[Any] = [None] * p
-        resolver = SuperstepResolver(self.cost_model, self.node_layout, p)
+        resolver = SuperstepResolver(
+            self.cost_model, self.node_layout, p, trace_sink=trace_sink
+        )
 
         # Ranks whose generators are still running.  The scheduling sweep
         # walks only this list, so ranks that returned early are never

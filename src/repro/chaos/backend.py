@@ -177,6 +177,7 @@ class ChaosBackend(Backend):
         *,
         machine: MachineModel | None = None,
         node_layout: NodeLayout | None = None,
+        trace_sink: Any = None,
         **shared_kwargs: Any,
     ) -> RunResult:
         plan = self.plan
@@ -187,6 +188,7 @@ class ChaosBackend(Backend):
                 rank_args,
                 machine=machine,
                 node_layout=node_layout,
+                trace_sink=trace_sink,
                 **shared_kwargs,
             )
 
@@ -197,6 +199,7 @@ class ChaosBackend(Backend):
                 rank_args,
                 machine=machine,
                 node_layout=node_layout,
+                trace_sink=trace_sink,
                 **shared_kwargs,
             )
         except (DeadlockError, CollectiveMismatchError) as exc:
@@ -224,6 +227,12 @@ class ChaosBackend(Backend):
             backend=f"chaos:{self.inner.name}",
             chaos=self._metrics(plan, counters, result, fault_free),
         )
+        if trace_sink is not None:
+            from repro.telemetry.adapters import chaos_plan_to_events
+
+            chaos_plan_to_events(
+                trace_sink, plan, result.trace, len(rank_args)
+            )
         return result
 
     # ------------------------------------------------------------------ #

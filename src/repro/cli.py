@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Twelve subcommands:
+Thirteen subcommands:
 
 ``sort``
     Generate a workload, sort it with any registered algorithm on any
@@ -64,10 +64,17 @@ Twelve subcommands:
     :mod:`repro.calibrate`).  ``--dry-run`` prints the DoE table;
     ``--out spec.json`` writes the spec for ``REPRO_MACHINE_PATH``.
 
+``trace``
+    Render a Chrome trace-event JSON file captured with ``--trace``
+    (see :mod:`repro.telemetry`) as the ASCII timeline report —
+    validation failures are usage errors, so the subcommand doubles as
+    a trace linter.
+
 The execution options shared by
 ``sort``/``sweep``/``bench``/``serve``/``calibrate``
-(``--machine``, ``--backend``, ``--workers``, ``--payloads``, and the
-``sort``/``sweep``-only ``--chaos``) are defined once in
+(``--machine``, ``--backend``, ``--workers``, ``--payloads``, the
+``sort``/``sweep``-only ``--chaos``, and the
+``sort``/``sweep``/``serve`` ``--trace``) are defined once in
 :data:`_EXECUTION_OPTIONS` and attached through one argparse parent
 parser (:func:`execution_options`), so their spelling and help text
 cannot drift between subcommands.
@@ -104,11 +111,14 @@ Examples
     python -m repro calibrate --dry-run
     python -m repro calibrate --backend thread --repeats 5 --trim 1 \
         --out local.json
+    python -m repro sort --backend process --trace sort-trace.json
+    python -m repro trace sort-trace.json
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
@@ -162,6 +172,15 @@ _EXECUTION_OPTIONS: dict[str, dict] = {
                 "metrics, and faults the plan injects are reported, not "
                 "fatal",
     },
+    "trace": {
+        "flags": ("--trace",),
+        "metavar": "OUT.json",
+        "help": "write a Chrome trace-event JSON file of the run "
+                "(modeled supersteps, per-rank measured spans on "
+                "instrumenting backends, service job lifecycle); open "
+                "in Perfetto / chrome://tracing, or render with "
+                "'repro trace OUT.json'",
+    },
 }
 
 
@@ -172,6 +191,7 @@ def execution_options(
     workers: object = _OMIT,
     payloads: object = _OMIT,
     chaos: object = _OMIT,
+    trace: object = _OMIT,
     payloads_repeatable: bool = False,
 ) -> argparse.ArgumentParser:
     """An argparse *parent parser* carrying the shared execution options.
@@ -203,6 +223,8 @@ def execution_options(
             add("payloads", payloads)
     if chaos is not _OMIT:
         add("chaos", chaos)
+    if trace is not _OMIT:
+        add("trace", trace)
     return parent
 
 
@@ -218,7 +240,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="sort a generated workload",
         parents=[execution_options(
             machine="laptop", backend="simulated",
-            workers=None, payloads="none", chaos="",
+            workers=None, payloads="none", chaos="", trace=None,
         )],
     )
     sort.add_argument(
@@ -276,7 +298,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run an algorithm x workload x machine x layout grid",
         parents=[execution_options(
             backend="simulated", payloads=None, payloads_repeatable=True,
-            chaos="",
+            chaos="", trace=None,
         )],
     )
     sweep.add_argument(
@@ -423,7 +445,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve = sub.add_parser(
         "serve",
         help="run the resident sort service (JSONL in, JSONL replies out)",
-        parents=[execution_options(machine=None, backend=None)],
+        parents=[execution_options(machine=None, backend=None, trace=None)],
     )
     serve.add_argument(
         "--http",
@@ -449,6 +471,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="maximum consecutive same-fingerprint jobs grouped into one "
         "warm-chained batch (default 8)",
+    )
+    serve.add_argument(
+        "--log-level",
+        choices=["debug", "info", "warning", "error"],
+        default="warning",
+        metavar="LEVEL",
+        help="stderr log level for the 'repro.service' logger (default "
+        "warning; 'info' emits one structured JSON line per job: id, "
+        "fingerprint prefix, cache source, rounds, latency)",
     )
 
     calibrate = sub.add_parser(
@@ -505,7 +536,43 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the DoE cell table and exit without running anything",
     )
+
+    trace = sub.add_parser(
+        "trace",
+        help="render a Chrome trace-event JSON file as an ASCII timeline",
+    )
+    trace.add_argument(
+        "path",
+        metavar="TRACE.json",
+        help="trace file written by 'repro sort/sweep/serve --trace'",
+    )
     return parser
+
+
+def _make_trace_sink(args: argparse.Namespace):
+    """A fresh :class:`TraceSink` when ``--trace`` was given, else None."""
+    if not getattr(args, "trace", None):
+        return None
+    from repro.telemetry import TraceSink
+
+    return TraceSink()
+
+
+def _write_trace(sink, path: str) -> bool:
+    """Persist a captured trace; reports the outcome on stderr."""
+    from repro.telemetry import write_chrome_trace
+
+    try:
+        count = write_chrome_trace(sink, path)
+    except OSError as exc:
+        print(f"cannot write {path}: {exc}", file=sys.stderr)
+        return False
+    print(
+        f"wrote {count} trace events to {path} "
+        f"(open in Perfetto / chrome://tracing, or 'repro trace {path}')",
+        file=sys.stderr,
+    )
+    return True
 
 
 def _cmd_sort(args: argparse.Namespace) -> int:
@@ -596,7 +663,8 @@ def _cmd_sort(args: argparse.Namespace) -> int:
             backend=backend,
             verify=False,
         )
-        run = sorter.run(dataset)
+        trace_sink = _make_trace_sink(args)
+        run = sorter.run(dataset, trace_sink=trace_sink)
     except ConfigError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -610,6 +678,8 @@ def _cmd_sort(args: argparse.Namespace) -> int:
         if detail is not None:
             print(f"fault provenance   : {detail}", file=sys.stderr)
         return 1
+    if trace_sink is not None and not _write_trace(trace_sink, args.trace):
+        return 2
     from repro.metrics import verify_sorted_output
 
     verify_sorted_output(dataset.shards, run.shards)
@@ -786,12 +856,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.jobs < 1:
         print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
         return 2
+    if args.trace and args.jobs > 1:
+        print(
+            "--trace runs cells inline; use --jobs 1 (trace sinks do "
+            "not cross the process pool)",
+            file=sys.stderr,
+        )
+        return 2
     try:
         procs = [int(p) for p in _split_csv(args.procs)]
         keys = [int(n) for n in _split_csv(args.keys)]
     except ValueError as exc:
         print(f"bad -p/-n value: {exc}", file=sys.stderr)
         return 2
+    trace_sink = _make_trace_sink(args)
     try:
         doc = ExperimentRunner(args.jobs).sweep(
             algorithms=_split_csv(args.algorithms),
@@ -806,9 +884,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             payloads=args.payloads,
             chaos=args.chaos,
             progress=stderr_progress,
+            trace_sink=trace_sink,
         )
     except ConfigError as exc:
         print(str(exc), file=sys.stderr)
+        return 2
+    if trace_sink is not None and not _write_trace(trace_sink, args.trace):
         return 2
     if args.json_path:
         try:
@@ -1071,9 +1152,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import logging
+
     from repro.errors import ConfigError
     from repro.service import SortService
 
+    # The structured per-job log: one JSON line per job on stderr at
+    # 'info' and above, so stdout stays pure JSONL replies.
+    logger = logging.getLogger("repro.service")
+    logger.setLevel(getattr(logging, args.log_level.upper()))
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    logger.addHandler(handler)
+    logger.propagate = False
+
+    trace_sink = _make_trace_sink(args)
     # Validate the service-wide defaults eagerly — a typo'd machine name
     # is a usage error (exit 2), not one structured error reply per job.
     try:
@@ -1095,6 +1188,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             backend=args.backend,
             cache_capacity=args.cache_capacity,
             batch_max=args.batch_max,
+            trace_sink=trace_sink,
         )
     except ConfigError as exc:
         print(str(exc), file=sys.stderr)
@@ -1111,7 +1205,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         host, port = server.server_address[:2]
         print(
             f"repro serve: listening on http://{host}:{port} "
-            f"(POST /sort, GET /healthz, GET /stats; Ctrl-C to stop)",
+            f"(POST /sort, GET /healthz, GET /stats, GET /metrics; "
+            f"Ctrl-C to stop)",
             file=sys.stderr,
         )
         try:
@@ -1120,6 +1215,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             pass
         finally:
             server.server_close()
+        if trace_sink is not None and not _write_trace(
+            trace_sink, args.trace
+        ):
+            return 2
         return 0
 
     # Stream mode: JSONL jobs on stdin, one JSONL reply per job on
@@ -1135,6 +1234,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"{cache['evictions']} evictions)",
         file=sys.stderr,
     )
+    if trace_sink is not None and not _write_trace(trace_sink, args.trace):
+        return 2
     return 0
 
 
@@ -1210,6 +1311,31 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.telemetry import load_chrome_trace, validate_chrome_trace
+    from repro.telemetry.export import render_timeline
+
+    try:
+        events = load_chrome_trace(args.path)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load {args.path}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        validate_chrome_trace(events)
+    except ValueError as exc:
+        print(f"{args.path}: invalid trace: {exc}", file=sys.stderr)
+        return 2
+    try:
+        print(render_timeline(events))
+    except BrokenPipeError:
+        # Downstream closed early (`repro trace t.json | head`); that is
+        # its prerogative, not an error.  Detach stdout so the interpreter
+        # shutdown flush does not raise again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -1237,6 +1363,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_serve(args)
     if args.command == "calibrate":
         return _cmd_calibrate(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     raise AssertionError("unreachable")
 
 

@@ -101,14 +101,26 @@ def expand_grid(
     return cells
 
 
-def _run_cell_task(scenario: Scenario) -> CellResult:
+def _run_cell_task(
+    scenario: Scenario, trace_sink: Any = None, cell_tid: int = 0
+) -> CellResult:
     """Worker entry point: one grid cell, stamped with its process.
 
     Module-level so it pickles under every multiprocessing start method.
+    A live ``trace_sink`` (inline runs only — sinks do not cross the
+    pool) gives the cell its own modeled-timeline row, named after the
+    cell, so a sweep's trace reads like a lane per scenario.
     """
     start = time.perf_counter()
+    run_kwargs = {}
+    if trace_sink is not None:
+        from repro.telemetry import MODELED_PID
+
+        trace_sink.modeled_tid = cell_tid
+        trace_sink.thread(MODELED_PID, cell_tid, scenario.name)
+        run_kwargs["trace_sink"] = trace_sink
     try:
-        outcome = scenario.run()
+        outcome = scenario.run(**run_kwargs)
     except CapabilityError as exc:
         return CellResult(
             scenario=scenario.to_dict(),
@@ -160,9 +172,20 @@ class ExperimentRunner:
         *,
         grid: dict[str, Any] | None = None,
         progress: Callable[[str], None] | None = None,
+        trace_sink: Any = None,
     ) -> ExperimentDocument:
-        """Execute pre-built scenarios (cells land in input order)."""
+        """Execute pre-built scenarios (cells land in input order).
+
+        ``trace_sink`` collects span telemetry from every cell on its own
+        modeled-timeline row; sinks cannot cross the process pool, so a
+        live sink requires ``jobs=1``.
+        """
         cells = list(scenarios)
+        if trace_sink is not None and self.jobs > 1:
+            raise ConfigError(
+                "trace capture runs cells inline; use jobs=1 with a "
+                "trace_sink (sinks do not cross the process pool)"
+            )
         doc = ExperimentDocument(grid=dict(grid or {}))
         start = time.perf_counter()
         jobs = min(self.jobs, len(cells)) if cells else 1
@@ -185,7 +208,10 @@ class ExperimentRunner:
 
         self._pool.map_tasks(
             _run_cell_task,
-            [(cell.name, (cell,)) for cell in cells],
+            [
+                (cell.name, (cell, trace_sink, i))
+                for i, cell in enumerate(cells)
+            ],
             on_start=on_start,
             on_done=on_done,
         )
@@ -207,6 +233,7 @@ class ExperimentRunner:
         payloads: Sequence[str] | str | None = None,
         chaos: str = "",
         progress: Callable[[str], None] | None = None,
+        trace_sink: Any = None,
     ) -> ExperimentDocument:
         """Expand the grid and run every cell; the ``repro sweep`` core."""
         grid = {
@@ -235,7 +262,9 @@ class ExperimentRunner:
             eps=eps, seed=seed, backend=backend, payloads=payloads,
             chaos=chaos,
         )
-        return self.run(cells, grid=grid, progress=progress)
+        return self.run(
+            cells, grid=grid, progress=progress, trace_sink=trace_sink
+        )
 
 
 def run_sweep(jobs: int = 1, **grid: Any) -> ExperimentDocument:

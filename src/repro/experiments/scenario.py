@@ -142,14 +142,14 @@ class Scenario:
         overrides = {"cores_per_node": 1} if self.layout == "flat" else None
         return get_machine(self.machine, overrides)
 
-    def run(self) -> dict[str, Any]:
+    def run(self, *, trace_sink: Any = None) -> dict[str, Any]:
         """Execute the cell; returns ``{scenario, machine, metrics}``.
 
         Runs through ``Dataset.from_workload`` + ``Sorter`` — exactly the
         benchmark suites' plumbing — with verification off (imbalance is a
         *measured* metric here, not an assertion).
         """
-        return self.execute()[1]
+        return self.execute(trace_sink=trace_sink)[1]
 
     def build_dataset(self) -> Any:
         """The cell's input :class:`~repro.algorithms.Dataset`.
@@ -184,7 +184,11 @@ class Scenario:
         )
 
     def execute(
-        self, *, initial_intervals: Any = None, dataset: Any = None
+        self,
+        *,
+        initial_intervals: Any = None,
+        dataset: Any = None,
+        trace_sink: Any = None,
     ) -> tuple[Any, dict[str, Any]]:
         """Like :meth:`run`, but also return the underlying ``SortRun``.
 
@@ -193,7 +197,8 @@ class Scenario:
         ``initial_intervals`` forwards splitter-interval hints to
         :meth:`Sorter.run <repro.algorithms.Sorter.run>`; ``dataset``
         supplies a pre-built input (must come from
-        :meth:`build_dataset`).
+        :meth:`build_dataset`); ``trace_sink`` forwards a
+        :class:`~repro.telemetry.TraceSink` collecting span telemetry.
         """
         from repro.algorithms import Sorter, get_spec
         from repro.machines import machine_summary
@@ -217,7 +222,11 @@ class Scenario:
             config=config,
             backend=backend,
             verify=False,
-        ).run(dataset, initial_intervals=initial_intervals)
+        ).run(
+            dataset,
+            initial_intervals=initial_intervals,
+            trace_sink=trace_sink,
+        )
         metrics: dict[str, Any] = {
             "makespan_s": run.makespan,
             "net_bytes": run.engine_result.stats.bytes,

@@ -103,6 +103,18 @@ class Measured:
         """Critical-path collective-wait wall-clock (max over ranks)."""
         return max(self.rank_comm_wait_s, default=0.0)
 
+    def to_spans(self, sink):
+        """Project this block onto the measured timeline; returns the sink.
+
+        One compute + one wait span per rank (the block stores totals,
+        not segments); backends passed a live ``trace_sink`` emit full
+        per-segment spans instead — see
+        :func:`repro.telemetry.adapters.emit_rank_segments`.
+        """
+        from repro.telemetry.adapters import measured_to_spans
+
+        return measured_to_spans(self, sink)
+
 
 class Backend(ABC):
     """One strategy for executing an SPMD rank program.
@@ -132,6 +144,7 @@ class Backend(ABC):
         *,
         machine: MachineModel | None = None,
         node_layout: NodeLayout | None = None,
+        trace_sink: Any = None,
         **shared_kwargs: Any,
     ) -> RunResult:
         """Execute ``program`` on ``len(rank_args)`` ranks.
@@ -142,6 +155,12 @@ class Backend(ABC):
         modeled fields (returns, trace, stats, makespan) are bit-identical
         across backends and whose :attr:`~repro.bsp.engine.RunResult.measured`
         block carries this backend's wall-clock observations.
+
+        ``trace_sink`` (a :class:`~repro.telemetry.TraceSink`) receives
+        the run's modeled superstep spans on every backend; backends
+        that instrument ranks additionally emit measured per-rank
+        compute/wait spans.  ``None`` — the default — records nothing
+        and costs nothing.
         """
 
     @classmethod

@@ -227,6 +227,17 @@ class _TimedContext(Context):
         self.wall_by_phase: dict[str, float] = {}
         self.comm_wait_s = 0.0
         self._seg_start: float | None = None
+        #: Raw ``(phase, start, end)`` compute segments and ``(op, start,
+        #: end, sweep)`` collective waits on the worker's perf_counter
+        #: clock — populated only under a trace sink (None otherwise, so
+        #: the telemetry-off path allocates nothing per segment).
+        self.segments: list[tuple] | None = None
+        self.wait_segments: list[tuple] | None = None
+
+    def enable_segments(self) -> None:
+        """Keep raw timestamped segments for span emission."""
+        self.segments = []
+        self.wait_segments = []
 
     def _seg_open(self) -> None:
         self._seg_start = time.perf_counter()
@@ -238,6 +249,8 @@ class _TimedContext(Context):
                 self.wall_by_phase.get(self._phase, 0.0)
                 + (now - self._seg_start)
             )
+            if self.segments is not None and now > self._seg_start:
+                self.segments.append((self._phase, self._seg_start, now))
         self._seg_start = now
 
     def _seg_close(self) -> None:
@@ -283,6 +296,7 @@ def _worker_main(
     node_layout: NodeLayout | None,
     unregister_shm: bool = False,
     chan_base: str = "",
+    record_segments: bool = False,
 ) -> None:
     """Run this worker's ranks, forwarding every collective to the broker."""
     tx = _ShmChannel(f"{chan_base}t")  # worker -> broker
@@ -314,6 +328,8 @@ def _worker_main(
         gens: dict[int, Any] = {}
         for rank, rank_args in zip(ranks, args):
             ctx = _TimedContext(stub, rank)
+            if record_segments:
+                ctx.enable_segments()
             gen = program(ctx, *rank_args, **shared_kwargs)
             if not hasattr(gen, "send"):
                 tx.send(
@@ -325,6 +341,8 @@ def _worker_main(
 
         resume: dict[int, Any] = {r: None for r in ranks}
         active = list(ranks)
+        ops: dict[int, str] = {}
+        sweep_index = 0
         while active:
             batch: list[tuple] = []
             waiting: list[int] = []
@@ -346,6 +364,8 @@ def _worker_main(
                             by_phase,
                             ctx.wall_by_phase,
                             ctx.comm_wait_s,
+                            ctx.segments,
+                            ctx.wait_segments,
                         )
                     )
                     continue
@@ -370,6 +390,8 @@ def _worker_main(
                     return
                 pending, by_phase = ctx._drain_compute()
                 batch.append(("call", r, request, ctx._phase, pending, by_phase))
+                if record_segments:
+                    ops[r] = request.op
                 waiting.append(r)
                 resume[r] = None
             tx.send(conn, batch)
@@ -382,6 +404,14 @@ def _worker_main(
             waited = time.perf_counter() - wait_start
             for r in waiting:
                 ctxs[r].comm_wait_s += waited
+                if record_segments:
+                    # Every live worker joins every broker sweep, so this
+                    # local counter indexes the same global rendezvous on
+                    # all workers — the flow-connection key.
+                    ctxs[r].wait_segments.append(
+                        (ops[r], wait_start, wait_start + waited, sweep_index)
+                    )
+            sweep_index += 1
             for r, value in results.items():
                 resume[r] = value
             active = waiting
@@ -420,6 +450,7 @@ class ProcessBackend(Backend):
         *,
         machine: MachineModel | None = None,
         node_layout: NodeLayout | None = None,
+        trace_sink: Any = None,
         **shared_kwargs: Any,
     ) -> RunResult:
         p = len(rank_args)
@@ -436,9 +467,12 @@ class ProcessBackend(Backend):
         assignment = _assign_ranks(p, nworkers)
         shm, packed = pack_rank_args(rank_args)
         mp = _mp_context()
-        resolver = SuperstepResolver(CostModel(machine, p, layout), layout, p)
+        resolver = SuperstepResolver(
+            CostModel(machine, p, layout), layout, p, trace_sink=trace_sink
+        )
         returns: list[Any] = [None] * p
-        #: rank -> (final phase, pending, by_phase, wall_by_phase, comm_wait)
+        #: rank -> (final phase, pending, by_phase, wall_by_phase,
+        #: comm_wait, segments, wait_segments)
         final: dict[int, tuple] = {}
         finished: list[int] = []
         procs: list[Any] = []
@@ -472,6 +506,7 @@ class ProcessBackend(Backend):
                         layout,
                         mp.get_start_method() != "fork",
                         f"{chan_base}{i}",
+                        trace_sink is not None,
                     ),
                     daemon=True,
                 )
@@ -515,6 +550,8 @@ class ProcessBackend(Backend):
                                 by_phase,
                                 wall_by_phase,
                                 comm_wait,
+                                segments,
+                                wait_segments,
                             ) = msg
                             returns[r] = value
                             finished.append(r)
@@ -524,6 +561,8 @@ class ProcessBackend(Backend):
                                 by_phase,
                                 wall_by_phase,
                                 comm_wait,
+                                segments,
+                                wait_segments,
                             )
                             live[i].discard(r)
                         else:  # "raise": a rank program failed in a worker
@@ -547,6 +586,8 @@ class ProcessBackend(Backend):
             )
             result = resolver.result(returns)
             result.measured = self._measured(final, p, nworkers, start)
+            if trace_sink is not None:
+                self._emit_measured_spans(trace_sink, final, p, start)
             return result
         finally:
             for conn in conns:
@@ -572,6 +613,40 @@ class ProcessBackend(Backend):
                     pass
 
     # ------------------------------------------------------------------ #
+    @staticmethod
+    def _emit_measured_spans(
+        trace_sink: Any,
+        final: dict[int, tuple],
+        p: int,
+        start: float,
+        backend_name: str = "process",
+    ) -> None:
+        """Emit per-rank compute/wait spans from the workers' segment logs.
+
+        Worker timestamps come from ``perf_counter`` (CLOCK_MONOTONIC —
+        one machine-wide clock, comparable across processes), normalized
+        here against the run's own start so the measured timeline begins
+        at zero.  Shared with :class:`~repro.runtime.ThreadBackend`,
+        whose ``final`` dict has the same shape.
+        """
+        from repro.telemetry.adapters import emit_rank_segments
+
+        def shift(entries: list[tuple] | None) -> list[tuple]:
+            if not entries:
+                return []
+            return [
+                (entry[0], max(0.0, entry[1] - start), entry[2] - start)
+                + entry[3:]
+                for entry in entries
+            ]
+
+        emit_rank_segments(
+            trace_sink,
+            {r: shift(final[r][5]) for r in range(p)},
+            {r: shift(final[r][6]) for r in range(p)},
+            backend_name,
+        )
+
     @staticmethod
     def _measured(
         final: dict[int, tuple], p: int, workers: int, start: float

@@ -37,13 +37,19 @@ class SimulatedBackend(Backend):
         *,
         machine: MachineModel | None = None,
         node_layout: NodeLayout | None = None,
+        trace_sink: Any = None,
         **shared_kwargs: Any,
     ) -> RunResult:
         engine = BSPEngine(
             len(rank_args), machine=machine, node_layout=node_layout
         )
         start = time.perf_counter()
-        result = engine.run(program, rank_args=rank_args, **shared_kwargs)
+        result = engine.run(
+            program,
+            rank_args=rank_args,
+            trace_sink=trace_sink,
+            **shared_kwargs,
+        )
         result.measured = Measured(
             backend=self.name,
             workers=1,

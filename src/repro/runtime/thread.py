@@ -68,6 +68,9 @@ def _worker_loop(
     """
     resume: dict[int, Any] = {r: None for r in ranks}
     active = list(ranks)
+    record_segments = bool(ranks) and ctxs[ranks[0]].segments is not None
+    ops: dict[int, str] = {}
+    sweep_index = 0
     while active:
         batch: list[tuple] = []
         waiting: list[int] = []
@@ -89,6 +92,8 @@ def _worker_loop(
                         by_phase,
                         ctx.wall_by_phase,
                         ctx.comm_wait_s,
+                        ctx.segments,
+                        ctx.wait_segments,
                     )
                 )
                 continue
@@ -114,6 +119,8 @@ def _worker_loop(
                 return
             pending, by_phase = ctx._drain_compute()
             batch.append(("call", r, request, ctx._phase, pending, by_phase))
+            if record_segments:
+                ops[r] = request.op
             waiting.append(r)
             resume[r] = None
         tx.put(batch)
@@ -126,6 +133,13 @@ def _worker_loop(
             return
         for r in waiting:
             ctxs[r].comm_wait_s += waited
+            if record_segments:
+                # Local recv count == global sweep index (every live
+                # worker joins every broker sweep) — the flow key.
+                ctxs[r].wait_segments.append(
+                    (ops[r], wait_start, wait_start + waited, sweep_index)
+                )
+        sweep_index += 1
         for r, value in results.items():
             resume[r] = value
         active = waiting
@@ -157,6 +171,7 @@ class ThreadBackend(Backend):
         *,
         machine: MachineModel | None = None,
         node_layout: NodeLayout | None = None,
+        trace_sink: Any = None,
         **shared_kwargs: Any,
     ) -> RunResult:
         p = len(rank_args)
@@ -175,6 +190,8 @@ class ThreadBackend(Backend):
         gens: dict[int, Any] = {}
         for rank, args in enumerate(rank_args):
             ctx = _TimedContext(stub, rank)
+            if trace_sink is not None:
+                ctx.enable_segments()
             gen = program(ctx, *args, **shared_kwargs)
             if not hasattr(gen, "send"):
                 raise BSPError(_NOT_A_GENERATOR)
@@ -182,9 +199,12 @@ class ThreadBackend(Backend):
             gens[rank] = gen
 
         assignment = _assign_ranks(p, nworkers)
-        resolver = SuperstepResolver(CostModel(machine, p, layout), layout, p)
+        resolver = SuperstepResolver(
+            CostModel(machine, p, layout), layout, p, trace_sink=trace_sink
+        )
         returns: list[Any] = [None] * p
-        #: rank -> (final phase, pending, by_phase, wall_by_phase, comm_wait)
+        #: rank -> (final phase, pending, by_phase, wall_by_phase,
+        #: comm_wait, segments, wait_segments)
         final: dict[int, tuple] = {}
         finished: list[int] = []
         tx_queues = [queue.SimpleQueue() for _ in assignment]
@@ -224,6 +244,8 @@ class ThreadBackend(Backend):
                                 by_phase,
                                 wall_by_phase,
                                 comm_wait,
+                                segments,
+                                wait_segments,
                             ) = msg
                             returns[r] = value
                             finished.append(r)
@@ -233,6 +255,8 @@ class ThreadBackend(Backend):
                                 by_phase,
                                 wall_by_phase,
                                 comm_wait,
+                                segments,
+                                wait_segments,
                             )
                             live[i].discard(r)
                         else:  # "raise": a rank program failed
@@ -252,6 +276,10 @@ class ThreadBackend(Backend):
             result = resolver.result(returns)
             measured = ProcessBackend._measured(final, p, nworkers, start)
             result.measured = dataclasses.replace(measured, backend=self.name)
+            if trace_sink is not None:
+                ProcessBackend._emit_measured_spans(
+                    trace_sink, final, p, start, backend_name=self.name
+                )
             return result
         finally:
             for rx in rx_queues:

@@ -87,3 +87,37 @@ class SplitterCache:
             "misses": self.misses,
             "evictions": self.evictions,
         }
+
+    def to_metrics(self, registry) -> None:
+        """Expose the cache tallies on a telemetry metrics registry.
+
+        Registers *callback* metrics (see
+        :meth:`repro.telemetry.MetricsRegistry.counter_fn`) that read the
+        live counters at render time, so nothing is double-maintained:
+        :meth:`stats` and ``GET /metrics`` always agree by construction.
+        """
+        registry.counter_fn(
+            "repro_cache_hits_total",
+            "Splitter-cache hits (warm-start material found).",
+            lambda: self.hits,
+        )
+        registry.counter_fn(
+            "repro_cache_misses_total",
+            "Splitter-cache misses (cold histogram start).",
+            lambda: self.misses,
+        )
+        registry.counter_fn(
+            "repro_cache_evictions_total",
+            "Splitter-cache LRU evictions.",
+            lambda: self.evictions,
+        )
+        registry.gauge_fn(
+            "repro_cache_size",
+            "Workload fingerprints currently cached.",
+            lambda: len(self._entries),
+        )
+        registry.gauge_fn(
+            "repro_cache_capacity",
+            "Splitter-cache capacity bound.",
+            lambda: self.capacity,
+        )

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import logging
 import time
 from typing import Any, Iterable, TextIO
 
@@ -37,6 +38,10 @@ from repro.service.jobs import (
     SortJob,
     error_reply,
 )
+from repro.telemetry import SERVICE_PID, MetricsRegistry
+
+#: Jobs-per-batch histogram bounds (batching caps at ``batch_max``).
+_BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
 
 __all__ = ["SortService", "shard_boundary_intervals"]
 
@@ -73,6 +78,18 @@ class SortService:
         LRU bound on remembered workload fingerprints.
     batch_max:
         Maximum consecutive same-fingerprint jobs grouped into one batch.
+    trace_sink:
+        Optional :class:`~repro.telemetry.TraceSink` recording each job's
+        lifecycle (fingerprint / queued / cache-probe / warm-start / run /
+        reply) as spans on the service timeline.  ``None`` (default)
+        records nothing.
+
+    Counters live on :attr:`metrics` — a
+    :class:`~repro.telemetry.MetricsRegistry` rendered by ``GET
+    /metrics`` and snapshotted into :meth:`stats`.  The legacy
+    ``jobs_total`` / ``errors_total`` attributes are read-only views over
+    the ``repro_jobs_total{status=...}`` counter, kept so pre-telemetry
+    consumers of :meth:`stats` see unchanged keys.
     """
 
     def __init__(
@@ -82,6 +99,7 @@ class SortService:
         backend: str | None = None,
         cache_capacity: int = 64,
         batch_max: int = 8,
+        trace_sink: Any = None,
     ) -> None:
         from repro.errors import ConfigError
 
@@ -91,8 +109,88 @@ class SortService:
         self.default_backend = backend
         self.cache = SplitterCache(cache_capacity)
         self.batch_max = int(batch_max)
-        self.jobs_total = 0
-        self.errors_total = 0
+        self.trace_sink = trace_sink
+        self._epoch = time.perf_counter()
+        self._enqueued: dict[int, float] = {}
+        self._log = logging.getLogger("repro.service")
+        self.metrics = MetricsRegistry()
+        self._jobs_counter = self.metrics.counter(
+            "repro_jobs_total",
+            "Sort jobs processed, by final reply status.",
+            ("status",),
+        )
+        self._batch_size_hist = self.metrics.histogram(
+            "repro_batch_size",
+            "Jobs grouped into each same-fingerprint batch.",
+            buckets=_BATCH_BUCKETS,
+        )
+        self._modeled_latency_hist = self.metrics.histogram(
+            "repro_job_modeled_latency_seconds",
+            "Modeled sort makespan per successful job.",
+        )
+        self._wall_latency_hist = self.metrics.histogram(
+            "repro_job_wall_latency_seconds",
+            "Measured wall-clock per successful job.",
+        )
+        self.cache.to_metrics(self.metrics)
+
+    # --------------------------------------------------------- telemetry #
+    @property
+    def jobs_total(self) -> int:
+        """Total jobs processed (view over ``repro_jobs_total``)."""
+        return int(
+            self._jobs_counter.value(status="ok")
+            + self._jobs_counter.value(status="error")
+        )
+
+    @property
+    def errors_total(self) -> int:
+        """Jobs that produced error replies (view over the counter)."""
+        return int(self._jobs_counter.value(status="error"))
+
+    def _clock(self) -> float:
+        """Seconds since service start (the service-timeline clock)."""
+        return time.perf_counter() - self._epoch
+
+    def _span_row(self) -> None:
+        """Name the service process/row in the sink (idempotent)."""
+        self.trace_sink.process(SERVICE_PID, "service (sort daemon)")
+        self.trace_sink.thread(SERVICE_PID, 0, "jobs")
+
+    def _count_reply(self, reply: dict[str, Any]) -> dict[str, Any]:
+        """Final accounting for one reply: counter, log line, reply span."""
+        status = reply.get("status", "error")
+        self._jobs_counter.labels(status=status).inc()
+        if self._log.isEnabledFor(logging.INFO):
+            cache = reply.get("cache") or {}
+            metrics = reply.get("metrics") or {}
+            self._log.info(
+                "%s",
+                json.dumps(
+                    {
+                        "event": "job",
+                        "id": reply.get("id"),
+                        "status": status,
+                        "fingerprint": (reply.get("fingerprint") or "")[:12],
+                        "cache_source": cache.get("source"),
+                        "rounds": metrics.get("rounds"),
+                        "wall_s": reply.get("wall_s"),
+                        "batch": reply.get("batch"),
+                    },
+                    sort_keys=True,
+                ),
+            )
+        if self.trace_sink is not None:
+            self._span_row()
+            self.trace_sink.instant(
+                SERVICE_PID,
+                0,
+                "reply",
+                "service",
+                self._clock(),
+                args={"id": reply.get("id") or "", "status": status},
+            )
+        return reply
 
     # ----------------------------------------------------------- parsing #
     def parse_line(self, line: str) -> SortJob:
@@ -123,6 +221,10 @@ class SortService:
         """Run one job; returns ``(reply, boundary_intervals)``."""
         from repro.algorithms import get_spec
 
+        sink = self.trace_sink
+        if sink is not None:
+            self._span_row()
+            probe_t0 = self._clock()
         warm_capable = get_spec(job.scenario.algorithm).supports_warm_start
         hints = None
         source = None
@@ -133,15 +235,64 @@ class SortService:
                 cached = self.cache.get(fingerprint)
                 if cached is not None:
                     hints, source = cached, "cache"
+        if sink is not None:
+            sink.complete(
+                SERVICE_PID,
+                0,
+                "cache-probe",
+                "service",
+                probe_t0,
+                self._clock() - probe_t0,
+                args={
+                    "id": job.id or "",
+                    "fingerprint": fingerprint[:12],
+                    "hit": hints is not None,
+                    "source": source or "",
+                },
+            )
+            if hints is not None:
+                sink.instant(
+                    SERVICE_PID,
+                    0,
+                    "warm-start",
+                    "service",
+                    self._clock(),
+                    args={"source": source, "intervals": len(hints)},
+                )
         start = time.perf_counter()
         try:
             run, cell = job.scenario.execute(
                 dataset=dataset, initial_intervals=hints
             )
         except Exception as exc:
-            self.errors_total += 1
+            if sink is not None:
+                sink.complete(
+                    SERVICE_PID,
+                    0,
+                    "run",
+                    "service",
+                    start - self._epoch,
+                    time.perf_counter() - start,
+                    args={"id": job.id or "", "status": "error"},
+                )
             return error_reply(job.id, exc), None
         wall = time.perf_counter() - start
+        if sink is not None:
+            sink.complete(
+                SERVICE_PID,
+                0,
+                "run",
+                "service",
+                start - self._epoch,
+                wall,
+                args={
+                    "id": job.id or "",
+                    "status": "ok",
+                    "makespan_s": cell["metrics"]["makespan_s"],
+                },
+            )
+        self._modeled_latency_hist.observe(cell["metrics"]["makespan_s"])
+        self._wall_latency_hist.observe(wall)
 
         boundaries = None
         if warm_capable:
@@ -178,8 +329,21 @@ class SortService:
         """Run one batch of same-fingerprint ``(job, dataset, fp)`` items."""
         replies = []
         carry: tuple | None = None
+        self._batch_size_hist.observe(len(items))
         for position, (job, dataset, fingerprint) in enumerate(items):
-            self.jobs_total += 1
+            if self.trace_sink is not None:
+                queued_t0 = self._enqueued.pop(id(job), None)
+                if queued_t0 is not None:
+                    self._span_row()
+                    self.trace_sink.complete(
+                        SERVICE_PID,
+                        0,
+                        "queued",
+                        "service",
+                        queued_t0,
+                        self._clock() - queued_t0,
+                        args={"id": job.id or ""},
+                    )
             reply, boundaries = self._run_job(
                 job,
                 dataset,
@@ -189,20 +353,36 @@ class SortService:
             )
             if boundaries is not None:
                 carry = boundaries
-            replies.append(reply)
+            replies.append(self._count_reply(reply))
         return replies
+
+    def _fingerprint_job(self, job: SortJob) -> tuple[Any, str]:
+        """Build the job's dataset and fingerprint it (span-wrapped)."""
+        sink = self.trace_sink
+        if sink is not None:
+            self._span_row()
+            t0 = self._clock()
+        dataset = job.scenario.build_dataset()
+        fingerprint = workload_fingerprint(job.scenario.algorithm, dataset)
+        if sink is not None:
+            sink.complete(
+                SERVICE_PID,
+                0,
+                "fingerprint",
+                "service",
+                t0,
+                self._clock() - t0,
+                args={"id": job.id or "", "fingerprint": fingerprint[:12]},
+            )
+            self._enqueued[id(job)] = self._clock()
+        return dataset, fingerprint
 
     def handle_job(self, job: SortJob) -> dict[str, Any]:
         """Run a single pre-parsed job (a batch of one)."""
         try:
-            dataset = job.scenario.build_dataset()
-            fingerprint = workload_fingerprint(
-                job.scenario.algorithm, dataset
-            )
+            dataset, fingerprint = self._fingerprint_job(job)
         except Exception as exc:
-            self.jobs_total += 1
-            self.errors_total += 1
-            return error_reply(job.id, exc)
+            return self._count_reply(error_reply(job.id, exc))
         return self.run_batch([(job, dataset, fingerprint)])[0]
 
     def handle_line(self, line: str) -> dict[str, Any]:
@@ -210,9 +390,7 @@ class SortService:
         try:
             job = self.parse_line(line)
         except JobError as exc:
-            self.jobs_total += 1
-            self.errors_total += 1
-            return error_reply(_best_effort_id(line), exc)
+            return self._count_reply(error_reply(_best_effort_id(line), exc))
         return self.handle_job(job)
 
     # ---------------------------------------------------------- streaming #
@@ -240,15 +418,13 @@ class SortService:
                 continue
             try:
                 job = self.parse_line(line)
-                dataset = job.scenario.build_dataset()
-                fingerprint = workload_fingerprint(
-                    job.scenario.algorithm, dataset
-                )
+                dataset, fingerprint = self._fingerprint_job(job)
             except Exception as exc:
                 flush()
-                self.jobs_total += 1
-                self.errors_total += 1
-                self._emit(out, error_reply(_best_effort_id(line), exc))
+                reply = self._count_reply(
+                    error_reply(_best_effort_id(line), exc)
+                )
+                self._emit(out, reply)
                 continue
             if batch and (
                 fingerprint != batch[-1][2] or len(batch) >= self.batch_max
@@ -265,11 +441,18 @@ class SortService:
 
     # ------------------------------------------------------------- stats #
     def stats(self) -> dict[str, Any]:
-        """Service counters plus cache counters (the ``/stats`` body)."""
+        """Service counters plus cache counters (the ``/stats`` body).
+
+        A strict superset of the pre-telemetry shape: the original keys
+        (``jobs_total``, ``errors_total``, ``cache``) are unchanged, and
+        ``metrics`` embeds the registry snapshot (histogram count / sum /
+        p50 / p99 per latency metric).
+        """
         return {
             "jobs_total": self.jobs_total,
             "errors_total": self.errors_total,
             "cache": self.cache.stats(),
+            "metrics": self.metrics.snapshot(),
         }
 
 

@@ -9,8 +9,12 @@ Endpoints:
 - ``POST /sort`` — body is one job JSON object (same schema as a stdin
   JSONL line); the response body is the job's reply.  HTTP 200 for
   ``status: "ok"`` replies, 400 for structured error replies.
-- ``GET /healthz`` — liveness: ``{"status": "ok"}``.
-- ``GET /stats`` — service + splitter-cache counters.
+- ``GET /healthz`` — liveness: ``{"status": "ok", ...}`` with package
+  and job-schema version info.
+- ``GET /stats`` — service + splitter-cache counters, plus the metrics
+  registry snapshot.
+- ``GET /metrics`` — the same counters in Prometheus text exposition
+  (version 0.0.4), scrapeable by any Prometheus-compatible collector.
 
 Requests are serialized through one lock: the service's cache and
 counters are plain Python state, and sort jobs are CPU-bound anyway, so
@@ -23,8 +27,10 @@ import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro._version import __version__
 from repro.errors import ConfigError
 from repro.service.daemon import SortService
+from repro.service.jobs import JOB_SCHEMA_VERSION
 
 __all__ = ["make_server"]
 
@@ -58,23 +64,44 @@ def make_server(
 
         def _send(self, code: int, body: dict) -> None:
             payload = (json.dumps(body, sort_keys=True) + "\n").encode()
+            self._send_bytes(code, payload, "application/json")
+
+        def _send_text(self, code: int, text: str) -> None:
+            self._send_bytes(
+                code, text.encode(), "text/plain; version=0.0.4"
+            )
+
+        def _send_bytes(
+            self, code: int, payload: bytes, content_type: str
+        ) -> None:
             self.send_response(code)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(payload)))
             self.end_headers()
             self.wfile.write(payload)
 
         def do_GET(self) -> None:  # noqa: N802  (http.server API)
             if self.path == "/healthz":
-                self._send(200, {"status": "ok"})
+                self._send(
+                    200,
+                    {
+                        "status": "ok",
+                        "version": __version__,
+                        "job_schema_version": JOB_SCHEMA_VERSION,
+                    },
+                )
             elif self.path == "/stats":
                 with lock:
                     self._send(200, service.stats())
+            elif self.path == "/metrics":
+                with lock:
+                    self._send_text(200, service.metrics.render())
             else:
                 self._send(
                     404,
                     {"error": f"unknown path {self.path!r}; "
-                              f"try POST /sort, GET /healthz, GET /stats"},
+                              f"try POST /sort, GET /healthz, GET /stats, "
+                              f"GET /metrics"},
                 )
 
         def do_POST(self) -> None:  # noqa: N802  (http.server API)

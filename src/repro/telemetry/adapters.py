@@ -1,0 +1,248 @@
+"""Bridges from the four existing metric surfaces into the telemetry plane.
+
+Each pre-telemetry surface — the modeled :class:`~repro.bsp.trace.Trace`,
+the measured :class:`~repro.runtime.Measured` block, the service's
+``stats()`` dict, and the chaos fault plans — keeps its own
+representation; these adapters *project* them into spans and metrics so
+nothing is double-maintained.  The live emission paths (the resolver
+recording supersteps as it resolves them, the backends shipping rank
+segments) call the same functions a post-hoc replay does, so a trace
+rebuilt from a saved ``Trace`` is identical to the one recorded live.
+
+Timeline layout (see :mod:`repro.telemetry.spans` for the pid map):
+
+* modeled (pid 1): one row per sweep cell (``sink.modeled_tid``); each
+  superstep is a ``cat="superstep"`` span containing per-phase
+  ``cat="compute"`` child spans followed by one ``cat="comm"`` span.
+* measured (pid 2): one row per rank; ``cat="compute"`` spans from the
+  worker's phase segments and ``cat="wait"`` spans for collective
+  blocks, flow-connected per rendezvous.
+* chaos: instant events on the modeled row at each injection's
+  superstep start.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro.telemetry.spans import (
+    MEASURED_PID,
+    MODELED_PID,
+    TraceSink,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.bsp.trace import SuperstepRecord, Trace
+
+__all__ = [
+    "emit_superstep_spans",
+    "emit_run_span",
+    "trace_to_spans",
+    "measured_to_spans",
+    "emit_rank_segments",
+    "chaos_plan_to_events",
+    "stats_to_metrics",
+]
+
+
+def emit_superstep_spans(
+    sink: TraceSink, record: "SuperstepRecord", start_s: float
+) -> float:
+    """Emit one superstep's span tree starting at ``start_s``.
+
+    Returns the modeled clock after the superstep — the caller threads
+    it through successive records, so span layout is a pure fold over
+    the trace.  Phase-level children tile the parent span exactly:
+    compute spans (in the record's phase order) then the collective,
+    which is what lets the export test sum spans back into the
+    :class:`~repro.bsp.trace.PhaseBreakdown`.
+    """
+    tid = sink.modeled_tid
+    sink.process(MODELED_PID, "modeled (simulated machine)")
+    total = record.total_seconds
+    sink.complete(
+        MODELED_PID,
+        tid,
+        record.op,
+        "superstep",
+        start_s,
+        total,
+        args={"superstep": record.index, "phase": record.phase},
+    )
+    t = start_s
+    for phase, seconds in record.compute_by_phase.items():
+        sink.complete(
+            MODELED_PID,
+            tid,
+            phase,
+            "compute",
+            t,
+            seconds,
+            args={"superstep": record.index},
+        )
+        t += seconds
+    if record.comm_seconds > 0.0:
+        sink.complete(
+            MODELED_PID,
+            tid,
+            record.op,
+            "comm",
+            t,
+            record.comm_seconds,
+            args={
+                "superstep": record.index,
+                "phase": record.phase,
+                "nbytes": record.nbytes,
+                "messages": record.messages,
+            },
+        )
+    return start_s + total
+
+
+def emit_run_span(
+    sink: TraceSink, makespan_s: float, supersteps: int, name: str = "run"
+) -> None:
+    """The whole-run parent span enclosing every superstep."""
+    sink.complete(
+        MODELED_PID,
+        sink.modeled_tid,
+        name,
+        "run",
+        0.0,
+        makespan_s,
+        args={"supersteps": supersteps},
+    )
+
+
+def trace_to_spans(trace: "Trace", sink: TraceSink) -> TraceSink:
+    """Replay a finished modeled trace into ``sink``.
+
+    Produces exactly the spans live resolver emission would have — same
+    function, same fold — so saved traces and live runs render alike.
+    """
+    clock = 0.0
+    for record in trace.records:
+        clock = emit_superstep_spans(sink, record, clock)
+    emit_run_span(sink, trace.makespan, len(trace.records))
+    return sink
+
+
+def measured_to_spans(measured: Any, sink: TraceSink) -> TraceSink:
+    """Project a :class:`~repro.runtime.Measured` block into rank rows.
+
+    The block stores per-rank *totals*, not segments, so each rank gets
+    one compute span followed by one wait span — a coarse but honest
+    rendering (the live backend path emits full per-segment detail via
+    :func:`emit_rank_segments` instead).
+    """
+    sink.process(MEASURED_PID, f"measured ({measured.backend} backend)")
+    for rank, compute in enumerate(measured.rank_compute_s):
+        sink.thread(MEASURED_PID, rank, f"rank {rank}")
+        sink.complete(MEASURED_PID, rank, "compute", "compute", 0.0, compute)
+        waits = measured.rank_comm_wait_s
+        if rank < len(waits):
+            sink.complete(
+                MEASURED_PID, rank, "collective wait", "wait",
+                compute, waits[rank],
+            )
+    return sink
+
+
+def emit_rank_segments(
+    sink: TraceSink,
+    segments_by_rank: dict[int, list[tuple]],
+    waits_by_rank: dict[int, list[tuple]],
+    backend: str,
+) -> None:
+    """Emit live per-rank wall-clock spans from worker segment logs.
+
+    ``segments_by_rank[r]`` holds ``(phase, start_s, end_s)`` compute
+    segments and ``waits_by_rank[r]`` holds ``(op, start_s, end_s,
+    sweep_index)`` collective waits, both on the backend's run clock
+    (seconds since ``run()`` started).  Waits of the same sweep are
+    flow-connected across ranks — the arrows in a viewer show which
+    ranks met at each rendezvous.
+    """
+    sink.process(MEASURED_PID, f"measured ({backend} backend)")
+    sweeps: dict[int, list[tuple[int, float]]] = {}
+    for rank in sorted(segments_by_rank):
+        sink.thread(MEASURED_PID, rank, f"rank {rank}")
+        for phase, t0, t1 in segments_by_rank[rank]:
+            sink.complete(MEASURED_PID, rank, phase, "compute", t0, t1 - t0)
+        for op, t0, t1, sweep in waits_by_rank.get(rank, []):
+            sink.complete(
+                MEASURED_PID, rank, f"wait:{op}", "wait", t0, t1 - t0,
+                args={"sweep": sweep},
+            )
+            sweeps.setdefault(sweep, []).append((rank, t0))
+    for sweep, members in sorted(sweeps.items()):
+        if len(members) < 2:
+            continue
+        last = len(members) - 1
+        for i, (rank, t0) in enumerate(members):
+            phase = "s" if i == 0 else ("f" if i == last else "t")
+            sink.flow(MEASURED_PID, rank, "rendezvous", sweep, t0, phase)
+
+
+def chaos_plan_to_events(
+    sink: TraceSink, plan: Any, trace: "Trace", nprocs: int
+) -> None:
+    """Mark a fault plan's injections as instants on the modeled row.
+
+    The plan's decisions are pure functions of ``(rank, step)``, so the
+    injection points are re-derived after the run and anchored at each
+    superstep's modeled start time.  Steps index the program's
+    collectives; dropped-collective retries shift later records, so
+    anchors are exact up to the first drop and indicative past it.
+    """
+    tid = sink.modeled_tid
+    starts: list[float] = []
+    clock = 0.0
+    for record in trace.records:
+        starts.append(clock)
+        clock += record.total_seconds
+    for step, start in enumerate(starts):
+        for rank in range(nprocs):
+            if plan.kills(rank, step):
+                sink.instant(
+                    MODELED_PID, tid, f"kill rank {rank}", "chaos", start,
+                    args={"rank": rank, "step": step, "plan": plan.name},
+                )
+            delay = plan.delay_s(rank, step)
+            if delay > 0.0:
+                sink.instant(
+                    MODELED_PID, tid, f"straggler rank {rank}", "chaos",
+                    start,
+                    args={
+                        "rank": rank, "step": step, "delay_s": delay,
+                        "plan": plan.name,
+                    },
+                )
+        retries = plan.drop_retries(step)
+        if retries:
+            sink.instant(
+                MODELED_PID, tid, "dropped collective", "chaos", start,
+                args={"step": step, "retries": retries, "plan": plan.name},
+            )
+
+
+def stats_to_metrics(stats: dict[str, Any], registry: Any) -> None:
+    """Expose a ``service.stats()``-shaped dict as registry gauges.
+
+    For detached consumers (tests, one-shot exports) that hold a stats
+    snapshot but not the live service — the live daemon registers
+    callback metrics directly and never copies.
+    """
+    def flatten(prefix: str, node: Any) -> Sequence[tuple[str, float]]:
+        if isinstance(node, dict):
+            out: list[tuple[str, float]] = []
+            for key, value in node.items():
+                out.extend(flatten(f"{prefix}_{key}", value))
+            return out
+        if isinstance(node, (int, float)) and not isinstance(node, bool):
+            return [(prefix, float(node))]
+        return []
+
+    for name, value in flatten("repro_stats", stats):
+        gauge = registry.gauge(name, "Snapshot of service stats().")
+        gauge.set(value)

@@ -1,0 +1,272 @@
+"""Trace serialization: Chrome trace-event JSON and the ASCII report.
+
+``write_chrome_trace`` emits the JSON object form of the trace-event
+format (``{"traceEvents": [...], ...}``) that Perfetto and
+``chrome://tracing`` load directly; ``validate_chrome_trace`` is the
+schema check CI's ``telemetry-smoke`` job and ``repro trace`` run before
+trusting a file; ``render_timeline`` is the in-terminal view, in the
+same aligned-table house style as the bench and experiment reports.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Sequence
+
+from repro.telemetry.spans import (
+    MEASURED_PID,
+    MODELED_PID,
+    SERVICE_PID,
+    TraceSink,
+)
+
+__all__ = [
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "load_chrome_trace",
+    "validate_chrome_trace",
+    "render_timeline",
+]
+
+#: Keys every complete ("X") event must carry.
+_REQUIRED_COMPLETE_KEYS = ("ph", "ts", "dur", "pid", "tid", "name")
+#: Keys every other event kind must carry.
+_REQUIRED_COMMON_KEYS = ("ph", "ts", "pid", "tid", "name")
+
+_KNOWN_PHASES = ("X", "i", "M", "s", "t", "f", "B", "E")
+
+
+def to_chrome_trace(sink: TraceSink) -> dict[str, Any]:
+    """The JSON-object form of the trace (``displayTimeUnit``: ms)."""
+    return {
+        "traceEvents": list(sink.events),
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.telemetry"},
+    }
+
+
+def write_chrome_trace(sink: TraceSink, path: str) -> int:
+    """Write the trace to ``path``; returns the event count."""
+    document = to_chrome_trace(sink)
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=None, separators=(",", ":"))
+        handle.write("\n")
+    return len(document["traceEvents"])
+
+
+def load_chrome_trace(path: str) -> list[dict[str, Any]]:
+    """Load and validate a trace file; returns its event list.
+
+    Accepts both the object form (``{"traceEvents": [...]}``) this
+    module writes and the bare JSON-array form other producers emit.
+    """
+    with open(path) as handle:
+        document = json.load(handle)
+    if isinstance(document, dict):
+        events = document.get("traceEvents")
+        if not isinstance(events, list):
+            raise ValueError(
+                f"{path}: object form requires a 'traceEvents' array"
+            )
+    elif isinstance(document, list):
+        events = document
+    else:
+        raise ValueError(
+            f"{path}: expected a trace object or event array, "
+            f"got {type(document).__name__}"
+        )
+    validate_chrome_trace(events)
+    return events
+
+
+def validate_chrome_trace(events: Sequence[dict[str, Any]]) -> None:
+    """Schema-check a list of trace events; raises :class:`ValueError`.
+
+    Checks the required keys per event kind (``X`` spans additionally
+    need ``dur``), numeric non-negative timestamps, and — for the
+    modeled timeline — that superstep spans appear in monotone
+    ``superstep`` index order per row, which pins the exporter to the
+    resolver's actual execution order.
+    """
+    last_superstep: dict[tuple, int] = {}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"event {i}: not an object")
+        ph = event.get("ph")
+        if ph not in _KNOWN_PHASES:
+            raise ValueError(f"event {i}: unknown ph {ph!r}")
+        required = (
+            _REQUIRED_COMPLETE_KEYS if ph == "X" else _REQUIRED_COMMON_KEYS
+        )
+        missing = [key for key in required if key not in event]
+        if missing:
+            raise ValueError(
+                f"event {i} ({event.get('name')!r}): missing keys {missing}"
+            )
+        for key in ("ts", "dur"):
+            if key in event:
+                value = event[key]
+                if not isinstance(value, (int, float)) or value < 0:
+                    raise ValueError(
+                        f"event {i} ({event.get('name')!r}): "
+                        f"{key} must be a non-negative number, got {value!r}"
+                    )
+        if ph == "X" and event.get("cat") == "superstep":
+            row = (event["pid"], event["tid"])
+            index = event.get("args", {}).get("superstep")
+            if isinstance(index, int):
+                previous = last_superstep.get(row, -1)
+                if index <= previous:
+                    raise ValueError(
+                        f"event {i}: superstep {index} out of order "
+                        f"(after {previous}) on pid={row[0]} tid={row[1]}"
+                    )
+                last_superstep[row] = index
+
+
+# --------------------------------------------------------------- report #
+
+
+def _table(rows: list[tuple[str, ...]]) -> str:
+    widths = [max(len(r[i]) for r in rows) for i in range(len(rows[0]))]
+    return "\n".join(
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        for row in rows
+    )
+
+
+def _fmt_us(us: float) -> str:
+    return f"{us / 1e6:.6f}"
+
+
+def _bar(value: float, peak: float, width: int = 24) -> str:
+    if peak <= 0:
+        return ""
+    return "#" * max(1, round(width * value / peak)) if value > 0 else ""
+
+
+def _spans(events, pid: int, cat: str | None = None):
+    for event in events:
+        if event.get("ph") != "X" or event.get("pid") != pid:
+            continue
+        if cat is not None and event.get("cat") != cat:
+            continue
+        yield event
+
+
+def _render_modeled(events: Sequence[dict[str, Any]]) -> list[str]:
+    supersteps = sorted(
+        _spans(events, MODELED_PID, "superstep"), key=lambda e: e["ts"]
+    )
+    if not supersteps:
+        return []
+    lines = [f"modeled timeline ({len(supersteps)} supersteps):"]
+    peak = max(e["dur"] for e in supersteps)
+    rows = [("step", "op", "phase", "start (s)", "total (s)", "")]
+    for event in supersteps:
+        args = event.get("args", {})
+        rows.append(
+            (
+                str(args.get("superstep", "?")),
+                event["name"],
+                str(args.get("phase", "")),
+                _fmt_us(event["ts"]),
+                _fmt_us(event["dur"]),
+                _bar(event["dur"], peak),
+            )
+        )
+    lines.append(_table(rows))
+
+    compute: dict[str, float] = {}
+    comm: dict[str, float] = {}
+    for event in _spans(events, MODELED_PID, "compute"):
+        compute[event["name"]] = compute.get(event["name"], 0.0) + event["dur"]
+    for event in _spans(events, MODELED_PID, "comm"):
+        phase = event.get("args", {}).get("phase", event["name"])
+        comm[phase] = comm.get(phase, 0.0) + event["dur"]
+    phases: dict[str, None] = {}
+    for key in list(compute) + list(comm):
+        phases.setdefault(key)
+    rows = [("phase", "compute (s)", "comm (s)", "total (s)")]
+    for phase in phases:
+        c = compute.get(phase, 0.0)
+        m = comm.get(phase, 0.0)
+        rows.append(
+            (phase, _fmt_us(c), _fmt_us(m), _fmt_us(c + m))
+        )
+    lines.append("")
+    lines.append("phase totals (from spans):")
+    lines.append(_table(rows))
+    return lines
+
+
+def _render_measured(events: Sequence[dict[str, Any]]) -> list[str]:
+    ranks: dict[int, dict[str, float]] = {}
+    for event in _spans(events, MEASURED_PID):
+        bucket = ranks.setdefault(
+            event["tid"], {"compute": 0.0, "wait": 0.0}
+        )
+        kind = "wait" if event.get("cat") == "wait" else "compute"
+        bucket[kind] += event["dur"]
+    if not ranks:
+        return []
+    rows = [("rank", "compute (s)", "wait (s)", "")]
+    peak = max(b["compute"] + b["wait"] for b in ranks.values())
+    for rank in sorted(ranks):
+        bucket = ranks[rank]
+        rows.append(
+            (
+                str(rank),
+                _fmt_us(bucket["compute"]),
+                _fmt_us(bucket["wait"]),
+                _bar(bucket["compute"] + bucket["wait"], peak),
+            )
+        )
+    return ["measured timeline (per-rank wall-clock):", _table(rows)]
+
+
+def _render_service(events: Sequence[dict[str, Any]]) -> list[str]:
+    spans = sorted(_spans(events, SERVICE_PID), key=lambda e: e["ts"])
+    if not spans:
+        return []
+    rows = [("span", "cat", "start (s)", "dur (s)")]
+    for event in spans:
+        rows.append(
+            (
+                event["name"],
+                str(event.get("cat", "")),
+                _fmt_us(event["ts"]),
+                _fmt_us(event["dur"]),
+            )
+        )
+    return ["service timeline (job lifecycle):", _table(rows)]
+
+
+def render_timeline(events: Sequence[dict[str, Any]]) -> str:
+    """Render a validated event list as the house-style ASCII report."""
+    instants = [e for e in events if e.get("ph") == "i"]
+    spans = [e for e in events if e.get("ph") == "X"]
+    header = (
+        f"trace: {len(events)} events "
+        f"({len(spans)} spans, {len(instants)} instants)"
+    )
+    sections = [
+        _render_modeled(events),
+        _render_measured(events),
+        _render_service(events),
+    ]
+    parts = [header]
+    for section in sections:
+        if section:
+            parts.append("")
+            parts.extend(section)
+    if instants:
+        parts.append("")
+        rows = [("instant", "cat", "ts (s)")]
+        for event in sorted(instants, key=lambda e: e["ts"]):
+            rows.append(
+                (event["name"], str(event.get("cat", "")), _fmt_us(event["ts"]))
+            )
+        parts.append("instant events:")
+        parts.append(_table(rows))
+    return "\n".join(parts)

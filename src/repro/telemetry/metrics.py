@@ -1,0 +1,433 @@
+"""Counter/Gauge/Histogram registry with Prometheus text exposition.
+
+The service-facing half of the telemetry plane: where
+:mod:`repro.telemetry.spans` answers "where did *this* run's time go",
+the registry answers "what has the daemon done since it started" —
+jobs, batch sizes, cache traffic, latency quantiles.
+
+Design rules:
+
+* **No wall-clock reads.**  This module never imports ``time``; values
+  only advance when a caller records a count or an already-measured
+  duration.  That keeps every metric a pure function of the observations
+  fed in — the same property the modeled cost model has.
+* **Fixed bucket boundaries.**  Histograms take their buckets at
+  construction, so two services configured alike expose comparable
+  ``le`` series and quantile estimates are deterministic.
+* **Callbacks, not copies.**  A metric may read its value through a
+  zero-argument function (:meth:`MetricsRegistry.counter_fn` /
+  :meth:`gauge_fn`), so existing counters — the splitter cache's
+  hit/miss/eviction tallies — are exposed without being double-maintained.
+
+>>> reg = MetricsRegistry()
+>>> jobs = reg.counter("repro_jobs_total", "Jobs processed.", ("status",))
+>>> jobs.labels(status="ok").inc()
+>>> lat = reg.histogram("repro_latency_seconds", "Job latency.",
+...                     buckets=(0.1, 1.0))
+>>> lat.observe(0.05); lat.observe(0.5)
+>>> lat.count, round(lat.sum, 2)
+(2, 0.55)
+>>> parsed = parse_prometheus_text(reg.render())
+>>> parsed["repro_jobs_total"][(("status", "ok"),)]
+1.0
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Callable, Iterator, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "parse_prometheus_text",
+]
+
+#: Default latency buckets (seconds) spanning modeled makespans (~1e-4 s
+#: at quick-tier sizes) through measured walls on loaded backends.
+DEFAULT_LATENCY_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+_LabelKey = tuple  # tuple of (label, value) pairs, sorted by label
+
+
+def _check_name(name: str, pattern: re.Pattern, kind: str) -> str:
+    if not pattern.match(name):
+        raise ValueError(f"invalid {kind} name {name!r}")
+    return name
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render_labels(labels: _LabelKey, extra: str = "") -> str:
+    parts = [f'{k}="{_escape_label_value(str(v))}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+class _Metric:
+    """Shared name/help/label plumbing for the three metric kinds."""
+
+    kind = ""
+
+    def __init__(
+        self, name: str, help: str, label_names: Sequence[str] = ()
+    ) -> None:
+        self.name = _check_name(name, _METRIC_NAME, "metric")
+        self.help = help
+        self.label_names = tuple(
+            _check_name(label, _LABEL_NAME, "label") for label in label_names
+        )
+
+    def _key(self, labels: dict[str, str]) -> _LabelKey:
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"{self.name}: expected labels {list(self.label_names)}, "
+                f"got {sorted(labels)}"
+            )
+        return tuple((k, str(labels[k])) for k in self.label_names)
+
+    def samples(self) -> Iterator[tuple[str, _LabelKey, float]]:
+        """Yield ``(name_suffix, labels, value)`` exposition samples."""
+        raise NotImplementedError
+
+    def snapshot(self) -> Any:
+        """A JSON-safe value for ``/stats`` embedding."""
+        raise NotImplementedError
+
+
+class _BoundCounter:
+    """One labeled child of a :class:`Counter`."""
+
+    __slots__ = ("_counter", "_labels")
+
+    def __init__(self, counter: "Counter", labels: _LabelKey) -> None:
+        self._counter = counter
+        self._labels = labels
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._counter._inc(self._labels, amount)
+
+
+class Counter(_Metric):
+    """A monotonically increasing count (optionally labeled)."""
+
+    kind = "counter"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        label_names: Sequence[str] = (),
+        fn: Callable[[], float] | None = None,
+    ) -> None:
+        super().__init__(name, help, label_names)
+        if fn is not None and self.label_names:
+            raise ValueError("callback counters cannot be labeled")
+        self._fn = fn
+        self._values: dict[_LabelKey, float] = {}
+
+    def labels(self, **labels: str) -> _BoundCounter:
+        return _BoundCounter(self, self._key(labels))
+
+    def inc(self, amount: float = 1.0) -> None:
+        if self.label_names:
+            raise ValueError(f"{self.name} is labeled; use .labels(...)")
+        self._inc((), amount)
+
+    def _inc(self, key: _LabelKey, amount: float) -> None:
+        if self._fn is not None:
+            raise ValueError(f"{self.name} is a callback counter")
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        return self._values.get(self._key(labels), 0.0)
+
+    def samples(self) -> Iterator[tuple[str, _LabelKey, float]]:
+        if self._fn is not None:
+            yield "", (), float(self._fn())
+            return
+        for key in sorted(self._values):
+            yield "", key, self._values[key]
+
+    def snapshot(self) -> Any:
+        if self._fn is not None:
+            return float(self._fn())
+        if not self.label_names:
+            return self._values.get((), 0.0)
+        return {
+            ",".join(f"{k}={v}" for k, v in key): value
+            for key, value in sorted(self._values.items())
+        }
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (or is read via callback)."""
+
+    kind = "gauge"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        fn: Callable[[], float] | None = None,
+    ) -> None:
+        super().__init__(name, help, ())
+        self._fn = fn
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        if self._fn is not None:
+            raise ValueError(f"{self.name} is a callback gauge")
+        self._value = float(value)
+
+    def value(self) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        return self._value
+
+    def samples(self) -> Iterator[tuple[str, _LabelKey, float]]:
+        yield "", (), self.value()
+
+    def snapshot(self) -> Any:
+        return self.value()
+
+
+class Histogram(_Metric):
+    """Observations bucketed at fixed boundaries; supports quantiles.
+
+    Values only advance through :meth:`observe` — the caller measures,
+    the histogram counts.  ``quantile`` interpolates linearly within the
+    bucket containing the target rank, the standard Prometheus
+    ``histogram_quantile`` estimate.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, ())
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ValueError(
+                f"{name}: buckets must be non-empty and strictly "
+                f"increasing, got {list(buckets)}"
+            )
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last = +Inf overflow
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self._counts[i] += 1
+                return
+        self._counts[-1] += 1
+
+    def bucket_counts(self) -> list[tuple[float, int]]:
+        """Cumulative ``(le, count)`` pairs, ending at ``+Inf``."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.buckets, self._counts):
+            running += count
+            out.append((bound, running))
+        out.append((math.inf, running + self._counts[-1]))
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0 <= q <= 1); NaN when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return math.nan
+        rank = q * self.count
+        lower = 0.0
+        running = 0
+        for bound, count in zip(self.buckets, self._counts):
+            if running + count >= rank and count > 0:
+                frac = (rank - running) / count
+                return lower + frac * (bound - lower)
+            running += count
+            lower = bound
+        return self.buckets[-1]  # overflow bucket: clamp to the last bound
+
+    def samples(self) -> Iterator[tuple[str, _LabelKey, float]]:
+        for bound, cumulative in self.bucket_counts():
+            yield "_bucket", (("le", _format_value(bound)),), cumulative
+        yield "_sum", (), self.sum
+        yield "_count", (), float(self.count)
+
+    def snapshot(self) -> Any:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "p50": self.quantile(0.5),
+            "p99": self.quantile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """An ordered collection of metrics with one text exposition."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+
+    def _add(self, metric: _Metric) -> Any:
+        if metric.name in self._metrics:
+            raise ValueError(f"metric {metric.name!r} already registered")
+        self._metrics[metric.name] = metric
+        return metric
+
+    # ------------------------------------------------------ constructors #
+    def counter(
+        self, name: str, help: str, label_names: Sequence[str] = ()
+    ) -> Counter:
+        return self._add(Counter(name, help, label_names))
+
+    def counter_fn(
+        self, name: str, help: str, fn: Callable[[], float]
+    ) -> Counter:
+        """A counter whose value is read through ``fn`` at render time."""
+        return self._add(Counter(name, help, fn=fn))
+
+    def gauge(self, name: str, help: str) -> Gauge:
+        return self._add(Gauge(name, help))
+
+    def gauge_fn(self, name: str, help: str, fn: Callable[[], float]) -> Gauge:
+        """A gauge whose value is read through ``fn`` at render time."""
+        return self._add(Gauge(name, help, fn=fn))
+
+    def histogram(
+        self,
+        name: str,
+        help: str,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        return self._add(Histogram(name, help, buckets))
+
+    # ------------------------------------------------------------ output #
+    def get(self, name: str) -> _Metric:
+        return self._metrics[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def render(self) -> str:
+        """The Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        for name, metric in self._metrics.items():
+            help_text = metric.help.replace("\\", "\\\\").replace("\n", "\\n")
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            for suffix, labels, value in metric.samples():
+                lines.append(
+                    f"{name}{suffix}{_render_labels(labels)} "
+                    f"{_format_value(value)}"
+                )
+        return "\n".join(lines) + "\n"
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-safe summary of every metric (the ``/stats`` block)."""
+        out: dict[str, Any] = {}
+        for name, metric in self._metrics.items():
+            value = metric.snapshot()
+            if isinstance(value, float) and math.isnan(value):
+                value = None
+            elif isinstance(value, dict):
+                value = {
+                    k: (None if isinstance(v, float) and math.isnan(v) else v)
+                    for k, v in value.items()
+                }
+            out[name] = value
+        return out
+
+
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*$"
+)
+_LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)
+
+
+def parse_prometheus_text(text: str) -> dict[str, dict[_LabelKey, float]]:
+    """Parse (and thereby validate) Prometheus text exposition.
+
+    Returns ``{metric_name: {labels: value}}`` with labels as sorted
+    ``(name, value)`` tuples.  Raises :class:`ValueError` on any line
+    that is neither a comment nor a well-formed sample — the validation
+    CI's ``telemetry-smoke`` job and the tests lean on.
+    """
+    out: dict[str, dict[_LabelKey, float]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip() or line.startswith("#"):
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ValueError(
+                f"line {lineno}: not a valid metric sample: {line!r}"
+            )
+        labels: _LabelKey = ()
+        label_text = match.group("labels")
+        if label_text:
+            pairs = _LABEL_PAIR.findall(label_text)
+            rejoined = ",".join(f'{k}="{v}"' for k, v in pairs)
+            if rejoined != label_text:
+                raise ValueError(
+                    f"line {lineno}: malformed labels: {label_text!r}"
+                )
+            labels = tuple(sorted((k, v) for k, v in pairs))
+        try:
+            value = _parse_value(match.group("value"))
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: bad sample value {match.group('value')!r}"
+            ) from None
+        out.setdefault(match.group("name"), {})[labels] = value
+    return out

@@ -56,7 +56,16 @@ def _post(server, path, body: bytes):
 
 class TestEndpoints:
     def test_healthz(self, server):
-        assert _get(server, "/healthz") == (200, {"status": "ok"})
+        from repro._version import __version__
+        from repro.service.jobs import JOB_SCHEMA_VERSION
+
+        code, body = _get(server, "/healthz")
+        assert code == 200
+        # Superset of the pre-telemetry liveness body: 'status' is
+        # unchanged, version provenance rides along.
+        assert body["status"] == "ok"
+        assert body["version"] == __version__
+        assert body["job_schema_version"] == JOB_SCHEMA_VERSION
 
     def test_sort_then_stats(self, server):
         code, reply = _post(server, "/sort", json.dumps(JOB).encode())
@@ -73,6 +82,33 @@ class TestEndpoints:
         assert code == 200
         assert stats["jobs_total"] == 2
         assert stats["cache"]["hits"] == 1
+        # /stats is now a strict superset: the metrics snapshot agrees
+        # with the legacy counters it derives from.
+        snap = stats["metrics"]
+        assert snap["repro_jobs_total"] == {"status=ok": 2.0}
+        assert snap["repro_job_modeled_latency_seconds"]["count"] == 2
+        assert snap["repro_cache_hits_total"] == 1.0
+
+    def test_metrics_serves_parseable_prometheus_text(self, server):
+        import urllib.request
+
+        from repro.telemetry import parse_prometheus_text
+
+        _post(server, "/sort", json.dumps(JOB).encode())
+        host, port = server.server_address[:2]
+        with urllib.request.urlopen(
+            f"http://{host}:{port}/metrics"
+        ) as resp:
+            assert resp.status == 200
+            assert resp.headers["Content-Type"].startswith("text/plain")
+            text = resp.read().decode()
+        parsed = parse_prometheus_text(text)
+        assert parsed["repro_jobs_total"][(("status", "ok"),)] == 1.0
+        assert (
+            parsed["repro_job_wall_latency_seconds_count"][()] == 1.0
+        )
+        buckets = parsed["repro_job_modeled_latency_seconds_bucket"]
+        assert buckets[(("le", "+Inf"),)] == 1.0
 
     def test_malformed_job_is_400_with_structured_error(self, server):
         code, reply = _post(server, "/sort", b"{not json")

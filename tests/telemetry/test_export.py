@@ -1,0 +1,209 @@
+"""Chrome-trace export: schema validation, file round-trip, ASCII report.
+
+The reconciliation tests here are the PR's acceptance bar: per-phase span
+durations in an exported trace must sum (float tolerance) to the modeled
+phase breakdown the benchmark tables print.
+"""
+
+import json
+
+import pytest
+
+from repro.algorithms import Dataset, Sorter
+from repro.telemetry import (
+    MODELED_PID,
+    TraceSink,
+    load_chrome_trace,
+    render_timeline,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+
+def _traced_run(algorithm="hss", backend="simulated", p=4, n_per=600):
+    dataset = Dataset.from_workload("uniform", p=p, n_per=n_per, seed=7)
+    sink = TraceSink()
+    run = Sorter(algorithm, backend=backend, verify=False).run(
+        dataset, trace_sink=sink
+    )
+    return run, sink
+
+
+def _phase_sums_from_events(events):
+    """Compute/comm seconds per phase, reconstructed from span events.
+
+    Compute child spans are *named* by their phase; comm spans are named
+    by the collective op and carry the phase in ``args``.
+    """
+    compute: dict[str, float] = {}
+    comm: dict[str, float] = {}
+    for e in events:
+        if e.get("ph") != "X" or e["pid"] != MODELED_PID:
+            continue
+        seconds = e["dur"] / 1e6
+        if e.get("cat") == "compute":
+            phase = e["name"]
+            compute[phase] = compute.get(phase, 0.0) + seconds
+        elif e.get("cat") == "comm":
+            phase = e["args"]["phase"]
+            comm[phase] = comm.get(phase, 0.0) + seconds
+    return compute, comm
+
+
+class TestReconciliation:
+    def test_span_durations_sum_to_modeled_breakdown(self):
+        run, sink = _traced_run()
+        breakdown = run.engine_result.trace.breakdown()
+        compute, comm = _phase_sums_from_events(sink.events)
+        for phase in breakdown.phases():
+            assert compute.get(phase, 0.0) == pytest.approx(
+                breakdown.compute.get(phase, 0.0), abs=1e-9
+            ), phase
+            assert comm.get(phase, 0.0) == pytest.approx(
+                breakdown.comm.get(phase, 0.0), abs=1e-9
+            ), phase
+
+    def test_run_span_covers_makespan(self):
+        run, sink = _traced_run()
+        (top,) = [
+            e
+            for e in sink.events
+            if e.get("ph") == "X" and e.get("cat") == "run"
+        ]
+        assert top["dur"] / 1e6 == pytest.approx(
+            run.engine_result.trace.makespan, abs=1e-9
+        )
+
+
+class TestValidation:
+    def test_live_trace_validates(self):
+        _, sink = _traced_run()
+        events = to_chrome_trace(sink)["traceEvents"]
+        validate_chrome_trace(events)
+
+    def test_complete_event_requires_duration(self):
+        bad = [{"ph": "X", "ts": 0, "pid": 1, "tid": 0, "name": "x"}]
+        with pytest.raises(ValueError, match="dur"):
+            validate_chrome_trace(bad)
+
+    def test_unknown_phase_rejected(self):
+        bad = [
+            {
+                "ph": "Z",
+                "ts": 0,
+                "dur": 1,
+                "pid": 1,
+                "tid": 0,
+                "name": "x",
+            }
+        ]
+        with pytest.raises(ValueError, match="ph"):
+            validate_chrome_trace(bad)
+
+    def test_negative_timestamp_rejected(self):
+        bad = [
+            {
+                "ph": "X",
+                "ts": -5,
+                "dur": 1,
+                "pid": 1,
+                "tid": 0,
+                "name": "x",
+            }
+        ]
+        with pytest.raises(ValueError):
+            validate_chrome_trace(bad)
+
+    def test_superstep_ordering_must_be_monotone(self):
+        def span(ts, superstep):
+            return {
+                "ph": "X",
+                "ts": ts,
+                "dur": 1.0,
+                "pid": 1,
+                "tid": 0,
+                "name": "s",
+                "cat": "superstep",
+                "args": {"superstep": superstep, "phase": "p"},
+            }
+
+        validate_chrome_trace([span(0.0, 0), span(10.0, 1)])
+        with pytest.raises(ValueError, match="superstep"):
+            validate_chrome_trace([span(0.0, 1), span(10.0, 0)])
+
+    def test_superstep_ordering_is_per_row(self):
+        # Two sweep cells interleave supersteps on distinct tids; each
+        # row restarts from zero without tripping the monotone check.
+        def span(ts, tid, superstep):
+            return {
+                "ph": "X",
+                "ts": ts,
+                "dur": 1.0,
+                "pid": 1,
+                "tid": tid,
+                "name": "s",
+                "cat": "superstep",
+                "args": {"superstep": superstep, "phase": "p"},
+            }
+
+        validate_chrome_trace(
+            [span(0.0, 0, 0), span(5.0, 0, 1), span(0.0, 1, 0)]
+        )
+
+
+class TestFileRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        _, sink = _traced_run()
+        path = tmp_path / "trace.json"
+        count = write_chrome_trace(sink, path)
+        assert count == len(sink.events)
+        events = load_chrome_trace(path)
+        assert events == sink.events
+        validate_chrome_trace(events)
+
+    def test_written_file_is_object_with_trace_events(self, tmp_path):
+        # The object form is what chrome://tracing and Perfetto expect;
+        # the loader also accepts a bare array for hand-made files.
+        _, sink = _traced_run()
+        path = tmp_path / "trace.json"
+        write_chrome_trace(sink, path)
+        with open(path) as fh:
+            doc = json.load(fh)
+        assert set(doc) >= {"traceEvents"}
+
+    def test_loader_accepts_bare_array(self, tmp_path):
+        path = tmp_path / "bare.json"
+        path.write_text("[]")
+        assert load_chrome_trace(path) == []
+
+    def test_loader_rejects_non_trace_json(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text('{"numbers": [1, 2]}')
+        with pytest.raises(ValueError):
+            load_chrome_trace(path)
+
+
+class TestTimelineReport:
+    def test_header_counts_spans_and_instants(self):
+        _, sink = _traced_run()
+        report = render_timeline(sink.events)
+        spans = sum(1 for e in sink.events if e["ph"] == "X")
+        instants = sum(1 for e in sink.events if e["ph"] == "i")
+        assert report.splitlines()[0] == (
+            f"trace: {len(sink.events)} events "
+            f"({spans} spans, {instants} instants)"
+        )
+
+    def test_report_tabulates_supersteps(self):
+        run, sink = _traced_run()
+        report = render_timeline(sink.events)
+        n_steps = len(run.engine_result.trace.records)
+        assert "superstep" in report
+        # Every recorded superstep lands one table row.
+        rows = [
+            line
+            for line in report.splitlines()
+            if line.strip() and line.lstrip()[0].isdigit()
+        ]
+        assert len(rows) >= n_steps

@@ -1,0 +1,165 @@
+"""Counter/Gauge/Histogram registry and the Prometheus text round-trip."""
+
+import math
+
+import pytest
+
+from repro.telemetry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_prometheus_text,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("repro_jobs_total", "jobs", ("status",))
+        assert c.value(status="ok") == 0.0
+        c.labels(status="ok").inc()
+        c.labels(status="ok").inc(2.0)
+        assert c.value(status="ok") == 3.0
+        assert c.value(status="error") == 0.0
+
+    def test_negative_increment_rejected(self):
+        c = Counter("repro_x_total", "x")
+        with pytest.raises(ValueError):
+            c.labels().inc(-1.0)
+
+    def test_label_names_are_enforced(self):
+        c = Counter("repro_x_total", "x", ("status",))
+        with pytest.raises(ValueError):
+            c.labels(other="ok")
+
+
+class TestGauge:
+    def test_set_and_read(self):
+        g = Gauge("repro_depth", "queue depth")
+        g.set(4.0)
+        assert g.value() == 4.0
+        g.set(1.0)
+        assert g.value() == 1.0
+
+    def test_callback_gauge_tracks_source(self):
+        box = {"n": 0}
+        g = Gauge("repro_live", "live", fn=lambda: box["n"])
+        assert g.value() == 0
+        box["n"] = 7
+        assert g.value() == 7
+
+
+class TestHistogram:
+    def test_counts_are_cumulative_and_end_at_inf(self):
+        h = Histogram("repro_lat", "latency", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        counts = h.bucket_counts()
+        assert [c for _, c in counts] == [1, 2, 3]
+        assert counts[-1][0] == math.inf
+
+    def test_sum_and_count(self):
+        h = Histogram("repro_lat", "latency", buckets=(1.0,))
+        h.observe(0.25)
+        h.observe(0.75)
+        assert h.count == 2
+        assert h.sum == pytest.approx(1.0)
+
+    def test_quantile_interpolates_within_bucket(self):
+        h = Histogram("repro_lat", "latency", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 1.6, 3.0):
+            h.observe(v)
+        p50 = h.quantile(0.5)
+        assert 1.0 <= p50 <= 2.0
+
+    def test_quantile_of_empty_histogram_is_nan(self):
+        h = Histogram("repro_lat", "latency", buckets=(1.0,))
+        assert math.isnan(h.quantile(0.5))
+
+    def test_overflow_clamps_to_top_finite_bound(self):
+        h = Histogram("repro_lat", "latency", buckets=(1.0, 2.0))
+        h.observe(100.0)
+        assert h.quantile(0.99) == pytest.approx(2.0)
+
+    def test_default_latency_buckets_are_sorted(self):
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(
+            DEFAULT_LATENCY_BUCKETS
+        )
+        assert DEFAULT_LATENCY_BUCKETS[0] == pytest.approx(0.0001)
+        assert DEFAULT_LATENCY_BUCKETS[-1] == pytest.approx(10.0)
+
+
+class TestRegistry:
+    def test_duplicate_name_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_a_total", "a")
+        with pytest.raises(ValueError, match="repro_a_total"):
+            reg.counter("repro_a_total", "again")
+
+    def test_contains_and_get(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_a_total", "a")
+        assert "repro_a_total" in reg
+        assert reg.get("repro_a_total") is c
+
+    def test_render_parse_round_trip(self):
+        reg = MetricsRegistry()
+        jobs = reg.counter("repro_jobs_total", "jobs", ("status",))
+        jobs.labels(status="ok").inc(3)
+        jobs.labels(status="error").inc()
+        depth = reg.gauge("repro_depth", "queue depth")
+        depth.set(2.0)
+        lat = reg.histogram(
+            "repro_lat_seconds", "latency", buckets=(0.5, 1.0)
+        )
+        lat.observe(0.25)
+        lat.observe(0.75)
+
+        text = reg.render()
+        assert text.endswith("\n")
+        assert "# HELP repro_jobs_total jobs" in text
+        assert "# TYPE repro_lat_seconds histogram" in text
+
+        parsed = parse_prometheus_text(text)
+        assert parsed["repro_jobs_total"][(("status", "ok"),)] == 3.0
+        assert parsed["repro_jobs_total"][(("status", "error"),)] == 1.0
+        assert parsed["repro_depth"][()] == 2.0
+        assert parsed["repro_lat_seconds_count"][()] == 2.0
+        assert parsed["repro_lat_seconds_sum"][()] == pytest.approx(1.0)
+        buckets = parsed["repro_lat_seconds_bucket"]
+        assert buckets[(("le", "0.5"),)] == 1.0
+        assert buckets[(("le", "+Inf"),)] == 2.0
+
+    def test_callback_counter_exposes_external_tally(self):
+        # The pattern the splitter cache uses: existing tallies become
+        # metrics without maintaining two counters.
+        box = {"hits": 0}
+        reg = MetricsRegistry()
+        reg.counter_fn(
+            "repro_cache_hits_total", "hits", lambda: box["hits"]
+        )
+        box["hits"] = 5
+        assert (
+            parse_prometheus_text(reg.render())[
+                "repro_cache_hits_total"
+            ][()]
+            == 5.0
+        )
+
+    def test_snapshot_maps_nan_to_none(self):
+        reg = MetricsRegistry()
+        reg.histogram("repro_lat_seconds", "latency", buckets=(1.0,))
+        snap = reg.snapshot()
+        assert snap["repro_lat_seconds"]["count"] == 0
+        assert snap["repro_lat_seconds"]["p50"] is None
+
+
+class TestParser:
+    def test_malformed_sample_raises(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("repro_x_total not-a-number\n")
+
+    def test_comments_and_blank_lines_skipped(self):
+        text = "# HELP a b\n\n# TYPE a counter\na 1\n"
+        assert parse_prometheus_text(text)["a"][()] == 1.0

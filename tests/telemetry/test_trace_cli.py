@@ -1,0 +1,101 @@
+"""The ``--trace`` plumbing and ``repro trace`` viewer, end to end."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def traced_sort(tmp_path, capsys):
+    path = tmp_path / "sort-trace.json"
+    code = main(
+        [
+            "sort",
+            "--procs",
+            "4",
+            "--keys",
+            "500",
+            "--trace",
+            str(path),
+        ]
+    )
+    assert code == 0
+    capsys.readouterr()
+    return path
+
+
+class TestSortTrace:
+    def test_writes_loadable_chrome_trace(self, traced_sort):
+        with open(traced_sort) as fh:
+            doc = json.load(fh)
+        events = doc["traceEvents"]
+        assert events
+        assert {e["ph"] for e in events} <= set("XiMstfBE")
+
+    def test_sweep_trace_refuses_parallel_jobs(self, tmp_path, capsys):
+        code = main(
+            [
+                "sweep",
+                "--algorithms",
+                "hss",
+                "--workloads",
+                "uniform",
+                "--procs",
+                "2",
+                "--keys",
+                "300",
+                "--jobs",
+                "2",
+                "--trace",
+                str(tmp_path / "t.json"),
+            ]
+        )
+        assert code == 2
+        assert "--jobs 1" in capsys.readouterr().err
+
+    def test_unwritable_path_is_exit_2(self, tmp_path, capsys):
+        code = main(
+            [
+                "sort",
+                "--procs",
+                "4",
+                "--keys",
+                "500",
+                "--trace",
+                str(tmp_path / "no-such-dir" / "t.json"),
+            ]
+        )
+        assert code == 2
+        assert "cannot write" in capsys.readouterr().err
+
+
+class TestTraceViewer:
+    def test_renders_timeline_report(self, traced_sort, capsys):
+        assert main(["trace", str(traced_sort)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("trace: ")
+        assert "superstep" in out
+
+    def test_missing_file_is_exit_2(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "nope.json")]) == 2
+
+    def test_non_trace_json_is_exit_2(self, tmp_path, capsys):
+        path = tmp_path / "junk.json"
+        path.write_text('{"hello": "world"}')
+        assert main(["trace", str(path)]) == 2
+
+    def test_invalid_events_are_exit_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "traceEvents": [
+                        {"ph": "X", "ts": 0, "pid": 1, "tid": 0, "name": "x"}
+                    ]
+                }
+            )
+        )
+        assert main(["trace", str(path)]) == 2
+        assert "missing keys" in capsys.readouterr().err

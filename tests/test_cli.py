@@ -790,7 +790,10 @@ class TestExecutionOptionAgreement:
     """
 
     COMMANDS = ("sort", "sweep", "bench", "serve", "calibrate")
-    FLAGS = ("--machine", "--backend", "--workers", "--payloads", "--chaos")
+    FLAGS = (
+        "--machine", "--backend", "--workers", "--payloads", "--chaos",
+        "--trace",
+    )
 
     @staticmethod
     def _subparsers():
@@ -834,6 +837,7 @@ class TestExecutionOptionAgreement:
         assert coverage["--payloads"] == {"sort", "sweep"}
         assert coverage["--workers"] == {"sort", "calibrate"}
         assert coverage["--chaos"] == {"sort", "sweep"}
+        assert coverage["--trace"] == {"sort", "sweep", "serve"}
 
     def test_defaults_are_per_command(self):
         # Defaults intentionally differ (sort runs on 'laptop'; serve

@@ -19,6 +19,8 @@ import repro.machines.spec
 import repro.machines.topologies
 import repro.runtime
 import repro.runtime.base
+import repro.telemetry.metrics
+import repro.telemetry.spans
 import repro.utils.rng
 
 MODULES = [
@@ -37,6 +39,8 @@ MODULES = [
     repro.machines.topologies,
     repro.runtime,
     repro.runtime.base,
+    repro.telemetry.metrics,
+    repro.telemetry.spans,
     repro.utils.rng,
 ]
 
